@@ -1,0 +1,346 @@
+//! A generic worklist dataflow solver over [`Cfg`]s, with the two classic
+//! instances used by the lint pass: live variables (backward) and
+//! reaching definitions (forward).
+
+use crate::cfg::{BasicBlock, BlockId, Cfg, Instr};
+use sjava_syntax::ast::{Expr, LValue};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Analysis direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow along control-flow edges.
+    Forward,
+    /// Facts flow against control-flow edges.
+    Backward,
+}
+
+/// A dataflow problem over per-block facts.
+pub trait Problem {
+    /// The lattice of facts (sets with union meet here).
+    type Fact: Clone + PartialEq + Default;
+
+    /// Analysis direction.
+    fn direction(&self) -> Direction;
+
+    /// Meet of facts flowing into a block.
+    fn meet(&self, facts: &[&Self::Fact]) -> Self::Fact;
+
+    /// Transfer function over a whole block.
+    fn transfer(&self, id: BlockId, block: &BasicBlock, input: &Self::Fact) -> Self::Fact;
+}
+
+/// Per-block input/output facts after solving.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// Fact at block entry (in execution order).
+    pub inputs: Vec<F>,
+    /// Fact at block exit.
+    pub outputs: Vec<F>,
+}
+
+/// Runs the worklist algorithm to a fixed point.
+pub fn solve<P: Problem>(cfg: &Cfg, problem: &P) -> Solution<P::Fact> {
+    let n = cfg.len();
+    let mut inputs: Vec<P::Fact> = vec![Default::default(); n];
+    let mut outputs: Vec<P::Fact> = vec![Default::default(); n];
+    let mut work: VecDeque<BlockId> = cfg.ids().collect();
+    while let Some(b) = work.pop_front() {
+        let (incoming, dependents): (Vec<BlockId>, Vec<BlockId>) = match problem.direction() {
+            Direction::Forward => (
+                cfg.block(b).preds.clone(),
+                cfg.block(b).succs.clone(),
+            ),
+            Direction::Backward => (
+                cfg.block(b).succs.clone(),
+                cfg.block(b).preds.clone(),
+            ),
+        };
+        let facts: Vec<&P::Fact> = incoming
+            .iter()
+            .map(|&p| match problem.direction() {
+                Direction::Forward => &outputs[p.0],
+                Direction::Backward => &outputs[p.0],
+            })
+            .collect();
+        let input = problem.meet(&facts);
+        let output = problem.transfer(b, cfg.block(b), &input);
+        inputs[b.0] = input;
+        if output != outputs[b.0] {
+            outputs[b.0] = output;
+            for d in dependents {
+                if !work.contains(&d) {
+                    work.push_back(d);
+                }
+            }
+        }
+    }
+    Solution { inputs, outputs }
+}
+
+// ---------------------------------------------------------------------
+// Live variables
+// ---------------------------------------------------------------------
+
+/// Backward liveness of local variable names.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiveVariables;
+
+/// Variables read by an expression.
+pub fn expr_uses(e: &Expr, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Var { name, .. } => {
+            out.insert(name.clone());
+        }
+        Expr::Field { base, .. } | Expr::Length { base, .. } => expr_uses(base, out),
+        Expr::Index { base, index, .. } => {
+            expr_uses(base, out);
+            expr_uses(index, out);
+        }
+        Expr::Call { recv, args, .. } => {
+            if let Some(r) = recv {
+                expr_uses(r, out);
+            }
+            for a in args {
+                expr_uses(a, out);
+            }
+        }
+        Expr::Unary { operand, .. } | Expr::Cast { operand, .. } => expr_uses(operand, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            expr_uses(lhs, out);
+            expr_uses(rhs, out);
+        }
+        Expr::NewArray { len, .. } => expr_uses(len, out),
+        _ => {}
+    }
+}
+
+fn instr_uses(i: &Instr, out: &mut BTreeSet<String>) {
+    match i {
+        Instr::Decl { init, .. } => {
+            if let Some(e) = init {
+                expr_uses(e, out);
+            }
+        }
+        Instr::Assign { lhs, rhs } => {
+            expr_uses(rhs, out);
+            match lhs {
+                LValue::Field { base, .. } => expr_uses(base, out),
+                LValue::Index { base, index, .. } => {
+                    expr_uses(base, out);
+                    expr_uses(index, out);
+                }
+                _ => {}
+            }
+        }
+        Instr::Cond(e) | Instr::Eval(e) => expr_uses(e, out),
+        Instr::Return(Some(e)) => expr_uses(e, out),
+        Instr::Return(None) => {}
+    }
+}
+
+/// The variable an instruction defines (kills), if any.
+pub fn instr_def(i: &Instr) -> Option<&str> {
+    match i {
+        Instr::Decl { name, init: Some(_) } => Some(name),
+        Instr::Assign {
+            lhs: LValue::Var { name, .. },
+            ..
+        } => Some(name),
+        _ => None,
+    }
+}
+
+impl Problem for LiveVariables {
+    type Fact = BTreeSet<String>;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn meet(&self, facts: &[&Self::Fact]) -> Self::Fact {
+        let mut out = BTreeSet::new();
+        for f in facts {
+            out.extend((*f).iter().cloned());
+        }
+        out
+    }
+
+    fn transfer(&self, _id: BlockId, block: &BasicBlock, input: &Self::Fact) -> Self::Fact {
+        // Backward: walk instructions in reverse.
+        let mut live = input.clone();
+        for i in block.instrs.iter().rev() {
+            if let Some(d) = instr_def(i) {
+                live.remove(d);
+            }
+            instr_uses(i, &mut live);
+        }
+        live
+    }
+}
+
+/// Liveness *before* each instruction of a block, in instruction order —
+/// for per-statement queries (dead-store detection).
+pub fn liveness_per_instr(
+    cfg: &Cfg,
+    solution: &Solution<BTreeSet<String>>,
+    block: BlockId,
+) -> Vec<BTreeSet<String>> {
+    // outputs[block] is the fact at block entry for backward problems; to
+    // get per-instruction facts walk backward from the meet of succs.
+    let lv = LiveVariables;
+    let succ_facts: Vec<&BTreeSet<String>> = cfg
+        .block(block)
+        .succs
+        .iter()
+        .map(|&s| &solution.outputs[s.0])
+        .collect();
+    let mut live = lv.meet(&succ_facts);
+    let instrs = &cfg.block(block).instrs;
+    let mut after: Vec<BTreeSet<String>> = vec![BTreeSet::new(); instrs.len()];
+    for (idx, i) in instrs.iter().enumerate().rev() {
+        after[idx] = live.clone();
+        if let Some(d) = instr_def(i) {
+            live.remove(d);
+        }
+        instr_uses(i, &mut live);
+    }
+    after
+}
+
+// ---------------------------------------------------------------------
+// Reaching definitions
+// ---------------------------------------------------------------------
+
+/// A definition site: `(block, instruction index, variable)`.
+pub type DefSite = (usize, usize, String);
+
+/// Forward reaching-definitions over local variables.
+#[derive(Debug, Clone, Default)]
+pub struct ReachingDefs {
+    /// All definition sites per variable (precomputed).
+    pub defs_of: BTreeMap<String, BTreeSet<DefSite>>,
+}
+
+impl ReachingDefs {
+    /// Precomputes definition sites from a CFG.
+    pub fn prepare(cfg: &Cfg) -> Self {
+        let mut defs_of: BTreeMap<String, BTreeSet<DefSite>> = BTreeMap::new();
+        for b in cfg.ids() {
+            for (idx, i) in cfg.block(b).instrs.iter().enumerate() {
+                if let Some(d) = instr_def(i) {
+                    defs_of
+                        .entry(d.to_string())
+                        .or_default()
+                        .insert((b.0, idx, d.to_string()));
+                }
+            }
+        }
+        ReachingDefs { defs_of }
+    }
+}
+
+impl Problem for ReachingDefs {
+    type Fact = BTreeSet<DefSite>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn meet(&self, facts: &[&Self::Fact]) -> Self::Fact {
+        let mut out = BTreeSet::new();
+        for f in facts {
+            out.extend((*f).iter().cloned());
+        }
+        out
+    }
+
+    fn transfer(&self, id: BlockId, block: &BasicBlock, input: &Self::Fact) -> Self::Fact {
+        let mut out = input.clone();
+        for (idx, i) in block.instrs.iter().enumerate() {
+            if let Some(d) = instr_def(i) {
+                out.retain(|(_, _, v)| v != d);
+                out.insert((id.0, idx, d.to_string()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjava_syntax::parse;
+
+    fn cfg_of(body_src: &str) -> Cfg {
+        let src = format!("class A {{ void f(int p) {{ {body_src} }} }}");
+        let p = parse(&src).expect("parses");
+        Cfg::build(&p.method("A", "f").expect("m").body)
+    }
+
+    #[test]
+    fn liveness_sees_loop_carried_values() {
+        // `acc` is written at the end of the body and read at the top of
+        // the next iteration: it must be live across the back edge.
+        let c = cfg_of(
+            "int acc = 0; while (p > 0) { p = p - acc; acc = acc + 1; }",
+        );
+        let sol = solve(&c, &LiveVariables);
+        // At the loop-head block's entry, acc is live.
+        let live_anywhere = sol.outputs.iter().any(|f| f.contains("acc"));
+        assert!(live_anywhere);
+    }
+
+    #[test]
+    fn dead_value_is_not_live() {
+        let c = cfg_of("int dead = 5; p = 1;");
+        let sol = solve(&c, &LiveVariables);
+        for f in &sol.outputs {
+            assert!(!f.contains("dead"));
+        }
+    }
+
+    #[test]
+    fn per_instr_liveness_orders_correctly() {
+        let c = cfg_of("int x = 1; int y = x + 1; p = y;");
+        let sol = solve(&c, &LiveVariables);
+        let per = liveness_per_instr(&c, &sol, c.entry);
+        // After `int x = 1`, x is live (read by y's init).
+        assert!(per[0].contains("x"));
+        // After `int y = ...`, x is dead, y live.
+        assert!(!per[1].contains("x"));
+        assert!(per[1].contains("y"));
+        // After `p = y`, nothing is live.
+        assert!(per[2].is_empty());
+    }
+
+    #[test]
+    fn reaching_defs_prepare_finds_sites() {
+        let c = cfg_of("int x = 1; if (p > 0) { x = 2; } p = x;");
+        let rd = ReachingDefs::prepare(&c);
+        assert_eq!(rd.defs_of["x"].len(), 2);
+    }
+
+    #[test]
+    fn both_definitions_reach_the_join() {
+        let c = cfg_of("int x = 1; if (p > 0) { x = 2; } p = x;");
+        let rd = ReachingDefs::prepare(&c);
+        let sol = solve(&c, &rd);
+        // At some block, two distinct definitions of x reach together.
+        let merged = sol
+            .inputs
+            .iter()
+            .any(|f| f.iter().filter(|(_, _, v)| v == "x").count() == 2);
+        assert!(merged, "the conditional redefinition must merge at the join");
+    }
+
+    #[test]
+    fn redefinition_kills_the_earlier_site() {
+        let c = cfg_of("int x = 1; x = 2; p = x;");
+        let rd = ReachingDefs::prepare(&c);
+        let sol = solve(&c, &rd);
+        // After the entry block, only the second definition survives.
+        let entry_out = &sol.outputs[c.entry.0];
+        assert_eq!(entry_out.iter().filter(|(_, _, v)| v == "x").count(), 1);
+    }
+}

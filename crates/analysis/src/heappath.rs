@@ -1,0 +1,109 @@
+//! Heap paths (§4.2.1) and the auxiliary operators of Fig 4.5.
+//!
+//! A heap path is an n-tuple of reference names describing how a memory
+//! location is reached from a method parameter, `this`, or a static field.
+//! Array contents are modelled by the pseudo-field `element`, as in the
+//! paper's array handling.
+
+use std::fmt;
+
+/// The pseudo-field denoting any array element.
+pub const ELEMENT: &str = "element";
+
+/// A heap path: root followed by field names.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HeapPath(pub Vec<String>);
+
+impl HeapPath {
+    /// A single-element path rooted at a variable/parameter name.
+    pub fn root(name: impl Into<String>) -> Self {
+        HeapPath(vec![name.into()])
+    }
+
+    /// A path rooted at a static field `Class.field`.
+    pub fn static_root(class: &str, field: &str) -> Self {
+        HeapPath(vec![format!("{class}.{field}")])
+    }
+
+    /// The `⊕` operator: appends one field.
+    pub fn append(&self, field: &str) -> HeapPath {
+        let mut v = self.0.clone();
+        v.push(field.to_string());
+        HeapPath(v)
+    }
+
+    /// The `⊙` operator: splices a callee path's tail onto a caller path —
+    /// `⟨a0..an⟩ ⊙ ⟨b0..bm⟩ = ⟨a0..an, b1..bm⟩` (drops the callee's root).
+    pub fn splice(&self, callee: &HeapPath) -> HeapPath {
+        let mut v = self.0.clone();
+        v.extend(callee.0.iter().skip(1).cloned());
+        HeapPath(v)
+    }
+
+    /// The `Eq` predicate of Fig 4.5: do two paths share a root?
+    pub fn same_root(&self, other: &HeapPath) -> bool {
+        self.0.first() == other.0.first()
+    }
+
+    /// The root name.
+    pub fn root_name(&self) -> &str {
+        self.0.first().map(|s| s.as_str()).unwrap_or("")
+    }
+
+    /// The `Pre` predicate of Fig 4.5: is `prefix` a prefix of `self`?
+    pub fn has_prefix(&self, prefix: &HeapPath) -> bool {
+        prefix.0.len() <= self.0.len() && self.0[..prefix.0.len()] == prefix.0[..]
+    }
+
+    /// Length of the path.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the path is empty (never constructed normally).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for HeapPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}⟩", self.0.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_prefix() {
+        let p = HeapPath::root("this").append("bin").append("dir0");
+        assert!(p.has_prefix(&HeapPath::root("this")));
+        assert!(p.has_prefix(&HeapPath::root("this").append("bin")));
+        assert!(p.has_prefix(&p));
+        assert!(!p.has_prefix(&HeapPath::root("this").append("dir")));
+        assert!(!HeapPath::root("this").has_prefix(&p));
+    }
+
+    #[test]
+    fn splice_replaces_root() {
+        // Caller arg path ⟨d,g⟩ passed as parameter x; callee read ⟨x,y,a⟩
+        // becomes ⟨d,g,y,a⟩ (the §4.2.1 call-site example).
+        let arg = HeapPath::root("d").append("g");
+        let callee = HeapPath(vec!["x".into(), "y".into(), "a".into()]);
+        assert_eq!(
+            arg.splice(&callee),
+            HeapPath(vec!["d".into(), "g".into(), "y".into(), "a".into()])
+        );
+    }
+
+    #[test]
+    fn same_root_checks_first() {
+        let a = HeapPath::root("x").append("f");
+        let b = HeapPath::root("x").append("g");
+        let c = HeapPath::root("y");
+        assert!(a.same_root(&b));
+        assert!(!a.same_root(&c));
+    }
+}

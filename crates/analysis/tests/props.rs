@@ -1,0 +1,96 @@
+//! Property tests for heap paths (Fig 4.5 operator laws) and eviction
+//! analysis invariants on generated event loops.
+
+use proptest::prelude::*;
+use sjava_analysis::heappath::HeapPath;
+use sjava_analysis::{callgraph, written};
+use sjava_syntax::diag::Diagnostics;
+
+fn arb_path() -> impl Strategy<Value = HeapPath> {
+    prop::collection::vec(prop::sample::select(vec!["this", "a", "b", "f", "g", "h"]), 1..5)
+        .prop_map(|v| HeapPath(v.into_iter().map(String::from).collect()))
+}
+
+proptest! {
+    #[test]
+    fn prefix_is_reflexive_and_monotone(p in arb_path(), f in "[a-z]{1,3}") {
+        prop_assert!(p.has_prefix(&p));
+        let q = p.append(&f);
+        prop_assert!(q.has_prefix(&p));
+        prop_assert!(!p.has_prefix(&q));
+    }
+
+    #[test]
+    fn prefix_is_transitive(p in arb_path(), q in arb_path(), r in arb_path()) {
+        if r.has_prefix(&q) && q.has_prefix(&p) {
+            prop_assert!(r.has_prefix(&p));
+        }
+    }
+
+    #[test]
+    fn splice_drops_callee_root(caller in arb_path(), callee in arb_path()) {
+        let s = caller.splice(&callee);
+        prop_assert_eq!(s.len(), caller.len() + callee.len() - 1);
+        prop_assert!(s.has_prefix(&caller));
+    }
+
+    #[test]
+    fn same_root_is_an_equivalence_on_roots(a in arb_path(), b in arb_path()) {
+        prop_assert_eq!(a.same_root(&b), a.root_name() == b.root_name());
+    }
+}
+
+/// Generated event loops over `n` fields: fields `0..k` are overwritten
+/// unconditionally every iteration, fields `k..n` only *conditionally* —
+/// then a random subset is read. §4.2.1's conditions say a read is fine
+/// when the location is loop-invariant (never written) or overwritten
+/// every iteration; it is stale exactly when a conditionally-written
+/// field is read.
+fn arb_loop() -> impl Strategy<Value = (String, bool)> {
+    (1usize..6, 0usize..6, prop::collection::vec(0usize..6, 0..6)).prop_map(
+        |(n, k, reads)| {
+            let n = n.max(1);
+            let k = k.min(n);
+            let mut body = String::from("int x = Device.read();\n");
+            for i in 0..k {
+                body.push_str(&format!("f{i} = Device.read();\n"));
+            }
+            for i in k..n {
+                body.push_str(&format!("if (x > {i}) {{ f{i} = x; }}\n"));
+            }
+            let mut stale = false;
+            let mut emit = String::from("0");
+            for r in &reads {
+                let r = r % n;
+                emit.push_str(&format!(" + f{r}"));
+                if r >= k {
+                    stale = true;
+                }
+            }
+            let fields: String = (0..n).map(|i| format!("int f{i}; ")).collect();
+            let src = format!(
+                "class G {{ {fields} void main() {{ SSJAVA: while (true) {{\n{body}Out.emit({emit});\n}} }} }}"
+            );
+            (src, stale)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn eviction_verdict_matches_construction((src, expect_stale) in arb_loop()) {
+        let p = sjava_syntax::parse(&src).expect("generated source parses");
+        let mut d = Diagnostics::new();
+        let cg = callgraph::build(&p, &mut d).expect("cg");
+        let result = written::analyze(&p, &cg, &mut d);
+        prop_assert_eq!(
+            !result.is_ok(),
+            expect_stale,
+            "verdict mismatch for:\n{}\nstale paths: {:?}",
+            src,
+            result.stale_paths
+        );
+    }
+}

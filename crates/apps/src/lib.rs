@@ -1,0 +1,34 @@
+//! # sjava-apps
+//!
+//! The benchmark applications of the Self-Stabilizing Java evaluation
+//! (§6.1), written in the SJava dialect with the paper's manual
+//! annotations:
+//!
+//! - [`mp3dec`] — a JLayer-like streaming audio decoder (trusted
+//!   bitstream, dequantization, frequency transforms, overlap-add,
+//!   synthesis filter bank);
+//! - [`eyetrack`] — a LEA-like eye tracker with a 3-deep position
+//!   history;
+//! - [`sumobot`] — a sumo-robot controller with a trusted motor
+//!   controller;
+//!
+//! plus the two expository programs:
+//!
+//! - [`windsensor`] — the Fig 2.1 wind-direction sensor;
+//! - [`weather`] — the Fig 5.1 weather-index example (unannotated, for
+//!   inference).
+//!
+//! Each module exports its dialect `SOURCE`, the `ENTRY` point, and a
+//! deterministic input generator, so the same program can be checked,
+//! executed, error-injected and re-inferred.
+
+#![warn(missing_docs)]
+
+pub mod eyetrack;
+pub mod mp3dec;
+pub mod stats;
+pub mod sumobot;
+pub mod weather;
+pub mod windsensor;
+
+pub use stats::{annotation_stats, AnnotationStats};

@@ -1,0 +1,43 @@
+//! Annotation-effort statistics (Fig 6.3): counts of `@LOC`, `@LATTICE`
+//! and `@METHODDEFAULT` annotations plus lines of code per benchmark.
+
+use sjava_syntax::strip::{count_annotations, AnnotationCounts};
+
+/// Fig 6.3 row for one benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotationStats {
+    /// Benchmark name.
+    pub name: String,
+    /// Annotation counts.
+    pub counts: AnnotationCounts,
+    /// Non-blank lines of dialect source.
+    pub loc: usize,
+}
+
+/// Computes the Fig 6.3 row for a benchmark source.
+pub fn annotation_stats(name: &str, source: &str) -> AnnotationStats {
+    let program = sjava_syntax::parse(source).expect("benchmark sources parse");
+    let counts = count_annotations(&program);
+    let loc = source
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim().starts_with("//"))
+        .count();
+    AnnotationStats {
+        name: name.to_string(),
+        counts,
+        loc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_windsensor_annotations() {
+        let s = annotation_stats("wind", crate::windsensor::SOURCE);
+        assert!(s.counts.locations >= 8, "{s:?}");
+        assert!(s.counts.lattices >= 4, "{s:?}");
+        assert!(s.loc > 20);
+    }
+}

@@ -1,0 +1,44 @@
+//! §6.3 pipeline: strip each benchmark's annotations, infer (naive and
+//! SInfer), and verify the inferred annotations pass the full checker.
+
+use sjava_core::check_program;
+use sjava_infer::{infer, Mode};
+use sjava_syntax::pretty::print_program;
+use sjava_syntax::strip::strip_location_annotations;
+
+fn pipeline(name: &str, source: &str) {
+    let program = sjava_syntax::parse(source).expect("parses");
+    let stripped = strip_location_annotations(&program);
+    for mode in [Mode::Naive, Mode::SInfer] {
+        let result = infer(&stripped, mode).unwrap_or_else(|d| panic!("{name} {mode:?}: {d}"));
+        let printed = print_program(&result.annotated);
+        let reparsed = sjava_syntax::parse(&printed)
+            .unwrap_or_else(|d| panic!("{name} {mode:?} reparse: {d}"));
+        let report = check_program(&reparsed);
+        assert!(
+            report.is_ok(),
+            "{name} {mode:?} fails recheck:\n{}\n\n{printed}",
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
+fn mp3dec_inference_round_trips() {
+    pipeline("mp3dec", &sjava_apps::mp3dec::source_with(24, 4));
+}
+
+#[test]
+fn eyetrack_inference_round_trips() {
+    pipeline("eyetrack", sjava_apps::eyetrack::SOURCE);
+}
+
+#[test]
+fn sumobot_inference_round_trips() {
+    pipeline("sumobot", sjava_apps::sumobot::SOURCE);
+}
+
+#[test]
+fn windsensor_inference_round_trips() {
+    pipeline("windsensor", sjava_apps::windsensor::SOURCE);
+}

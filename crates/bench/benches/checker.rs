@@ -1,0 +1,35 @@
+//! Checker throughput: full self-stabilization check (typing + eviction +
+//! termination + aliasing) on each benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_program");
+    for (name, src) in [
+        ("windsensor", sjava_apps::windsensor::SOURCE.to_string()),
+        ("eyetrack", sjava_apps::eyetrack::SOURCE.to_string()),
+        ("sumobot", sjava_apps::sumobot::SOURCE.to_string()),
+        ("mp3dec", sjava_apps::mp3dec::source().to_string()),
+    ] {
+        let program = sjava_syntax::parse(&src).expect("parses");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = sjava_core::check_program(black_box(&program));
+                assert!(report.is_ok());
+                report.diagnostics.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let src = sjava_apps::mp3dec::source();
+    c.bench_function("parse_mp3dec", |b| {
+        b.iter(|| sjava_syntax::parse(black_box(src)).expect("parses").classes.len())
+    });
+}
+
+criterion_group!(benches, bench_checker, bench_parser);
+criterion_main!(benches);

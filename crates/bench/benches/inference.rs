@@ -1,0 +1,34 @@
+//! Inference time (the Table 6.1 "Time" column): naive vs SInfer on each
+//! benchmark — the paper's SInfer is slower than naive because of the
+//! extra simplification phase.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sjava_infer::{infer, Mode};
+use sjava_syntax::strip::strip_location_annotations;
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference");
+    for (name, src) in [
+        ("eyetrack", sjava_apps::eyetrack::SOURCE.to_string()),
+        ("sumobot", sjava_apps::sumobot::SOURCE.to_string()),
+        ("mp3dec", sjava_apps::mp3dec::source().to_string()),
+    ] {
+        let program = sjava_syntax::parse(&src).expect("parses");
+        let stripped = strip_location_annotations(&program);
+        for (mode, label) in [(Mode::Naive, "naive"), (Mode::SInfer, "sinfer")] {
+            group.bench_function(format!("{name}/{label}"), |b| {
+                b.iter(|| {
+                    infer(black_box(&stripped), mode)
+                        .expect("inference")
+                        .metrics
+                        .total_locations()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation benches for the lattice machinery: composite-location GLB
+//! (the Fig 3.2 recursive algorithm) and the Dedekind–MacNeille
+//! completion cost as hierarchies grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sjava_lattice::{dedekind_macneille, glb, CompositeLoc, Elem, HierarchyGraph, Lattice, SimpleCtx};
+use std::hint::black_box;
+
+fn bench_glb(c: &mut Criterion) {
+    let method = Lattice::from_decl(
+        &[("STR".into(), "WDOBJ".into()), ("WDOBJ".into(), "IN".into())],
+        &[],
+        &[],
+    )
+    .expect("ok");
+    let field = Lattice::from_decl(
+        &[("DIR".into(), "TMP".into()), ("TMP".into(), "BIN".into())],
+        &[],
+        &[],
+    )
+    .expect("ok");
+    let fields = vec![("WDSensor".to_string(), field)];
+    let ctx = SimpleCtx { method: &method, fields: &fields };
+    let a = CompositeLoc::path(vec![Elem::method("WDOBJ"), Elem::field("WDSensor", "TMP")]);
+    let b = CompositeLoc::path(vec![Elem::method("WDOBJ"), Elem::field("WDSensor", "BIN")]);
+    c.bench_function("composite_glb", |bch| {
+        bch.iter(|| glb(&ctx, black_box(&a), black_box(&b)))
+    });
+}
+
+fn bench_completion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dedekind_macneille");
+    for n in [8usize, 16, 32, 64] {
+        // A bipartite-ish order that forces synthesized meet elements.
+        let mut h = HierarchyGraph::new();
+        for i in 0..n {
+            for j in 0..n / 2 {
+                if (i + j) % 3 != 0 {
+                    h.add_edge(format!("a{i}"), format!("b{j}"));
+                }
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &h, |bch, h| {
+            bch.iter(|| dedekind_macneille(black_box(h)).expect("acyclic").lattice.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_glb, bench_completion);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! §6.2.3: sumo-robot error-injection evaluation — 100 executions with
+//! injected errors; the paper observed 54 with changed outputs, all
+//! resuming normal behaviour in the next iteration of the event loop.
+//!
+//! Usage: `cargo run --release -p sjava-bench --bin eval_robot`
+
+use sjava_apps::sumobot;
+use sjava_bench::{env_usize, run_golden, run_trial, write_result};
+
+fn main() {
+    let trials = env_usize("SJAVA_TRIALS", 100);
+    let iterations = env_usize("SJAVA_ITERS", 60);
+    let program = sjava_syntax::parse(sumobot::SOURCE).expect("parses");
+    let report = sjava_core::check_program(&program);
+    assert!(report.is_ok(), "{}", report.diagnostics);
+
+    let golden = run_golden(&program, sumobot::ENTRY, sumobot::inputs(0), iterations);
+    let mut changed = 0usize;
+    let mut worst = 0usize;
+    let mut csv = String::from("seed,diverged,recovery_iterations\n");
+    for seed in 0..trials as u64 {
+        let t = run_trial(
+            &program,
+            sumobot::ENTRY,
+            sumobot::inputs(0),
+            iterations,
+            &golden,
+            seed,
+            0.7,
+            0.0,
+        );
+        csv.push_str(&format!(
+            "{seed},{},{}\n",
+            t.stats.diverged, t.stats.recovery_iterations
+        ));
+        if t.stats.diverged {
+            changed += 1;
+            worst = worst.max(t.stats.recovery_iterations);
+        }
+    }
+    println!("§6.2.3 — Sumo Robot error injection");
+    println!("{changed}/{trials} executions with changed movement decisions (paper: 54/100)");
+    println!("worst recovery: {worst} iteration(s) (paper: next iteration in all trials)");
+    let path = write_result("eval_robot.csv", &csv);
+    println!("written to {}", path.display());
+    assert!(worst <= 1, "the stateless controller must recover by the next iteration");
+}

@@ -1,0 +1,861 @@
+//! The flow-down location type checker (§4.1, Fig 4.1).
+//!
+//! Walks every method reachable from the event loop and checks that every
+//! explicit value flow (assignments, field/array stores, returns) and every
+//! implicit flow (conditionals, via the program-counter location) moves
+//! values strictly *down* the composite-location lattice — with the single
+//! exception of shared locations, which admit same-location flows (§4.1.8).
+
+use crate::model::{effective_method_annots, resolve_annot_with, Lattices, MethodInfo, ModelCtx};
+use sjava_analysis::callgraph::{CallGraph, MethodRef};
+use sjava_analysis::jtype::TypeEnv;
+use sjava_analysis::written::MethodSummary;
+use sjava_lattice::{compare, glb, is_shared, CompositeLoc, Elem};
+use sjava_syntax::ast::*;
+use sjava_syntax::diag::Diagnostics;
+use sjava_syntax::span::Span;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
+
+/// Checks every reachable method's flows; diagnostics go to `diags`.
+/// `summaries` (from the eviction analysis) supply each callee's write
+/// effects for the implicit-flow call rule.
+pub fn check_flows(
+    program: &Program,
+    lattices: &Lattices,
+    cg: &CallGraph,
+    summaries: &BTreeMap<MethodRef, MethodSummary>,
+    diags: &mut Diagnostics,
+) {
+    for mref in &cg.topo {
+        let Some((decl_class, method)) = program.resolve_method(&mref.0, &mref.1) else {
+            continue;
+        };
+        let Some(info) = lattices.method_info(&decl_class.name, &method.name) else {
+            continue;
+        };
+        if info.trusted {
+            continue;
+        }
+        let mut checker = MethodChecker::new(program, lattices, &decl_class.name, method, info)
+            .with_summaries(summaries);
+        checker.run(diags);
+    }
+}
+
+/// Collects the static variable→location environment of a method: the
+/// parameters' `@LOC`s plus every local declaration's `@LOC` (annotations
+/// are flow-insensitive, so the environment is fixed).
+pub fn collect_var_locs(
+    program: &Program,
+    class: &str,
+    method: &MethodDecl,
+    info: &MethodInfo,
+    diags: &mut Diagnostics,
+) -> HashMap<String, CompositeLoc> {
+    let mut env = HashMap::new();
+    for p in &method.params {
+        if let Some(annot) = &p.annots.loc {
+            env.insert(
+                p.name.clone(),
+                resolve_annot_with(annot, &info.lattice, class, program),
+            );
+        } else {
+            diags.error(
+                format!("parameter `{}` is missing a @LOC annotation", p.name),
+                p.span,
+            );
+        }
+    }
+    collect_block(program, class, info, &method.body, &mut env, diags);
+    env
+}
+
+fn collect_block(
+    program: &Program,
+    class: &str,
+    info: &MethodInfo,
+    block: &Block,
+    env: &mut HashMap<String, CompositeLoc>,
+    diags: &mut Diagnostics,
+) {
+    for s in &block.stmts {
+        match s {
+            Stmt::VarDecl {
+                annots, name, span, ..
+            } => {
+                if let Some(annot) = &annots.loc {
+                    let loc = resolve_annot_with(annot, &info.lattice, class, program);
+                    if let Some(prev) = env.get(name) {
+                        if *prev != loc {
+                            diags.error(
+                                format!("variable `{name}` redeclared with a different location"),
+                                *span,
+                            );
+                        }
+                    }
+                    env.insert(name.clone(), loc);
+                } else {
+                    diags.error(
+                        format!("variable `{name}` is missing a @LOC annotation"),
+                        *span,
+                    );
+                }
+            }
+            Stmt::If {
+                then_blk, else_blk, ..
+            } => {
+                collect_block(program, class, info, then_blk, env, diags);
+                if let Some(e) = else_blk {
+                    collect_block(program, class, info, e, env, diags);
+                }
+            }
+            Stmt::While { body, .. } => collect_block(program, class, info, body, env, diags),
+            Stmt::For {
+                init, update, body, ..
+            } => {
+                let tmp_block = |s: &Stmt| Block {
+                    stmts: vec![s.clone()],
+                    span: s.span(),
+                };
+                if let Some(i) = init {
+                    collect_block(program, class, info, &tmp_block(i), env, diags);
+                }
+                if let Some(u) = update {
+                    collect_block(program, class, info, &tmp_block(u), env, diags);
+                }
+                collect_block(program, class, info, body, env, diags);
+            }
+            Stmt::Block(b) => collect_block(program, class, info, b, env, diags),
+            _ => {}
+        }
+    }
+}
+
+/// Flow-checks one method.
+pub struct MethodChecker<'p> {
+    program: &'p Program,
+    lattices: &'p Lattices,
+    class: String,
+    method: &'p MethodDecl,
+    info: &'p MethodInfo,
+    tenv: TypeEnv<'p>,
+    env: HashMap<String, CompositeLoc>,
+    env_ready: bool,
+    summaries: Option<&'p BTreeMap<MethodRef, MethodSummary>>,
+}
+
+impl<'p> MethodChecker<'p> {
+    /// Creates a checker for `method` of `class`.
+    pub fn new(
+        program: &'p Program,
+        lattices: &'p Lattices,
+        class: &str,
+        method: &'p MethodDecl,
+        info: &'p MethodInfo,
+    ) -> Self {
+        let mut tenv = TypeEnv::for_method(program, class, method);
+        tenv.bind_block(&method.body);
+        MethodChecker {
+            program,
+            lattices,
+            class: class.to_string(),
+            method,
+            info,
+            tenv,
+            env: HashMap::new(),
+            env_ready: false,
+            summaries: None,
+        }
+    }
+
+    /// Supplies callee write summaries for the implicit-flow call rule.
+    pub fn with_summaries(mut self, summaries: &'p BTreeMap<MethodRef, MethodSummary>) -> Self {
+        self.summaries = Some(summaries);
+        self
+    }
+
+    fn ctx(&self) -> ModelCtx<'_> {
+        ModelCtx {
+            method: &self.info.lattice,
+            fields: &self.lattices.fields,
+        }
+    }
+
+    /// The lattice context of this method (method + field lattices).
+    pub fn model_ctx(&self) -> ModelCtx<'_> {
+        self.ctx()
+    }
+
+    /// Public access to lvalue locations (used by the shared-location
+    /// extension).
+    pub fn loc_of_lvalue_public(&self, lv: &LValue, diags: &mut Diagnostics) -> CompositeLoc {
+        self.loc_of_lvalue(lv, diags)
+    }
+
+    /// Runs all flow checks on the method body.
+    pub fn run(&mut self, diags: &mut Diagnostics) {
+        self.env = collect_var_locs(self.program, &self.class, self.method, self.info, diags);
+        self.env_ready = true;
+        let pc = self
+            .info
+            .pc_loc
+            .clone()
+            .unwrap_or(CompositeLoc::Top);
+        self.check_block(&self.method.body, &pc, diags);
+    }
+
+    /// The location of `this` in the current method.
+    fn this_loc(&self, span: Span, diags: &mut Diagnostics) -> CompositeLoc {
+        match &self.info.this_loc {
+            Some(t) => CompositeLoc::method(t),
+            None => {
+                diags.error(
+                    format!(
+                        "method `{}.{}` accesses `this` but has no @THISLOC",
+                        self.class, self.method.name
+                    ),
+                    span,
+                );
+                CompositeLoc::Top
+            }
+        }
+    }
+
+    /// The composite location of an expression (the typing rules of
+    /// Fig 4.1).
+    pub fn loc_of(&self, e: &Expr, diags: &mut Diagnostics) -> CompositeLoc {
+        match e {
+            // LITERAL: constants live at ⊤.
+            Expr::IntLit { .. }
+            | Expr::FloatLit { .. }
+            | Expr::BoolLit { .. }
+            | Expr::StrLit { .. }
+            | Expr::Null { .. } => CompositeLoc::Top,
+            Expr::This { span } => self.this_loc(*span, diags),
+            Expr::Var { name, span } => {
+                if let Some(loc) = self.env.get(name) {
+                    loc.clone()
+                } else if self.program.field(&self.class, name).is_some() {
+                    // Unqualified field access: ⟨thisloc, fieldloc⟩.
+                    let base = self.this_loc(*span, diags);
+                    self.field_loc(&base, &self.class, name, *span, diags)
+                } else {
+                    if self.env_ready {
+                        diags.error(format!("variable `{name}` has no location"), *span);
+                    }
+                    CompositeLoc::Top
+                }
+            }
+            // FIELD_READ: L(e) ⊕ loc(f).
+            Expr::Field { base, field, span } => {
+                let base_loc = self.loc_of(base, diags);
+                let Some(Type::Class(c)) = self.tenv.ty(base) else {
+                    diags.error(
+                        format!("cannot resolve receiver type for field `{field}`"),
+                        *span,
+                    );
+                    return CompositeLoc::Top;
+                };
+                self.field_loc(&base_loc, &c, field, *span, diags)
+            }
+            Expr::StaticField { class, field, span } => {
+                let Some(fd) = self.program.field(class, field) else {
+                    diags.error(format!("unknown static field `{class}.{field}`"), *span);
+                    return CompositeLoc::Top;
+                };
+                if fd.is_final {
+                    // Constants live at ⊤ (§3.6).
+                    CompositeLoc::Top
+                } else if let Some(g) = &self.info.global_loc {
+                    let base = CompositeLoc::method(g);
+                    self.field_loc(&base, class, field, *span, diags)
+                } else {
+                    diags.error(
+                        format!(
+                            "access to non-final static `{class}.{field}` requires @GLOBALLOC"
+                        ),
+                        *span,
+                    );
+                    CompositeLoc::Top
+                }
+            }
+            // ARRAY_VAR: glb of the array's and the index's locations.
+            Expr::Index { base, index, .. } => {
+                let a = self.loc_of(base, diags);
+                let i = self.loc_of(index, diags);
+                glb(&self.ctx(), &a, &i)
+            }
+            // Array lengths are fixed at allocation time: constants.
+            Expr::Length { .. } => CompositeLoc::Top,
+            Expr::Call { .. } => self.check_call(e, &CompositeLoc::Top, true, diags),
+            // Fresh allocations are owned and may be placed anywhere.
+            Expr::New { .. } | Expr::NewArray { .. } => CompositeLoc::Top,
+            Expr::Unary { operand, .. } | Expr::Cast { operand, .. } => {
+                self.loc_of(operand, diags)
+            }
+            // OPERATION: glb of the operand locations.
+            Expr::Binary { lhs, rhs, .. } => {
+                let a = self.loc_of(lhs, diags);
+                let b = self.loc_of(rhs, diags);
+                glb(&self.ctx(), &a, &b)
+            }
+        }
+    }
+
+    fn field_loc(
+        &self,
+        base: &CompositeLoc,
+        class: &str,
+        field: &str,
+        span: Span,
+        diags: &mut Diagnostics,
+    ) -> CompositeLoc {
+        let Some(fi) = self.lattices.field_info(self.program, class, field) else {
+            diags.error(format!("unknown field `{class}.{field}`"), span);
+            return CompositeLoc::Top;
+        };
+        let Some(loc_name) = fi.loc_name else {
+            diags.error(
+                format!("field `{class}.{field}` is missing a @LOC annotation"),
+                span,
+            );
+            return CompositeLoc::Top;
+        };
+        base.extend_field(&fi.declaring_class, &loc_name)
+    }
+
+    fn loc_of_lvalue(&self, lv: &LValue, diags: &mut Diagnostics) -> CompositeLoc {
+        match lv {
+            LValue::Var { name, span } => {
+                if let Some(l) = self.env.get(name) {
+                    l.clone()
+                } else if self.program.field(&self.class, name).is_some() {
+                    let base = self.this_loc(*span, diags);
+                    self.field_loc(&base, &self.class, name, *span, diags)
+                } else {
+                    diags.error(format!("variable `{name}` has no location"), *span);
+                    CompositeLoc::Top
+                }
+            }
+            LValue::Field { base, field, span } => {
+                let base_loc = self.loc_of(base, diags);
+                let Some(Type::Class(c)) = self.tenv.ty(base) else {
+                    diags.error(
+                        format!("cannot resolve receiver type for field `{field}`"),
+                        *span,
+                    );
+                    return CompositeLoc::Top;
+                };
+                self.field_loc(&base_loc, &c, field, *span, diags)
+            }
+            LValue::Index { base, .. } => self.loc_of(base, diags),
+            LValue::StaticField { class, field, span } => {
+                if let Some(g) = &self.info.global_loc {
+                    let base = CompositeLoc::method(g);
+                    self.field_loc(&base, class, field, *span, diags)
+                } else {
+                    diags.error(
+                        format!("write to static `{class}.{field}` requires @GLOBALLOC"),
+                        *span,
+                    );
+                    CompositeLoc::Top
+                }
+            }
+        }
+    }
+
+    /// The flow-down rule: `dst ⊏ src`, or same shared location.
+    fn check_flow(
+        &self,
+        src: &CompositeLoc,
+        dst: &CompositeLoc,
+        span: Span,
+        what: &str,
+        diags: &mut Diagnostics,
+    ) {
+        match compare(&self.ctx(), dst, src) {
+            Some(Ordering::Less) => {}
+            Some(Ordering::Equal) if is_shared(&self.ctx(), dst) => {}
+            _ => {
+                diags.error(
+                    format!("{what} violates the flow-down rule: {src} does not flow down to {dst}"),
+                    span,
+                );
+            }
+        }
+    }
+
+    /// Implicit-flow constraint: the destination must sit strictly below
+    /// the program-counter location (or be the same shared location).
+    fn check_pc(&self, dst: &CompositeLoc, pc: &CompositeLoc, span: Span, diags: &mut Diagnostics) {
+        if *pc == CompositeLoc::Top {
+            return;
+        }
+        match compare(&self.ctx(), dst, pc) {
+            Some(Ordering::Less) => {}
+            Some(Ordering::Equal) if is_shared(&self.ctx(), dst) => {}
+            _ => {
+                diags.error(
+                    format!(
+                        "implicit flow: assignment to {dst} under program counter {pc} is not allowed"
+                    ),
+                    span,
+                );
+            }
+        }
+    }
+
+    fn check_block(&self, block: &Block, pc: &CompositeLoc, diags: &mut Diagnostics) {
+        for s in &block.stmts {
+            self.check_stmt(s, pc, diags);
+        }
+    }
+
+    fn check_stmt(&self, stmt: &Stmt, pc: &CompositeLoc, diags: &mut Diagnostics) {
+        match stmt {
+            Stmt::VarDecl {
+                name, init, span, ..
+            } => {
+                if let Some(e) = init {
+                    let src = self.loc_of(e, diags);
+                    if let Some(dst) = self.env.get(name).cloned() {
+                        self.check_flow(&src, &dst, *span, "initialization", diags);
+                        self.check_pc(&dst, pc, *span, diags);
+                    }
+                    self.check_subexprs(e, pc, diags);
+                }
+            }
+            Stmt::Assign { lhs, rhs, span } => {
+                let src = self.loc_of(rhs, diags);
+                let dst = self.loc_of_lvalue(lhs, diags);
+                self.check_flow(&src, &dst, *span, "assignment", diags);
+                self.check_pc(&dst, pc, *span, diags);
+                // ARRAY_ASG: the array must sit below the index (§4.1.3).
+                if let LValue::Index { base, index, .. } = lhs {
+                    let arr = self.loc_of(base, diags);
+                    let idx = self.loc_of(index, diags);
+                    match compare(&self.ctx(), &arr, &idx) {
+                        Some(Ordering::Less) => {}
+                        _ => diags.error(
+                            format!(
+                                "array store: array location {arr} must be lower than index location {idx}"
+                            ),
+                            *span,
+                        ),
+                    }
+                }
+                self.check_subexprs(rhs, pc, diags);
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                self.check_subexprs(cond, pc, diags);
+                let c = self.loc_of(cond, diags);
+                let pc2 = glb(&self.ctx(), pc, &c);
+                self.check_block(then_blk, &pc2, diags);
+                if let Some(e) = else_blk {
+                    self.check_block(e, &pc2, diags);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                self.check_subexprs(cond, pc, diags);
+                let c = self.loc_of(cond, diags);
+                let pc2 = glb(&self.ctx(), pc, &c);
+                self.check_block(body, &pc2, diags);
+            }
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+                ..
+            } => {
+                if let Some(i) = init {
+                    self.check_stmt(i, pc, diags);
+                }
+                let pc2 = if let Some(c) = cond {
+                    self.check_subexprs(c, pc, diags);
+                    let cl = self.loc_of(c, diags);
+                    glb(&self.ctx(), pc, &cl)
+                } else {
+                    pc.clone()
+                };
+                if let Some(u) = update {
+                    self.check_stmt(u, &pc2, diags);
+                }
+                self.check_block(body, &pc2, diags);
+            }
+            Stmt::Return { value, span } => {
+                if let Some(e) = value {
+                    self.check_subexprs(e, pc, diags);
+                    let src = self.loc_of(e, diags);
+                    match &self.info.return_loc {
+                        Some(rl) => {
+                            // RETURN: the declared return location must be
+                            // at or below the returned value.
+                            match compare(&self.ctx(), rl, &src) {
+                                Some(Ordering::Less) | Some(Ordering::Equal) => {}
+                                _ => diags.error(
+                                    format!(
+                                        "return value at {src} is below the declared @RETURNLOC {rl}"
+                                    ),
+                                    *span,
+                                ),
+                            }
+                        }
+                        None => diags.error(
+                            format!(
+                                "method `{}.{}` returns a value but has no @RETURNLOC",
+                                self.class, self.method.name
+                            ),
+                            *span,
+                        ),
+                    }
+                }
+            }
+            Stmt::ExprStmt { expr, .. } => {
+                if matches!(expr, Expr::Call { .. }) {
+                    self.check_call(expr, pc, false, diags);
+                    // Argument sub-expressions still need checking.
+                    if let Expr::Call { args, recv, .. } = expr {
+                        for a in args {
+                            self.check_subexprs(a, pc, diags);
+                        }
+                        if let Some(r) = recv {
+                            self.check_subexprs(r, pc, diags);
+                        }
+                    }
+                } else {
+                    self.check_subexprs(expr, pc, diags);
+                }
+            }
+            Stmt::Block(b) => self.check_block(b, pc, diags),
+            Stmt::Break { .. } | Stmt::Continue { .. } => {}
+        }
+    }
+
+    /// Checks calls nested inside an expression tree.
+    fn check_subexprs(&self, e: &Expr, pc: &CompositeLoc, diags: &mut Diagnostics) {
+        match e {
+            Expr::Call { args, recv, .. } => {
+                self.check_call(e, pc, false, diags);
+                for a in args {
+                    self.check_subexprs(a, pc, diags);
+                }
+                if let Some(r) = recv {
+                    self.check_subexprs(r, pc, diags);
+                }
+            }
+            Expr::Field { base, .. } | Expr::Length { base, .. } => {
+                self.check_subexprs(base, pc, diags)
+            }
+            Expr::Index { base, index, .. } => {
+                self.check_subexprs(base, pc, diags);
+                self.check_subexprs(index, pc, diags);
+            }
+            Expr::Unary { operand, .. } | Expr::Cast { operand, .. } => {
+                self.check_subexprs(operand, pc, diags)
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.check_subexprs(lhs, pc, diags);
+                self.check_subexprs(rhs, pc, diags);
+            }
+            Expr::NewArray { len, .. } => self.check_subexprs(len, pc, diags),
+            _ => {}
+        }
+    }
+
+    /// The CALL_SITE rule (§4.1.5): checks argument ordering constraints,
+    /// the program-counter constraint, and computes the caller-side
+    /// return-value location.
+    fn check_call(
+        &self,
+        e: &Expr,
+        pc: &CompositeLoc,
+        _as_value: bool,
+        diags: &mut Diagnostics,
+    ) -> CompositeLoc {
+        let Expr::Call {
+            recv,
+            class_recv,
+            name,
+            args,
+            span,
+        } = e
+        else {
+            return CompositeLoc::Top;
+        };
+        // Intrinsics.
+        if let Some(c) = class_recv {
+            match c.as_str() {
+                "Device" => return CompositeLoc::Top,
+                "Out" | "System" => return CompositeLoc::Top,
+                "Math" => {
+                    let mut loc = CompositeLoc::Top;
+                    for a in args {
+                        let al = self.loc_of(a, diags);
+                        loc = glb(&self.ctx(), &loc, &al);
+                    }
+                    return loc;
+                }
+                "SSJavaArray" => {
+                    // insert(arr, v): the new value enters the array's
+                    // highest position, so it must come from strictly
+                    // higher (§4.1.3).
+                    if name == "insert" && args.len() == 2 {
+                        let arr = self.loc_of(&args[0], diags);
+                        let v = self.loc_of(&args[1], diags);
+                        self.check_flow(&v, &arr, *span, "array insert", diags);
+                        self.check_pc(&arr, pc, *span, diags);
+                    }
+                    if name == "clear" {
+                        if let Some(a0) = args.first() {
+                            let arr = self.loc_of(a0, diags);
+                            self.check_pc(&arr, pc, *span, diags);
+                        }
+                    }
+                    return CompositeLoc::Top;
+                }
+                _ => {}
+            }
+        }
+        let Some(target_class) = self.tenv.call_target_class(e) else {
+            diags.error(format!("cannot resolve call target `{name}`"), *span);
+            return CompositeLoc::Top;
+        };
+        let Some((decl_class, callee)) = self.program.resolve_method(&target_class, name) else {
+            diags.error(
+                format!("unknown method `{target_class}.{name}`"),
+                *span,
+            );
+            return CompositeLoc::Top;
+        };
+        let Some(callee_info) = self
+            .lattices
+            .method_info(&decl_class.name, &callee.name)
+        else {
+            return CompositeLoc::Top;
+        };
+        if callee_info.trusted {
+            return CompositeLoc::Top;
+        }
+        let callee_annots = effective_method_annots(decl_class, callee);
+        let callee_ctx = ModelCtx {
+            method: &callee_info.lattice,
+            fields: &self.lattices.fields,
+        };
+
+        // Caller-side receiver location.
+        let recv_loc = match recv {
+            Some(r) => self.loc_of(r, diags),
+            None => {
+                if class_recv.is_none() {
+                    self.this_loc(*span, diags)
+                } else {
+                    CompositeLoc::Top // static call on a class
+                }
+            }
+        };
+
+        // Pair up callee parameter locations with caller argument
+        // locations. Index 0 is the receiver.
+        let mut callee_locs: Vec<CompositeLoc> = Vec::new();
+        let mut caller_locs: Vec<CompositeLoc> = Vec::new();
+        if let Some(t) = &callee_info.this_loc {
+            callee_locs.push(CompositeLoc::method(t));
+            caller_locs.push(recv_loc.clone());
+        }
+        let _ = callee_annots;
+        for (p, a) in callee.params.iter().zip(args) {
+            let Some(annot) = &p.annots.loc else {
+                diags.error(
+                    format!(
+                        "callee `{}.{}` parameter `{}` is missing @LOC",
+                        decl_class.name, callee.name, p.name
+                    ),
+                    *span,
+                );
+                continue;
+            };
+            let ploc =
+                resolve_annot_with(annot, &callee_info.lattice, &decl_class.name, self.program);
+            // This-rooted parameter locations constrain the argument
+            // against the receiver's field hierarchy (§4.1.5).
+            if let Some(t) = &callee_info.this_loc {
+                let elems = ploc.elems();
+                if elems.len() > 1
+                    && elems[0] == Elem::method(t.clone())
+                {
+                    let mut expected = recv_loc.clone();
+                    for f in &elems[1..] {
+                        if let sjava_lattice::Space::Field(c) = &f.space {
+                            expected = expected.extend_field(c, &f.name);
+                        }
+                    }
+                    let arg_loc = self.loc_of(a, diags);
+                    match compare(&self.ctx(), &expected, &arg_loc) {
+                        Some(Ordering::Less) | Some(Ordering::Equal) => {}
+                        _ => diags.error(
+                            format!(
+                                "argument at {arg_loc} must be at or above {expected} required by callee parameter `{}`",
+                                p.name
+                            ),
+                            *span,
+                        ),
+                    }
+                }
+            }
+            callee_locs.push(ploc);
+            caller_locs.push(self.loc_of(a, diags));
+        }
+
+        // Pairwise ordering constraints: callee pi ⊑ pj ⟹ caller ai ⊑ aj.
+        for i in 0..callee_locs.len() {
+            for j in 0..callee_locs.len() {
+                if i == j {
+                    continue;
+                }
+                let callee_rel = compare(&callee_ctx, &callee_locs[i], &callee_locs[j]);
+                if matches!(callee_rel, Some(Ordering::Less)) {
+                    let caller_rel = compare(&self.ctx(), &caller_locs[i], &caller_locs[j]);
+                    if !matches!(caller_rel, Some(Ordering::Less) | Some(Ordering::Equal)) {
+                        diags.error(
+                            format!(
+                                "call to `{}.{}` violates the callee's parameter ordering: {} must be at or below {}",
+                                decl_class.name, callee.name, caller_locs[i], caller_locs[j]
+                            ),
+                            *span,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Program-counter constraint (§4.1.4): under a non-⊤ caller pc,
+        // every location the callee may write — taken from the eviction
+        // analysis's write summaries — must sit strictly below the pc
+        // (same shared location allowed). This realizes "the callee's
+        // program counter location reflects the call site's context
+        // constraint" without demanding translatable @PCLOC annotations.
+        if *pc != CompositeLoc::Top {
+            if let Some(summaries) = self.summaries {
+                let key = (decl_class.name.clone(), callee.name.clone());
+                if let Some(summary) = summaries.get(&key) {
+                    let mut scratch = Diagnostics::new();
+                    for w in summary.may_writes.iter().chain(&summary.must_writes) {
+                        let root = w.root_name();
+                        // Map the written path's root into the caller.
+                        let base = if root == "this" {
+                            Some(recv_loc.clone())
+                        } else if let Some(i) =
+                            callee.params.iter().position(|p| p.name == root)
+                        {
+                            let idx = if callee_info.this_loc.is_some() { i + 1 } else { i };
+                            caller_locs.get(idx).cloned()
+                        } else {
+                            None // static roots handled via @GLOBALLOC checks
+                        };
+                        let Some(base) = base else { continue };
+                        let base_class = if root == "this" {
+                            Some(target_class.clone())
+                        } else {
+                            callee
+                                .params
+                                .iter()
+                                .find(|p| p.name == root)
+                                .and_then(|p| match &p.ty {
+                                    Type::Class(c) => Some(c.clone()),
+                                    _ => None,
+                                })
+                        };
+                        let dst = self.extend_along_path(base, base_class, &w.0[1..], &mut scratch);
+                        match compare(&self.ctx(), &dst, pc) {
+                            Some(Ordering::Less) => {}
+                            Some(Ordering::Equal) if is_shared(&self.ctx(), &dst) => {}
+                            _ => diags.error(
+                                format!(
+                                    "implicit flow: call to `{}.{}` under program counter {pc} may write {dst}",
+                                    decl_class.name, callee.name
+                                ),
+                                *span,
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+
+        // Return-value location (CALL_SITE): GLB of caller locations of
+        // parameters at or above the declared return location.
+        let Some(ret_loc) = &callee_info.return_loc else {
+            if callee.ret != Type::Void {
+                diags.error(
+                    format!(
+                        "method `{}.{}` returns a value but has no @RETURNLOC",
+                        decl_class.name, callee.name
+                    ),
+                    *span,
+                );
+            }
+            return CompositeLoc::Top;
+        };
+        let mut result = CompositeLoc::Top;
+        for (cl, al) in callee_locs.iter().zip(&caller_locs) {
+            if matches!(
+                compare(&callee_ctx, ret_loc, cl),
+                Some(Ordering::Less) | Some(Ordering::Equal)
+            ) {
+                result = glb(&self.ctx(), &result, al);
+            }
+        }
+        // A this-rooted return location refines through the receiver's
+        // fields.
+        if let Some(t) = &callee_info.this_loc {
+            let elems = ret_loc.elems();
+            if elems.len() > 1 && elems[0] == Elem::method(t.clone()) {
+                let mut refined = recv_loc.clone();
+                for f in &elems[1..] {
+                    if let sjava_lattice::Space::Field(c) = &f.space {
+                        refined = refined.extend_field(c, &f.name);
+                    }
+                }
+                result = glb(&self.ctx(), &result, &refined);
+            }
+        }
+        result
+    }
+
+    /// Extends a caller-side location along a heap path of field names
+    /// (array `element` hops keep the array's own location).
+    fn extend_along_path(
+        &self,
+        base: CompositeLoc,
+        base_class: Option<String>,
+        path: &[String],
+        diags: &mut Diagnostics,
+    ) -> CompositeLoc {
+        let mut loc = base;
+        let mut class = base_class;
+        for f in path {
+            if f == "element" {
+                continue;
+            }
+            let Some(c) = class.clone() else {
+                return loc;
+            };
+            loc = self.field_loc(&loc, &c, f, Span::dummy(), diags);
+            class = self
+                .program
+                .field(&c, f)
+                .and_then(|fd| match &fd.ty {
+                    Type::Class(nc) => Some(nc.clone()),
+                    _ => None,
+                });
+        }
+        loc
+    }
+}

@@ -1,0 +1,416 @@
+//! # sjava-core
+//!
+//! The Self-Stabilizing Java checker (PLDI 2012): the location type
+//! system with the flow-down rule, implicit flows via program-counter
+//! locations, lattice-merging call-site checks, linear-type alias
+//! restrictions, shared locations, and the driver that combines typing
+//! with the eviction and termination analyses into a single
+//! self-stabilization verdict.
+//!
+//! ```
+//! let report = sjava_core::check_program(&sjava_syntax::parse(
+//!     r#"@LATTICE("LO<HI") @METHODDEFAULT("V<IN") @THISLOC("V")
+//!        class A {
+//!            @LOC("HI") int cur; @LOC("LO") int prev;
+//!            void main() {
+//!                SSJAVA: while (true) {
+//!                    @LOC("IN") int x = Device.read();
+//!                    prev = cur;
+//!                    cur = x;
+//!                    Out.emit(prev);
+//!                }
+//!            }
+//!        }"#,
+//! ).expect("parses"));
+//! assert!(report.is_ok(), "{}", report.diagnostics);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod linear;
+pub mod model;
+pub mod shared;
+
+use sjava_analysis::callgraph;
+use sjava_analysis::written::{self, EvictionResult};
+use sjava_syntax::ast::Program;
+use sjava_syntax::diag::Diagnostics;
+
+pub use checker::MethodChecker;
+pub use model::{FieldInfo, Lattices, MethodInfo, ModelCtx};
+
+/// Outcome of checking a program for self-stabilization.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// All diagnostics from every phase.
+    pub diagnostics: Diagnostics,
+    /// The lattice model (available even on failure).
+    pub lattices: Lattices,
+    /// Eviction analysis result, when the call graph could be built.
+    pub eviction: Option<EvictionResult>,
+    /// Number of loops the termination analysis could not verify.
+    pub termination_failures: usize,
+}
+
+impl CheckReport {
+    /// Whether the program was verified self-stabilizing.
+    pub fn is_ok(&self) -> bool {
+        !self.diagnostics.has_errors()
+    }
+}
+
+/// Checks that `program` self-stabilizes: flow-down typing (§4.1),
+/// aliasing (§4.1.6), eviction (§4.2) with the shared-location extension
+/// (§4.2.2), and loop termination (§4.3).
+pub fn check_program(program: &Program) -> CheckReport {
+    let mut diags = Diagnostics::new();
+    let lattices = Lattices::build(program, &mut diags);
+    let Some(cg) = callgraph::build(program, &mut diags) else {
+        return CheckReport {
+            diagnostics: diags,
+            lattices,
+            eviction: None,
+            termination_failures: 0,
+        };
+    };
+    let eviction = written::analyze(program, &cg, &mut diags);
+    checker::check_flows(program, &lattices, &cg, &eviction.summaries, &mut diags);
+    linear::check_aliasing(program, &lattices, &cg, &mut diags);
+    shared::check_shared(program, &lattices, &cg, &mut diags);
+    let termination_failures = sjava_analysis::termination::check(program, &cg, &mut diags);
+    CheckReport {
+        diagnostics: diags,
+        lattices,
+        eviction: Some(eviction),
+        termination_failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjava_syntax::parse;
+
+    /// The paper's running example (Fig 2.1), completed with a concrete
+    /// median computation.
+    pub const WIND_SENSOR: &str = r#"
+        @LATTICE("DIR<TMP,TMP<BIN")
+        class WDSensor {
+            @LOC("BIN") WindRec bin;
+            @LOC("DIR") int dir;
+
+            @LATTICE("STR<WDOBJ,WDOBJ<IN") @THISLOC("WDOBJ")
+            void windDirection() {
+                bin = new WindRec();
+                SSJAVA: while (true) {
+                    @LOC("IN") int inDir = Device.readSensor();
+                    bin.dir2 = bin.dir1;
+                    bin.dir1 = bin.dir0;
+                    bin.dir0 = inDir;
+                    @LOC("STR") int outDir = calculate();
+                    Out.emit(outDir);
+                }
+            }
+
+            @LATTICE("OUT<TMPD,TMPD<CAOBJ") @THISLOC("CAOBJ") @RETURNLOC("OUT")
+            int calculate() {
+                @LOC("CAOBJ,TMP") int majorDir = bin.dir0;
+                if (bin.dir1 == bin.dir2) {
+                    majorDir = bin.dir1;
+                }
+                this.dir = majorDir;
+                @LOC("OUT") int strDir = majorDir;
+                return strDir;
+            }
+        }
+        @LATTICE("DIR2<DIR1,DIR1<DIR0")
+        class WindRec {
+            @LOC("DIR0") int dir0;
+            @LOC("DIR1") int dir1;
+            @LOC("DIR2") int dir2;
+        }
+    "#;
+
+    #[test]
+    fn wind_sensor_checks() {
+        let p = parse(WIND_SENSOR).expect("parses");
+        let report = check_program(&p);
+        assert!(report.is_ok(), "{}", report.diagnostics);
+    }
+
+    #[test]
+    fn flow_up_is_rejected() {
+        let p = parse(
+            r#"@LATTICE("LO<HI") @METHODDEFAULT("V<IN") @THISLOC("V")
+               class A {
+                   @LOC("HI") int hi; @LOC("LO") int lo;
+                   void main() {
+                       SSJAVA: while (true) {
+                           @LOC("IN") int x = Device.read();
+                           hi = x;
+                           lo = hi;
+                           hi = lo;
+                           Out.emit(lo);
+                       }
+                   }
+               }"#,
+        )
+        .expect("parses");
+        let report = check_program(&p);
+        assert!(!report.is_ok());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("flow-down")));
+    }
+
+    #[test]
+    fn implicit_flow_is_rejected() {
+        // Branch on low `a`, assign high `b`.
+        let p = parse(
+            r#"@LATTICE("A<B") @METHODDEFAULT("V<IN") @THISLOC("V")
+               class A {
+                   @LOC("A") int a; @LOC("B") int b;
+                   void main() {
+                       SSJAVA: while (true) {
+                           @LOC("IN") int x = Device.read();
+                           b = x;
+                           a = b;
+                           if (a > 0) { b = 1; } else { b = 0; }
+                           Out.emit(a);
+                       }
+                   }
+               }"#,
+        )
+        .expect("parses");
+        let report = check_program(&p);
+        assert!(!report.is_ok());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("implicit flow")));
+    }
+
+    #[test]
+    fn shared_location_allows_accumulation() {
+        let p = parse(
+            r#"@METHODDEFAULT("V<IN,ACC*,ACC<IN,V<ACC") @THISLOC("V")
+               class A {
+                   void main() {
+                       SSJAVA: while (true) {
+                           @LOC("IN") int n = Device.read();
+                           @LOC("ACC") int s = 0;
+                           for (@LOC("ACC") int i = 0; i < 10; i++) {
+                               s = s + 1;
+                           }
+                           Out.emit(s);
+                       }
+                   }
+               }"#,
+        )
+        .expect("parses");
+        let report = check_program(&p);
+        assert!(report.is_ok(), "{}", report.diagnostics);
+    }
+
+    #[test]
+    fn accumulation_without_shared_is_rejected() {
+        let p = parse(
+            r#"@METHODDEFAULT("ACC<IN,V<ACC") @THISLOC("V")
+               class A {
+                   void main() {
+                       SSJAVA: while (true) {
+                           @LOC("IN") int n = Device.read();
+                           @LOC("ACC") int s = 0;
+                           s = s + n;
+                           Out.emit(s);
+                       }
+                   }
+               }"#,
+        )
+        .expect("parses");
+        let report = check_program(&p);
+        assert!(!report.is_ok());
+    }
+
+    #[test]
+    fn missing_annotation_is_completeness_error() {
+        let p = parse(
+            r#"@METHODDEFAULT("V<IN") @THISLOC("V")
+               class A {
+                   void main() {
+                       SSJAVA: while (true) {
+                           int x = Device.read();
+                           Out.emit(x);
+                       }
+                   }
+               }"#,
+        )
+        .expect("parses");
+        let report = check_program(&p);
+        assert!(!report.is_ok());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("missing a @LOC")));
+    }
+
+    #[test]
+    fn call_site_ordering_is_enforced() {
+        // Callee requires arg(lowp) ⊑ arg(highp); caller passes them the
+        // other way around.
+        let p = parse(
+            r#"@METHODDEFAULT("LO<HI,V<LO") @THISLOC("V")
+               class A {
+                   void main() {
+                       SSJAVA: while (true) {
+                           @LOC("HI") int h = Device.read();
+                           @LOC("LO") int l = h;
+                           @LOC("V") int r = f(h, l);
+                           Out.emit(r);
+                       }
+                   }
+                   @LATTICE("S<R,R<B,B<T") @THISLOC("S") @RETURNLOC("R")
+                   int f(@LOC("B") int lowp, @LOC("T") int highp) {
+                       @LOC("R") int out = lowp + highp;
+                       return out;
+                   }
+               }"#,
+        )
+        .expect("parses");
+        let report = check_program(&p);
+        assert!(!report.is_ok());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("parameter ordering")));
+    }
+
+    #[test]
+    fn call_site_correct_ordering_passes() {
+        let p = parse(
+            r#"@METHODDEFAULT("LO<HI,V<LO") @THISLOC("V")
+               class A {
+                   void main() {
+                       SSJAVA: while (true) {
+                           @LOC("HI") int h = Device.read();
+                           @LOC("LO") int l = h;
+                           @LOC("V") int r = f(l, h);
+                           Out.emit(r);
+                       }
+                   }
+                   @LATTICE("S<R,R<B,B<T") @THISLOC("S") @RETURNLOC("R")
+                   int f(@LOC("B") int lowp, @LOC("T") int highp) {
+                       @LOC("R") int out = lowp + highp;
+                       return out;
+                   }
+               }"#,
+        )
+        .expect("parses");
+        let report = check_program(&p);
+        assert!(report.is_ok(), "{}", report.diagnostics);
+    }
+
+    #[test]
+    fn aliasing_with_different_locations_is_rejected() {
+        let p = parse(
+            r#"@LATTICE("F<G")
+               class A {
+                   @LOC("G") R r;
+                   @LATTICE("LO<HI,V<LO") @THISLOC("V")
+                   void main() {
+                       r = new R();
+                       SSJAVA: while (true) {
+                           @LOC("HI") R x = r;
+                           @LOC("LO") R y = x;
+                           y.v = Device.read();
+                           Out.emit(x.v);
+                       }
+                   }
+               }
+               @LATTICE("W") class R { @LOC("W") int v; }"#,
+        )
+        .expect("parses");
+        let report = check_program(&p);
+        assert!(!report.is_ok());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("aliasing")));
+    }
+
+    #[test]
+    fn second_heap_alias_is_rejected() {
+        let p = parse(
+            r#"@LATTICE("A<B")
+               class H {
+                   @LOC("B") R f; @LOC("A") R g;
+                   @LATTICE("V<IN") @THISLOC("V")
+                   void main() {
+                       f = new R();
+                       SSJAVA: while (true) {
+                           @LOC("V") R t = f;
+                           g = t;
+                           f.v = Device.read();
+                           Out.emit(g.v);
+                       }
+                   }
+               }
+               @LATTICE("W") class R { @LOC("W") int v; }"#,
+        )
+        .expect("parses");
+        let report = check_program(&p);
+        assert!(!report.is_ok());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("heap alias")));
+    }
+
+    #[test]
+    fn delegate_transfer_kills_the_variable() {
+        let p = parse(
+            r#"@METHODDEFAULT("V<IN") @THISLOC("V")
+               class A {
+                   void main() {
+                       SSJAVA: while (true) {
+                           @LOC("IN") R t = new R();
+                           sink(t);
+                           Out.emit(t.v);
+                       }
+                   }
+                   @LATTICE("S<P") @THISLOC("S") @PCLOC("P")
+                   void sink(@DELEGATE @LOC("P") R q) { q.v = 1; }
+               }
+               @LATTICE("W") class R { @LOC("W") int v; }"#,
+        )
+        .expect("parses");
+        let report = check_program(&p);
+        assert!(!report.is_ok());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("after its ownership")));
+    }
+
+    #[test]
+    fn termination_failure_is_reported() {
+        let p = parse(
+            r#"@METHODDEFAULT("V<IN") @THISLOC("V")
+               class A {
+                   void main() {
+                       SSJAVA: while (true) {
+                           @LOC("IN") int x = Device.read();
+                           while (x != 0) { x = Device.read(); }
+                           Out.emit(x);
+                       }
+                   }
+               }"#,
+        )
+        .expect("parses");
+        let report = check_program(&p);
+        assert!(!report.is_ok());
+        assert!(report.termination_failures > 0);
+    }
+}

@@ -1,0 +1,390 @@
+//! Program lattice model: builds the field lattice of every class and the
+//! method lattice of every method from the source annotations (§3.3), and
+//! checks the inheritance constraints of §3.5.
+
+use sjava_lattice::{Lattice, LatticeCtx};
+use sjava_syntax::annot::{CompositeLocAnnot, LatticeDecl, MethodAnnots};
+use sjava_syntax::ast::*;
+use sjava_syntax::diag::Diagnostics;
+use sjava_syntax::span::Span;
+use sjava_lattice::{CompositeLoc, Elem};
+use std::collections::HashMap;
+
+/// Lattice-related information of one method.
+#[derive(Debug, Clone)]
+pub struct MethodInfo {
+    /// The method's location lattice.
+    pub lattice: Lattice,
+    /// Location of `this` (`@THISLOC`).
+    pub this_loc: Option<String>,
+    /// Location of static-field accesses (`@GLOBALLOC`).
+    pub global_loc: Option<String>,
+    /// Declared return-value location.
+    pub return_loc: Option<CompositeLoc>,
+    /// Declared initial program-counter location (default ⊤).
+    pub pc_loc: Option<CompositeLoc>,
+    /// Whether the method is trusted (skipped by checking).
+    pub trusted: bool,
+}
+
+/// Location-annotation info of one field.
+#[derive(Debug, Clone)]
+pub struct FieldInfo {
+    /// The class that declares the field.
+    pub declaring_class: String,
+    /// The field's location name in the declaring class's field lattice.
+    pub loc_name: Option<String>,
+    /// Whether the field's Java type is a reference type.
+    pub is_reference: bool,
+}
+
+/// The whole-program lattice model.
+#[derive(Debug, Clone, Default)]
+pub struct Lattices {
+    /// Field lattice per class.
+    pub fields: HashMap<String, Lattice>,
+    /// Method lattice + annotations per `(class, method)`.
+    pub methods: HashMap<(String, String), MethodInfo>,
+}
+
+impl Lattices {
+    /// Builds the model from a program, validating lattice declarations
+    /// and inheritance.
+    pub fn build(program: &Program, diags: &mut Diagnostics) -> Self {
+        let mut model = Lattices::default();
+        for class in &program.classes {
+            let lat = match &class.annots.lattice {
+                Some(decl) => build_lattice(decl, diags),
+                None => Lattice::new(),
+            };
+            model.fields.insert(class.name.clone(), lat);
+            for method in &class.methods {
+                let annots = effective_method_annots(class, method);
+                let lat = match &annots.lattice {
+                    Some(decl) => build_lattice(decl, diags),
+                    None => Lattice::new(),
+                };
+                let info = MethodInfo {
+                    this_loc: annots.this_loc.clone(),
+                    global_loc: annots.global_loc.clone(),
+                    return_loc: annots
+                        .return_loc
+                        .as_ref()
+                        .map(|c| resolve_annot_with(c, &lat, &class.name, program)),
+                    pc_loc: annots
+                        .pc_loc
+                        .as_ref()
+                        .map(|c| resolve_annot_with(c, &lat, &class.name, program)),
+                    trusted: annots.trusted || class.annots.trusted,
+                    lattice: lat,
+                };
+                model
+                    .methods
+                    .insert((class.name.clone(), method.name.clone()), info);
+            }
+        }
+        model.check_inheritance(program, diags);
+        model
+    }
+
+    /// The field lattice of a class (empty lattice if undeclared).
+    pub fn field_lattice(&self, class: &str) -> Option<&Lattice> {
+        self.fields.get(class)
+    }
+
+    /// The method info for `(class, method)`.
+    pub fn method_info(&self, class: &str, method: &str) -> Option<&MethodInfo> {
+        self.methods.get(&(class.to_string(), method.to_string()))
+    }
+
+    /// Resolves a field's location info, searching the inheritance chain.
+    pub fn field_info(&self, program: &Program, class: &str, field: &str) -> Option<FieldInfo> {
+        let mut cur = program.class(class);
+        while let Some(c) = cur {
+            if let Some(f) = c.fields.iter().find(|f| f.name == field) {
+                let loc_name = f
+                    .annots
+                    .loc
+                    .as_ref()
+                    .and_then(|l| l.elems.first())
+                    .map(|e| e.name.clone());
+                return Some(FieldInfo {
+                    declaring_class: c.name.clone(),
+                    loc_name,
+                    is_reference: f.ty.is_reference(),
+                });
+            }
+            cur = c.superclass.as_deref().and_then(|s| program.class(s));
+        }
+        None
+    }
+
+    /// §3.5: subclasses must preserve the parent's field hierarchy, and
+    /// overriding methods must redeclare identical lattices and locations.
+    fn check_inheritance(&self, program: &Program, diags: &mut Diagnostics) {
+        for class in &program.classes {
+            let Some(parent_name) = &class.superclass else {
+                continue;
+            };
+            let Some(parent) = program.class(parent_name) else {
+                diags.error(
+                    format!("unknown superclass `{parent_name}`"),
+                    class.span,
+                );
+                continue;
+            };
+            let sub = &self.fields[&class.name];
+            let sup = &self.fields[&parent.name];
+            // Every parent location must exist in the subclass lattice with
+            // the same orderings.
+            for (id_a, name_a) in sup.named() {
+                let Some(sub_a) = sub.get(name_a) else {
+                    diags.error(
+                        format!(
+                            "subclass `{}` is missing inherited location `{name_a}`",
+                            class.name
+                        ),
+                        class.span,
+                    );
+                    continue;
+                };
+                for (id_b, name_b) in sup.named() {
+                    let Some(sub_b) = sub.get(name_b) else {
+                        continue;
+                    };
+                    let parent_rel = sup.leq(id_a, id_b);
+                    let sub_rel = sub.leq(sub_a, sub_b);
+                    if parent_rel != sub_rel {
+                        diags.error(
+                            format!(
+                                "subclass `{}` changes the ordering between inherited locations `{name_a}` and `{name_b}`",
+                                class.name
+                            ),
+                            class.span,
+                        );
+                    }
+                }
+            }
+            // Overridden methods: same parameter locations.
+            for method in &class.methods {
+                let Some(parent_m) = parent
+                    .methods
+                    .iter()
+                    .find(|m| m.name == method.name)
+                else {
+                    continue;
+                };
+                for (p_sub, p_sup) in method.params.iter().zip(&parent_m.params) {
+                    if p_sub.annots.loc != p_sup.annots.loc {
+                        diags.error(
+                            format!(
+                                "override `{}.{}` changes the declared location of parameter `{}`",
+                                class.name, method.name, p_sub.name
+                            ),
+                            method.span,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The method annotations in effect: the method's own, with missing pieces
+/// defaulted from the class-wide `@METHODDEFAULT` (§3.6).
+pub fn effective_method_annots(class: &ClassDecl, method: &MethodDecl) -> MethodAnnots {
+    let mut a = method.annots.clone();
+    if let Some(md) = &class.annots.method_default {
+        if a.lattice.is_none() {
+            a.lattice = md.lattice.clone();
+        }
+        if a.this_loc.is_none() {
+            a.this_loc = md.this_loc.clone();
+        }
+        if a.global_loc.is_none() {
+            a.global_loc = md.global_loc.clone();
+        }
+        if a.return_loc.is_none() {
+            a.return_loc = md.return_loc.clone();
+        }
+        if a.pc_loc.is_none() {
+            a.pc_loc = md.pc_loc.clone();
+        }
+    }
+    a
+}
+
+fn build_lattice(decl: &LatticeDecl, diags: &mut Diagnostics) -> Lattice {
+    match Lattice::from_decl(&decl.orders, &decl.shared, &decl.isolated) {
+        Ok(l) => l,
+        Err(e) => {
+            diags.error(format!("invalid lattice declaration: {e}"), decl.span);
+            Lattice::new()
+        }
+    }
+}
+
+/// Resolves a source-level composite-location annotation into a
+/// [`CompositeLoc`], determining the class of each unqualified field
+/// element (current class first, then unique global match).
+pub fn resolve_annot_with(
+    annot: &CompositeLocAnnot,
+    method_lattice: &Lattice,
+    current_class: &str,
+    program: &Program,
+) -> CompositeLoc {
+    let mut elems = Vec::with_capacity(annot.elems.len());
+    for (i, e) in annot.elems.iter().enumerate() {
+        if i == 0 && e.class.is_none() {
+            let _ = method_lattice; // first element is a method location
+            elems.push(Elem::method(&e.name));
+        } else if let Some(class) = &e.class {
+            elems.push(Elem::field(class.clone(), &e.name));
+        } else {
+            // Unqualified field element: prefer the current class, else a
+            // unique class declaring that location.
+            let owner = find_field_loc_class(program, current_class, &e.name)
+                .unwrap_or_else(|| current_class.to_string());
+            elems.push(Elem::field(owner, &e.name));
+        }
+    }
+    let mut loc = CompositeLoc::path(elems);
+    for _ in 0..annot.delta {
+        loc = loc.delta();
+    }
+    loc
+}
+
+fn find_field_loc_class(program: &Program, current: &str, loc_name: &str) -> Option<String> {
+    let declares = |c: &ClassDecl| -> bool {
+        c.annots
+            .lattice
+            .as_ref()
+            .map(|l| l.names().iter().any(|n| n == loc_name))
+            .unwrap_or(false)
+    };
+    if let Some(c) = program.class(current) {
+        if declares(c) {
+            return Some(current.to_string());
+        }
+    }
+    let matches: Vec<&ClassDecl> = program.classes.iter().filter(|c| declares(c)).collect();
+    if matches.len() == 1 {
+        Some(matches[0].name.clone())
+    } else {
+        None
+    }
+}
+
+/// A [`LatticeCtx`] view of the model for one method.
+pub struct ModelCtx<'a> {
+    /// The current method's lattice.
+    pub method: &'a Lattice,
+    /// All field lattices.
+    pub fields: &'a HashMap<String, Lattice>,
+}
+
+impl LatticeCtx for ModelCtx<'_> {
+    fn method_lattice(&self) -> &Lattice {
+        self.method
+    }
+
+    fn field_lattice(&self, class: &str) -> Option<&Lattice> {
+        self.fields.get(class)
+    }
+}
+
+/// Convenience for diagnostics: span of a method's header.
+pub fn method_span(program: &Program, class: &str, method: &str) -> Span {
+    program
+        .method(class, method)
+        .map(|m| m.span)
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjava_syntax::parse;
+
+    #[test]
+    fn builds_field_and_method_lattices() {
+        let p = parse(
+            r#"@LATTICE("DIR<TMP,TMP<BIN")
+               class W {
+                 @LOC("BIN") int b;
+                 @LATTICE("STR<WDOBJ,WDOBJ<IN") @THISLOC("WDOBJ")
+                 void run() { }
+               }"#,
+        )
+        .expect("parses");
+        let mut d = Diagnostics::new();
+        let m = Lattices::build(&p, &mut d);
+        assert!(!d.has_errors());
+        let fl = m.field_lattice("W").expect("field lattice");
+        assert!(fl.get("TMP").is_some());
+        let mi = m.method_info("W", "run").expect("method info");
+        assert_eq!(mi.this_loc.as_deref(), Some("WDOBJ"));
+        assert!(mi.lattice.get("STR").is_some());
+    }
+
+    #[test]
+    fn method_default_is_inherited() {
+        let p = parse(
+            r#"@METHODDEFAULT("L<H") @THISLOC("L")
+               class W { void a() { } @LATTICE("X<Y") void b() { } }"#,
+        )
+        .expect("parses");
+        let mut d = Diagnostics::new();
+        let m = Lattices::build(&p, &mut d);
+        assert!(m.method_info("W", "a").expect("a").lattice.get("H").is_some());
+        assert!(m.method_info("W", "b").expect("b").lattice.get("Y").is_some());
+        assert!(m.method_info("W", "b").expect("b").lattice.get("H").is_none());
+    }
+
+    #[test]
+    fn cyclic_lattice_is_reported() {
+        let p = parse(r#"@LATTICE("A<B,B<A") class W { }"#).expect("parses");
+        let mut d = Diagnostics::new();
+        Lattices::build(&p, &mut d);
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn subclass_must_keep_parent_locations() {
+        let p = parse(
+            r#"@LATTICE("A<B") class P { @LOC("A") int x; }
+               @LATTICE("C<D") class S extends P { @LOC("C") int y; }"#,
+        )
+        .expect("parses");
+        let mut d = Diagnostics::new();
+        Lattices::build(&p, &mut d);
+        assert!(d.has_errors(), "missing inherited locations must error");
+    }
+
+    #[test]
+    fn subclass_preserving_order_is_ok() {
+        let p = parse(
+            r#"@LATTICE("A<B") class P { @LOC("A") int x; }
+               @LATTICE("A<B,C<A") class S extends P { @LOC("C") int y; }"#,
+        )
+        .expect("parses");
+        let mut d = Diagnostics::new();
+        Lattices::build(&p, &mut d);
+        assert!(!d.has_errors(), "{d}");
+    }
+
+    #[test]
+    fn field_info_resolves_inherited() {
+        let p = parse(
+            r#"@LATTICE("A<B") class P { @LOC("A") int x; }
+               @LATTICE("A<B") class S extends P { }"#,
+        )
+        .expect("parses");
+        let mut d = Diagnostics::new();
+        let m = Lattices::build(&p, &mut d);
+        let fi = m.field_info(&p, "S", "x").expect("found");
+        assert_eq!(fi.declaring_class, "P");
+        assert_eq!(fi.loc_name.as_deref(), Some("A"));
+    }
+}

@@ -1,0 +1,513 @@
+//! Lattice generation: the naive maximally-precise conversion (§5.2.6)
+//! and the SInfer simplification (§5.3).
+
+use crate::decompose::Decomposition;
+use crate::vfg::{PC, RET};
+use sjava_analysis::callgraph::MethodRef;
+use sjava_lattice::{dedekind_macneille, HierarchyGraph, Lattice, LatticeError, BOTTOM, TOP};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Inference mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Maximally precise: every hierarchy node keeps its own lattice
+    /// location (§5.2, the "naive" baseline of Table 6.1).
+    Naive,
+    /// SInfer simplification: precise interfaces, merged/chained locals
+    /// (§5.3).
+    SInfer,
+}
+
+/// The generated lattices plus the node-name assignment for each original
+/// hierarchy node.
+#[derive(Debug, Clone, Default)]
+pub struct GenLattices {
+    /// Per-method lattices.
+    pub methods: BTreeMap<MethodRef, Lattice>,
+    /// Per-class field lattices.
+    pub fields: BTreeMap<String, Lattice>,
+    /// Per-method node→location assignment.
+    pub method_assign: BTreeMap<MethodRef, BTreeMap<String, String>>,
+    /// Per-class node→location assignment.
+    pub field_assign: BTreeMap<String, BTreeMap<String, String>>,
+}
+
+/// Generates lattices for every hierarchy in the decomposition.
+///
+/// # Errors
+///
+/// Returns the underlying error when a hierarchy is cyclic (which would
+/// indicate a non-self-stabilizing flow that could not be merged, §5.2.7).
+pub fn generate(
+    d: &Decomposition,
+    mode: Mode,
+    program: &sjava_syntax::ast::Program,
+) -> Result<GenLattices, LatticeError> {
+    let mut out = GenLattices::default();
+    for (mref, h) in &d.methods {
+        let params: BTreeSet<String> = program
+            .method(&mref.0, &mref.1)
+            .map(|m| m.params.iter().map(|p| p.name.clone()).collect())
+            .unwrap_or_default();
+        let mut iface: BTreeSet<String> = params;
+        iface.insert("this".to_string());
+        iface.insert(RET.to_string());
+        iface.insert(PC.to_string());
+        let (lat, assign) = match mode {
+            Mode::Naive => naive_lattice(h)?,
+            Mode::SInfer => sinfer_lattice(h, &iface)?,
+        };
+        out.methods.insert(mref.clone(), lat);
+        out.method_assign.insert(mref.clone(), assign);
+    }
+    for (class, h) in &d.fields {
+        if h.node_count() == 0 {
+            continue;
+        }
+        // Interface nodes of a field hierarchy: locations of actual
+        // fields (relocated locals and ILOCs are non-interface).
+        let mut iface: BTreeSet<String> = BTreeSet::new();
+        if let Some(cd) = program.class(class) {
+            for f in &cd.fields {
+                iface.insert(d.field_name(class, &f.name));
+            }
+        }
+        let (lat, assign) = match mode {
+            Mode::Naive => naive_lattice(h)?,
+            Mode::SInfer => sinfer_lattice(h, &iface)?,
+        };
+        out.fields.insert(class.clone(), lat);
+        out.field_assign.insert(class.clone(), assign);
+    }
+    Ok(out)
+}
+
+/// Naive conversion: Dedekind–MacNeille completion of the hierarchy as-is;
+/// every node is its own location.
+fn naive_lattice(
+    h: &HierarchyGraph,
+) -> Result<(Lattice, BTreeMap<String, String>), LatticeError> {
+    let c = dedekind_macneille(h)?;
+    let assign = h
+        .nodes()
+        .map(|n| (n.to_string(), n.to_string()))
+        .collect();
+    Ok((c.lattice, assign))
+}
+
+/// SInfer conversion (§5.3): interface hierarchy graph → same-neighbour
+/// merging → redundant edge removal → merge points → completion → local
+/// variable insertion along chains.
+fn sinfer_lattice(
+    h: &HierarchyGraph,
+    iface: &BTreeSet<String>,
+) -> Result<(Lattice, BTreeMap<String, String>), LatticeError> {
+    let is_iface = |n: &str| iface.contains(n);
+    let mut assign: BTreeMap<String, String> = BTreeMap::new();
+
+    // --- 5.3.1: interface hierarchy graph -------------------------------
+    let mut ig = HierarchyGraph::new();
+    for n in h.nodes().filter(|n| is_iface(n)) {
+        ig.add_node(n);
+        if h.is_shared(n) {
+            ig.set_shared(n);
+        }
+    }
+    // Edge a→b when b is reachable from a through non-interface nodes.
+    let iface_nodes: Vec<String> = h
+        .nodes()
+        .filter(|n| is_iface(n))
+        .map(|s| s.to_string())
+        .collect();
+    for a in &iface_nodes {
+        for b in iface_reachable(h, a, &is_iface) {
+            ig.add_edge(a.clone(), b);
+        }
+    }
+
+    // --- 5.3.2: merge same-in/out interface nodes, drop redundant edges -
+    ig.remove_redundant_edges();
+    loop {
+        let nodes: Vec<String> = ig.nodes().map(|s| s.to_string()).collect();
+        let mut merged_any = false;
+        'outer: for i in 0..nodes.len() {
+            for j in i + 1..nodes.len() {
+                let (a, b) = (&nodes[i], &nodes[j]);
+                if !ig.has_node(a) || !ig.has_node(b) {
+                    continue;
+                }
+                let ins_a: BTreeSet<String> = ig.above(a).map(|s| s.to_string()).collect();
+                let ins_b: BTreeSet<String> = ig.above(b).map(|s| s.to_string()).collect();
+                let outs_a: BTreeSet<String> = ig.below(a).map(|s| s.to_string()).collect();
+                let outs_b: BTreeSet<String> = ig.below(b).map(|s| s.to_string()).collect();
+                if ins_a == ins_b
+                    && outs_a == outs_b
+                    && !ins_a.is_empty()
+                    && ig.is_shared(a) == ig.is_shared(b)
+                {
+                    ig.merge_nodes(&[a.clone(), b.clone()], a);
+                    assign.insert(b.clone(), a.clone());
+                    merged_any = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !merged_any {
+            break;
+        }
+    }
+    ig.remove_redundant_edges();
+
+    let resolve = |assign: &BTreeMap<String, String>, n: &str| -> String {
+        let mut cur = n.to_string();
+        while let Some(next) = assign.get(&cur) {
+            if *next == cur {
+                break;
+            }
+            cur = next.clone();
+        }
+        cur
+    };
+
+    // --- 5.3.3: merge points --------------------------------------------
+    let mut merge_sigs: BTreeMap<(BTreeSet<String>, BTreeSet<String>), String> = BTreeMap::new();
+    let mut merge_counter = 0usize;
+    for n in h.nodes().filter(|n| !is_iface(n)) {
+        let srcs: BTreeSet<String> = iface_sources(h, n, &is_iface)
+            .into_iter()
+            .map(|s| resolve(&assign, &s))
+            .collect();
+        let dsts: BTreeSet<String> = iface_reachable(h, n, &is_iface)
+            .into_iter()
+            .map(|s| resolve(&assign, &s))
+            .collect();
+        if srcs.len() >= 2 && !dsts.is_empty() {
+            let key = (srcs.clone(), dsts.clone());
+            if !merge_sigs.contains_key(&key) {
+                let name = loop {
+                    let cand = format!("MP{merge_counter}");
+                    merge_counter += 1;
+                    if !ig.has_node(&cand) && !h.has_node(&cand) {
+                        break cand;
+                    }
+                };
+                for s in &srcs {
+                    ig.add_edge(s.clone(), name.clone());
+                }
+                for t in &dsts {
+                    ig.add_edge(name.clone(), t.clone());
+                }
+                merge_sigs.insert(key, name);
+            }
+        }
+    }
+    ig.remove_redundant_edges();
+
+    // --- 5.3.4: completion ----------------------------------------------
+    let completion = dedekind_macneille(&ig)?;
+    let mut lat = completion.lattice;
+
+    // --- 5.3.5: local variable insertion ---------------------------------
+    // Depth of each non-interface node: longest all-non-interface path
+    // from an interface node.
+    let mut depth_memo: BTreeMap<String, usize> = BTreeMap::new();
+    let locals: Vec<String> = h
+        .nodes()
+        .filter(|n| !is_iface(n))
+        .map(|s| s.to_string())
+        .collect();
+    for l in &locals {
+        let d = local_depth(h, l, &is_iface, &mut depth_memo);
+        let srcs: BTreeSet<String> = iface_sources(h, l, &is_iface)
+            .into_iter()
+            .map(|s| resolve(&assign, &s))
+            .collect();
+        let dsts: BTreeSet<String> = iface_reachable(h, l, &is_iface)
+            .into_iter()
+            .map(|s| resolve(&assign, &s))
+            .collect();
+        // Anchor m: the meet of the interface sources (via the merge
+        // point when one exists), else ⊤.
+        let anchor = if let Some(mp) = merge_sigs.get(&(srcs.clone(), dsts.clone())) {
+            lat.get(mp).unwrap_or(TOP)
+        } else if srcs.is_empty() {
+            TOP
+        } else {
+            let mut ids = srcs.iter().filter_map(|s| lat.get(s));
+            let first = ids.next().unwrap_or(TOP);
+            ids.fold(first, |acc, id| lat.glb(acc, id))
+        };
+        let anchor = if anchor == BOTTOM { TOP } else { anchor };
+        let anchor_name = lat.name(anchor).to_string();
+        // Chain under the anchor: pairs (normal_k, shared_k).
+        let shared = h.is_shared(l);
+        let node = chain_node(&mut lat, &anchor_name, d, shared);
+        // The local must still sit above its interface destinations —
+        // and it *splices into* the existing anchor→destination edges
+        // rather than running parallel to them (§5.3.5).
+        let node_id = lat.get(&node).expect("just created");
+        for t in &dsts {
+            if let Some(tid) = lat.get(t) {
+                if !lat.leq(tid, node_id) {
+                    // Best effort: ignore failures (would be a cycle).
+                    let _ = lat.add_order(tid, node_id);
+                }
+                // Remove the now-redundant direct anchor edge.
+                if anchor != BOTTOM
+                    && lat.leq(tid, node_id)
+                    && lat.directly_above(tid).contains(&anchor)
+                {
+                    lat.remove_order(tid, anchor);
+                }
+            }
+        }
+        assign.insert(l.clone(), node);
+    }
+
+    // Identity assignment for surviving interface nodes.
+    for n in h.nodes() {
+        if is_iface(n) && !assign.contains_key(n) {
+            assign.insert(n.to_string(), n.to_string());
+        }
+    }
+
+    // Splice the original flow edges over the assigned nodes so that the
+    // checker's GLB of any operand set stays strictly above the
+    // destinations it feeds (best effort: orders that would cycle are
+    // skipped; the paper likewise accepts that the final lattice admits
+    // more flows between locals than the program performs).
+    let edges: Vec<(String, String)> = h
+        .edges()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect();
+    for (a, b) in edges {
+        let na = resolve(&assign, &a);
+        let nb = resolve(&assign, &b);
+        let (Some(ia), Some(ib)) = (lat.get(&na), lat.get(&nb)) else {
+            continue;
+        };
+        if ia != ib && !lat.leq(ib, ia) {
+            let _ = lat.add_order(ib, ia);
+        }
+    }
+    // Drop transitively-redundant edges left by chaining/splicing so the
+    // path metric reflects the Hasse diagram.
+    lat.reduce();
+    Ok((lat, assign))
+}
+
+/// Creates (or reuses) the `depth`-th chain node below `anchor`. The chain
+/// backbone is made of normal nodes; a shared sibling is hung off the
+/// backbone lazily when a shared local needs one (§5.3.5's normal/shared
+/// pairs, created on demand).
+fn chain_node(lat: &mut Lattice, anchor: &str, depth: usize, shared: bool) -> String {
+    let depth = depth.max(1);
+    let mut parent = if anchor == "_TOP" {
+        TOP
+    } else {
+        lat.ensure(anchor)
+    };
+    let mut name = String::new();
+    for k in 1..=depth {
+        let cand = format!("{anchor}_N{k}");
+        let id = match lat.get(&cand) {
+            Some(id) => id,
+            None => {
+                let id = lat.ensure(&cand);
+                if parent != TOP {
+                    let _ = lat.add_order(id, parent);
+                } else {
+                    lat.recompute();
+                }
+                id
+            }
+        };
+        if k == depth {
+            if shared {
+                let scand = format!("{anchor}_S{k}");
+                let sid = match lat.get(&scand) {
+                    Some(sid) => sid,
+                    None => {
+                        let sid = lat.ensure(&scand);
+                        let _ = lat.add_order(sid, id);
+                        lat.set_shared(sid, true);
+                        sid
+                    }
+                };
+                let _ = sid;
+                name = scand;
+            } else {
+                name = cand;
+            }
+        }
+        parent = id;
+    }
+    let _ = parent;
+    name
+}
+
+/// Interface nodes reachable *down* from `n` via non-interface paths.
+fn iface_reachable(
+    h: &HierarchyGraph,
+    n: &str,
+    is_iface: &dyn Fn(&str) -> bool,
+) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut stack: Vec<String> = h.below(n).map(|s| s.to_string()).collect();
+    let mut seen = BTreeSet::new();
+    while let Some(x) = stack.pop() {
+        if !seen.insert(x.clone()) {
+            continue;
+        }
+        if is_iface(&x) {
+            out.insert(x);
+        } else {
+            stack.extend(h.below(&x).map(|s| s.to_string()));
+        }
+    }
+    out
+}
+
+/// Interface nodes that reach `n` *from above* via non-interface paths.
+fn iface_sources(
+    h: &HierarchyGraph,
+    n: &str,
+    is_iface: &dyn Fn(&str) -> bool,
+) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut stack: Vec<String> = h.above(n).map(|s| s.to_string()).collect();
+    let mut seen = BTreeSet::new();
+    while let Some(x) = stack.pop() {
+        if !seen.insert(x.clone()) {
+            continue;
+        }
+        if is_iface(&x) {
+            out.insert(x);
+        } else {
+            stack.extend(h.above(&x).map(|s| s.to_string()));
+        }
+    }
+    out
+}
+
+/// Longest all-non-interface hop count from an interface node down to `l`.
+fn local_depth(
+    h: &HierarchyGraph,
+    l: &str,
+    is_iface: &dyn Fn(&str) -> bool,
+    memo: &mut BTreeMap<String, usize>,
+) -> usize {
+    if let Some(&d) = memo.get(l) {
+        return d;
+    }
+    memo.insert(l.to_string(), 1); // cycle guard (hierarchies are acyclic)
+    let d = h
+        .above(l)
+        .map(|p| {
+            if is_iface(p) {
+                1
+            } else {
+                1 + local_depth(h, &p.to_string(), is_iface, memo)
+            }
+        })
+        .max()
+        .unwrap_or(1);
+    memo.insert(l.to_string(), d);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iface_set(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn naive_keeps_every_node() {
+        let mut h = HierarchyGraph::new();
+        h.add_edge("a", "x1");
+        h.add_edge("x1", "b");
+        let (lat, assign) = naive_lattice(&h).expect("acyclic");
+        assert_eq!(assign["x1"], "x1");
+        assert!(lat.get("x1").is_some());
+    }
+
+    #[test]
+    fn sinfer_merges_same_neighbour_interfaces() {
+        // Fig 5.14: f and g share all ins and outs → merged.
+        let mut h = HierarchyGraph::new();
+        h.add_edge("a", "f");
+        h.add_edge("b", "f");
+        h.add_edge("a", "g");
+        h.add_edge("b", "g");
+        h.add_edge("f", "z");
+        h.add_edge("g", "z");
+        let (lat, assign) =
+            sinfer_lattice(&h, &iface_set(&["a", "b", "f", "g", "z"])).expect("ok");
+        // One of f/g aliased to the other.
+        assert!(assign.get("g") == Some(&"f".to_string()) || assign.get("f") == Some(&"g".to_string()));
+        assert!(lat.get("a").is_some());
+    }
+
+    #[test]
+    fn sinfer_drops_locals_but_assigns_them() {
+        // a → t → b with t a local: interface lattice a > b; t assigned a
+        // chain node below a and above b.
+        let mut h = HierarchyGraph::new();
+        h.add_edge("a", "t");
+        h.add_edge("t", "b");
+        let (lat, assign) = sinfer_lattice(&h, &iface_set(&["a", "b"])).expect("ok");
+        let t_loc = &assign["t"];
+        assert_ne!(t_loc, "t");
+        let t_id = lat.get(t_loc).expect("assigned exists");
+        let a = lat.get("a").expect("a");
+        let b = lat.get("b").expect("b");
+        assert!(lat.lt(t_id, a), "local below its source");
+        assert!(lat.lt(b, t_id), "local above its destination");
+    }
+
+    #[test]
+    fn sinfer_inserts_merge_points() {
+        // Fig 5.12: local combines b and c, then flows into f and g.
+        let mut h = HierarchyGraph::new();
+        h.add_edge("b", "t");
+        h.add_edge("c", "t");
+        h.add_edge("t", "f");
+        h.add_edge("t", "g");
+        let (lat, assign) = sinfer_lattice(&h, &iface_set(&["b", "c", "f", "g"])).expect("ok");
+        let t_id = lat.get(&assign["t"]).expect("t assigned");
+        let b = lat.get("b").expect("b");
+        let c = lat.get("c").expect("c");
+        let f = lat.get("f").expect("f");
+        // t's location sits strictly between {b,c} and {f,g}.
+        assert!(lat.lt(t_id, b) && lat.lt(t_id, c));
+        assert!(lat.lt(f, t_id));
+        // And the meet of b,c is above t's interface destinations.
+        let m = lat.glb(b, c);
+        assert!(lat.lt(f, m));
+    }
+
+    #[test]
+    fn shared_local_gets_shared_chain_node() {
+        let mut h = HierarchyGraph::new();
+        h.add_edge("a", "s");
+        h.add_edge("s", "b");
+        h.set_shared("s");
+        let (lat, assign) = sinfer_lattice(&h, &iface_set(&["a", "b"])).expect("ok");
+        let id = lat.get(&assign["s"]).expect("assigned");
+        assert!(lat.is_shared(id));
+    }
+
+    #[test]
+    fn chain_reuse_across_locals_at_same_depth() {
+        let mut h = HierarchyGraph::new();
+        h.add_edge("a", "t1");
+        h.add_edge("a", "t2");
+        h.add_edge("t1", "b");
+        h.add_edge("t2", "b");
+        let (_, assign) = sinfer_lattice(&h, &iface_set(&["a", "b"])).expect("ok");
+        assert_eq!(assign["t1"], assign["t2"], "same height ⇒ same node");
+    }
+}

@@ -1,0 +1,601 @@
+//! Composite location types (§3.4): lexicographic ordering (Eq. 3.1) and
+//! the greatest-lower-bound algorithm of Fig 3.2.
+
+use crate::lattice::{Lattice, LocId, BOTTOM, TOP};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The space an element of a composite location lives in: the current
+/// method's lattice, or the field lattice of a class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// The current method's hierarchy.
+    Method,
+    /// The field hierarchy of the named class.
+    Field(String),
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Space::Method => write!(f, "<method>"),
+            Space::Field(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// One element of a composite location: a named location in a space.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Elem {
+    /// The lattice this element belongs to.
+    pub space: Space,
+    /// The location name within that lattice (may be `_TOP`/`_BOTTOM`).
+    pub name: String,
+}
+
+impl Elem {
+    /// A method-lattice element.
+    pub fn method(name: impl Into<String>) -> Self {
+        Elem {
+            space: Space::Method,
+            name: name.into(),
+        }
+    }
+
+    /// A field-lattice element of `class`.
+    pub fn field(class: impl Into<String>, name: impl Into<String>) -> Self {
+        Elem {
+            space: Space::Field(class.into()),
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for Elem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.space {
+            Space::Method => write!(f, "{}", self.name),
+            Space::Field(c) => write!(f, "{c}.{}", self.name),
+        }
+    }
+}
+
+/// A composite location type: ⊤, ⊥, or a sequence of elements beginning
+/// with a method location, optionally lowered by `delta` applications.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CompositeLoc {
+    /// The global top: constants and fresh inputs.
+    Top,
+    /// The global bottom: anything may flow here.
+    Bottom,
+    /// A concrete path, with `delta` counting `delta(...)` wrappers
+    /// (§4.1.7) — each wrapper lowers the location infinitesimally.
+    Path {
+        /// Elements, method element first.
+        elems: Vec<Elem>,
+        /// Number of delta applications.
+        delta: usize,
+    },
+}
+
+impl CompositeLoc {
+    /// A non-delta path from elements.
+    pub fn path(elems: Vec<Elem>) -> Self {
+        CompositeLoc::Path { elems, delta: 0 }
+    }
+
+    /// A single method-lattice element.
+    pub fn method(name: impl Into<String>) -> Self {
+        CompositeLoc::path(vec![Elem::method(name)])
+    }
+
+    /// The elements if this is a path.
+    pub fn elems(&self) -> &[Elem] {
+        match self {
+            CompositeLoc::Path { elems, .. } => elems,
+            _ => &[],
+        }
+    }
+
+    /// Appends a field element (the `⊕` operator of §4.1.2), clearing any
+    /// delta since the result denotes a different memory location.
+    pub fn extend_field(&self, class: &str, name: &str) -> CompositeLoc {
+        match self {
+            CompositeLoc::Top => CompositeLoc::Top,
+            CompositeLoc::Bottom => CompositeLoc::Bottom,
+            CompositeLoc::Path { elems, .. } => {
+                let mut e = elems.clone();
+                e.push(Elem::field(class, name));
+                CompositeLoc::path(e)
+            }
+        }
+    }
+
+    /// Wraps the location in one more `delta` (lowers it infinitesimally).
+    pub fn delta(&self) -> CompositeLoc {
+        match self {
+            CompositeLoc::Path { elems, delta } => CompositeLoc::Path {
+                elems: elems.clone(),
+                delta: delta + 1,
+            },
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for CompositeLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompositeLoc::Top => write!(f, "TOP"),
+            CompositeLoc::Bottom => write!(f, "BOTTOM"),
+            CompositeLoc::Path { elems, delta } => {
+                for _ in 0..*delta {
+                    write!(f, "delta(")?;
+                }
+                write!(f, "<")?;
+                for (i, e) in elems.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ">")?;
+                for _ in 0..*delta {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Supplies the lattices that composite-location comparison needs: the
+/// current method's lattice and field lattices per class.
+pub trait LatticeCtx {
+    /// The current method's location lattice.
+    fn method_lattice(&self) -> &Lattice;
+    /// The field lattice of `class`, if the class declares one.
+    fn field_lattice(&self, class: &str) -> Option<&Lattice>;
+
+    /// Resolves an element to its lattice and id.
+    fn resolve(&self, elem: &Elem) -> Option<(&Lattice, LocId)> {
+        let lat = match &elem.space {
+            Space::Method => self.method_lattice(),
+            Space::Field(c) => self.field_lattice(c)?,
+        };
+        let id = lat.get(&elem.name)?;
+        Some((lat, id))
+    }
+}
+
+/// A simple [`LatticeCtx`] backed by explicit lattices; useful in tests and
+/// in the inference engine.
+pub struct SimpleCtx<'a> {
+    /// The method lattice.
+    pub method: &'a Lattice,
+    /// `(class name, lattice)` pairs.
+    pub fields: &'a [(String, Lattice)],
+}
+
+impl LatticeCtx for SimpleCtx<'_> {
+    fn method_lattice(&self) -> &Lattice {
+        self.method
+    }
+
+    fn field_lattice(&self, class: &str) -> Option<&Lattice> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == class)
+            .map(|(_, l)| l)
+    }
+}
+
+/// Compares two composite locations per the lexicographic rule of Eq. 3.1.
+///
+/// `Some(Less)` means `a ⊏ b` (values may flow from `b` to `a`); `None`
+/// means the locations are incomparable (e.g. field elements from different
+/// classes).
+pub fn compare(ctx: &dyn LatticeCtx, a: &CompositeLoc, b: &CompositeLoc) -> Option<Ordering> {
+    use CompositeLoc::*;
+    match (a, b) {
+        (Top, Top) | (Bottom, Bottom) => Some(Ordering::Equal),
+        (Top, _) => Some(Ordering::Greater),
+        (_, Top) => Some(Ordering::Less),
+        (Bottom, _) => Some(Ordering::Less),
+        (_, Bottom) => Some(Ordering::Greater),
+        (
+            Path {
+                elems: ea,
+                delta: da,
+            },
+            Path {
+                elems: eb,
+                delta: db,
+            },
+        ) => {
+            let n = ea.len().min(eb.len());
+            for i in 0..n {
+                let (xa, xb) = (&ea[i], &eb[i]);
+                // Positional ⊤/⊥ are space-agnostic: the bottom value of
+                // Fig 3.2 compares below any class's elements.
+                let (a_bot, b_bot) = (xa.name == "_BOTTOM", xb.name == "_BOTTOM");
+                let (a_top, b_top) = (xa.name == "_TOP", xb.name == "_TOP");
+                if xa.space != xb.space {
+                    return match (a_bot, b_bot, a_top, b_top) {
+                        (true, true, _, _) => continue,
+                        (true, false, _, _) => Some(Ordering::Less),
+                        (false, true, _, _) => Some(Ordering::Greater),
+                        (_, _, true, true) => continue,
+                        (_, _, true, false) => Some(Ordering::Greater),
+                        (_, _, false, true) => Some(Ordering::Less),
+                        _ => None,
+                    };
+                }
+                let (lat, ia) = ctx.resolve(xa)?;
+                let ib = lat.get(&xb.name)?;
+                if ia == ib {
+                    continue;
+                }
+                return lat.compare(ia, ib);
+            }
+            // Common prefix exhausted: longer path is lower (§3.4.1 —
+            // values that may flow to a reference may flow to its fields).
+            match ea.len().cmp(&eb.len()) {
+                Ordering::Less => Some(Ordering::Greater),
+                Ordering::Greater => Some(Ordering::Less),
+                // Same elements: more deltas = lower.
+                Ordering::Equal => Some(db.cmp(da)),
+            }
+        }
+    }
+}
+
+/// Reflexive flow check: may a value at `src` flow down into `dst`
+/// (`dst ⊑ src`)?
+pub fn may_flow(ctx: &dyn LatticeCtx, src: &CompositeLoc, dst: &CompositeLoc) -> bool {
+    matches!(
+        compare(ctx, dst, src),
+        Some(Ordering::Less) | Some(Ordering::Equal)
+    )
+}
+
+/// Greatest lower bound of two composite locations — the `⊓` operator,
+/// implementing the recursive algorithm of Fig 3.2.
+pub fn glb(ctx: &dyn LatticeCtx, a: &CompositeLoc, b: &CompositeLoc) -> CompositeLoc {
+    use CompositeLoc::*;
+    // Comparable pairs meet at the lower one (also handles deltas).
+    match compare(ctx, a, b) {
+        Some(Ordering::Less) | Some(Ordering::Equal) => return a.clone(),
+        Some(Ordering::Greater) => return b.clone(),
+        None => {}
+    }
+    let (Path { elems: ea, .. }, Path { elems: eb, .. }) = (a, b) else {
+        // Top/Bottom combinations are always comparable, so both must be
+        // paths here.
+        return Bottom;
+    };
+    glb_path(ctx, ea, eb)
+}
+
+fn glb_path(ctx: &dyn LatticeCtx, ea: &[Elem], eb: &[Elem]) -> CompositeLoc {
+    let (Some(xa), Some(xb)) = (ea.first(), eb.first()) else {
+        // One path exhausted with a common prefix: the longer path is
+        // the lower bound.
+        let longer = if ea.is_empty() { eb } else { ea };
+        return CompositeLoc::path(longer.to_vec());
+    };
+    if xa.space != xb.space {
+        // Field elements from different classes: GLB is ⊥ (Fig 3.2).
+        return CompositeLoc::Bottom;
+    }
+    let Some((lat, ia)) = ctx.resolve(xa) else {
+        return CompositeLoc::Bottom;
+    };
+    let Some(ib) = lat.get(&xb.name) else {
+        return CompositeLoc::Bottom;
+    };
+    let g1 = lat.glb(ia, ib);
+    if g1 != ia && g1 != ib {
+        // Case 1: strictly lower first element decides; the remaining
+        // elements are free, and the greatest choice is the bare prefix.
+        if g1 == BOTTOM {
+            return CompositeLoc::Bottom;
+        }
+        return CompositeLoc::path(vec![Elem {
+            space: xa.space.clone(),
+            name: lat.name(g1).to_string(),
+        }]);
+    }
+    if g1 == ia && g1 != ib {
+        // Case 2: a's first element is the meet — result is a.
+        return CompositeLoc::path(ea.to_vec());
+    }
+    if g1 != ia && g1 == ib {
+        // Case 3: symmetric.
+        return CompositeLoc::path(eb.to_vec());
+    }
+    // Case 4: identical first elements — recurse on the tails.
+    let rest = glb_path(ctx, &ea[1..], &eb[1..]);
+    match rest {
+        CompositeLoc::Path { mut elems, delta } => {
+            elems.insert(
+                0,
+                Elem {
+                    space: xa.space.clone(),
+                    name: lat.name(g1).to_string(),
+                },
+            );
+            CompositeLoc::Path { elems, delta }
+        }
+        CompositeLoc::Bottom => {
+            // Tail meet is ⊥: pin the prefix and close with the tail
+            // lattice's ⊥ so the result stays below both inputs.
+            let tail_space = ea
+                .get(1)
+                .map(|e| e.space.clone())
+                .unwrap_or_else(|| eb[1].space.clone());
+            CompositeLoc::path(vec![
+                Elem {
+                    space: xa.space.clone(),
+                    name: lat.name(g1).to_string(),
+                },
+                Elem {
+                    space: tail_space,
+                    name: "_BOTTOM".to_string(),
+                },
+            ])
+        }
+        CompositeLoc::Top => CompositeLoc::path(vec![Elem {
+            space: xa.space.clone(),
+            name: lat.name(g1).to_string(),
+        }]),
+    }
+}
+
+/// Whether the location's final element is a shared location (§4.1.8).
+pub fn is_shared(ctx: &dyn LatticeCtx, loc: &CompositeLoc) -> bool {
+    match loc {
+        CompositeLoc::Path { elems, .. } => elems
+            .last()
+            .and_then(|e| ctx.resolve(e))
+            .map(|(lat, id)| lat.is_shared(id))
+            .unwrap_or(false),
+        _ => false,
+    }
+}
+
+/// Convenience: the composite for a lattice's top/bottom id.
+pub fn from_loc_id(lat: &Lattice, space: Space, id: LocId) -> CompositeLoc {
+    if id == TOP {
+        CompositeLoc::Top
+    } else if id == BOTTOM {
+        CompositeLoc::Bottom
+    } else {
+        CompositeLoc::path(vec![Elem {
+            space,
+            name: lat.name(id).to_string(),
+        }])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig 2.1 setting: method lattice STR<WDOBJ<IN (for
+    /// windDirection) plus the WDSensor field lattice DIR<TMP<BIN.
+    fn fixture() -> (Lattice, Vec<(String, Lattice)>) {
+        let method = Lattice::from_decl(
+            &[
+                ("STR".into(), "WDOBJ".into()),
+                ("WDOBJ".into(), "IN".into()),
+            ],
+            &[],
+            &[],
+        )
+        .expect("method lattice");
+        let wd = Lattice::from_decl(
+            &[
+                ("DIR".into(), "TMP".into()),
+                ("TMP".into(), "BIN".into()),
+            ],
+            &[],
+            &[],
+        )
+        .expect("field lattice");
+        (method, vec![("WDSensor".to_string(), wd)])
+    }
+
+    fn loc(parts: &[&str]) -> CompositeLoc {
+        // first part method, remaining are WDSensor fields
+        let mut elems = vec![Elem::method(parts[0])];
+        for p in &parts[1..] {
+            elems.push(Elem::field("WDSensor", *p));
+        }
+        CompositeLoc::path(elems)
+    }
+
+    #[test]
+    fn first_element_decides() {
+        let (m, f) = fixture();
+        let ctx = SimpleCtx {
+            method: &m,
+            fields: &f,
+        };
+        assert_eq!(
+            compare(&ctx, &loc(&["STR"]), &loc(&["IN"])),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            compare(&ctx, &loc(&["STR", "DIR"]), &loc(&["IN", "BIN"])),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn equal_prefix_recurses() {
+        let (m, f) = fixture();
+        let ctx = SimpleCtx {
+            method: &m,
+            fields: &f,
+        };
+        // ⟨WDOBJ,TMP⟩ between ⟨WDOBJ,DIR⟩ and ⟨WDOBJ,BIN⟩ (§2.2.3).
+        assert_eq!(
+            compare(&ctx, &loc(&["WDOBJ", "TMP"]), &loc(&["WDOBJ", "BIN"])),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            compare(&ctx, &loc(&["WDOBJ", "TMP"]), &loc(&["WDOBJ", "DIR"])),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn longer_path_is_lower() {
+        let (m, f) = fixture();
+        let ctx = SimpleCtx {
+            method: &m,
+            fields: &f,
+        };
+        assert_eq!(
+            compare(&ctx, &loc(&["WDOBJ", "TMP"]), &loc(&["WDOBJ"])),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn top_and_bottom_compare() {
+        let (m, f) = fixture();
+        let ctx = SimpleCtx {
+            method: &m,
+            fields: &f,
+        };
+        assert!(may_flow(&ctx, &CompositeLoc::Top, &loc(&["STR"])));
+        assert!(may_flow(&ctx, &loc(&["STR"]), &CompositeLoc::Bottom));
+        assert!(!may_flow(&ctx, &CompositeLoc::Bottom, &loc(&["STR"])));
+    }
+
+    #[test]
+    fn delta_orders_below_base() {
+        let (m, f) = fixture();
+        let ctx = SimpleCtx {
+            method: &m,
+            fields: &f,
+        };
+        let base = loc(&["WDOBJ", "TMP"]);
+        let d = base.delta();
+        assert_eq!(compare(&ctx, &d, &base), Some(Ordering::Less));
+        assert_eq!(compare(&ctx, &d.delta(), &d), Some(Ordering::Less));
+        // delta(⟨WDOBJ,TMP⟩) still above ⟨WDOBJ,DIR⟩.
+        assert_eq!(
+            compare(&ctx, &d, &loc(&["WDOBJ", "DIR"])),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn glb_comparable_pairs() {
+        let (m, f) = fixture();
+        let ctx = SimpleCtx {
+            method: &m,
+            fields: &f,
+        };
+        let lo = loc(&["WDOBJ", "DIR"]);
+        let hi = loc(&["WDOBJ", "BIN"]);
+        assert_eq!(glb(&ctx, &lo, &hi), lo);
+        assert_eq!(glb(&ctx, &CompositeLoc::Top, &hi), hi);
+    }
+
+    #[test]
+    fn glb_case1_strictly_lower_first() {
+        // Method lattice with a diamond: M < A, M < B.
+        let m = Lattice::from_decl(
+            &[
+                ("M".into(), "A".into()),
+                ("M".into(), "B".into()),
+            ],
+            &[],
+            &[],
+        )
+        .expect("ok");
+        let f: Vec<(String, Lattice)> = Vec::new();
+        let ctx = SimpleCtx {
+            method: &m,
+            fields: &f,
+        };
+        let a = CompositeLoc::method("A");
+        let b = CompositeLoc::method("B");
+        let g = glb(&ctx, &a, &b);
+        assert_eq!(g, CompositeLoc::method("M"));
+        assert!(may_flow(&ctx, &a, &g));
+        assert!(may_flow(&ctx, &b, &g));
+    }
+
+    #[test]
+    fn glb_case4_recurses_into_fields() {
+        let (m, f) = fixture();
+        let ctx = SimpleCtx {
+            method: &m,
+            fields: &f,
+        };
+        // Same method element, incomparable? DIR<TMP<BIN is a chain so all
+        // comparable — force case 4 by equal method elem + chain fields.
+        let a = loc(&["WDOBJ", "TMP"]);
+        let b = loc(&["WDOBJ", "DIR"]);
+        assert_eq!(glb(&ctx, &a, &b), b);
+    }
+
+    #[test]
+    fn glb_different_field_classes_pins_prefix() {
+        let m = Lattice::from_decl(&[], &[], &["O".into()]).expect("ok");
+        let a_lat = Lattice::from_decl(&[], &[], &["F".into()]).expect("ok");
+        let b_lat = Lattice::from_decl(&[], &[], &["G".into()]).expect("ok");
+        let fields = vec![("A".to_string(), a_lat), ("B".to_string(), b_lat)];
+        let ctx = SimpleCtx {
+            method: &m,
+            fields: &fields,
+        };
+        let a = CompositeLoc::path(vec![Elem::method("O"), Elem::field("A", "F")]);
+        let b = CompositeLoc::path(vec![Elem::method("O"), Elem::field("B", "G")]);
+        let g = glb(&ctx, &a, &b);
+        // Result must be a lower bound of both.
+        assert!(may_flow(&ctx, &a, &g), "{g}");
+        assert!(may_flow(&ctx, &b, &g), "{g}");
+    }
+
+    #[test]
+    fn is_shared_consults_last_element() {
+        let m = Lattice::from_decl(&[("A".into(), "B".into())], &["I".into()], &[]).expect("ok");
+        let f: Vec<(String, Lattice)> = Vec::new();
+        let ctx = SimpleCtx {
+            method: &m,
+            fields: &f,
+        };
+        assert!(is_shared(&ctx, &CompositeLoc::method("I")));
+        assert!(!is_shared(&ctx, &CompositeLoc::method("A")));
+    }
+
+    #[test]
+    fn glb_is_commutative_on_fixture() {
+        let (m, f) = fixture();
+        let ctx = SimpleCtx {
+            method: &m,
+            fields: &f,
+        };
+        let locs = [
+            loc(&["STR"]),
+            loc(&["WDOBJ"]),
+            loc(&["IN"]),
+            loc(&["WDOBJ", "DIR"]),
+            loc(&["WDOBJ", "TMP"]),
+            loc(&["WDOBJ", "BIN"]),
+            CompositeLoc::Top,
+            CompositeLoc::Bottom,
+        ];
+        for a in &locs {
+            for b in &locs {
+                assert_eq!(glb(&ctx, a, b), glb(&ctx, b, a), "a={a} b={b}");
+            }
+        }
+    }
+}

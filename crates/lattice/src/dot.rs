@@ -1,0 +1,68 @@
+//! Graphviz DOT rendering of lattices (used to regenerate Fig 5.11 /
+//! Fig 6.4-style lattice pictures).
+
+use crate::lattice::{Lattice, BOTTOM, TOP};
+
+/// Renders the lattice's Hasse diagram as Graphviz DOT, higher locations
+/// on top.
+pub fn lattice_to_dot(lattice: &Lattice, title: &str) -> String {
+    let mut s = format!("digraph \"{title}\" {{\n  rankdir=TB;\n  node [shape=ellipse];\n");
+    s.push_str("  \"_TOP\" [label=\"⊤\", shape=plaintext];\n");
+    s.push_str("  \"_BOTTOM\" [label=\"⊥\", shape=plaintext];\n");
+    for (id, name) in lattice.named() {
+        let style = if lattice.is_shared(id) {
+            ", peripheries=2"
+        } else {
+            ""
+        };
+        s.push_str(&format!("  \"{name}\" [label=\"{name}\"{style}];\n"));
+    }
+    // Explicit cover edges (drawn from higher to lower).
+    for id in lattice.ids() {
+        if id == TOP || id == BOTTOM {
+            continue;
+        }
+        let above = lattice.directly_above(id);
+        if above.iter().all(|&p| p == TOP) {
+            s.push_str(&format!(
+                "  \"_TOP\" -> \"{}\";\n",
+                lattice.name(id)
+            ));
+        }
+        for &hi in above {
+            if hi != TOP {
+                s.push_str(&format!(
+                    "  \"{}\" -> \"{}\";\n",
+                    lattice.name(hi),
+                    lattice.name(id)
+                ));
+            }
+        }
+        if lattice
+            .directly_below(id)
+            .iter()
+            .all(|&c| c == BOTTOM)
+        {
+            s.push_str(&format!(
+                "  \"{}\" -> \"_BOTTOM\";\n",
+                lattice.name(id)
+            ));
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_hasse_edges() {
+        let l = Lattice::from_decl(&[("A".into(), "B".into())], &[], &[]).expect("ok");
+        let dot = lattice_to_dot(&l, "t");
+        assert!(dot.contains("\"B\" -> \"A\""), "{dot}");
+        assert!(dot.contains("\"_TOP\" -> \"B\""), "{dot}");
+        assert!(dot.contains("\"A\" -> \"_BOTTOM\""), "{dot}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Lattice complexity metrics (§6.3.1 / Table 6.1): the number of
+//! locations, and the number of distinct information paths from ⊤ to ⊥,
+//! which the paper uses as a McCabe-style complexity measure.
+
+use crate::lattice::{Lattice, LocId, BOTTOM, TOP};
+use std::collections::HashMap;
+
+/// Counts the distinct ⊤→⊥ paths in the lattice's explicit cover graph.
+///
+/// Named nodes without an explicit parent hang directly under ⊤; nodes
+/// without an explicit child sit directly over ⊥. Counts saturate at
+/// [`u128::MAX`].
+pub fn count_paths(lattice: &Lattice) -> u128 {
+    let mut memo: HashMap<LocId, u128> = HashMap::new();
+    paths_from(lattice, TOP, &mut memo)
+}
+
+fn paths_from(l: &Lattice, node: LocId, memo: &mut HashMap<LocId, u128>) -> u128 {
+    if node == BOTTOM {
+        return 1;
+    }
+    if let Some(&v) = memo.get(&node) {
+        return v;
+    }
+    let children: Vec<LocId> = if node == TOP {
+        // ⊤ covers every named node with no explicit parent (other than
+        // possibly ⊥-pointing edges).
+        l.ids()
+            .filter(|&x| x != TOP && x != BOTTOM)
+            .filter(|&x| {
+                l.directly_above(x)
+                    .iter()
+                    .all(|&p| p == TOP)
+            })
+            .collect()
+    } else {
+        l.directly_below(node)
+            .iter()
+            .copied()
+            .filter(|&x| x != BOTTOM)
+            .collect()
+    };
+    let total: u128 = if children.is_empty() {
+        // Falls through to ⊥.
+        1
+    } else {
+        children
+            .into_iter()
+            .map(|c| paths_from(l, c, memo))
+            .fold(0u128, |acc, v| acc.saturating_add(v))
+    };
+    memo.insert(node, total);
+    total
+}
+
+/// Classification threshold between "simple" and "complex" lattices
+/// (Table 6.1 uses more than 5 location types).
+pub const COMPLEX_THRESHOLD: usize = 5;
+
+/// Whether a lattice counts as complex (> 5 named locations).
+pub fn is_complex(lattice: &Lattice) -> bool {
+    lattice.named_len() > COMPLEX_THRESHOLD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_has_one_path() {
+        let l = Lattice::from_decl(
+            &[("A".into(), "B".into()), ("B".into(), "C".into())],
+            &[],
+            &[],
+        )
+        .expect("ok");
+        assert_eq!(count_paths(&l), 1);
+    }
+
+    #[test]
+    fn diamond_has_two_paths() {
+        // M < A, M < B, A < T0, B < T0  → TOP-T0-A-M-BOT and TOP-T0-B-M-BOT
+        let l = Lattice::from_decl(
+            &[
+                ("M".into(), "A".into()),
+                ("M".into(), "B".into()),
+                ("A".into(), "T0".into()),
+                ("B".into(), "T0".into()),
+            ],
+            &[],
+            &[],
+        )
+        .expect("ok");
+        assert_eq!(count_paths(&l), 2);
+    }
+
+    #[test]
+    fn two_isolated_nodes_have_two_paths() {
+        let l = Lattice::from_decl(&[], &[], &["A".into(), "B".into()]).expect("ok");
+        assert_eq!(count_paths(&l), 2);
+    }
+
+    #[test]
+    fn empty_lattice_has_one_path() {
+        let l = Lattice::new();
+        assert_eq!(count_paths(&l), 1);
+    }
+
+    #[test]
+    fn complexity_threshold() {
+        let l = Lattice::from_decl(
+            &[],
+            &[],
+            &["A".into(), "B".into(), "C".into(), "D".into(), "E".into()],
+        )
+        .expect("ok");
+        assert!(!is_complex(&l));
+        let l2 = Lattice::from_decl(
+            &[],
+            &[],
+            &(0..6).map(|i| format!("N{i}")).collect::<Vec<_>>(),
+        )
+        .expect("ok");
+        assert!(is_complex(&l2));
+    }
+}

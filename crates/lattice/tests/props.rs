@@ -1,0 +1,237 @@
+//! Property-based tests for the lattice machinery: partial-order laws,
+//! GLB/LUB bound properties, Dedekind–MacNeille completion invariants, and
+//! composite-location ordering laws.
+
+use proptest::prelude::*;
+use sjava_lattice::{
+    compare, count_paths, dedekind_macneille, glb, may_flow, CompositeLoc, Elem, HierarchyGraph,
+    Lattice, SimpleCtx, BOTTOM, TOP,
+};
+use std::cmp::Ordering;
+
+/// A random acyclic order over up to `n` named nodes: only edges from
+/// lower-indexed to higher-indexed names, so cycles are impossible.
+fn arb_order(n: usize) -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec((0..n, 0..n), 0..n * 2).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .filter(|(a, b)| a < b)
+            .map(|(a, b)| (format!("N{a}"), format!("N{b}")))
+            .collect()
+    })
+}
+
+fn lattice_from(orders: &[(String, String)], n: usize) -> Lattice {
+    let isolated: Vec<String> = (0..n).map(|i| format!("N{i}")).collect();
+    Lattice::from_decl(orders, &[], &isolated).expect("index-ordered pairs are acyclic")
+}
+
+proptest! {
+    #[test]
+    fn leq_is_a_partial_order(orders in arb_order(7)) {
+        let l = lattice_from(&orders, 7);
+        let ids: Vec<_> = l.ids().collect();
+        for &a in &ids {
+            // reflexive
+            prop_assert!(l.leq(a, a));
+            for &b in &ids {
+                // antisymmetric
+                if l.leq(a, b) && l.leq(b, a) {
+                    prop_assert_eq!(a, b);
+                }
+                for &c in &ids {
+                    // transitive
+                    if l.leq(a, b) && l.leq(b, c) {
+                        prop_assert!(l.leq(a, c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn glb_is_a_commutative_lower_bound(orders in arb_order(7)) {
+        let l = lattice_from(&orders, 7);
+        let ids: Vec<_> = l.ids().collect();
+        for &a in &ids {
+            for &b in &ids {
+                let m = l.glb(a, b);
+                prop_assert!(l.leq(m, a));
+                prop_assert!(l.leq(m, b));
+                prop_assert_eq!(m, l.glb(b, a));
+                // idempotent on equal args
+                prop_assert_eq!(l.glb(a, a), a);
+            }
+        }
+    }
+
+    #[test]
+    fn lub_is_a_commutative_upper_bound(orders in arb_order(6)) {
+        let l = lattice_from(&orders, 6);
+        let ids: Vec<_> = l.ids().collect();
+        for &a in &ids {
+            for &b in &ids {
+                let j = l.lub(a, b);
+                prop_assert!(l.leq(a, j));
+                prop_assert!(l.leq(b, j));
+                prop_assert_eq!(j, l.lub(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn top_and_bottom_bound_everything(orders in arb_order(8)) {
+        let l = lattice_from(&orders, 8);
+        for id in l.ids() {
+            prop_assert!(l.leq(id, TOP));
+            prop_assert!(l.leq(BOTTOM, id));
+        }
+    }
+
+    #[test]
+    fn completion_preserves_the_order_and_defines_meets(orders in arb_order(6)) {
+        let mut h = HierarchyGraph::new();
+        for i in 0..6 {
+            h.add_node(format!("N{i}"));
+        }
+        // Hierarchy edges point from higher to lower: reuse the pairs as
+        // (higher=second, lower=first) to keep acyclicity.
+        for (lo, hi) in &orders {
+            h.add_edge(hi.clone(), lo.clone());
+        }
+        let c = dedekind_macneille(&h).expect("acyclic by construction");
+        let l = &c.lattice;
+        // Original order embedded.
+        for (lo, hi) in &orders {
+            let lo = l.get(lo).expect("kept");
+            let hi = l.get(hi).expect("kept");
+            prop_assert!(l.leq(lo, hi), "completion must preserve the order");
+        }
+        // Every pair has a well-defined meet: glb is ≥ every common lower
+        // bound (the defining property of a lattice meet).
+        let ids: Vec<_> = l.ids().collect();
+        for &a in &ids {
+            for &b in &ids {
+                let m = l.glb(a, b);
+                for &w in &ids {
+                    if l.leq(w, a) && l.leq(w, b) {
+                        prop_assert!(l.leq(w, m),
+                            "{} not ≤ glb({},{})={}", l.name(w), l.name(a), l.name(b), l.name(m));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_preserves_the_ordering_relation(orders in arb_order(7)) {
+        let l = lattice_from(&orders, 7);
+        let mut r = l.clone();
+        r.reduce();
+        for a in l.ids() {
+            for b in l.ids() {
+                prop_assert_eq!(l.leq(a, b), r.leq(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn path_count_is_positive_and_reduction_never_increases_it(orders in arb_order(7)) {
+        let l = lattice_from(&orders, 7);
+        let before = count_paths(&l);
+        prop_assert!(before >= 1);
+        let mut r = l.clone();
+        r.reduce();
+        prop_assert!(count_paths(&r) <= before);
+    }
+
+    #[test]
+    fn delta_sits_strictly_between(orders in arb_order(6), pick in 0usize..6) {
+        let mut l = lattice_from(&orders, 6);
+        let base = l.get(&format!("N{pick}")).expect("exists");
+        let below: Vec<_> = l.ids().filter(|&x| x != BOTTOM && l.lt(x, base)).collect();
+        let d = l.add_delta_below(base);
+        prop_assert!(l.lt(d, base));
+        for x in below {
+            prop_assert!(l.lt(x, d), "former strict-lower stays below the delta");
+        }
+    }
+}
+
+/// Composite locations over a fixed two-space setting.
+fn arb_composite() -> impl Strategy<Value = CompositeLoc> {
+    let elem_m = prop::sample::select(vec!["LO", "MID", "HI"]);
+    let elem_f = prop::sample::select(vec!["FA", "FB", "FC"]);
+    (elem_m, prop::option::of(elem_f), 0usize..3).prop_map(|(m, f, delta)| {
+        let mut elems = vec![Elem::method(m)];
+        if let Some(f) = f {
+            elems.push(Elem::field("C", f));
+        }
+        let mut l = CompositeLoc::path(elems);
+        for _ in 0..delta {
+            l = l.delta();
+        }
+        l
+    })
+}
+
+fn fixture() -> (Lattice, Vec<(String, Lattice)>) {
+    let method = Lattice::from_decl(
+        &[("LO".into(), "MID".into()), ("MID".into(), "HI".into())],
+        &[],
+        &[],
+    )
+    .expect("ok");
+    let field = Lattice::from_decl(
+        &[("FA".into(), "FB".into()), ("FB".into(), "FC".into())],
+        &[],
+        &[],
+    )
+    .expect("ok");
+    (method, vec![("C".to_string(), field)])
+}
+
+proptest! {
+    #[test]
+    fn composite_compare_is_antisymmetric_and_transitive(
+        a in arb_composite(), b in arb_composite(), c in arb_composite()
+    ) {
+        let (m, f) = fixture();
+        let ctx = SimpleCtx { method: &m, fields: &f };
+        // antisymmetry
+        if compare(&ctx, &a, &b) == Some(Ordering::Less) {
+            prop_assert_eq!(compare(&ctx, &b, &a), Some(Ordering::Greater));
+        }
+        if compare(&ctx, &a, &b) == Some(Ordering::Equal) {
+            prop_assert_eq!(compare(&ctx, &b, &a), Some(Ordering::Equal));
+        }
+        // transitivity of ⊑
+        let le = |x: &CompositeLoc, y: &CompositeLoc| {
+            matches!(compare(&ctx, x, y), Some(Ordering::Less) | Some(Ordering::Equal))
+        };
+        if le(&a, &b) && le(&b, &c) {
+            prop_assert!(le(&a, &c), "a={a} b={b} c={c}");
+        }
+    }
+
+    #[test]
+    fn composite_glb_is_a_commutative_lower_bound(
+        a in arb_composite(), b in arb_composite()
+    ) {
+        let (m, f) = fixture();
+        let ctx = SimpleCtx { method: &m, fields: &f };
+        let g1 = glb(&ctx, &a, &b);
+        let g2 = glb(&ctx, &b, &a);
+        prop_assert_eq!(&g1, &g2, "a={} b={}", a, b);
+        prop_assert!(may_flow(&ctx, &a, &g1), "glb({a},{b})={g1} must be ≤ a");
+        prop_assert!(may_flow(&ctx, &b, &g1), "glb({a},{b})={g1} must be ≤ b");
+    }
+
+    #[test]
+    fn top_flows_everywhere_and_bottom_receives(a in arb_composite()) {
+        let (m, f) = fixture();
+        let ctx = SimpleCtx { method: &m, fields: &f };
+        prop_assert!(may_flow(&ctx, &CompositeLoc::Top, &a));
+        prop_assert!(may_flow(&ctx, &a, &CompositeLoc::Bottom));
+    }
+}

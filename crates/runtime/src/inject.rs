@@ -1,0 +1,203 @@
+//! Error injection (§6.2): "randomly selects memory and mathematical
+//! operations, and replaces the original value with a random value".
+//!
+//! The interpreter counts *steps* — one per value written and one per
+//! arithmetic operation. An [`Injector`] fires at a chosen step, replacing
+//! that step's value with a random one of the same Java type (type safety
+//! is preserved, per the paper's error model §1.1.2).
+
+use crate::value::{Heap, HeapEntry, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What the injector corrupts when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectKind {
+    /// The value produced by the current operation (a "mathematical
+    /// operation" error).
+    Op,
+    /// A uniformly random heap cell (a "memory" error) — possibly a dead
+    /// value, in which case the outputs never change, matching the
+    /// paper's 534/1,000 non-corrupting trials.
+    Heap,
+}
+
+/// An error injector firing at one or more chosen steps.
+///
+/// Self-stabilization holds for *any finite* corruption (§1.1.2), so the
+/// harness also supports burst injections: every trigger step corrupts
+/// independently, and recovery is bounded from the **last** one.
+#[derive(Debug)]
+pub struct Injector {
+    rng: StdRng,
+    /// Remaining steps at which to corrupt (ascending).
+    triggers: Vec<u64>,
+    /// What to corrupt.
+    pub kind: InjectKind,
+    /// The step at which the injector first fired, if it did.
+    pub fired_at: Option<u64>,
+    /// The step at which the injector last fired.
+    pub last_fired_at: Option<u64>,
+}
+
+impl Injector {
+    /// Creates an operation-corrupting injector firing at `trigger_step`,
+    /// with corruption randomness drawn from `seed`.
+    pub fn new(seed: u64, trigger_step: u64) -> Self {
+        Self::with_kind(seed, trigger_step, InjectKind::Op)
+    }
+
+    /// Creates an injector of the given kind.
+    pub fn with_kind(seed: u64, trigger_step: u64, kind: InjectKind) -> Self {
+        Self::burst(seed, vec![trigger_step], kind)
+    }
+
+    /// Creates a burst injector corrupting at every step in `triggers`.
+    pub fn burst(seed: u64, mut triggers: Vec<u64>, kind: InjectKind) -> Self {
+        triggers.sort_unstable();
+        triggers.dedup();
+        Injector {
+            rng: StdRng::seed_from_u64(seed),
+            triggers,
+            kind,
+            fired_at: None,
+            last_fired_at: None,
+        }
+    }
+
+    /// The first configured trigger step (for reporting).
+    pub fn trigger_step(&self) -> u64 {
+        self.fired_at
+            .or_else(|| self.triggers.first().copied())
+            .unwrap_or(0)
+    }
+
+    fn due(&mut self, step: u64) -> bool {
+        if self.triggers.first() == Some(&step) {
+            self.triggers.remove(0);
+            if self.fired_at.is_none() {
+                self.fired_at = Some(step);
+            }
+            self.last_fired_at = Some(step);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Possibly corrupts `v` at `step`.
+    pub fn filter(&mut self, step: u64, v: Value) -> Value {
+        if self.kind != InjectKind::Op || !self.due(step) {
+            return v;
+        }
+        match v {
+            Value::Int(_) => Value::Int(self.rng.gen_range(-32768..=32767)),
+            Value::Float(_) => Value::Float(self.rng.gen_range(-1.0e5..1.0e5)),
+            Value::Bool(b) => Value::Bool(!b),
+            // References, strings and null are left intact: the error
+            // model preserves type/memory safety (§1.1.2).
+            other => other,
+        }
+    }
+
+    /// Possibly scribbles over one random heap cell at `step`.
+    pub fn corrupt_heap(&mut self, step: u64, heap: &mut Heap) {
+        if self.kind != InjectKind::Heap || !self.due(step) {
+            return;
+        }
+        let cells = heap.cells_mut();
+        if cells.is_empty() {
+            return;
+        }
+        let (_, entry_idx, key) = cells[self.rng.gen_range(0..cells.len())].clone();
+        let corrupt = |rng: &mut StdRng, v: &Value| match v {
+            Value::Int(_) => Some(Value::Int(rng.gen_range(-32768..=32767))),
+            Value::Float(_) => Some(Value::Float(rng.gen_range(-1.0e5..1.0e5))),
+            Value::Bool(b) => Some(Value::Bool(!b)),
+            _ => None,
+        };
+        match heap.get_mut(crate::value::ObjId(entry_idx)) {
+            Some(HeapEntry::Object { fields, .. }) => {
+                if let Some(v) = fields.get(&key) {
+                    if let Some(nv) = corrupt(&mut self.rng, &v.clone()) {
+                        fields.insert(key, nv);
+                    }
+                }
+            }
+            Some(HeapEntry::Array { data, .. }) => {
+                if let Ok(i) = key.parse::<usize>() {
+                    if let Some(v) = data.get(i) {
+                        if let Some(nv) = corrupt(&mut self.rng, &v.clone()) {
+                            data[i] = nv;
+                        }
+                    }
+                }
+            }
+            None => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_once_at_trigger() {
+        let mut inj = Injector::new(1, 5);
+        assert_eq!(inj.filter(4, Value::Int(1)), Value::Int(1));
+        let corrupted = inj.filter(5, Value::Int(1));
+        assert!(matches!(corrupted, Value::Int(_)));
+        assert_eq!(inj.fired_at, Some(5));
+        // Subsequent steps untouched.
+        assert_eq!(inj.filter(5, Value::Int(9)), Value::Int(9));
+        assert_eq!(inj.filter(6, Value::Int(9)), Value::Int(9));
+    }
+
+    #[test]
+    fn references_are_not_corrupted() {
+        let mut inj = Injector::new(1, 0);
+        assert_eq!(inj.filter(0, Value::Null), Value::Null);
+    }
+
+    #[test]
+    fn corruption_is_seed_deterministic() {
+        let a = Injector::new(42, 0).filter(0, Value::Int(7));
+        let b = Injector::new(42, 0).filter(0, Value::Int(7));
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod heap_tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn heap_injection_corrupts_one_cell() {
+        let mut heap = Heap::new();
+        let id = heap.alloc_object(
+            "A",
+            HashMap::from([("x".to_string(), Value::Int(7))]),
+        );
+        let mut inj = Injector::with_kind(3, 5, InjectKind::Heap);
+        inj.corrupt_heap(4, &mut heap);
+        assert_eq!(heap.read_field(id, "x"), Some(Value::Int(7)));
+        inj.corrupt_heap(5, &mut heap);
+        assert_eq!(inj.fired_at, Some(5));
+        assert_ne!(heap.read_field(id, "x"), Some(Value::Int(7)));
+        // Fires once only.
+        let after = heap.read_field(id, "x");
+        inj.corrupt_heap(5, &mut heap);
+        assert_eq!(heap.read_field(id, "x"), after);
+    }
+
+    #[test]
+    fn op_injector_never_touches_heap() {
+        let mut heap = Heap::new();
+        heap.alloc_object("A", HashMap::from([("x".to_string(), Value::Int(7))]));
+        let mut inj = Injector::new(3, 5);
+        inj.corrupt_heap(5, &mut heap);
+        assert_eq!(inj.fired_at, None);
+    }
+}

@@ -1,0 +1,234 @@
+//! Runtime values and the heap.
+
+use sjava_syntax::ast::Type;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a heap object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjId(pub usize);
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit integer (covers the dialect's `int`).
+    Int(i64),
+    /// Double-precision float (covers `float`).
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// Reference to a heap object or array.
+    Ref(ObjId),
+    /// The null reference.
+    Null,
+}
+
+impl Value {
+    /// The default (zero) value for a declared type — also what
+    /// crash-avoidance mode substitutes for failed reads (§4.4).
+    pub fn default_for(ty: &Type) -> Value {
+        match ty {
+            Type::Int => Value::Int(0),
+            Type::Float => Value::Float(0.0),
+            Type::Boolean => Value::Bool(false),
+            Type::Str => Value::Str(String::new()),
+            Type::Void | Type::Class(_) | Type::Array(_) => Value::Null,
+        }
+    }
+
+    /// Truthiness for conditions; non-bool values are errors handled by
+    /// the caller.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as f64 (ints widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => Some(*f as i64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Ref(o) => write!(f, "@{}", o.0),
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// A heap entry: an object with named fields, or an array.
+#[derive(Debug, Clone)]
+pub enum HeapEntry {
+    /// A class instance.
+    Object {
+        /// Runtime class name (for dynamic dispatch).
+        class: String,
+        /// Field values.
+        fields: HashMap<String, Value>,
+    },
+    /// An array of values.
+    Array {
+        /// Element type (for default values).
+        elem: Type,
+        /// Contents.
+        data: Vec<Value>,
+    },
+}
+
+/// The interpreter heap: a growable arena of entries.
+#[derive(Debug, Clone, Default)]
+pub struct Heap {
+    entries: Vec<HeapEntry>,
+}
+
+impl Heap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of allocated entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Allocates an object with the given fields.
+    pub fn alloc_object(&mut self, class: &str, fields: HashMap<String, Value>) -> ObjId {
+        self.entries.push(HeapEntry::Object {
+            class: class.to_string(),
+            fields,
+        });
+        ObjId(self.entries.len() - 1)
+    }
+
+    /// Allocates an array of `len` default-initialized elements.
+    pub fn alloc_array(&mut self, elem: Type, len: usize) -> ObjId {
+        let v = Value::default_for(&elem);
+        self.entries.push(HeapEntry::Array {
+            elem,
+            data: vec![v; len],
+        });
+        ObjId(self.entries.len() - 1)
+    }
+
+    /// Immutable access to an entry.
+    pub fn get(&self, id: ObjId) -> Option<&HeapEntry> {
+        self.entries.get(id.0)
+    }
+
+    /// Mutable access to an entry.
+    pub fn get_mut(&mut self, id: ObjId) -> Option<&mut HeapEntry> {
+        self.entries.get_mut(id.0)
+    }
+
+    /// Reads a field of an object.
+    pub fn read_field(&self, id: ObjId, field: &str) -> Option<Value> {
+        match self.get(id)? {
+            HeapEntry::Object { fields, .. } => fields.get(field).cloned(),
+            HeapEntry::Array { .. } => None,
+        }
+    }
+
+    /// Writes a field of an object.
+    pub fn write_field(&mut self, id: ObjId, field: &str, value: Value) -> bool {
+        match self.get_mut(id) {
+            Some(HeapEntry::Object { fields, .. }) => {
+                fields.insert(field.to_string(), value);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The dynamic class of an object.
+    pub fn class_of(&self, id: ObjId) -> Option<&str> {
+        match self.get(id)? {
+            HeapEntry::Object { class, .. } => Some(class),
+            HeapEntry::Array { .. } => None,
+        }
+    }
+
+    /// Iterates over every mutable cell in the heap (for error injection).
+    pub fn cells_mut(&mut self) -> Vec<(&'static str, usize, String)> {
+        // Returns (kind, entry index, field-or-index key) descriptors.
+        let mut out = Vec::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            match e {
+                HeapEntry::Object { fields, .. } => {
+                    for k in fields.keys() {
+                        out.push(("field", i, k.clone()));
+                    }
+                }
+                HeapEntry::Array { data, .. } => {
+                    for j in 0..data.len() {
+                        out.push(("elem", i, j.to_string()));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_round_trip() {
+        let mut h = Heap::new();
+        let id = h.alloc_object("A", HashMap::from([("x".to_string(), Value::Int(3))]));
+        assert_eq!(h.read_field(id, "x"), Some(Value::Int(3)));
+        assert!(h.write_field(id, "x", Value::Int(7)));
+        assert_eq!(h.read_field(id, "x"), Some(Value::Int(7)));
+        assert_eq!(h.class_of(id), Some("A"));
+    }
+
+    #[test]
+    fn array_defaults() {
+        let mut h = Heap::new();
+        let id = h.alloc_array(Type::Float, 3);
+        let HeapEntry::Array { data, .. } = h.get(id).expect("entry") else {
+            panic!()
+        };
+        assert_eq!(data, &vec![Value::Float(0.0); 3]);
+    }
+
+    #[test]
+    fn default_values_match_types() {
+        assert_eq!(Value::default_for(&Type::Int), Value::Int(0));
+        assert_eq!(Value::default_for(&Type::Boolean), Value::Bool(false));
+        assert_eq!(
+            Value::default_for(&Type::Class("X".into())),
+            Value::Null
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Diagnostics: structured errors carrying source spans.
+
+use crate::span::{SourceFile, Span};
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A warning; checking may continue.
+    Warning,
+    /// A hard error; the phase that produced it failed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A single diagnostic message anchored at a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable message (lowercase, no trailing punctuation).
+    pub message: String,
+    /// Primary source location.
+    pub span: Span,
+    /// Optional secondary notes.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attaches an explanatory note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders the diagnostic against its source file as
+    /// `error: message at file:line:col`.
+    pub fn render(&self, file: &SourceFile) -> String {
+        let lc = file.line_col(self.span.start);
+        let mut out = format!("{}: {} at {}:{}", self.severity, self.message, file.name, lc);
+        for n in &self.notes {
+            out.push_str("\n  note: ");
+            out.push_str(n);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} ({})", self.severity, self.message, self.span)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// An accumulating sink of diagnostics shared by all phases.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Records an error with a message and span.
+    pub fn error(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::error(message, span));
+    }
+
+    /// Records a warning with a message and span.
+    pub fn warning(&mut self, message: impl Into<String>, span: Span) {
+        self.push(Diagnostic::warning(message, span));
+    }
+
+    /// True if any error-severity diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of recorded diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no diagnostics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over recorded diagnostics.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Consumes the sink, returning all diagnostics.
+    pub fn into_vec(self) -> Vec<Diagnostic> {
+        self.items
+    }
+
+    /// Merges another sink into this one.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.items.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_detected() {
+        let mut ds = Diagnostics::new();
+        assert!(!ds.has_errors());
+        ds.warning("looks odd", Span::new(0, 1));
+        assert!(!ds.has_errors());
+        ds.error("broken", Span::new(1, 2));
+        assert!(ds.has_errors());
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn render_includes_position() {
+        let f = SourceFile::new("x.sj", "abc\ndef");
+        let d = Diagnostic::error("bad token", Span::new(5, 6)).with_note("hint");
+        let s = d.render(&f);
+        assert!(s.contains("x.sj:2:2"), "{s}");
+        assert!(s.contains("note: hint"));
+    }
+}

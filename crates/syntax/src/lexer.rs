@@ -1,0 +1,454 @@
+//! Hand-written lexer for the SJava dialect.
+
+use crate::diag::{Diagnostic, Diagnostics};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes `src`, reporting lexical errors into `diags`.
+///
+/// The returned stream always ends with a single [`TokenKind::Eof`] token.
+/// Unrecognized bytes produce an error diagnostic and are skipped, so the
+/// lexer never fails outright.
+pub fn lex(src: &str, diags: &mut Diagnostics) -> Vec<Token> {
+    Lexer::new(src).run(diags)
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn run(mut self, diags: &mut Diagnostics) -> Vec<Token> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia(diags);
+            let start = self.pos;
+            let Some(b) = self.peek() else {
+                out.push(Token::new(TokenKind::Eof, self.span_from(start)));
+                return out;
+            };
+            let kind = match b {
+                b'0'..=b'9' => self.number(diags),
+                b'"' => self.string(diags),
+                b'@' => {
+                    self.bump();
+                    let name = self.ident_text();
+                    if name.is_empty() {
+                        diags.push(Diagnostic::error(
+                            "expected annotation name after `@`",
+                            self.span_from(start),
+                        ));
+                        continue;
+                    }
+                    TokenKind::AtIdent(name)
+                }
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                    let text = self.ident_text();
+                    keyword_or_ident(text)
+                }
+                _ => match self.operator() {
+                    Some(k) => k,
+                    None => {
+                        // Skip one full UTF-8 scalar value, not one byte.
+                        let ch = self.src[self.pos..].chars().next().expect("valid utf8");
+                        self.pos += ch.len_utf8();
+                        diags.push(Diagnostic::error(
+                            format!("unrecognized character `{ch}`"),
+                            self.span_from(start),
+                        ));
+                        continue;
+                    }
+                },
+            };
+            out.push(Token::new(kind, self.span_from(start)));
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn span_from(&self, start: usize) -> Span {
+        Span::new(start as u32, self.pos as u32)
+    }
+
+    fn skip_trivia(&mut self, diags: &mut Diagnostics) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => self.bump(),
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(b) = self.peek() {
+                        if b == b'*' && self.peek2() == Some(b'/') {
+                            self.bump();
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                        self.bump();
+                    }
+                    if !closed {
+                        diags.push(Diagnostic::error(
+                            "unterminated block comment",
+                            self.span_from(start),
+                        ));
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn ident_text(&mut self) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.src[start..self.pos].to_string()
+    }
+
+    fn number(&mut self, diags: &mut Diagnostics) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(b'0'..=b'9')) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let save = self.pos;
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            if matches!(self.peek(), Some(b'0'..=b'9')) {
+                is_float = true;
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.bump();
+                }
+            } else {
+                self.pos = save;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        // Java-style `f`/`F`/`d`/`D` suffix forces float.
+        if matches!(self.peek(), Some(b'f' | b'F' | b'd' | b'D')) {
+            self.bump();
+            is_float = true;
+        }
+        if is_float {
+            match text.parse::<f64>() {
+                Ok(v) => TokenKind::FloatLit(v),
+                Err(_) => {
+                    diags.push(Diagnostic::error(
+                        format!("invalid float literal `{text}`"),
+                        self.span_from(start),
+                    ));
+                    TokenKind::FloatLit(0.0)
+                }
+            }
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => TokenKind::IntLit(v),
+                Err(_) => {
+                    diags.push(Diagnostic::error(
+                        format!("integer literal `{text}` out of range"),
+                        self.span_from(start),
+                    ));
+                    TokenKind::IntLit(0)
+                }
+            }
+        }
+    }
+
+    fn string(&mut self, diags: &mut Diagnostics) -> TokenKind {
+        let start = self.pos;
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => {
+                    diags.push(Diagnostic::error(
+                        "unterminated string literal",
+                        self.span_from(start),
+                    ));
+                    return TokenKind::StrLit(value);
+                }
+                Some(b'"') => {
+                    self.bump();
+                    return TokenKind::StrLit(value);
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    // The escaped character may be any UTF-8 scalar.
+                    let esc = self.src[self.pos..].chars().next();
+                    if let Some(c) = esc {
+                        self.pos += c.len_utf8();
+                    }
+                    match esc {
+                        Some('n') => value.push('\n'),
+                        Some('t') => value.push('\t'),
+                        Some('r') => value.push('\r'),
+                        Some('\\') => value.push('\\'),
+                        Some('"') => value.push('"'),
+                        Some('0') => value.push('\0'),
+                        other => {
+                            diags.push(Diagnostic::error(
+                                format!("unknown escape `\\{}`", other.unwrap_or(' ')),
+                                self.span_from(start),
+                            ));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume a full UTF-8 scalar value.
+                    let ch_start = self.pos;
+                    let ch = self.src[ch_start..].chars().next().expect("valid utf8");
+                    self.pos += ch.len_utf8();
+                    value.push(ch);
+                }
+            }
+        }
+    }
+
+    fn operator(&mut self) -> Option<TokenKind> {
+        use TokenKind::*;
+        let two = |l: &mut Self, k: TokenKind| {
+            l.bump();
+            l.bump();
+            Some(k)
+        };
+        let one = |l: &mut Self, k: TokenKind| {
+            l.bump();
+            Some(k)
+        };
+        match (self.peek()?, self.peek2()) {
+            (b'+', Some(b'+')) => two(self, PlusPlus),
+            (b'-', Some(b'-')) => two(self, MinusMinus),
+            (b'+', Some(b'=')) => two(self, OpAssign('+')),
+            (b'-', Some(b'=')) => two(self, OpAssign('-')),
+            (b'*', Some(b'=')) => two(self, OpAssign('*')),
+            (b'/', Some(b'=')) => two(self, OpAssign('/')),
+            (b'<', Some(b'=')) => two(self, Le),
+            (b'>', Some(b'=')) => two(self, Ge),
+            (b'=', Some(b'=')) => two(self, EqEq),
+            (b'!', Some(b'=')) => two(self, Ne),
+            (b'&', Some(b'&')) => two(self, AndAnd),
+            (b'|', Some(b'|')) => two(self, OrOr),
+            (b'<', Some(b'<')) => two(self, Shl),
+            (b'>', Some(b'>')) => two(self, Shr),
+            (b'+', _) => one(self, Plus),
+            (b'-', _) => one(self, Minus),
+            (b'*', _) => one(self, Star),
+            (b'/', _) => one(self, Slash),
+            (b'%', _) => one(self, Percent),
+            (b'<', _) => one(self, Lt),
+            (b'>', _) => one(self, Gt),
+            (b'=', _) => one(self, Assign),
+            (b'!', _) => one(self, Bang),
+            (b'&', _) => one(self, Amp),
+            (b'|', _) => one(self, Pipe),
+            (b'^', _) => one(self, Caret),
+            (b'(', _) => one(self, LParen),
+            (b')', _) => one(self, RParen),
+            (b'{', _) => one(self, LBrace),
+            (b'}', _) => one(self, RBrace),
+            (b'[', _) => one(self, LBracket),
+            (b']', _) => one(self, RBracket),
+            (b';', _) => one(self, Semi),
+            (b',', _) => one(self, Comma),
+            (b'.', _) => one(self, Dot),
+            (b':', _) => one(self, Colon),
+            _ => None,
+        }
+    }
+}
+
+fn keyword_or_ident(text: String) -> TokenKind {
+    use TokenKind::*;
+    match text.as_str() {
+        "class" => Class,
+        "extends" => Extends,
+        "static" => Static,
+        "final" => Final,
+        "public" | "private" | "protected" => Visibility(text),
+        "int" | "long" | "short" | "byte" | "char" => Int,
+        "float" | "double" => Float,
+        "boolean" => Boolean,
+        "String" => StringTy,
+        "void" => Void,
+        "if" => If,
+        "else" => Else,
+        "while" => While,
+        "for" => For,
+        "return" => Return,
+        "break" => Break,
+        "continue" => Continue,
+        "new" => New,
+        "this" => This,
+        "null" => Null,
+        "true" => True,
+        "false" => False,
+        _ => Ident(text),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let mut d = Diagnostics::new();
+        let toks = lex(src, &mut d);
+        assert!(!d.has_errors(), "unexpected lex errors: {d}");
+        toks.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("class Foo extends Bar"),
+            vec![
+                Class,
+                Ident("Foo".into()),
+                Extends,
+                Ident("Bar".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("42 3.5 1e3 2.5f 7f"),
+            vec![
+                IntLit(42),
+                FloatLit(3.5),
+                FloatLit(1000.0),
+                FloatLit(2.5),
+                FloatLit(7.0),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_negative_exponent() {
+        use TokenKind::*;
+        assert_eq!(kinds("1e-3"), vec![FloatLit(0.001), Eof]);
+    }
+
+    #[test]
+    fn lexes_annotations() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("@LATTICE(\"A<B\")"),
+            vec![
+                AtIdent("LATTICE".into()),
+                LParen,
+                StrLit("A<B".into()),
+                RParen,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a<=b && c++ != --d"),
+            vec![
+                Ident("a".into()),
+                Le,
+                Ident("b".into()),
+                AndAnd,
+                Ident("c".into()),
+                PlusPlus,
+                Ne,
+                MinusMinus,
+                Ident("d".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a // line\n /* block\n more */ b"),
+            vec![Ident("a".into()), Ident("b".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        use TokenKind::*;
+        assert_eq!(kinds(r#""a\nb""#), vec![StrLit("a\nb".into()), Eof]);
+    }
+
+    #[test]
+    fn reports_unterminated_string() {
+        let mut d = Diagnostics::new();
+        lex("\"oops", &mut d);
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn reports_bad_char() {
+        let mut d = Diagnostics::new();
+        let toks = lex("a # b", &mut d);
+        assert!(d.has_errors());
+        assert_eq!(toks.len(), 3); // a, b, eof
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let mut d = Diagnostics::new();
+        let toks = lex("ab cd", &mut d);
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+}

@@ -1,0 +1,62 @@
+//! # sjava-syntax
+//!
+//! Lexer, parser, AST and annotation model for the SJava dialect — the
+//! Java subset that the Self-Stabilizing Java system (PLDI 2012) defines
+//! its type rules and analyses over.
+//!
+//! SJava programs are legal Java programs: all SJava information is carried
+//! by Java annotations (`@LATTICE`, `@LOC`, `@THISLOC`, `@RETURNLOC`,
+//! `@PCLOC`, `@GLOBALLOC`, `@DELTA`, `@DELEGATE`, `@METHODDEFAULT`) and by
+//! loop labels (`SSJAVA:` marks the main event loop, `TERMINATE_x:` marks a
+//! developer-verified terminating loop, `MAXLOOP_n:` bounds a loop).
+//!
+//! ```
+//! use sjava_syntax::parse;
+//!
+//! let program = parse(
+//!     r#"class Hello {
+//!            void run() {
+//!                SSJAVA: while (true) { int x = Device.read(); Out.emit(x); }
+//!            }
+//!        }"#,
+//! ).expect("parses");
+//! assert_eq!(program.classes.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod annot;
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod resolve;
+pub mod span;
+pub mod strip;
+pub mod token;
+
+pub use annot::{ClassAnnots, CompositeLocAnnot, LatticeDecl, LocElem, MethodAnnots, VarAnnots};
+pub use ast::{
+    BinOp, Block, ClassDecl, Expr, FieldDecl, LValue, LoopKind, MethodDecl, Param, Program, Stmt,
+    Type, UnOp,
+};
+pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use span::{LineCol, SourceFile, Span};
+
+/// Parses SJava source, returning the program or the accumulated
+/// diagnostics.
+///
+/// # Errors
+///
+/// Returns all lexical and syntactic diagnostics when any of them is an
+/// error.
+pub fn parse(src: &str) -> Result<Program, Diagnostics> {
+    let mut diags = Diagnostics::new();
+    let program = parser::parse_program(src, &mut diags);
+    if diags.has_errors() {
+        Err(diags)
+    } else {
+        Ok(program)
+    }
+}

@@ -1,0 +1,378 @@
+//! Pretty-printer: renders an AST back to parseable SJava source.
+//!
+//! Used by the inference tool to emit inferred annotations (§5) and by
+//! round-trip tests.
+
+use crate::annot::{ClassAnnots, MethodAnnots, VarAnnots};
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a whole program.
+pub fn print_program(program: &Program) -> String {
+    let mut p = Printer::default();
+    for class in &program.classes {
+        p.class(class);
+        p.out.push('\n');
+    }
+    p.out
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn class_annots(&mut self, a: &ClassAnnots) {
+        if let Some(l) = &a.lattice {
+            self.line(&format!("@LATTICE(\"{l}\")"));
+        }
+        if let Some(md) = &a.method_default {
+            if let Some(l) = &md.lattice {
+                self.line(&format!("@METHODDEFAULT(\"{l}\")"));
+            }
+            if let Some(t) = &md.this_loc {
+                self.line(&format!("@THISLOC(\"{t}\")"));
+            }
+            if let Some(g) = &md.global_loc {
+                self.line(&format!("@GLOBALLOC(\"{g}\")"));
+            }
+            if let Some(r) = &md.return_loc {
+                self.line(&format!("@RETURNLOC(\"{r}\")"));
+            }
+            if let Some(p) = &md.pc_loc {
+                self.line(&format!("@PCLOC(\"{p}\")"));
+            }
+        }
+        if a.trusted {
+            self.line("@TRUSTED");
+        }
+    }
+
+    fn method_annots(&mut self, a: &MethodAnnots) {
+        if let Some(l) = &a.lattice {
+            self.line(&format!("@LATTICE(\"{l}\")"));
+        }
+        if let Some(t) = &a.this_loc {
+            self.line(&format!("@THISLOC(\"{t}\")"));
+        }
+        if let Some(g) = &a.global_loc {
+            self.line(&format!("@GLOBALLOC(\"{g}\")"));
+        }
+        if let Some(r) = &a.return_loc {
+            self.line(&format!("@RETURNLOC(\"{r}\")"));
+        }
+        if let Some(p) = &a.pc_loc {
+            self.line(&format!("@PCLOC(\"{p}\")"));
+        }
+        if a.trusted {
+            self.line("@TRUSTED");
+        }
+    }
+
+    fn var_annots_inline(a: &VarAnnots) -> String {
+        let mut s = String::new();
+        if let Some(l) = &a.loc {
+            let _ = write!(s, "@LOC(\"{l}\") ");
+        }
+        if a.delegate {
+            s.push_str("@DELEGATE ");
+        }
+        s
+    }
+
+    fn class(&mut self, c: &ClassDecl) {
+        self.class_annots(&c.annots);
+        let ext = c
+            .superclass
+            .as_ref()
+            .map(|s| format!(" extends {s}"))
+            .unwrap_or_default();
+        self.line(&format!("class {}{ext} {{", c.name));
+        self.indent += 1;
+        for f in &c.fields {
+            let ann = Self::var_annots_inline(&f.annots);
+            let st = if f.is_static { "static " } else { "" };
+            let fi = if f.is_final { "final " } else { "" };
+            let init = f
+                .init
+                .as_ref()
+                .map(|e| format!(" = {}", expr(e)))
+                .unwrap_or_default();
+            self.line(&format!("{ann}{st}{fi}{} {}{init};", f.ty, f.name));
+        }
+        for m in &c.methods {
+            self.out.push('\n');
+            self.method_annots(&m.annots);
+            let st = if m.is_static { "static " } else { "" };
+            let params: Vec<String> = m
+                .params
+                .iter()
+                .map(|p| format!("{}{} {}", Self::var_annots_inline(&p.annots), p.ty, p.name))
+                .collect();
+            self.line(&format!(
+                "{st}{} {}({}) {{",
+                m.ret,
+                m.name,
+                params.join(", ")
+            ));
+            self.indent += 1;
+            for s in &m.body.stmts {
+                self.stmt(s);
+            }
+            self.indent -= 1;
+            self.line("}");
+        }
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::VarDecl {
+                annots,
+                ty,
+                name,
+                init,
+                ..
+            } => {
+                let ann = Self::var_annots_inline(annots);
+                let init = init
+                    .as_ref()
+                    .map(|e| format!(" = {}", expr(e)))
+                    .unwrap_or_default();
+                self.line(&format!("{ann}{ty} {name}{init};"));
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                self.line(&format!("{} = {};", lvalue(lhs), expr(rhs)));
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                self.line(&format!("if ({}) {{", expr(cond)));
+                self.indent += 1;
+                for s in &then_blk.stmts {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                if let Some(e) = else_blk {
+                    self.line("} else {");
+                    self.indent += 1;
+                    for s in &e.stmts {
+                        self.stmt(s);
+                    }
+                    self.indent -= 1;
+                }
+                self.line("}");
+            }
+            Stmt::While {
+                kind, cond, body, ..
+            } => {
+                let label = label_text(kind);
+                self.line(&format!("{label}while ({}) {{", expr(cond)));
+                self.indent += 1;
+                for s in &body.stmts {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            Stmt::For {
+                kind,
+                init,
+                cond,
+                update,
+                body,
+                ..
+            } => {
+                let label = label_text(kind);
+                let i = init.as_ref().map(|s| stmt_inline(s)).unwrap_or_default();
+                let c = cond.as_ref().map(expr).unwrap_or_default();
+                let u = update.as_ref().map(|s| stmt_inline(s)).unwrap_or_default();
+                self.line(&format!("{label}for ({i}; {c}; {u}) {{"));
+                self.indent += 1;
+                for s in &body.stmts {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            Stmt::Return { value, .. } => match value {
+                Some(v) => self.line(&format!("return {};", expr(v))),
+                None => self.line("return;"),
+            },
+            Stmt::Break { .. } => self.line("break;"),
+            Stmt::Continue { .. } => self.line("continue;"),
+            Stmt::ExprStmt { expr: e, .. } => self.line(&format!("{};", expr(e))),
+            Stmt::Block(b) => {
+                self.line("{");
+                self.indent += 1;
+                for s in &b.stmts {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+        }
+    }
+}
+
+fn label_text(kind: &LoopKind) -> String {
+    match kind {
+        LoopKind::Plain => String::new(),
+        LoopKind::EventLoop => "SSJAVA: ".to_string(),
+        LoopKind::Trusted(n) => format!("TERMINATE_{n}: "),
+        LoopKind::MaxLoop(n) => format!("MAXLOOP_{n}: "),
+    }
+}
+
+fn stmt_inline(s: &Stmt) -> String {
+    match s {
+        Stmt::VarDecl {
+            annots,
+            ty,
+            name,
+            init,
+            ..
+        } => {
+            let ann = Printer::var_annots_inline(annots);
+            let init = init
+                .as_ref()
+                .map(|e| format!(" = {}", expr(e)))
+                .unwrap_or_default();
+            format!("{ann}{ty} {name}{init}")
+        }
+        Stmt::Assign { lhs, rhs, .. } => format!("{} = {}", lvalue(lhs), expr(rhs)),
+        Stmt::ExprStmt { expr: e, .. } => expr(e),
+        other => format!("/* {other:?} */"),
+    }
+}
+
+fn lvalue(lv: &LValue) -> String {
+    match lv {
+        LValue::Var { name, .. } => name.clone(),
+        LValue::Field { base, field, .. } => format!("{}.{field}", expr(base)),
+        LValue::StaticField { class, field, .. } => format!("{class}.{field}"),
+        LValue::Index { base, index, .. } => format!("{}[{}]", expr(base), expr(index)),
+    }
+}
+
+/// Renders an expression.
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::IntLit { value, .. } => value.to_string(),
+        Expr::FloatLit { value, .. } => {
+            if value.fract() == 0.0 && value.is_finite() {
+                format!("{value:.1}")
+            } else {
+                format!("{value}")
+            }
+        }
+        Expr::BoolLit { value, .. } => value.to_string(),
+        Expr::StrLit { value, .. } => format!("{value:?}"),
+        Expr::Null { .. } => "null".to_string(),
+        Expr::This { .. } => "this".to_string(),
+        Expr::Var { name, .. } => name.clone(),
+        Expr::Field { base, field, .. } => format!("{}.{field}", expr(base)),
+        Expr::StaticField { class, field, .. } => format!("{class}.{field}"),
+        Expr::Index { base, index, .. } => format!("{}[{}]", expr(base), expr(index)),
+        Expr::Length { base, .. } => format!("{}.length", expr(base)),
+        Expr::Call {
+            recv,
+            class_recv,
+            name,
+            args,
+            ..
+        } => {
+            let args: Vec<String> = args.iter().map(expr).collect();
+            let prefix = match (recv, class_recv) {
+                (Some(r), _) => format!("{}.", expr(r)),
+                (None, Some(c)) => format!("{c}."),
+                (None, None) => String::new(),
+            };
+            format!("{prefix}{name}({})", args.join(", "))
+        }
+        Expr::New { class, .. } => format!("new {class}()"),
+        Expr::NewArray { elem, len, .. } => format!("new {elem}[{}]", expr(len)),
+        Expr::Unary { op, operand, .. } => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("{sym}({})", expr(operand))
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            format!("({} {op} {})", expr(lhs), expr(rhs))
+        }
+        Expr::Cast { ty, operand, .. } => format!("({ty}) ({})", expr(operand)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostics;
+    use crate::parser::parse_program;
+
+    fn round_trip(src: &str) {
+        let mut d = Diagnostics::new();
+        let p1 = parse_program(src, &mut d);
+        assert!(!d.has_errors(), "first parse failed: {d}");
+        let printed = print_program(&p1);
+        let mut d2 = Diagnostics::new();
+        let p2 = parse_program(&printed, &mut d2);
+        assert!(!d2.has_errors(), "reparse failed: {d2}\nsource:\n{printed}");
+        let printed2 = print_program(&p2);
+        assert_eq!(printed, printed2, "print is not a fixed point");
+    }
+
+    #[test]
+    fn round_trips_annotated_class() {
+        round_trip(
+            r#"@LATTICE("DIR<TMP,TMP<BIN")
+               class WDSensor {
+                 @LOC("BIN") WindRec bin;
+                 @LOC("DIR") int dir;
+                 @LATTICE("STR<WDOBJ,WDOBJ<IN") @THISLOC("WDOBJ")
+                 void windDirection() {
+                   SSJAVA: while (true) {
+                     @LOC("IN") int inDir = Device.readSensor();
+                     bin.dir0 = inDir;
+                   }
+                 }
+               }
+               @LATTICE("DIR2<DIR1,DIR1<DIR0")
+               class WindRec {
+                 @LOC("DIR0") int dir0;
+                 @LOC("DIR1") int dir1;
+                 @LOC("DIR2") int dir2;
+               }"#,
+        );
+    }
+
+    #[test]
+    fn round_trips_control_flow() {
+        round_trip(
+            "class A { void f(int n) { for (int i = 0; i < n; i++) { if (i > 2) { n = n - 1; } else { n = n + 1; } } TERMINATE_x: while (n > 0) { n--; } } }",
+        );
+    }
+
+    #[test]
+    fn round_trips_expressions() {
+        round_trip(
+            "class A { float g(float x) { float[] a = new float[4]; a[0] = -x * 2.0 + 1.5; return a[0]; } }",
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Byte-offset source spans and line/column resolution.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source text.
+///
+/// Spans are attached to every token and AST node so that diagnostics can
+/// point back at the offending source location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// A zero-width span at offset 0, used for synthesized nodes.
+    pub fn dummy() -> Self {
+        Span { start: 0, end: 0 }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// One-based line/column position resolved from a [`Span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// One-based line number.
+    pub line: u32,
+    /// One-based column number (in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A source file with a precomputed line index for fast span resolution.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Display name (e.g. `mp3dec.sj`).
+    pub name: String,
+    /// The full source text.
+    pub text: String,
+    line_starts: Vec<u32>,
+}
+
+impl SourceFile {
+    /// Builds a source file, indexing line starts.
+    pub fn new(name: impl Into<String>, text: impl Into<String>) -> Self {
+        let text = text.into();
+        let mut line_starts = vec![0u32];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceFile {
+            name: name.into(),
+            text,
+            line_starts,
+        }
+    }
+
+    /// Resolves a byte offset to a one-based line/column.
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// The source text of `span`.
+    pub fn snippet(&self, span: Span) -> &str {
+        &self.text[span.start as usize..span.end as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn line_col_resolution() {
+        let f = SourceFile::new("t", "ab\ncd\n\nx");
+        assert_eq!(f.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(f.line_col(1), LineCol { line: 1, col: 2 });
+        assert_eq!(f.line_col(3), LineCol { line: 2, col: 1 });
+        assert_eq!(f.line_col(6), LineCol { line: 3, col: 1 });
+        assert_eq!(f.line_col(7), LineCol { line: 4, col: 1 });
+    }
+
+    #[test]
+    fn snippet_extracts_text() {
+        let f = SourceFile::new("t", "hello world");
+        assert_eq!(f.snippet(Span::new(6, 11)), "world");
+    }
+
+    #[test]
+    fn dummy_is_empty() {
+        assert!(Span::dummy().is_empty());
+        assert_eq!(Span::new(2, 4).len(), 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! Tokens of the SJava dialect.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Lexical token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals
+    /// Integer literal, e.g. `42`.
+    IntLit(i64),
+    /// Floating-point literal, e.g. `3.5` or `1e-3f`.
+    FloatLit(f64),
+    /// String literal with escapes resolved.
+    StrLit(String),
+    /// Identifier or unrecognized keyword.
+    Ident(String),
+    /// Annotation name following `@`, e.g. `LATTICE` in `@LATTICE`.
+    AtIdent(String),
+
+    // Keywords
+    /// `class`
+    Class,
+    /// `extends`
+    Extends,
+    /// `static`
+    Static,
+    /// `final`
+    Final,
+    /// `public` / `private` / `protected` (accepted, ignored)
+    Visibility(String),
+    /// `int`
+    Int,
+    /// `float`
+    Float,
+    /// `boolean`
+    Boolean,
+    /// `String`
+    StringTy,
+    /// `void`
+    Void,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `new`
+    New,
+    /// `this`
+    This,
+    /// `null`
+    Null,
+    /// `true`
+    True,
+    /// `false`
+    False,
+
+    // Punctuation
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+
+    // Operators
+    /// `=`
+    Assign,
+    /// `+=`, `-=`, `*=`, `/=` (the `char` is the operator)
+    OpAssign(char),
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            IntLit(v) => write!(f, "{v}"),
+            FloatLit(v) => write!(f, "{v}"),
+            StrLit(s) => write!(f, "{s:?}"),
+            Ident(s) => write!(f, "{s}"),
+            AtIdent(s) => write!(f, "@{s}"),
+            Class => write!(f, "class"),
+            Extends => write!(f, "extends"),
+            Static => write!(f, "static"),
+            Final => write!(f, "final"),
+            Visibility(v) => write!(f, "{v}"),
+            Int => write!(f, "int"),
+            Float => write!(f, "float"),
+            Boolean => write!(f, "boolean"),
+            StringTy => write!(f, "String"),
+            Void => write!(f, "void"),
+            If => write!(f, "if"),
+            Else => write!(f, "else"),
+            While => write!(f, "while"),
+            For => write!(f, "for"),
+            Return => write!(f, "return"),
+            Break => write!(f, "break"),
+            Continue => write!(f, "continue"),
+            New => write!(f, "new"),
+            This => write!(f, "this"),
+            Null => write!(f, "null"),
+            True => write!(f, "true"),
+            False => write!(f, "false"),
+            LParen => write!(f, "("),
+            RParen => write!(f, ")"),
+            LBrace => write!(f, "{{"),
+            RBrace => write!(f, "}}"),
+            LBracket => write!(f, "["),
+            RBracket => write!(f, "]"),
+            Semi => write!(f, ";"),
+            Comma => write!(f, ","),
+            Dot => write!(f, "."),
+            Colon => write!(f, ":"),
+            Assign => write!(f, "="),
+            OpAssign(c) => write!(f, "{c}="),
+            PlusPlus => write!(f, "++"),
+            MinusMinus => write!(f, "--"),
+            Plus => write!(f, "+"),
+            Minus => write!(f, "-"),
+            Star => write!(f, "*"),
+            Slash => write!(f, "/"),
+            Percent => write!(f, "%"),
+            Lt => write!(f, "<"),
+            Le => write!(f, "<="),
+            Gt => write!(f, ">"),
+            Ge => write!(f, ">="),
+            EqEq => write!(f, "=="),
+            Ne => write!(f, "!="),
+            AndAnd => write!(f, "&&"),
+            OrOr => write!(f, "||"),
+            Bang => write!(f, "!"),
+            Amp => write!(f, "&"),
+            Pipe => write!(f, "|"),
+            Caret => write!(f, "^"),
+            Shl => write!(f, "<<"),
+            Shr => write!(f, ">>"),
+            Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Where the token appears in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}

@@ -1,0 +1,239 @@
+//! Property tests: randomly generated programs survive a
+//! pretty-print → reparse round trip with identical structure, and the
+//! lexer never panics on arbitrary input.
+
+use proptest::prelude::*;
+use sjava_syntax::ast::*;
+use sjava_syntax::diag::Diagnostics;
+use sjava_syntax::pretty::print_program;
+
+/// Strips spans so ASTs can be compared structurally.
+fn normalize(mut p: Program) -> Program {
+    fn nb(b: &mut Block) {
+        b.span = Default::default();
+        for s in &mut b.stmts {
+            ns(s);
+        }
+    }
+    fn ne(e: &mut Expr) {
+        match e {
+            Expr::IntLit { span, .. }
+            | Expr::FloatLit { span, .. }
+            | Expr::BoolLit { span, .. }
+            | Expr::StrLit { span, .. }
+            | Expr::Null { span }
+            | Expr::This { span }
+            | Expr::Var { span, .. }
+            | Expr::StaticField { span, .. }
+            | Expr::New { span, .. } => *span = Default::default(),
+            Expr::Field { base, span, .. } | Expr::Length { base, span } => {
+                *span = Default::default();
+                ne(base);
+            }
+            Expr::Index { base, index, span } => {
+                *span = Default::default();
+                ne(base);
+                ne(index);
+            }
+            Expr::Call {
+                recv, args, span, ..
+            } => {
+                *span = Default::default();
+                if let Some(r) = recv {
+                    ne(r);
+                }
+                for a in args {
+                    ne(a);
+                }
+            }
+            Expr::NewArray { len, span, .. } => {
+                *span = Default::default();
+                ne(len);
+            }
+            Expr::Unary { operand, span, .. } | Expr::Cast { operand, span, .. } => {
+                *span = Default::default();
+                ne(operand);
+            }
+            Expr::Binary { lhs, rhs, span, .. } => {
+                *span = Default::default();
+                ne(lhs);
+                ne(rhs);
+            }
+        }
+    }
+    fn nlv(lv: &mut LValue) {
+        match lv {
+            LValue::Var { span, .. } | LValue::StaticField { span, .. } => {
+                *span = Default::default()
+            }
+            LValue::Field { base, span, .. } => {
+                *span = Default::default();
+                ne(base);
+            }
+            LValue::Index { base, index, span } => {
+                *span = Default::default();
+                ne(base);
+                ne(index);
+            }
+        }
+    }
+    fn ns(s: &mut Stmt) {
+        match s {
+            Stmt::VarDecl { init, span, .. } => {
+                *span = Default::default();
+                if let Some(e) = init {
+                    ne(e);
+                }
+            }
+            Stmt::Assign { lhs, rhs, span } => {
+                *span = Default::default();
+                nlv(lhs);
+                ne(rhs);
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                span,
+            } => {
+                *span = Default::default();
+                ne(cond);
+                nb(then_blk);
+                if let Some(e) = else_blk {
+                    nb(e);
+                }
+            }
+            Stmt::While {
+                cond, body, span, ..
+            } => {
+                *span = Default::default();
+                ne(cond);
+                nb(body);
+            }
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+                span,
+                ..
+            } => {
+                *span = Default::default();
+                if let Some(i) = init {
+                    ns(i);
+                }
+                if let Some(c) = cond {
+                    ne(c);
+                }
+                if let Some(u) = update {
+                    ns(u);
+                }
+                nb(body);
+            }
+            Stmt::Return { value, span } => {
+                *span = Default::default();
+                if let Some(v) = value {
+                    ne(v);
+                }
+            }
+            Stmt::Break { span } | Stmt::Continue { span } => *span = Default::default(),
+            Stmt::ExprStmt { expr, span } => {
+                *span = Default::default();
+                ne(expr);
+            }
+            Stmt::Block(b) => nb(b),
+        }
+    }
+    for c in &mut p.classes {
+        c.span = Default::default();
+        if let Some(l) = &mut c.annots.lattice {
+            l.span = Default::default();
+        }
+        for f in &mut c.fields {
+            f.span = Default::default();
+            if let Some(e) = &mut f.init {
+                ne(e);
+            }
+        }
+        for m in &mut c.methods {
+            m.span = Default::default();
+            if let Some(l) = &mut m.annots.lattice {
+                l.span = Default::default();
+            }
+            for pm in &mut m.params {
+                pm.span = Default::default();
+            }
+            nb(&mut m.body);
+        }
+    }
+    p
+}
+
+/// Simple expressions over the fields/locals `a`, `b` and literals.
+fn arb_expr() -> impl Strategy<Value = String> {
+    let leaf = prop::sample::select(vec![
+        "a".to_string(),
+        "b".to_string(),
+        "1".to_string(),
+        "2.5".to_string(),
+        "true".to_string(),
+    ]);
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        (
+            inner.clone(),
+            prop::sample::select(vec!["+", "-", "*", "<", "=="]),
+            inner,
+        )
+            .prop_map(|(l, op, r)| format!("({l} {op} {r})"))
+    })
+}
+
+fn arb_stmt() -> impl Strategy<Value = String> {
+    let assign = arb_expr().prop_map(|e| format!("a = {e};"));
+    let decl = arb_expr().prop_map(|e| format!("int v = (int) {e};"));
+    let iff = (arb_expr(), arb_expr()).prop_map(|(c, e)| format!("if ({c}) {{ b = {e}; }}"));
+    let iffelse = (arb_expr(), arb_expr(), arb_expr())
+        .prop_map(|(c, t, e)| format!("if ({c}) {{ a = {t}; }} else {{ b = {e}; }}"));
+    let forl =
+        arb_expr().prop_map(|e| format!("for (int i = 0; i < 4; i++) {{ a = {e}; }}"));
+    let whil = arb_expr().prop_map(|e| format!("while (a > 0) {{ a = a - 1; b = {e}; }}"));
+    prop_oneof![assign, decl, iff, iffelse, forl, whil]
+}
+
+fn arb_program() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_stmt(), 0..6).prop_map(|stmts| {
+        format!(
+            "class P {{ int a; float b; void run(int p) {{\n{}\n}} int get() {{ return a; }} }}",
+            stmts.join("\n")
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pretty_print_round_trips(src in arb_program()) {
+        let mut d1 = Diagnostics::new();
+        let p1 = sjava_syntax::parser::parse_program(&src, &mut d1);
+        prop_assert!(!d1.has_errors(), "generated source must parse: {d1}\n{src}");
+        let printed = print_program(&p1);
+        let mut d2 = Diagnostics::new();
+        let p2 = sjava_syntax::parser::parse_program(&printed, &mut d2);
+        prop_assert!(!d2.has_errors(), "printed source must reparse: {d2}\n{printed}");
+        prop_assert_eq!(normalize(p1), normalize(p2), "ASTs differ\n{}", printed);
+    }
+
+    #[test]
+    fn lexer_never_panics(input in "\\PC{0,200}") {
+        let mut d = Diagnostics::new();
+        let toks = sjava_syntax::lexer::lex(&input, &mut d);
+        prop_assert!(!toks.is_empty(), "always at least EOF");
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_soup(input in "[a-zA-Z0-9_(){};<>=+\\-*/@\",.! ]{0,160}") {
+        let mut d = Diagnostics::new();
+        let _ = sjava_syntax::parser::parse_program(&input, &mut d);
+    }
+}

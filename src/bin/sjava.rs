@@ -1,0 +1,227 @@
+//! `sjava` — command-line front end for the Self-Stabilizing Java tools.
+//!
+//! ```text
+//! sjava check <file.sj>                 verify self-stabilization
+//! sjava infer <file.sj> [--naive]       infer annotations, print source
+//! sjava run <file.sj> <Class.method> N  run the event loop N iterations
+//! sjava lattice <file.sj>               print declared lattices as DOT
+//! ```
+
+use std::process::ExitCode;
+
+use sjava::syntax::pretty::print_program;
+use sjava::syntax::SourceFile;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("check") if args.len() >= 2 => cmd_check(&args[1]),
+        Some("infer") if args.len() >= 2 => {
+            let naive = args.iter().any(|a| a == "--naive");
+            cmd_infer(&args[1], naive)
+        }
+        Some("run") if args.len() >= 4 => cmd_run(&args[1], &args[2], &args[3]),
+        Some("lattice") if args.len() >= 2 => cmd_lattice(&args[1]),
+        Some("lifetimes") if args.len() >= 2 => cmd_lifetimes(&args[1]),
+        Some("lint") if args.len() >= 2 => cmd_lint(&args[1]),
+        Some("vfg") if args.len() >= 2 => cmd_vfg(&args[1]),
+        _ => {
+            eprintln!(
+                "usage:\n  sjava check <file.sj>\n  sjava infer <file.sj> [--naive]\n  sjava run <file.sj> <Class.method> <iterations>\n  sjava lattice <file.sj>\n  sjava lifetimes <file.sj>\n  sjava lint <file.sj>\n  sjava vfg <file.sj>"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_lint(path: &str) -> ExitCode {
+    let (file, program) = match load(path) {
+        Ok(x) => x,
+        Err(c) => return c,
+    };
+    let mut diags = sjava::Diagnostics::new();
+    let findings = sjava::analysis::lint_program(&program, &mut diags);
+    for d in diags.iter() {
+        eprintln!("{}", d.render(&file));
+    }
+    println!("{findings} finding(s)");
+    ExitCode::SUCCESS
+}
+
+fn cmd_lifetimes(path: &str) -> ExitCode {
+    let (file, program) = match load(path) {
+        Ok(x) => x,
+        Err(c) => return c,
+    };
+    let mut diags = sjava::Diagnostics::new();
+    let Some(cg) = sjava::analysis::callgraph::build(&program, &mut diags) else {
+        for d in diags.iter() {
+            eprintln!("{}", d.render(&file));
+        }
+        return ExitCode::FAILURE;
+    };
+    let sites = sjava::analysis::analyze_lifetimes(&program, &cg);
+    println!("{:<24}{:<12}{:<10}{:<12}{}", "method", "class", "escape", "bound", "at");
+    for s in sites {
+        let bound = s
+            .bound_iterations
+            .map(|b| format!("{b} iter"))
+            .unwrap_or_else(|| "whole run".to_string());
+        let lc = file.line_col(s.span.start);
+        println!(
+            "{:<24}{:<12}{:<10}{:<12}{}:{}",
+            format!("{}.{}", s.method.0, s.method.1),
+            s.class,
+            format!("{:?}", s.escape),
+            bound,
+            file.name,
+            lc
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_vfg(path: &str) -> ExitCode {
+    let (file, program) = match load(path) {
+        Ok(x) => x,
+        Err(c) => return c,
+    };
+    let mut diags = sjava::Diagnostics::new();
+    let Some(cg) = sjava::analysis::callgraph::build(&program, &mut diags) else {
+        for d in diags.iter() {
+            eprintln!("{}", d.render(&file));
+        }
+        return ExitCode::FAILURE;
+    };
+    let graphs = sjava::infer::build_flow_graphs(&program, &cg);
+    for ((class, method), g) in &graphs {
+        print!("{}", g.to_dot(&format!("{class}.{method}")));
+    }
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str) -> Result<(SourceFile, sjava::Program), ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read `{path}`: {e}");
+        ExitCode::FAILURE
+    })?;
+    let file = SourceFile::new(path, text);
+    match sjava::parse(&file.text) {
+        Ok(p) => Ok((file, p)),
+        Err(diags) => {
+            for d in diags.iter() {
+                eprintln!("{}", d.render(&file));
+            }
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_check(path: &str) -> ExitCode {
+    let (file, program) = match load(path) {
+        Ok(x) => x,
+        Err(c) => return c,
+    };
+    let report = sjava::check(&program);
+    for d in report.diagnostics.iter() {
+        eprintln!("{}", d.render(&file));
+    }
+    if report.is_ok() {
+        println!("{path}: self-stabilizing ✓");
+        if let Some(ev) = &report.eviction {
+            println!("  methods analyzed: {}", ev.summaries.len());
+        }
+        ExitCode::SUCCESS
+    } else {
+        println!("{path}: NOT verified self-stabilizing ✗");
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_infer(path: &str, naive: bool) -> ExitCode {
+    let (file, program) = match load(path) {
+        Ok(x) => x,
+        Err(c) => return c,
+    };
+    let stripped = sjava::syntax::strip::strip_location_annotations(&program);
+    let mode = if naive {
+        sjava::Mode::Naive
+    } else {
+        sjava::Mode::SInfer
+    };
+    match sjava::infer_annotations(&stripped, mode) {
+        Ok(result) => {
+            print!("{}", print_program(&result.annotated));
+            eprintln!(
+                "// inferred {} locations, {} paths in {:?}",
+                result.metrics.total_locations(),
+                result.metrics.total_paths(),
+                result.elapsed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(diags) => {
+            for d in diags.iter() {
+                eprintln!("{}", d.render(&file));
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_run(path: &str, entry: &str, iters: &str) -> ExitCode {
+    let (_, program) = match load(path) {
+        Ok(x) => x,
+        Err(c) => return c,
+    };
+    let Some((class, method)) = entry.split_once('.') else {
+        eprintln!("error: entry must be `Class.method`");
+        return ExitCode::FAILURE;
+    };
+    let Ok(iters) = iters.parse::<usize>() else {
+        eprintln!("error: iterations must be a number");
+        return ExitCode::FAILURE;
+    };
+    let inputs = sjava::runtime::SeededInput::new(0);
+    match sjava::Interpreter::new(&program, inputs, sjava::ExecOptions::default())
+        .run(class, method, iters)
+    {
+        Ok(result) => {
+            for (i, outs) in result.iteration_outputs.iter().enumerate() {
+                let rendered: Vec<String> = outs.iter().map(|v| v.to_string()).collect();
+                println!("iter {i}: {}", rendered.join(" "));
+            }
+            if !result.error_log.is_empty() {
+                eprintln!("// {} errors ignored (crash avoidance)", result.error_log.len());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("runtime error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_lattice(path: &str) -> ExitCode {
+    let (_, program) = match load(path) {
+        Ok(x) => x,
+        Err(c) => return c,
+    };
+    let mut diags = sjava::Diagnostics::new();
+    let lattices = sjava::core::Lattices::build(&program, &mut diags);
+    for (class, lat) in &lattices.fields {
+        if lat.named_len() > 0 {
+            print!("{}", sjava::lattice::lattice_to_dot(lat, class));
+        }
+    }
+    for ((class, method), info) in &lattices.methods {
+        if info.lattice.named_len() > 0 {
+            print!(
+                "{}",
+                sjava::lattice::lattice_to_dot(&info.lattice, &format!("{class}.{method}"))
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,112 @@
+//! The `sjava` command-line tool, end to end.
+
+use std::process::Command;
+
+fn sjava(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_sjava"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("sjava-cli-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write");
+    path
+}
+
+#[test]
+fn check_accepts_good_program() {
+    let path = write_temp("good.sj", sjava::apps::windsensor::SOURCE);
+    let out = sjava(&["check", path.to_str().expect("utf8")]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("self-stabilizing"), "{stdout}");
+}
+
+#[test]
+fn check_rejects_bad_program() {
+    let path = write_temp(
+        "bad.sj",
+        r#"@LATTICE("A<B") @METHODDEFAULT("V<IN") @THISLOC("V")
+           class C {
+               @LOC("A") int a; @LOC("B") int b;
+               void main() { SSJAVA: while (true) { @LOC("IN") int x = Device.read(); a = x; b = a; Out.emit(b); } }
+           }"#,
+    );
+    let out = sjava(&["check", path.to_str().expect("utf8")]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("flow-down"), "{stderr}");
+}
+
+#[test]
+fn infer_emits_checkable_source() {
+    let path = write_temp("weather.sj", sjava::apps::weather::SOURCE);
+    let out = sjava(&["infer", path.to_str().expect("utf8")]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let annotated = String::from_utf8_lossy(&out.stdout);
+    assert!(annotated.contains("@LATTICE"), "{annotated}");
+    // The printed source checks.
+    let reparsed = sjava::parse(&annotated).expect("parses");
+    assert!(sjava::check(&reparsed).is_ok());
+}
+
+#[test]
+fn run_executes_iterations() {
+    let path = write_temp("sensor.sj", sjava::apps::windsensor::SOURCE);
+    let out = sjava(&["run", path.to_str().expect("utf8"), "WDSensor.windDirection", "3"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 3, "{stdout}");
+}
+
+#[test]
+fn lattice_prints_dot() {
+    let path = write_temp("dot.sj", sjava::apps::windsensor::SOURCE);
+    let out = sjava(&["lattice", path.to_str().expect("utf8")]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("digraph"), "{stdout}");
+    assert!(stdout.contains("DIR1"), "{stdout}");
+}
+
+#[test]
+fn usage_on_bad_args() {
+    let out = sjava(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn lifetimes_reports_allocation_bounds() {
+    let path = write_temp("life.sj", sjava::apps::windsensor::SOURCE);
+    let out = sjava(&["lifetimes", path.to_str().expect("utf8")]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("whole run"), "{stdout}");
+}
+
+#[test]
+fn vfg_prints_flow_graphs() {
+    let path = write_temp("vfg.sj", sjava::apps::weather::SOURCE);
+    let out = sjava(&["vfg", path.to_str().expect("utf8")]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("digraph"), "{stdout}");
+    assert!(stdout.contains("prevTemp"), "{stdout}");
+}
+
+#[test]
+fn lint_reports_dead_stores() {
+    let path = write_temp(
+        "lint.sj",
+        "class A { void f(int p) { int x = p * 2; x = p * 3; p = x; } }",
+    );
+    let out = sjava(&["lint", path.to_str().expect("utf8")]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("dead store"), "{stderr}");
+}

@@ -1,0 +1,272 @@
+//! Rejection matrix: one minimal program per self-stabilization rule,
+//! each violating exactly that rule — and the checker must reject it with
+//! a diagnostic from the corresponding phase. The complement of the
+//! benchmarks: these pin down *why* programs fail.
+
+use sjava::{check, parse};
+
+fn expect_rejection(name: &str, source: &str, needle: &str) {
+    let program = parse(source).unwrap_or_else(|d| panic!("{name} must parse: {d}"));
+    let report = check(&program);
+    assert!(!report.is_ok(), "{name}: must be rejected");
+    assert!(
+        report.diagnostics.iter().any(|d| d.message.contains(needle)),
+        "{name}: expected a `{needle}` diagnostic, got:\n{}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn explicit_flow_up() {
+    expect_rejection(
+        "explicit flow up",
+        r#"@LATTICE("LO<HI") @METHODDEFAULT("V<IN") @THISLOC("V")
+           class A { @LOC("HI") int hi; @LOC("LO") int lo;
+               void main() { SSJAVA: while (true) {
+                   @LOC("IN") int x = Device.read();
+                   lo = x; hi = lo; Out.emit(hi);
+               } } }"#,
+        "flow-down",
+    );
+}
+
+#[test]
+fn implicit_flow_through_branch() {
+    expect_rejection(
+        "implicit flow",
+        r#"@LATTICE("LO<HI") @METHODDEFAULT("V<IN") @THISLOC("V")
+           class A { @LOC("HI") int hi; @LOC("LO") int lo;
+               void main() { SSJAVA: while (true) {
+                   @LOC("IN") int x = Device.read();
+                   hi = x; lo = hi;
+                   if (lo > 0) { hi = 1; } else { hi = 0; }
+                   Out.emit(lo);
+               } } }"#,
+        "implicit flow",
+    );
+}
+
+#[test]
+fn implicit_flow_through_conditional_call() {
+    expect_rejection(
+        "implicit flow via call",
+        r#"@LATTICE("LO<HI") @METHODDEFAULT("V<IN") @THISLOC("V")
+           class A { @LOC("HI") int hi; @LOC("LO") int lo;
+               void main() { SSJAVA: while (true) {
+                   @LOC("IN") int x = Device.read();
+                   hi = x; lo = hi;
+                   if (lo > 0) { bump(); }
+                   Out.emit(lo);
+               } }
+               @LATTICE("W<IN2") @THISLOC("W")
+               void bump() { hi = 1; }
+           }"#,
+        "implicit flow",
+    );
+}
+
+#[test]
+fn cyclic_lattice_declaration() {
+    expect_rejection(
+        "cyclic lattice",
+        r#"@LATTICE("A<B,B<A") class C { @LOC("A") int a;
+               @LATTICE("V<IN") @THISLOC("V")
+               void main() { SSJAVA: while (true) { a = Device.read(); Out.emit(a); } } }"#,
+        "cycle",
+    );
+}
+
+#[test]
+fn missing_variable_annotation() {
+    expect_rejection(
+        "missing @LOC",
+        r#"class A { void main() { SSJAVA: while (true) {
+               int x = Device.read(); Out.emit(x);
+           } } }"#,
+        "missing a @LOC",
+    );
+}
+
+#[test]
+fn stale_heap_value() {
+    expect_rejection(
+        "eviction",
+        r#"@LATTICE("S<IN0") @METHODDEFAULT("V<IN") @THISLOC("V")
+           class A { @LOC("S") int sticky;
+               void main() { SSJAVA: while (true) {
+                   @LOC("IN") int x = Device.read();
+                   if (x > 0) { sticky = x; }
+                   Out.emit(sticky);
+               } } }"#,
+        "overwritten",
+    );
+}
+
+#[test]
+fn stale_local_value() {
+    expect_rejection(
+        "stale local",
+        r#"@METHODDEFAULT("CARRY<IN,V<CARRY") @THISLOC("V")
+           class A {
+               void main() {
+                   @LOC("CARRY") int carry = 0;
+                   SSJAVA: while (true) {
+                       @LOC("IN") int x = Device.read();
+                       Out.emit(carry);
+                       if (x > 0) { carry = x; }
+                   }
+               } }"#,
+        "overwritten",
+    );
+}
+
+#[test]
+fn unprovable_inner_loop() {
+    expect_rejection(
+        "termination",
+        r#"@METHODDEFAULT("V<IN") @THISLOC("V")
+           class A { void main() { SSJAVA: while (true) {
+               @LOC("IN") int x = Device.read();
+               while (x != 42) { x = Device.read(); }
+               Out.emit(x);
+           } } }"#,
+        "terminates",
+    );
+}
+
+#[test]
+fn recursion_is_prohibited() {
+    expect_rejection(
+        "recursion",
+        r#"@METHODDEFAULT("V<IN") @THISLOC("V") @RETURNLOC("V") @PCLOC("IN")
+           class A { void main() { SSJAVA: while (true) { Out.emit(f(Device.read())); } }
+               int f(@LOC("IN") int n) { if (n <= 1) { return 1; } return f(n - 1); } }"#,
+        "recursive",
+    );
+}
+
+#[test]
+fn missing_event_loop() {
+    expect_rejection(
+        "no event loop",
+        "class A { void main() { int x = 1; Out.emit(x); } }",
+        "event loop",
+    );
+}
+
+#[test]
+fn variable_alias_with_different_locations() {
+    expect_rejection(
+        "alias locations",
+        r#"@LATTICE("F")
+           class A { @LOC("F") R r;
+               @LATTICE("LO<HI,V<LO") @THISLOC("V")
+               void main() { r = new R(); SSJAVA: while (true) {
+                   @LOC("HI") R x = r;
+                   @LOC("LO") R y = x;
+                   y.v = Device.read();
+                   Out.emit(x.v);
+               } } }
+           @LATTICE("W") class R { @LOC("W") int v; }"#,
+        "aliasing",
+    );
+}
+
+#[test]
+fn second_heap_alias() {
+    expect_rejection(
+        "heap alias",
+        r#"@LATTICE("A<B")
+           class H { @LOC("B") R f; @LOC("A") R g;
+               @LATTICE("V<IN") @THISLOC("V")
+               void main() { f = new R(); SSJAVA: while (true) {
+                   @LOC("V") R t = f;
+                   g = t;
+                   f.v = Device.read();
+                   Out.emit(g.v);
+               } } }
+           @LATTICE("W") class R { @LOC("W") int v; }"#,
+        "heap alias",
+    );
+}
+
+#[test]
+fn use_after_delegate() {
+    expect_rejection(
+        "use after delegate",
+        r#"@METHODDEFAULT("V<IN") @THISLOC("V")
+           class A { void main() { SSJAVA: while (true) {
+               @LOC("IN") R t = new R();
+               sink(t);
+               Out.emit(t.v);
+           } }
+           @LATTICE("S<P") @THISLOC("S")
+           void sink(@DELEGATE @LOC("P") R q) { q.v = 1; } }
+           @LATTICE("W") class R { @LOC("W") int v; }"#,
+        "ownership",
+    );
+}
+
+#[test]
+fn shared_location_never_cleared() {
+    expect_rejection(
+        "shared never cleared",
+        r#"@LATTICE("ACC<TOPF,ACC*") @METHODDEFAULT("V<IN") @THISLOC("V")
+           class A { @LOC("ACC") int acc;
+               void main() { SSJAVA: while (true) {
+                   @LOC("IN") int x = Device.read();
+                   acc = acc + 1;
+                   Out.emit(acc + x);
+               } } }"#,
+        "cleared",
+    );
+}
+
+#[test]
+fn array_below_its_index_is_required() {
+    expect_rejection(
+        "array/index ordering",
+        r#"@LATTICE("HI2<BUF") @METHODDEFAULT("IDX<V,V<IN,IDX*") @THISLOC("V")
+           class A { @LOC("BUF") int[] buf;
+               void main() { buf = new int[4]; SSJAVA: while (true) {
+                   for (@LOC("IDX") int i = 0; i < 4; i++) {
+                       buf[i] = Device.read();
+                   }
+                   Out.emit(buf[0]);
+               } } }"#,
+        "array",
+    );
+}
+
+#[test]
+fn subclass_breaking_parent_order() {
+    expect_rejection(
+        "inheritance order",
+        r#"@LATTICE("A<B") class P { @LOC("A") int x; @LOC("B") int y; }
+           @LATTICE("B<A") class S extends P { }
+           @METHODDEFAULT("V<IN") @THISLOC("V")
+           class Main {
+               void main() { SSJAVA: while (true) {
+                   @LOC("IN") int q = Device.read(); Out.emit(q);
+               } } }"#,
+        "ordering between inherited locations",
+    );
+}
+
+#[test]
+fn return_below_declared_returnloc() {
+    expect_rejection(
+        "return location",
+        r#"@METHODDEFAULT("V<IN") @THISLOC("V")
+           class A { void main() { SSJAVA: while (true) {
+               @LOC("IN") int x = Device.read();
+               Out.emit(get(x));
+           } }
+           @LATTICE("LO<R,R<P,S<LO") @THISLOC("S") @RETURNLOC("R")
+           int get(@LOC("P") int p) {
+               @LOC("LO") int low = p;
+               return low;
+           } }"#,
+        "@RETURNLOC",
+    );
+}
