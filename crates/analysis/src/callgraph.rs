@@ -31,6 +31,35 @@ impl CallGraph {
     pub fn is_reachable(&self, m: &MethodRef) -> bool {
         self.topo.contains(m)
     }
+
+    /// Groups reachable methods into bottom-up waves: every method's
+    /// callees sit in strictly earlier waves. Methods inside one wave are
+    /// independent given the previous waves' summaries, so interprocedural
+    /// analyses can process a wave in parallel with a barrier between
+    /// waves. Within a wave, methods keep their topological order.
+    pub fn levels(&self) -> Vec<Vec<MethodRef>> {
+        let mut level: BTreeMap<&MethodRef, usize> = BTreeMap::new();
+        let mut out: Vec<Vec<MethodRef>> = Vec::new();
+        for m in &self.topo {
+            let l = self
+                .calls
+                .get(m)
+                .map(|cs| {
+                    cs.iter()
+                        .filter_map(|c| level.get(c))
+                        .map(|&d| d + 1)
+                        .max()
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0);
+            level.insert(m, l);
+            if out.len() <= l {
+                out.resize_with(l + 1, Vec::new);
+            }
+            out[l].push(m.clone());
+        }
+        out
+    }
 }
 
 /// Locates the unique `SSJAVA:`-labeled event loop.
@@ -309,6 +338,35 @@ mod tests {
         let pos = |n: &str| cg.topo.iter().position(|(_, m)| m == n).expect("present");
         assert!(pos("helper") < pos("step"));
         assert!(pos("step") < pos("main"));
+    }
+
+    #[test]
+    fn levels_put_callees_in_earlier_waves() {
+        let p = parse(
+            "class A {
+                void main() { SSJAVA: while (true) { step(); other(); } }
+                void step() { helper(); }
+                void other() { }
+                void helper() { }
+             }",
+        )
+        .expect("parses");
+        let mut d = Diagnostics::new();
+        let cg = build(&p, &mut d).expect("call graph");
+        let levels = cg.levels();
+        let wave_of = |n: &str| {
+            levels
+                .iter()
+                .position(|w| w.iter().any(|(_, m)| m == n))
+                .expect("present")
+        };
+        // helper and other are leaves, step depends on helper, main on both.
+        assert_eq!(wave_of("helper"), 0);
+        assert_eq!(wave_of("other"), 0);
+        assert_eq!(wave_of("step"), 1);
+        assert_eq!(wave_of("main"), 2);
+        // Every reachable method appears exactly once.
+        assert_eq!(levels.iter().map(Vec::len).sum::<usize>(), cg.topo.len());
     }
 
     #[test]

@@ -30,16 +30,22 @@ pub struct MethodSummary {
     pub must_writes: BTreeSet<HeapPath>,
 }
 
+/// A heap path the event loop reads that may carry stale state, and
+/// where it is read.
+pub type StalePath = (HeapPath, Span);
+/// A local variable the event loop reads before definitely assigning it.
+pub type StaleLocal = (String, Span);
+
 /// Result of the whole-program eviction analysis.
 #[derive(Debug, Clone)]
 pub struct EvictionResult {
     /// Summaries per reachable method.
     pub summaries: BTreeMap<MethodRef, MethodSummary>,
     /// Heap paths read by the event loop that failed all three conditions.
-    pub stale_paths: Vec<(HeapPath, Span)>,
+    pub stale_paths: Vec<StalePath>,
     /// Local variables read in the event loop that failed the
     /// definite-assignment conditions.
-    pub stale_locals: Vec<(String, Span)>,
+    pub stale_locals: Vec<StaleLocal>,
 }
 
 impl EvictionResult {
@@ -53,17 +59,26 @@ impl EvictionResult {
 /// loop and checks the loop body; failures are also reported into `diags`.
 pub fn analyze(program: &Program, cg: &CallGraph, diags: &mut Diagnostics) -> EvictionResult {
     let mut summaries: BTreeMap<MethodRef, MethodSummary> = BTreeMap::new();
-    // Bottom-up over the acyclic call graph: callees before callers.
-    for mref in &cg.topo {
-        let Some((decl_class, method)) = program.resolve_method(&mref.0, &mref.1) else {
-            continue;
-        };
-        if method.annots.trusted || decl_class.annots.trusted {
-            summaries.insert(mref.clone(), MethodSummary::default());
-            continue;
+    // Bottom-up over the acyclic call graph, one reverse-topo wave at a
+    // time: a wave's methods only call into earlier waves, so they are
+    // summarized in parallel against a read-only view of `summaries`,
+    // with a barrier (the merge below) between waves. The merge keyed by
+    // `MethodRef` lands in a `BTreeMap`, so the result is identical at
+    // any thread count.
+    for wave in cg.levels() {
+        let wave_summaries = sjava_par::run_indexed(wave.len(), |i| {
+            let mref = &wave[i];
+            let (decl_class, method) = program.resolve_method(&mref.0, &mref.1)?;
+            if method.annots.trusted || decl_class.annots.trusted {
+                return Some(MethodSummary::default());
+            }
+            Some(summarize_method(program, &mref.0, method, &summaries))
+        });
+        for (mref, summary) in wave.iter().zip(wave_summaries) {
+            if let Some(s) = summary {
+                summaries.insert(mref.clone(), s);
+            }
         }
-        let summary = summarize_method(program, &mref.0, method, &summaries);
-        summaries.insert(mref.clone(), summary);
     }
 
     let (stale_paths, stale_locals) = check_event_loop(program, cg, &summaries);
@@ -118,7 +133,7 @@ fn check_event_loop(
     program: &Program,
     cg: &CallGraph,
     summaries: &BTreeMap<MethodRef, MethodSummary>,
-) -> (Vec<(HeapPath, Span)>, Vec<(String, Span)>) {
+) -> (Vec<StalePath>, Vec<StaleLocal>) {
     let Some((_, method)) = program.resolve_method(&cg.entry.0, &cg.entry.1) else {
         return (Vec::new(), Vec::new());
     };

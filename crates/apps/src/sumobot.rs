@@ -123,8 +123,8 @@ mod tests {
                 _ => -1,
             })
             .collect();
-        assert!(moves.iter().any(|&m| m == 1), "retreat used: {moves:?}");
-        assert!(moves.iter().any(|&m| m == 2), "attack used: {moves:?}");
+        assert!(moves.contains(&1), "retreat used: {moves:?}");
+        assert!(moves.contains(&2), "attack used: {moves:?}");
     }
 
     #[test]

@@ -24,6 +24,40 @@ fn bench_checker(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel(c: &mut Criterion) {
+    // Whole-suite checking, sequential vs the full worker pool. Criterion
+    // runs benches one at a time, so mutating SJAVA_THREADS between cases
+    // is race-free; the variable is restored afterwards.
+    let programs: Vec<_> = [
+        sjava_apps::windsensor::SOURCE.to_string(),
+        sjava_apps::eyetrack::SOURCE.to_string(),
+        sjava_apps::sumobot::SOURCE.to_string(),
+        sjava_apps::mp3dec::source().to_string(),
+    ]
+    .iter()
+    .map(|src| sjava_syntax::parse(src).expect("parses"))
+    .collect();
+
+    let mut group = c.benchmark_group("check_suite");
+    for (label, threads) in [("sequential", 1usize), ("parallel", 0)] {
+        match threads {
+            1 => std::env::set_var(sjava_par::THREADS_ENV, "1"),
+            _ => std::env::remove_var(sjava_par::THREADS_ENV),
+        }
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                sjava_par::run_indexed(programs.len(), |i| {
+                    let report = sjava_core::check_program(black_box(&programs[i]));
+                    assert!(report.is_ok());
+                    report.diagnostics.len()
+                })
+            })
+        });
+    }
+    std::env::remove_var(sjava_par::THREADS_ENV);
+    group.finish();
+}
+
 fn bench_parser(c: &mut Criterion) {
     let src = sjava_apps::mp3dec::source();
     c.bench_function("parse_mp3dec", |b| {
@@ -31,5 +65,5 @@ fn bench_parser(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_checker, bench_parser);
+criterion_group!(benches, bench_checker, bench_parallel, bench_parser);
 criterion_main!(benches);

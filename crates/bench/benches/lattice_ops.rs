@@ -3,7 +3,10 @@
 //! completion cost as hierarchies grow.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sjava_lattice::{dedekind_macneille, glb, CompositeLoc, Elem, HierarchyGraph, Lattice, SimpleCtx};
+use sjava_lattice::{
+    compare, dedekind_macneille, glb, CompositeLoc, Elem, HierarchyGraph, Lattice, LocInterner,
+    SimpleCtx,
+};
 use std::hint::black_box;
 
 fn bench_glb(c: &mut Criterion) {
@@ -28,6 +31,63 @@ fn bench_glb(c: &mut Criterion) {
     });
 }
 
+fn bench_intern(c: &mut Criterion) {
+    // Same lattice shape as `bench_glb`, but queries repeat — the shape a
+    // method checker produces, where the same few composite locations are
+    // compared at every statement. The interner memoizes compare/glb per
+    // (LocRef, LocRef) pair, so the steady state is two hash lookups.
+    let method = Lattice::from_decl(
+        &[("STR".into(), "WDOBJ".into()), ("WDOBJ".into(), "IN".into())],
+        &[],
+        &[],
+    )
+    .expect("ok");
+    let field = Lattice::from_decl(
+        &[("DIR".into(), "TMP".into()), ("TMP".into(), "BIN".into())],
+        &[],
+        &[],
+    )
+    .expect("ok");
+    let fields = vec![("WDSensor".to_string(), field)];
+    let ctx = SimpleCtx { method: &method, fields: &fields };
+    let locs: Vec<CompositeLoc> = ["STR", "WDOBJ", "IN"]
+        .into_iter()
+        .flat_map(|m| {
+            ["DIR", "TMP", "BIN"].into_iter().map(move |f| {
+                CompositeLoc::path(vec![Elem::method(m), Elem::field("WDSensor", f)])
+            })
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("composite_intern");
+    group.bench_function("raw", |bch| {
+        bch.iter(|| {
+            let mut acc = 0usize;
+            for a in &locs {
+                for b in &locs {
+                    acc += compare(&ctx, black_box(a), black_box(b)).is_some() as usize;
+                    black_box(glb(&ctx, black_box(a), black_box(b)));
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("interned", |bch| {
+        let cache = LocInterner::new();
+        bch.iter(|| {
+            let mut acc = 0usize;
+            for a in &locs {
+                for b in &locs {
+                    acc += cache.compare(&ctx, black_box(a), black_box(b)).is_some() as usize;
+                    black_box(cache.glb(&ctx, black_box(a), black_box(b)));
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
 fn bench_completion(c: &mut Criterion) {
     let mut group = c.benchmark_group("dedekind_macneille");
     for n in [8usize, 16, 32, 64] {
@@ -47,5 +107,5 @@ fn bench_completion(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_glb, bench_completion);
+criterion_group!(benches, bench_glb, bench_intern, bench_completion);
 criterion_main!(benches);

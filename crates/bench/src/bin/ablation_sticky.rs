@@ -6,7 +6,7 @@
 //!
 //! Usage: `cargo run --release -p sjava-bench --bin ablation_sticky`
 
-use sjava_bench::{env_usize, run_golden, run_trial, write_result};
+use sjava_bench::{env_usize, run_golden, run_trials, write_result};
 use sjava_core::check_program;
 
 /// Windowed average over the last 4 inputs: self-stabilizing.
@@ -63,17 +63,16 @@ fn campaign(name: &str, source: &str, expect_ok: bool, csv: &mut String) -> (usi
     let mut diverged = 0;
     let mut unrecovered = 0;
     let mut worst = 0usize;
-    for seed in 0..trials as u64 {
-        let t = run_trial(
-            &program,
-            ("Avg", "main"),
-            sjava_runtime::SeededInput::new(0),
-            iterations,
-            &golden,
-            seed,
-            0.5,
-            0.0,
-        );
+    for t in run_trials(
+        &program,
+        ("Avg", "main"),
+        || sjava_runtime::SeededInput::new(0),
+        iterations,
+        &golden,
+        trials,
+        0.5,
+        0.0,
+    ) {
         if t.stats.diverged {
             diverged += 1;
             worst = worst.max(t.stats.recovery_iterations);
@@ -82,8 +81,8 @@ fn campaign(name: &str, source: &str, expect_ok: bool, csv: &mut String) -> (usi
             }
         }
         csv.push_str(&format!(
-            "{name},{seed},{},{}\n",
-            t.stats.diverged, t.stats.recovery_iterations
+            "{name},{},{},{}\n",
+            t.seed, t.stats.diverged, t.stats.recovery_iterations
         ));
     }
     println!(

@@ -1,0 +1,117 @@
+//! Checker throughput benchmark: runs the whole-program checker over
+//! every `sjava-apps` benchmark `SJAVA_REPS` times (default 12), once on
+//! a single worker and once on the full pool, and emits
+//! `results/BENCH_checker.json` with per-phase timings and the measured
+//! wall-clock speedup.
+//!
+//! Usage: `cargo run --release -p sjava-bench --bin bench_checker`
+//! Env overrides: `SJAVA_REPS` (repetitions per benchmark),
+//! `SJAVA_THREADS` (worker-pool width; `1` forces the sequential path).
+
+use std::time::{Duration, Instant};
+
+use sjava_bench::{env_usize, write_result};
+use sjava_core::PhaseTimings;
+use sjava_par::{num_threads, run_indexed_with};
+
+fn benchmarks() -> Vec<(&'static str, String)> {
+    vec![
+        ("windsensor", sjava_apps::windsensor::SOURCE.to_string()),
+        ("eyetrack", sjava_apps::eyetrack::SOURCE.to_string()),
+        ("sumobot", sjava_apps::sumobot::SOURCE.to_string()),
+        ("mp3dec", sjava_apps::mp3dec::source().to_string()),
+    ]
+}
+
+/// One unit of work: a full cold check (parse included) of one benchmark.
+fn check_once(name: &str, source: &str) -> PhaseTimings {
+    let report = sjava_core::check_source(source).expect("benchmark parses");
+    assert!(report.is_ok(), "{name} must check: {}", report.diagnostics);
+    report.timings
+}
+
+/// Fans `reps` checks of every benchmark across `threads` workers and
+/// returns (wall-clock, per-benchmark timings in benchmark-major order).
+fn run_pass(
+    benches: &[(&'static str, String)],
+    reps: usize,
+    threads: usize,
+) -> (Duration, Vec<PhaseTimings>) {
+    let units = benches.len() * reps;
+    let t = Instant::now();
+    let timings = run_indexed_with(units, threads, |i| {
+        let (name, source) = &benches[i / reps];
+        check_once(name, source)
+    });
+    (t.elapsed(), timings)
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1000.0
+}
+
+fn main() {
+    let reps = env_usize("SJAVA_REPS", 12);
+    let threads = num_threads();
+    let benches = benchmarks();
+
+    println!("BENCH_checker — whole-program checking throughput");
+    println!(
+        "{} benchmarks × {reps} reps; pool width {threads} (override with SJAVA_THREADS)",
+        benches.len()
+    );
+
+    // Warm-up so neither pass pays first-touch costs.
+    for (name, source) in &benches {
+        check_once(name, source);
+    }
+
+    let (seq_wall, _) = run_pass(&benches, reps, 1);
+    let (par_wall, timings) = run_pass(&benches, reps, threads);
+    let speedup = ms(seq_wall) / ms(par_wall).max(1e-9);
+
+    println!("sequential pass: {:.1} ms", ms(seq_wall));
+    println!("parallel pass:   {:.1} ms ({speedup:.2}x)", ms(par_wall));
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!(
+        "  \"sequential_wall_ms\": {:.3},\n",
+        ms(seq_wall)
+    ));
+    json.push_str(&format!("  \"wall_clock_ms\": {:.3},\n", ms(par_wall)));
+    json.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
+    json.push_str("  \"benchmarks\": [\n");
+    for (b, (name, _)) in benches.iter().enumerate() {
+        // Benchmark-major ordering: reps for benchmark `b` occupy
+        // indices b*reps .. (b+1)*reps.
+        let slice = &timings[b * reps..(b + 1) * reps];
+        let mut avg = PhaseTimings::default();
+        for t in slice {
+            avg.parse += t.parse;
+            avg.lattice_build += t.lattice_build;
+            avg.callgraph += t.callgraph;
+            avg.eviction += t.eviction;
+            avg.flow_check += t.flow_check;
+            avg.aliasing += t.aliasing;
+            avg.shared += t.shared;
+            avg.termination += t.termination;
+        }
+        let phases: Vec<String> = avg
+            .phases()
+            .iter()
+            .map(|(phase, d)| format!("\"{phase}\": {:.4}", ms(*d) / reps as f64))
+            .collect();
+        json.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"total_ms\": {:.4}, \"phases_ms\": {{ {} }} }}{}\n",
+            ms(avg.total()) / reps as f64,
+            phases.join(", "),
+            if b + 1 < benches.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = write_result("BENCH_checker.json", &json);
+    println!("written to {}", path.display());
+}

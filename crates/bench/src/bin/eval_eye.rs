@@ -5,7 +5,7 @@
 //! Usage: `cargo run --release -p sjava-bench --bin eval_eye`
 
 use sjava_apps::eyetrack;
-use sjava_bench::{env_usize, run_golden, run_trial, write_result};
+use sjava_bench::{env_usize, run_golden, run_trials, write_result};
 
 fn main() {
     let trials = env_usize("SJAVA_TRIALS", 100);
@@ -18,20 +18,19 @@ fn main() {
     let mut changed = 0usize;
     let mut by_iters = [0usize; 8];
     let mut csv = String::from("seed,diverged,recovery_iterations\n");
-    for seed in 0..trials as u64 {
-        let t = run_trial(
-            &program,
-            eyetrack::ENTRY,
-            eyetrack::inputs(0),
-            iterations,
-            &golden,
-            seed,
-            0.7,
-            0.0,
-        );
+    for t in run_trials(
+        &program,
+        eyetrack::ENTRY,
+        || eyetrack::inputs(0),
+        iterations,
+        &golden,
+        trials,
+        0.7,
+        0.0,
+    ) {
         csv.push_str(&format!(
-            "{seed},{},{}\n",
-            t.stats.diverged, t.stats.recovery_iterations
+            "{},{},{}\n",
+            t.seed, t.stats.diverged, t.stats.recovery_iterations
         ));
         if t.stats.diverged {
             changed += 1;

@@ -7,7 +7,7 @@
 //! `SJAVA_WINDOW` (8), `SJAVA_FRAMES` (10).
 
 use sjava_apps::mp3dec;
-use sjava_bench::{env_usize, run_golden, run_trial, write_result, Histogram};
+use sjava_bench::{env_usize, run_golden, run_trials, write_result, Histogram};
 
 fn main() {
     let trials = env_usize("SJAVA_TRIALS", 1000);
@@ -42,17 +42,16 @@ fn main() {
     let mut diverged = 0usize;
     let mut max_recovery = 0usize;
     let mut recoveries: Vec<usize> = Vec::new();
-    for seed in 0..trials as u64 {
-        let t = run_trial(
-            &program,
-            mp3dec::ENTRY,
-            mp3dec::inputs_for(0, granule),
-            frames,
-            &golden,
-            seed,
-            0.6,
-            1e-9,
-        );
+    for t in run_trials(
+        &program,
+        mp3dec::ENTRY,
+        || mp3dec::inputs_for(0, granule),
+        frames,
+        &golden,
+        trials,
+        0.6,
+        1e-9,
+    ) {
         if t.stats.diverged {
             diverged += 1;
             let r = t.stats.recovery_samples;

@@ -126,6 +126,30 @@ fn main() {
             r.loc
         ));
     }
+    println!("\nChecker phase timings (one cold check per benchmark)");
+    println!("{:<8}{:>8}  phase breakdown", "Bench", "threads");
+    for (name, source) in [
+        ("MP3", sjava_apps::mp3dec::source()),
+        ("Eye", sjava_apps::eyetrack::SOURCE),
+        ("Robot", sjava_apps::sumobot::SOURCE),
+    ] {
+        let report = sjava_core::check_source(source).expect("benchmark parses");
+        assert!(report.is_ok(), "{name}: {}", report.diagnostics);
+        let t = &report.timings;
+        let breakdown: Vec<String> = t
+            .phases()
+            .iter()
+            .map(|(phase, d)| format!("{phase} {:.2}ms", d.as_secs_f64() * 1000.0))
+            .collect();
+        println!(
+            "{:<8}{:>8}  {} (total {:.2}ms)",
+            name,
+            t.threads,
+            breakdown.join(", "),
+            t.total().as_secs_f64() * 1000.0
+        );
+    }
+
     println!(
         "\nAll inferred annotations re-checked successfully (the paper's correctness result)."
     );

@@ -40,6 +40,7 @@ pub fn run_golden<I: InputProvider>(
 
 /// Runs one injected trial: the trigger step is drawn uniformly from the
 /// first `inject_window` fraction of the golden run's steps.
+#[allow(clippy::too_many_arguments)]
 pub fn run_trial<I: InputProvider>(
     program: &Program,
     entry: (&str, &str),
@@ -55,7 +56,7 @@ pub fn run_trial<I: InputProvider>(
     let trigger = rng.gen_range(1..max_step);
     // Alternate between "mathematical operation" and "memory" errors, as
     // in the paper's injection methodology (§6.2).
-    let kind = if seed % 2 == 0 {
+    let kind = if seed.is_multiple_of(2) {
         sjava_runtime::inject::InjectKind::Op
     } else {
         sjava_runtime::inject::InjectKind::Heap
@@ -70,6 +71,41 @@ pub fn run_trial<I: InputProvider>(
         injected_at: run.injected_at,
         stats,
     }
+}
+
+/// Runs trials with seeds `0..trials` against one golden run, fanning
+/// the embarrassingly-parallel injections across `sjava_par` workers
+/// (`SJAVA_THREADS` overrides the width). `make_inputs` builds a fresh
+/// input provider per trial. Results come back in seed order, so every
+/// downstream aggregate (histograms, counters, CSV rows) is identical at
+/// any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn run_trials<I, F>(
+    program: &Program,
+    entry: (&str, &str),
+    make_inputs: F,
+    iterations: usize,
+    golden: &RunResult,
+    trials: usize,
+    inject_window: f64,
+    eps: f64,
+) -> Vec<Trial>
+where
+    I: InputProvider,
+    F: Fn() -> I + Sync,
+{
+    sjava_par::run_indexed(trials, |i| {
+        run_trial(
+            program,
+            entry,
+            make_inputs(),
+            iterations,
+            golden,
+            i as u64,
+            inject_window,
+            eps,
+        )
+    })
 }
 
 /// A fixed-width histogram over recovery sample counts.

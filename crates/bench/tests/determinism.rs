@@ -1,0 +1,92 @@
+//! Determinism regression: the parallel checking pipeline must produce
+//! byte-for-byte identical diagnostics at any worker count. Every
+//! benchmark program in `sjava-apps` is checked with 1 worker and with
+//! several wider pools, and the rendered [`Diagnostics`] are compared as
+//! strings. The unannotated `weather` source is included deliberately —
+//! it fails the checker, so its (many) error diagnostics exercise the
+//! merge order of the per-method buffers.
+//!
+//! Everything runs in ONE `#[test]` because the worker count is taken
+//! from the `SJAVA_THREADS` environment variable, and the test harness
+//! runs tests concurrently — a second test mutating the variable would
+//! race.
+
+fn render_all(threads: usize) -> String {
+    // SAFETY-free in edition 2021: std::env::set_var is a plain fn.
+    std::env::set_var(sjava_par::THREADS_ENV, threads.to_string());
+    assert_eq!(sjava_par::num_threads(), threads);
+    let mut out = String::new();
+    for (name, source) in [
+        ("windsensor", sjava_apps::windsensor::SOURCE.to_string()),
+        ("eyetrack", sjava_apps::eyetrack::SOURCE.to_string()),
+        ("sumobot", sjava_apps::sumobot::SOURCE.to_string()),
+        ("mp3dec", sjava_apps::mp3dec::source().to_string()),
+        ("weather", sjava_apps::weather::SOURCE.to_string()),
+    ] {
+        match sjava_core::check_source(&source) {
+            Ok(report) => {
+                out.push_str(&format!(
+                    "== {name}: ok={} ==\n{}\n",
+                    report.is_ok(),
+                    report.diagnostics
+                ));
+            }
+            Err(diags) => out.push_str(&format!("== {name}: parse error ==\n{diags}\n")),
+        }
+    }
+    std::env::remove_var(sjava_par::THREADS_ENV);
+    out
+}
+
+fn render_trials(threads: usize) -> String {
+    std::env::set_var(sjava_par::THREADS_ENV, threads.to_string());
+    let program = sjava_syntax::parse(sjava_apps::windsensor::SOURCE).expect("parses");
+    let golden = sjava_bench::run_golden(
+        &program,
+        sjava_apps::windsensor::ENTRY,
+        sjava_apps::windsensor::inputs(1),
+        20,
+    );
+    let out = sjava_bench::run_trials(
+        &program,
+        sjava_apps::windsensor::ENTRY,
+        || sjava_apps::windsensor::inputs(1),
+        20,
+        &golden,
+        12,
+        0.8,
+        0.0,
+    )
+    .iter()
+    .map(|t| format!("{},{},{}\n", t.seed, t.stats.diverged, t.stats.recovery_iterations))
+    .collect();
+    std::env::remove_var(sjava_par::THREADS_ENV);
+    out
+}
+
+#[test]
+fn diagnostics_identical_at_any_thread_count() {
+    let baseline = render_all(1);
+    // The verified benchmarks contribute empty diagnostics; weather
+    // contributes a long error list. Both must be stable.
+    assert!(baseline.contains("weather"));
+    for threads in [2, 4, 8] {
+        let wide = render_all(threads);
+        assert_eq!(
+            baseline, wide,
+            "diagnostics changed between 1 and {threads} worker threads"
+        );
+    }
+
+    // Seeded error-injection trials must also be independent of the
+    // fan-out width (and of HashMap iteration order — see
+    // `Heap::cells_mut`).
+    let trials = render_trials(1);
+    for threads in [4, 8] {
+        assert_eq!(
+            trials,
+            render_trials(threads),
+            "trial outcomes changed between 1 and {threads} worker threads"
+        );
+    }
+}

@@ -10,7 +10,7 @@ use crate::model::{effective_method_annots, resolve_annot_with, Lattices, Method
 use sjava_analysis::callgraph::{CallGraph, MethodRef};
 use sjava_analysis::jtype::TypeEnv;
 use sjava_analysis::written::MethodSummary;
-use sjava_lattice::{compare, glb, is_shared, CompositeLoc, Elem};
+use sjava_lattice::{compare, is_shared, CompositeLoc, Elem, LocInterner};
 use sjava_syntax::ast::*;
 use sjava_syntax::diag::Diagnostics;
 use sjava_syntax::span::Span;
@@ -20,6 +20,12 @@ use std::collections::{BTreeMap, HashMap};
 /// Checks every reachable method's flows; diagnostics go to `diags`.
 /// `summaries` (from the eviction analysis) supply each callee's write
 /// effects for the implicit-flow call rule.
+///
+/// Methods are independent of each other once the eviction summaries are
+/// in hand, so they are fanned out across `sjava_par` workers. Each
+/// worker checks into a private `Diagnostics` buffer; the buffers are
+/// merged back in call-graph topological order, which makes the output
+/// byte-for-byte identical at any thread count (`SJAVA_THREADS=1` vs N).
 pub fn check_flows(
     program: &Program,
     lattices: &Lattices,
@@ -27,19 +33,25 @@ pub fn check_flows(
     summaries: &BTreeMap<MethodRef, MethodSummary>,
     diags: &mut Diagnostics,
 ) {
-    for mref in &cg.topo {
+    let per_method = sjava_par::run_indexed(cg.topo.len(), |i| {
+        let mref = &cg.topo[i];
+        let mut local = Diagnostics::new();
         let Some((decl_class, method)) = program.resolve_method(&mref.0, &mref.1) else {
-            continue;
+            return local;
         };
         let Some(info) = lattices.method_info(&decl_class.name, &method.name) else {
-            continue;
+            return local;
         };
         if info.trusted {
-            continue;
+            return local;
         }
         let mut checker = MethodChecker::new(program, lattices, &decl_class.name, method, info)
             .with_summaries(summaries);
-        checker.run(diags);
+        checker.run(&mut local);
+        local
+    });
+    for d in per_method {
+        diags.extend(d);
     }
 }
 
@@ -143,6 +155,10 @@ pub struct MethodChecker<'p> {
     env: HashMap<String, CompositeLoc>,
     env_ready: bool,
     summaries: Option<&'p BTreeMap<MethodRef, MethodSummary>>,
+    /// Per-method interner memoizing ⊑ and ⊓ queries against this
+    /// method's lattice context (the same few locations are compared at
+    /// every assignment, branch and call site).
+    cache: LocInterner,
 }
 
 impl<'p> MethodChecker<'p> {
@@ -166,6 +182,7 @@ impl<'p> MethodChecker<'p> {
             env: HashMap::new(),
             env_ready: false,
             summaries: None,
+            cache: LocInterner::new(),
         }
     }
 
@@ -284,7 +301,7 @@ impl<'p> MethodChecker<'p> {
             Expr::Index { base, index, .. } => {
                 let a = self.loc_of(base, diags);
                 let i = self.loc_of(index, diags);
-                glb(&self.ctx(), &a, &i)
+                self.cache.glb(&self.ctx(), &a, &i)
             }
             // Array lengths are fixed at allocation time: constants.
             Expr::Length { .. } => CompositeLoc::Top,
@@ -298,7 +315,7 @@ impl<'p> MethodChecker<'p> {
             Expr::Binary { lhs, rhs, .. } => {
                 let a = self.loc_of(lhs, diags);
                 let b = self.loc_of(rhs, diags);
-                glb(&self.ctx(), &a, &b)
+                self.cache.glb(&self.ctx(), &a, &b)
             }
         }
     }
@@ -374,7 +391,7 @@ impl<'p> MethodChecker<'p> {
         what: &str,
         diags: &mut Diagnostics,
     ) {
-        match compare(&self.ctx(), dst, src) {
+        match self.cache.compare(&self.ctx(), dst, src) {
             Some(Ordering::Less) => {}
             Some(Ordering::Equal) if is_shared(&self.ctx(), dst) => {}
             _ => {
@@ -392,7 +409,7 @@ impl<'p> MethodChecker<'p> {
         if *pc == CompositeLoc::Top {
             return;
         }
-        match compare(&self.ctx(), dst, pc) {
+        match self.cache.compare(&self.ctx(), dst, pc) {
             Some(Ordering::Less) => {}
             Some(Ordering::Equal) if is_shared(&self.ctx(), dst) => {}
             _ => {
@@ -435,7 +452,7 @@ impl<'p> MethodChecker<'p> {
                 if let LValue::Index { base, index, .. } = lhs {
                     let arr = self.loc_of(base, diags);
                     let idx = self.loc_of(index, diags);
-                    match compare(&self.ctx(), &arr, &idx) {
+                    match self.cache.compare(&self.ctx(), &arr, &idx) {
                         Some(Ordering::Less) => {}
                         _ => diags.error(
                             format!(
@@ -455,7 +472,7 @@ impl<'p> MethodChecker<'p> {
             } => {
                 self.check_subexprs(cond, pc, diags);
                 let c = self.loc_of(cond, diags);
-                let pc2 = glb(&self.ctx(), pc, &c);
+                let pc2 = self.cache.glb(&self.ctx(), pc, &c);
                 self.check_block(then_blk, &pc2, diags);
                 if let Some(e) = else_blk {
                     self.check_block(e, &pc2, diags);
@@ -464,7 +481,7 @@ impl<'p> MethodChecker<'p> {
             Stmt::While { cond, body, .. } => {
                 self.check_subexprs(cond, pc, diags);
                 let c = self.loc_of(cond, diags);
-                let pc2 = glb(&self.ctx(), pc, &c);
+                let pc2 = self.cache.glb(&self.ctx(), pc, &c);
                 self.check_block(body, &pc2, diags);
             }
             Stmt::For {
@@ -480,7 +497,7 @@ impl<'p> MethodChecker<'p> {
                 let pc2 = if let Some(c) = cond {
                     self.check_subexprs(c, pc, diags);
                     let cl = self.loc_of(c, diags);
-                    glb(&self.ctx(), pc, &cl)
+                    self.cache.glb(&self.ctx(), pc, &cl)
                 } else {
                     pc.clone()
                 };
@@ -497,7 +514,7 @@ impl<'p> MethodChecker<'p> {
                         Some(rl) => {
                             // RETURN: the declared return location must be
                             // at or below the returned value.
-                            match compare(&self.ctx(), rl, &src) {
+                            match self.cache.compare(&self.ctx(), rl, &src) {
                                 Some(Ordering::Less) | Some(Ordering::Equal) => {}
                                 _ => diags.error(
                                     format!(
@@ -598,7 +615,7 @@ impl<'p> MethodChecker<'p> {
                     let mut loc = CompositeLoc::Top;
                     for a in args {
                         let al = self.loc_of(a, diags);
-                        loc = glb(&self.ctx(), &loc, &al);
+                        loc = self.cache.glb(&self.ctx(), &loc, &al);
                     }
                     return loc;
                 }
@@ -697,7 +714,7 @@ impl<'p> MethodChecker<'p> {
                         }
                     }
                     let arg_loc = self.loc_of(a, diags);
-                    match compare(&self.ctx(), &expected, &arg_loc) {
+                    match self.cache.compare(&self.ctx(), &expected, &arg_loc) {
                         Some(Ordering::Less) | Some(Ordering::Equal) => {}
                         _ => diags.error(
                             format!(
@@ -721,7 +738,7 @@ impl<'p> MethodChecker<'p> {
                 }
                 let callee_rel = compare(&callee_ctx, &callee_locs[i], &callee_locs[j]);
                 if matches!(callee_rel, Some(Ordering::Less)) {
-                    let caller_rel = compare(&self.ctx(), &caller_locs[i], &caller_locs[j]);
+                    let caller_rel = self.cache.compare(&self.ctx(), &caller_locs[i], &caller_locs[j]);
                     if !matches!(caller_rel, Some(Ordering::Less) | Some(Ordering::Equal)) {
                         diags.error(
                             format!(
@@ -773,7 +790,7 @@ impl<'p> MethodChecker<'p> {
                                 })
                         };
                         let dst = self.extend_along_path(base, base_class, &w.0[1..], &mut scratch);
-                        match compare(&self.ctx(), &dst, pc) {
+                        match self.cache.compare(&self.ctx(), &dst, pc) {
                             Some(Ordering::Less) => {}
                             Some(Ordering::Equal) if is_shared(&self.ctx(), &dst) => {}
                             _ => diags.error(
@@ -809,7 +826,7 @@ impl<'p> MethodChecker<'p> {
                 compare(&callee_ctx, ret_loc, cl),
                 Some(Ordering::Less) | Some(Ordering::Equal)
             ) {
-                result = glb(&self.ctx(), &result, al);
+                result = self.cache.glb(&self.ctx(), &result, al);
             }
         }
         // A this-rooted return location refines through the receiver's
@@ -823,7 +840,7 @@ impl<'p> MethodChecker<'p> {
                         refined = refined.extend_field(c, &f.name);
                     }
                 }
-                result = glb(&self.ctx(), &result, &refined);
+                result = self.cache.glb(&self.ctx(), &result, &refined);
             }
         }
         result

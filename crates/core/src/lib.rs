@@ -36,9 +36,66 @@ use sjava_analysis::callgraph;
 use sjava_analysis::written::{self, EvictionResult};
 use sjava_syntax::ast::Program;
 use sjava_syntax::diag::Diagnostics;
+use std::time::{Duration, Instant};
 
 pub use checker::MethodChecker;
 pub use model::{FieldInfo, Lattices, MethodInfo, ModelCtx};
+
+/// Wall-clock time spent in each phase of the checking pipeline.
+///
+/// `parse` is only populated by [`check_source`] (callers that hand
+/// [`check_program`] an already-parsed AST have no parse phase to
+/// charge). `threads` records the fan-out width the parallel phases ran
+/// with, so emitted timing artifacts are self-describing.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimings {
+    /// Lexing + parsing (only via [`check_source`]).
+    pub parse: Duration,
+    /// Building method/field lattices from annotations.
+    pub lattice_build: Duration,
+    /// Call-graph construction from the event loop.
+    pub callgraph: Duration,
+    /// The definitely-written (eviction) analysis.
+    pub eviction: Duration,
+    /// Flow-down type checking (the parallel method fan-out).
+    pub flow_check: Duration,
+    /// Linear-type aliasing checks.
+    pub aliasing: Duration,
+    /// Shared-location extension checks.
+    pub shared: Duration,
+    /// Loop termination analysis.
+    pub termination: Duration,
+    /// Worker threads used by the parallel phases.
+    pub threads: usize,
+}
+
+impl PhaseTimings {
+    /// Sum of all phase durations.
+    pub fn total(&self) -> Duration {
+        self.parse
+            + self.lattice_build
+            + self.callgraph
+            + self.eviction
+            + self.flow_check
+            + self.aliasing
+            + self.shared
+            + self.termination
+    }
+
+    /// `(name, duration)` pairs in pipeline order, for tabular output.
+    pub fn phases(&self) -> [(&'static str, Duration); 8] {
+        [
+            ("parse", self.parse),
+            ("lattice_build", self.lattice_build),
+            ("callgraph", self.callgraph),
+            ("eviction", self.eviction),
+            ("flow_check", self.flow_check),
+            ("aliasing", self.aliasing),
+            ("shared", self.shared),
+            ("termination", self.termination),
+        ]
+    }
+}
 
 /// Outcome of checking a program for self-stabilization.
 #[derive(Debug)]
@@ -51,6 +108,8 @@ pub struct CheckReport {
     pub eviction: Option<EvictionResult>,
     /// Number of loops the termination analysis could not verify.
     pub termination_failures: usize,
+    /// Per-phase wall-clock timings of this check.
+    pub timings: PhaseTimings,
 }
 
 impl CheckReport {
@@ -65,26 +124,62 @@ impl CheckReport {
 /// (§4.2.2), and loop termination (§4.3).
 pub fn check_program(program: &Program) -> CheckReport {
     let mut diags = Diagnostics::new();
+    let mut timings = PhaseTimings {
+        threads: sjava_par::num_threads(),
+        ..PhaseTimings::default()
+    };
+    let t = Instant::now();
     let lattices = Lattices::build(program, &mut diags);
-    let Some(cg) = callgraph::build(program, &mut diags) else {
+    timings.lattice_build = t.elapsed();
+    let t = Instant::now();
+    let cg = callgraph::build(program, &mut diags);
+    timings.callgraph = t.elapsed();
+    let Some(cg) = cg else {
         return CheckReport {
             diagnostics: diags,
             lattices,
             eviction: None,
             termination_failures: 0,
+            timings,
         };
     };
+    let t = Instant::now();
     let eviction = written::analyze(program, &cg, &mut diags);
+    timings.eviction = t.elapsed();
+    let t = Instant::now();
     checker::check_flows(program, &lattices, &cg, &eviction.summaries, &mut diags);
+    timings.flow_check = t.elapsed();
+    let t = Instant::now();
     linear::check_aliasing(program, &lattices, &cg, &mut diags);
+    timings.aliasing = t.elapsed();
+    let t = Instant::now();
     shared::check_shared(program, &lattices, &cg, &mut diags);
+    timings.shared = t.elapsed();
+    let t = Instant::now();
     let termination_failures = sjava_analysis::termination::check(program, &cg, &mut diags);
+    timings.termination = t.elapsed();
     CheckReport {
         diagnostics: diags,
         lattices,
         eviction: Some(eviction),
         termination_failures,
+        timings,
     }
+}
+
+/// Parses and checks source text, charging parse time to
+/// [`PhaseTimings::parse`].
+///
+/// # Errors
+///
+/// Returns the parser's diagnostics when the source does not parse.
+pub fn check_source(source: &str) -> Result<CheckReport, Diagnostics> {
+    let t = Instant::now();
+    let program = sjava_syntax::parse(source)?;
+    let parse = t.elapsed();
+    let mut report = check_program(&program);
+    report.timings.parse = parse;
+    Ok(report)
 }
 
 #[cfg(test)]

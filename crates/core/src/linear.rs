@@ -101,7 +101,7 @@ fn is_ref_expr(cx: &Cx<'_, '_>, e: &Expr) -> bool {
 }
 
 /// Classifies the ownership of a reference-producing expression.
-fn rhs_ownership(e: &Expr, st: &HashMap<String, Own>, cx: &mut Cx<'_, '_>) -> Own {
+fn rhs_ownership(e: &Expr, st: &HashMap<String, Own>) -> Own {
     match e {
         Expr::New { .. } | Expr::NewArray { .. } => Own::Owned,
         Expr::Null { .. } => Own::Owned,
@@ -110,7 +110,7 @@ fn rhs_ownership(e: &Expr, st: &HashMap<String, Own>, cx: &mut Cx<'_, '_>) -> Ow
         Expr::Var { name, .. } => st.get(name).copied().unwrap_or(Own::Borrowed),
         // Reading a reference out of the heap borrows it.
         Expr::Field { .. } | Expr::StaticField { .. } | Expr::Index { .. } => Own::Borrowed,
-        Expr::Cast { operand, .. } => rhs_ownership(operand, st, cx),
+        Expr::Cast { operand, .. } => rhs_ownership(operand, st),
         Expr::This { .. } => Own::Borrowed,
         _ => Own::Borrowed,
     }
@@ -238,7 +238,7 @@ fn walk_stmt(stmt: &Stmt, st: &mut HashMap<String, Own>, cx: &mut Cx<'_, '_>) {
                 scan_uses(e, st, cx);
                 handle_nested_calls(e, st, cx);
                 if ty.is_reference() {
-                    let own = rhs_ownership(e, st, cx);
+                    let own = rhs_ownership(e, st);
                     check_var_alias_locs(name, e, st, cx);
                     st.insert(name.clone(), own);
                 }
@@ -252,7 +252,7 @@ fn walk_stmt(stmt: &Stmt, st: &mut HashMap<String, Own>, cx: &mut Cx<'_, '_>) {
                     let is_local = cx.tenv.local(name).is_some();
                     if is_ref_expr(cx, rhs) {
                         if is_local {
-                            let own = rhs_ownership(rhs, st, cx);
+                            let own = rhs_ownership(rhs, st);
                             check_var_alias_locs(name, rhs, st, cx);
                             st.insert(name.clone(), own);
                         } else {

@@ -236,13 +236,12 @@ impl Walker<'_, '_> {
 
     fn scan_reads(&mut self, e: &Expr) {
         match e {
-            Expr::Var { name, .. } => {
-                if self.tenv.local(name).is_none() {
+            Expr::Var { name, .. }
+                if self.tenv.local(name).is_none() => {
                     if let Some(m) = self.member_field(&self.tenv.class.clone(), name) {
                         self.reads.insert(m);
                     }
                 }
-            }
             Expr::Field { base, field, .. } => {
                 self.scan_reads(base);
                 if let Some(Type::Class(c)) = self.tenv.ty(base) {

@@ -183,7 +183,7 @@ fn sinfer_lattice(
             .collect();
         if srcs.len() >= 2 && !dsts.is_empty() {
             let key = (srcs.clone(), dsts.clone());
-            if !merge_sigs.contains_key(&key) {
+            merge_sigs.entry(key).or_insert_with(|| {
                 let name = loop {
                     let cand = format!("MP{merge_counter}");
                     merge_counter += 1;
@@ -197,8 +197,8 @@ fn sinfer_lattice(
                 for t in &dsts {
                     ig.add_edge(name.clone(), t.clone());
                 }
-                merge_sigs.insert(key, name);
-            }
+                name
+            });
         }
     }
     ig.remove_redundant_edges();
@@ -407,7 +407,7 @@ fn local_depth(
             if is_iface(p) {
                 1
             } else {
-                1 + local_depth(h, &p.to_string(), is_iface, memo)
+                1 + local_depth(h, p, is_iface, memo)
             }
         })
         .max()

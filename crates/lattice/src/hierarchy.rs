@@ -138,13 +138,8 @@ impl HierarchyGraph {
     /// Finds one cycle's node set if any exists (Tarjan SCC, returning the
     /// first non-trivial component).
     pub fn find_cycle(&self) -> Option<Vec<String>> {
-        for scc in self.sccs() {
-            if scc.len() > 1 {
-                return Some(scc);
-            }
-        }
         // Self-loops are prevented by `add_edge`.
-        None
+        self.sccs().into_iter().find(|scc| scc.len() > 1)
     }
 
     /// Strongly connected components (each as a sorted node list).

@@ -1,0 +1,255 @@
+//! Interned composite locations with memoized ordering queries.
+//!
+//! The flow checker compares the same handful of [`CompositeLoc`]s against
+//! each other thousands of times per method (every assignment, branch and
+//! call site re-derives locations from the same annotation environment).
+//! Each raw [`compare`]/[`glb`] walks the element vectors and resolves
+//! location names through hash lookups; a [`LocInterner`] maps each
+//! composite location to a dense `u32` id once and caches the result of
+//! every `(id, id)` ordering query, so repeated queries are a single hash
+//! probe on a pair of integers. The underlying per-pair answers come from
+//! the [`Lattice`] reachability bitsets (`reach_up`/`reach_down`), so a
+//! cache miss is still cheap.
+//!
+//! A `LocInterner` memoizes against **one** [`LatticeCtx`] — the caches
+//! are keyed only by location ids, so answers would go stale under a
+//! different method lattice. Create one interner per checked method (the
+//! checker does exactly that); this also keeps the type `!Sync`-free of
+//! locking, since per-method state is thread-local to the worker checking
+//! that method.
+
+use crate::composite::{compare, glb, CompositeLoc, LatticeCtx};
+use crate::lattice::Lattice;
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Dense id of an interned [`CompositeLoc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocRef(pub u32);
+
+/// An interning table over composite locations with memoized
+/// [`compare`]/[`glb`] caches. See the module docs for the one-context
+/// caveat.
+#[derive(Debug, Default)]
+pub struct LocInterner {
+    ids: RefCell<HashMap<CompositeLoc, LocRef>>,
+    locs: RefCell<Vec<CompositeLoc>>,
+    cmp_cache: RefCell<HashMap<(LocRef, LocRef), Option<Ordering>>>,
+    glb_cache: RefCell<HashMap<(LocRef, LocRef), LocRef>>,
+}
+
+impl LocInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a location, returning its dense id (stable for the
+    /// lifetime of the interner).
+    pub fn intern(&self, loc: &CompositeLoc) -> LocRef {
+        if let Some(&r) = self.ids.borrow().get(loc) {
+            return r;
+        }
+        let mut locs = self.locs.borrow_mut();
+        let r = LocRef(locs.len() as u32);
+        locs.push(loc.clone());
+        self.ids.borrow_mut().insert(loc.clone(), r);
+        r
+    }
+
+    /// The location behind an id.
+    pub fn resolve(&self, r: LocRef) -> CompositeLoc {
+        self.locs.borrow()[r.0 as usize].clone()
+    }
+
+    /// Number of distinct interned locations.
+    pub fn len(&self) -> usize {
+        self.locs.borrow().len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.locs.borrow().is_empty()
+    }
+
+    /// Memoized [`compare`]: identical to the raw walk, one hash probe on
+    /// a repeat query.
+    pub fn compare(
+        &self,
+        ctx: &dyn LatticeCtx,
+        a: &CompositeLoc,
+        b: &CompositeLoc,
+    ) -> Option<Ordering> {
+        // Equality needs no lattice walk and no cache probe; it is also
+        // the single most common query the flow checker issues (`pc` vs
+        // the location it was just lowered to).
+        if a == b {
+            return Some(Ordering::Equal);
+        }
+        let (ra, rb) = (self.intern(a), self.intern(b));
+        if let Some(&hit) = self.cmp_cache.borrow().get(&(ra, rb)) {
+            return hit;
+        }
+        let res = compare(ctx, a, b);
+        let mut cache = self.cmp_cache.borrow_mut();
+        cache.insert((ra, rb), res);
+        cache.insert((rb, ra), res.map(Ordering::reverse));
+        res
+    }
+
+    /// Memoized [`glb`]; the result is interned too, so chained meets
+    /// (`pc` lowering through nested branches) reuse earlier answers.
+    pub fn glb(&self, ctx: &dyn LatticeCtx, a: &CompositeLoc, b: &CompositeLoc) -> CompositeLoc {
+        if a == b {
+            return a.clone();
+        }
+        let (ra, rb) = (self.intern(a), self.intern(b));
+        let key = if ra <= rb { (ra, rb) } else { (rb, ra) };
+        if let Some(&hit) = self.glb_cache.borrow().get(&key) {
+            return self.resolve(hit);
+        }
+        let res = glb(ctx, a, b);
+        let rres = self.intern(&res);
+        self.glb_cache.borrow_mut().insert(key, rres);
+        res
+    }
+
+    /// Memoized reflexive flow check `dst ⊑ src`.
+    pub fn may_flow(&self, ctx: &dyn LatticeCtx, src: &CompositeLoc, dst: &CompositeLoc) -> bool {
+        matches!(
+            self.compare(ctx, dst, src),
+            Some(Ordering::Less) | Some(Ordering::Equal)
+        )
+    }
+}
+
+/// Convenience for code that has a bare method [`Lattice`] and no field
+/// lattices (inference hot paths).
+pub struct MethodOnlyCtx<'a>(pub &'a Lattice);
+
+impl LatticeCtx for MethodOnlyCtx<'_> {
+    fn method_lattice(&self) -> &Lattice {
+        self.0
+    }
+
+    fn field_lattice(&self, _class: &str) -> Option<&Lattice> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composite::{Elem, SimpleCtx};
+
+    fn fixture() -> (Lattice, Vec<(String, Lattice)>) {
+        let method = Lattice::from_decl(
+            &[
+                ("STR".into(), "WDOBJ".into()),
+                ("WDOBJ".into(), "IN".into()),
+            ],
+            &[],
+            &[],
+        )
+        .expect("method lattice");
+        let wd = Lattice::from_decl(
+            &[
+                ("DIR".into(), "TMP".into()),
+                ("TMP".into(), "BIN".into()),
+            ],
+            &[],
+            &[],
+        )
+        .expect("field lattice");
+        (method, vec![("WDSensor".to_string(), wd)])
+    }
+
+    fn loc(parts: &[&str]) -> CompositeLoc {
+        let mut elems = vec![Elem::method(parts[0])];
+        for p in &parts[1..] {
+            elems.push(Elem::field("WDSensor", *p));
+        }
+        CompositeLoc::path(elems)
+    }
+
+    #[test]
+    fn interning_is_stable_and_dense() {
+        let interner = LocInterner::new();
+        let a = loc(&["STR"]);
+        let b = loc(&["IN"]);
+        let ra = interner.intern(&a);
+        assert_eq!(interner.intern(&b), LocRef(1));
+        assert_eq!(interner.intern(&a), ra);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.resolve(ra), a);
+    }
+
+    #[test]
+    fn cached_compare_matches_raw() {
+        let (m, f) = fixture();
+        let ctx = SimpleCtx {
+            method: &m,
+            fields: &f,
+        };
+        let interner = LocInterner::new();
+        let locs = [
+            loc(&["STR"]),
+            loc(&["WDOBJ"]),
+            loc(&["IN"]),
+            loc(&["WDOBJ", "DIR"]),
+            loc(&["WDOBJ", "TMP"]),
+            loc(&["WDOBJ", "BIN"]),
+            CompositeLoc::Top,
+            CompositeLoc::Bottom,
+            loc(&["WDOBJ", "TMP"]).delta(),
+        ];
+        for a in &locs {
+            for b in &locs {
+                // Query twice: the second hits the cache.
+                assert_eq!(interner.compare(&ctx, a, b), compare(&ctx, a, b));
+                assert_eq!(interner.compare(&ctx, a, b), compare(&ctx, a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn cached_glb_matches_raw() {
+        let (m, f) = fixture();
+        let ctx = SimpleCtx {
+            method: &m,
+            fields: &f,
+        };
+        let interner = LocInterner::new();
+        let locs = [
+            loc(&["STR"]),
+            loc(&["WDOBJ"]),
+            loc(&["IN"]),
+            loc(&["WDOBJ", "DIR"]),
+            loc(&["WDOBJ", "BIN"]),
+            CompositeLoc::Top,
+            CompositeLoc::Bottom,
+        ];
+        for a in &locs {
+            for b in &locs {
+                assert_eq!(interner.glb(&ctx, a, b), glb(&ctx, a, b), "a={a} b={b}");
+                assert_eq!(interner.glb(&ctx, a, b), glb(&ctx, b, a), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_queries_come_from_cache() {
+        let (m, f) = fixture();
+        let ctx = SimpleCtx {
+            method: &m,
+            fields: &f,
+        };
+        let interner = LocInterner::new();
+        let a = loc(&["STR"]);
+        let b = loc(&["IN"]);
+        assert_eq!(interner.compare(&ctx, &a, &b), Some(Ordering::Less));
+        // The reversed pair was seeded by the first query.
+        assert_eq!(interner.compare(&ctx, &b, &a), Some(Ordering::Greater));
+    }
+}

@@ -56,7 +56,23 @@ pub struct Lattice {
     below: Vec<Vec<LocId>>,
     /// Transitive reachability: `reach_up[x]` contains `y` iff `x ⊑ y`.
     reach_up: Vec<Vec<u64>>,
+    /// The transpose: `reach_down[x]` contains `y` iff `y ⊑ x`. Having
+    /// both directions lets GLB/LUB intersect candidate sets word-wise
+    /// instead of scanning all pairs.
+    reach_down: Vec<Vec<u64>>,
     shared: Vec<bool>,
+}
+
+/// The single bitset membership test every ⊑ query routes through.
+#[inline]
+fn bit(row: &[u64], idx: usize) -> bool {
+    row[idx / 64] & (1 << (idx % 64)) != 0
+}
+
+/// Sets one bit in a closure row.
+#[inline]
+fn set_bit(row: &mut [u64], idx: usize) {
+    row[idx / 64] |= 1 << (idx % 64);
 }
 
 impl Lattice {
@@ -68,6 +84,7 @@ impl Lattice {
             above: vec![Vec::new(), Vec::new()],
             below: vec![Vec::new(), Vec::new()],
             reach_up: Vec::new(),
+            reach_down: Vec::new(),
             shared: vec![false, false],
         };
         l.by_name.insert("_TOP".into(), TOP);
@@ -238,11 +255,11 @@ impl Lattice {
         let mut reach = vec![vec![0u64; words]; n];
         // Seed reflexivity and every element ⊑ ⊤, ⊥ ⊑ every element.
         for (i, row) in reach.iter_mut().enumerate() {
-            row[i / 64] |= 1 << (i % 64);
-            row[TOP.0 as usize / 64] |= 1 << (TOP.0 as usize % 64);
+            set_bit(row, i);
+            set_bit(row, TOP.0 as usize);
         }
         for i in 0..n {
-            reach[BOTTOM.0 as usize][i / 64] |= 1 << (i % 64);
+            set_bit(&mut reach[BOTTOM.0 as usize], i);
         }
         // Propagate along `above` edges to a fixed point (graphs are small;
         // simple iteration is fine and easy to audit).
@@ -268,11 +285,28 @@ impl Lattice {
                 }
             }
         }
+        // Transpose into the downward closure so lower-bound queries are
+        // also single word-indexed reads.
+        let mut down = vec![vec![0u64; words]; n];
+        for (x, row) in reach.iter().enumerate() {
+            for (y, drow) in down.iter_mut().enumerate() {
+                if bit(row, y) {
+                    set_bit(drow, x);
+                }
+            }
+        }
         self.reach_up = reach;
+        self.reach_down = down;
+    }
+
+    /// Whether the closure matches the current node set (mutation batches
+    /// may leave it stale until the next [`Lattice::recompute`]).
+    fn closure_fresh(&self) -> bool {
+        self.reach_up.len() == self.names.len()
     }
 
     fn reaches_up(&self, from: LocId, to: LocId) -> bool {
-        if self.reach_up.len() != self.names.len() {
+        if !self.closure_fresh() {
             // Closure stale (nodes added since last recompute): walk
             // directly.
             let mut stack = vec![from];
@@ -288,8 +322,7 @@ impl Lattice {
             }
             return false;
         }
-        let row = &self.reach_up[from.0 as usize];
-        row[to.0 as usize / 64] & (1 << (to.0 as usize % 64)) != 0
+        bit(&self.reach_up[from.0 as usize], to.0 as usize)
     }
 
     /// Reflexive ordering: `a ⊑ b` — values may flow from `b` down to `a`.
@@ -331,7 +364,41 @@ impl Lattice {
         if self.leq(b, a) {
             return b;
         }
-        // Common lower bounds; pick the unique maximal one if it exists.
+        // Common lower bounds: intersect the downward closures word-wise,
+        // then keep the unique maximal one if it exists. A candidate `x`
+        // is maximal when nothing else in the candidate set sits above it,
+        // i.e. its upward closure meets the candidates only at `x` itself.
+        if self.closure_fresh() {
+            let da = &self.reach_down[a.0 as usize];
+            let db = &self.reach_down[b.0 as usize];
+            let cand: Vec<u64> = da.iter().zip(db).map(|(x, y)| x & y).collect();
+            let mut maximal = None;
+            for x in self.ids() {
+                let xi = x.0 as usize;
+                if !bit(&cand, xi) {
+                    continue;
+                }
+                let above_in_cand = self.reach_up[xi]
+                    .iter()
+                    .zip(&cand)
+                    .enumerate()
+                    .any(|(w, (up, c))| {
+                        let mut hits = up & c;
+                        if xi / 64 == w {
+                            hits &= !(1 << (xi % 64)); // ignore x itself
+                        }
+                        hits != 0
+                    });
+                if !above_in_cand {
+                    if maximal.is_some() {
+                        return BOTTOM; // two maximal lower bounds: no unique GLB
+                    }
+                    maximal = Some(x);
+                }
+            }
+            return maximal.unwrap_or(BOTTOM);
+        }
+        // Stale closure: fall back to the quadratic scan.
         let lower: Vec<LocId> = self
             .ids()
             .filter(|&x| self.leq(x, a) && self.leq(x, b))
@@ -357,6 +424,38 @@ impl Lattice {
         }
         if self.leq(b, a) {
             return a;
+        }
+        // Mirror of `glb`: intersect upward closures, pick the unique
+        // minimal element (nothing in the candidate set below it).
+        if self.closure_fresh() {
+            let ua = &self.reach_up[a.0 as usize];
+            let ub = &self.reach_up[b.0 as usize];
+            let cand: Vec<u64> = ua.iter().zip(ub).map(|(x, y)| x & y).collect();
+            let mut minimal = None;
+            for x in self.ids() {
+                let xi = x.0 as usize;
+                if !bit(&cand, xi) {
+                    continue;
+                }
+                let below_in_cand = self.reach_down[xi]
+                    .iter()
+                    .zip(&cand)
+                    .enumerate()
+                    .any(|(w, (down, c))| {
+                        let mut hits = down & c;
+                        if xi / 64 == w {
+                            hits &= !(1 << (xi % 64));
+                        }
+                        hits != 0
+                    });
+                if !below_in_cand {
+                    if minimal.is_some() {
+                        return TOP;
+                    }
+                    minimal = Some(x);
+                }
+            }
+            return minimal.unwrap_or(TOP);
         }
         let upper: Vec<LocId> = self
             .ids()

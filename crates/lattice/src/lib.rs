@@ -26,6 +26,7 @@ pub mod completion;
 pub mod composite;
 pub mod dot;
 pub mod hierarchy;
+pub mod intern;
 pub mod lattice;
 pub mod paths;
 
@@ -35,6 +36,7 @@ pub use composite::{
     Space,
 };
 pub use dot::lattice_to_dot;
+pub use intern::{LocInterner, LocRef};
 pub use hierarchy::HierarchyGraph;
 pub use lattice::{Lattice, LatticeError, LocId, BOTTOM, TOP};
 pub use paths::{count_paths, is_complex, COMPLEX_THRESHOLD};

@@ -1,0 +1,162 @@
+//! # sjava-par
+//!
+//! Deterministic fan-out primitives for the parallel whole-program
+//! checking pipeline. All parallelism in the workspace funnels through
+//! [`run_indexed`]: tasks are identified by a dense index, workers pull
+//! indices from a shared counter, and results are returned **in index
+//! order** regardless of completion order — so callers that merge
+//! per-task outputs (diagnostics buffers, method summaries, injection
+//! trials) stay byte-for-byte deterministic at any thread count.
+//!
+//! The worker pool is plain `std::thread::scope` — no runtime dependency.
+//! The pool size comes from the `SJAVA_THREADS` environment variable when
+//! set (clamped to ≥1), otherwise from `std::thread::available_parallelism`.
+//! Compiling without the `parallel` feature (enabled by default) turns
+//! every fan-out into a sequential loop.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count (`SJAVA_THREADS=1`
+/// forces the sequential path at runtime).
+pub const THREADS_ENV: &str = "SJAVA_THREADS";
+
+/// The number of worker threads fan-outs will use: `SJAVA_THREADS` when
+/// set, otherwise the machine's available parallelism. Always ≥1; always
+/// 1 when the `parallel` feature is disabled.
+pub fn num_threads() -> usize {
+    if !cfg!(feature = "parallel") {
+        return 1;
+    }
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Runs `f(0) .. f(n-1)` across [`num_threads`] scoped workers and
+/// returns the results **in index order**.
+///
+/// Panics in a task propagate to the caller once all workers have
+/// stopped pulling new indices.
+pub fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed_with(n, num_threads(), f)
+}
+
+/// [`run_indexed`] with an explicit worker count (used by tests and
+/// benchmarks; `threads ≤ 1` is the sequential path).
+pub fn run_indexed_with<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 || !cfg!(feature = "parallel") {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let done = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                // Each worker stages results locally and merges once, so
+                // the mutex is taken `workers` times, not `n` times.
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                done.lock().expect("worker panicked holding lock").extend(local);
+            });
+        }
+    });
+    let mut pairs = done.into_inner().expect("worker panicked holding lock");
+    assert_eq!(pairs.len(), n, "every index must produce a result");
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Partitions `0..n` into contiguous chunks, one per worker, and runs
+/// `f(chunk_range)` on each; chunk results are concatenated in order.
+/// Useful when per-index closures are too fine-grained to amortize.
+pub fn run_chunked<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+{
+    let threads = num_threads();
+    if threads <= 1 || n <= 1 {
+        return f(0..n);
+    }
+    let workers = threads.min(n);
+    let chunk = n.div_ceil(workers);
+    let ranges: Vec<std::ops::Range<usize>> = (0..workers)
+        .map(|w| (w * chunk).min(n)..((w + 1) * chunk).min(n))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let per_chunk = run_indexed_with(ranges.len(), workers, |i| f(ranges[i].clone()));
+    per_chunk.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 8] {
+            let out = run_indexed_with(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = run_indexed_with(1000, 4, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(run_indexed_with(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed_with(1, 8, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn chunked_concatenates_in_order() {
+        let out = run_chunked(37, |r| r.map(|i| i * 2).collect());
+        assert_eq!(out, (0..37).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_side_work() {
+        // Unequal task costs exercise the work-stealing counter.
+        let work = |i: usize| -> u64 {
+            let mut acc = i as u64;
+            for _ in 0..(i % 17) * 100 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let seq = run_indexed_with(200, 1, work);
+        let par = run_indexed_with(200, 7, work);
+        assert_eq!(seq, par);
+    }
+}

@@ -150,7 +150,7 @@ mod tests {
     fn float_tolerance() {
         let g = vec![vec![Value::Float(1.0)]];
         let j = vec![vec![Value::Float(1.0 + 1e-12)]];
-        assert!(compare_runs(&g, &j, 1e-9).diverged == false);
+        assert!(!compare_runs(&g, &j, 1e-9).diverged);
         assert!(compare_runs(&g, &j, 0.0).diverged);
     }
 }

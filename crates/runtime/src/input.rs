@@ -23,6 +23,12 @@ pub struct ScriptedInput {
     pub fallback: Value,
 }
 
+impl Default for ScriptedInput {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl ScriptedInput {
     /// Creates an empty provider with `Int(0)` fallback.
     pub fn new() -> Self {

@@ -194,6 +194,11 @@ impl Heap {
                 }
             }
         }
+        // `fields` is a HashMap, so the raw order varies per RandomState
+        // (i.e. per process and per allocating thread). Seeded injection
+        // must pick the same cell for the same seed everywhere, so fix a
+        // total order before anyone indexes into this.
+        out.sort_unstable();
         out
     }
 }

@@ -124,11 +124,10 @@ fn count_block(block: &Block, counts: &mut AnnotationCounts) {
 
 fn count_stmt(stmt: &Stmt, counts: &mut AnnotationCounts) {
     match stmt {
-        Stmt::VarDecl { annots, .. } => {
-            if annots.loc.is_some() {
+        Stmt::VarDecl { annots, .. }
+            if annots.loc.is_some() => {
                 counts.locations += 1;
             }
-        }
         Stmt::If {
             then_blk, else_blk, ..
         } => {

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the workspace. Run from the repository root:
+#
+#   ./scripts/ci.sh
+#
+# Steps:
+#   1. release build of every crate
+#   2. the full test suite (includes the 1-vs-N worker determinism
+#      regression in crates/bench/tests/determinism.rs)
+#   3. clippy with warnings denied
+#   4. an explicit release-mode run of the determinism regression, so
+#      the parallel pipeline is exercised with optimizations on
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== test =="
+cargo test -q --workspace
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== determinism: identical diagnostics at 1..8 worker threads =="
+cargo test --release -q -p sjava-bench --test determinism
+
+echo "CI green"

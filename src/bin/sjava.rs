@@ -61,7 +61,7 @@ fn cmd_lifetimes(path: &str) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let sites = sjava::analysis::analyze_lifetimes(&program, &cg);
-    println!("{:<24}{:<12}{:<10}{:<12}{}", "method", "class", "escape", "bound", "at");
+    println!("{:<24}{:<12}{:<10}{:<12}at", "method", "class", "escape", "bound");
     for s in sites {
         let bound = s
             .bound_iterations
