@@ -60,6 +60,27 @@ impl CallGraph {
         }
         out
     }
+
+    /// The upward closure of a locally-dirty method set: every method
+    /// that is dirty itself or (transitively) calls a dirty method. An
+    /// incremental re-check only needs to re-analyze this cone; results
+    /// for everything outside it can be replayed from cache.
+    pub fn dirty_cone(&self, dirty: &BTreeSet<MethodRef>) -> BTreeSet<MethodRef> {
+        let mut cone: BTreeSet<MethodRef> = BTreeSet::new();
+        // `topo` is callees-first, so by the time we reach a caller every
+        // callee's cone membership is already decided.
+        for m in &self.topo {
+            let hit = dirty.contains(m)
+                || self
+                    .calls
+                    .get(m)
+                    .is_some_and(|cs| cs.iter().any(|c| cone.contains(c)));
+            if hit {
+                cone.insert(m.clone());
+            }
+        }
+        cone
+    }
 }
 
 /// Locates the unique `SSJAVA:`-labeled event loop.
@@ -120,9 +141,41 @@ fn collect_event_loops<'a>(block: &'a Block, out: &mut Vec<&'a Stmt>) {
     }
 }
 
+/// The direct callee set of one resolvable method. Trusted
+/// methods/classes are opaque — their callees are not analyzed (§6.1,
+/// e.g. the BitStream and motor controller) — and unresolvable
+/// references contribute nothing. This is the per-method unit the
+/// incremental layer memoizes.
+pub fn method_callees(program: &Program, mref: &MethodRef) -> BTreeSet<MethodRef> {
+    let Some((decl_class, method)) = program.resolve_method(&mref.0, &mref.1) else {
+        return BTreeSet::new();
+    };
+    if method.annots.trusted || decl_class.annots.trusted {
+        return BTreeSet::new();
+    }
+    let mut env = TypeEnv::for_method(program, &mref.0, method);
+    env.bind_block(&method.body);
+    let mut callees = BTreeSet::new();
+    collect_calls_block(&method.body, &env, program, &mut callees);
+    callees
+}
+
 /// Builds the call graph from the event loop, reporting recursion as an
 /// error.
 pub fn build(program: &Program, diags: &mut Diagnostics) -> Option<CallGraph> {
+    build_with(program, diags, |m| method_callees(program, m))
+}
+
+/// [`build`] with a pluggable callee-set supplier: the incremental layer
+/// passes a closure that serves memoized per-method callee sets and only
+/// falls back to [`method_callees`] on a miss. Graph assembly (worklist
+/// from the event loop + topological sort) is always recomputed — it is
+/// cheap, and it is what makes the supplier's per-method answers safe to
+/// reuse.
+pub fn build_with<F>(program: &Program, diags: &mut Diagnostics, mut callees_of: F) -> Option<CallGraph>
+where
+    F: FnMut(&MethodRef) -> BTreeSet<MethodRef>,
+{
     let (entry, loop_stmt) = find_event_loop(program, diags)?;
     let mut calls: BTreeMap<MethodRef, BTreeSet<MethodRef>> = BTreeMap::new();
     let mut stack: Vec<MethodRef> = vec![entry.clone()];
@@ -131,19 +184,10 @@ pub fn build(program: &Program, diags: &mut Diagnostics) -> Option<CallGraph> {
         if !seen.insert(mref.clone()) {
             continue;
         }
-        let Some((decl_class, method)) = program.resolve_method(&mref.0, &mref.1) else {
-            continue;
-        };
-        // Trusted methods/classes are opaque: their callees are not
-        // analyzed (§6.1, e.g. the BitStream and motor controller).
-        if method.annots.trusted || decl_class.annots.trusted {
-            calls.entry(mref).or_default();
+        if program.resolve_method(&mref.0, &mref.1).is_none() {
             continue;
         }
-        let mut env = TypeEnv::for_method(program, &mref.0, method);
-        env.bind_block(&method.body);
-        let mut callees = BTreeSet::new();
-        collect_calls_block(&method.body, &env, program, &mut callees);
+        let callees = callees_of(&mref);
         for c in &callees {
             stack.push(c.clone());
         }

@@ -7,7 +7,7 @@
 //! handle must carry a `MAXLOOP_n:` bound or a `TERMINATE_x:` trusted
 //! label (§4.3.2). Recursion is rejected by the call-graph builder.
 
-use crate::callgraph::CallGraph;
+use crate::callgraph::{CallGraph, MethodRef};
 use sjava_syntax::ast::*;
 use sjava_syntax::diag::Diagnostics;
 use std::collections::BTreeSet;
@@ -17,15 +17,27 @@ use std::collections::BTreeSet;
 pub fn check(program: &Program, cg: &CallGraph, diags: &mut Diagnostics) -> usize {
     let mut failures = 0;
     for mref in &cg.topo {
-        let Some((decl_class, method)) = program.resolve_method(&mref.0, &mref.1) else {
-            continue;
-        };
-        if method.annots.trusted || decl_class.annots.trusted {
-            continue;
-        }
-        failures += check_block(&method.body, diags);
+        let (n, d) = check_method(program, mref);
+        failures += n;
+        diags.extend(d);
     }
     failures
+}
+
+/// Termination verdict for a single method: its failure count and the
+/// diagnostics it contributed, in source order. Trusted or unresolvable
+/// methods yield `(0, empty)`. The verdict depends only on the method
+/// body, so the incremental layer caches it per method fingerprint.
+pub fn check_method(program: &Program, mref: &MethodRef) -> (usize, Diagnostics) {
+    let mut diags = Diagnostics::new();
+    let Some((decl_class, method)) = program.resolve_method(&mref.0, &mref.1) else {
+        return (0, diags);
+    };
+    if method.annots.trusted || decl_class.annots.trusted {
+        return (0, diags);
+    }
+    let n = check_block(&method.body, &mut diags);
+    (n, diags)
 }
 
 fn check_block(block: &Block, diags: &mut Diagnostics) -> usize {

@@ -66,14 +66,8 @@ pub fn analyze(program: &Program, cg: &CallGraph, diags: &mut Diagnostics) -> Ev
     // `MethodRef` lands in a `BTreeMap`, so the result is identical at
     // any thread count.
     for wave in cg.levels() {
-        let wave_summaries = sjava_par::run_indexed(wave.len(), |i| {
-            let mref = &wave[i];
-            let (decl_class, method) = program.resolve_method(&mref.0, &mref.1)?;
-            if method.annots.trusted || decl_class.annots.trusted {
-                return Some(MethodSummary::default());
-            }
-            Some(summarize_method(program, &mref.0, method, &summaries))
-        });
+        let wave_summaries =
+            sjava_par::run_indexed(wave.len(), |i| summarize(program, &wave[i], &summaries));
         for (mref, summary) in wave.iter().zip(wave_summaries) {
             if let Some(s) = summary {
                 summaries.insert(mref.clone(), s);
@@ -81,23 +75,56 @@ pub fn analyze(program: &Program, cg: &CallGraph, diags: &mut Diagnostics) -> Ev
         }
     }
 
-    let (stale_paths, stale_locals) = check_event_loop(program, cg, &summaries);
-    for (p, span) in &stale_paths {
+    let (stale_paths, stale_locals) = check_loop(program, cg, &summaries);
+    report(&stale_paths, &stale_locals, diags);
+    EvictionResult {
+        summaries,
+        stale_paths,
+        stale_locals,
+    }
+}
+
+/// Summarizes one method given its callees' summaries (which must already
+/// be present in `summaries` — the caller iterates bottom-up). Trusted
+/// methods get an empty (effect-free) summary; unresolvable references
+/// get `None`. This is the per-method unit the incremental layer caches.
+pub fn summarize(
+    program: &Program,
+    mref: &MethodRef,
+    summaries: &BTreeMap<MethodRef, MethodSummary>,
+) -> Option<MethodSummary> {
+    let (decl_class, method) = program.resolve_method(&mref.0, &mref.1)?;
+    if method.annots.trusted || decl_class.annots.trusted {
+        return Some(MethodSummary::default());
+    }
+    Some(summarize_method(program, &mref.0, method, summaries))
+}
+
+/// Checks the §4.2.1 conditions on the event loop against a complete
+/// summary map. Always recomputed by the incremental layer (it reads
+/// every summary, so caching it would buy nothing and risk staleness).
+pub fn check_loop(
+    program: &Program,
+    cg: &CallGraph,
+    summaries: &BTreeMap<MethodRef, MethodSummary>,
+) -> (Vec<StalePath>, Vec<StaleLocal>) {
+    check_event_loop(program, cg, summaries)
+}
+
+/// Renders eviction failures into diagnostics — factored out so a cached
+/// and a fresh analysis emit byte-identical messages.
+pub fn report(stale_paths: &[StalePath], stale_locals: &[StaleLocal], diags: &mut Diagnostics) {
+    for (p, span) in stale_paths {
         diags.error(
             format!("heap location {p} may be read without being overwritten every event-loop iteration"),
             *span,
         );
     }
-    for (v, span) in &stale_locals {
+    for (v, span) in stale_locals {
         diags.error(
             format!("local `{v}` may carry a value across event-loop iterations without being overwritten"),
             *span,
         );
-    }
-    EvictionResult {
-        summaries,
-        stale_paths,
-        stale_locals,
     }
 }
 

@@ -1,0 +1,182 @@
+//! Incremental-checking benchmark: for every `sjava-apps` benchmark,
+//! measures a cold whole-program check, a warm re-check of the unchanged
+//! program, and a re-check after a one-literal edit to a single method,
+//! all through `sjava_cache::IncrementalChecker`. Every incremental
+//! output is asserted byte-identical to a fresh full check before its
+//! timing counts. Emits `results/BENCH_incremental.json`.
+//!
+//! Usage: `cargo run --release -p sjava-bench --bin bench_incremental`
+//! Env overrides: `SJAVA_REPS` (timed repetitions, default 20),
+//! `SJAVA_THREADS` (worker-pool width), `SJAVA_CACHE_DIR` (also exercises
+//! the on-disk cache).
+
+use std::time::{Duration, Instant};
+
+use sjava_bench::{env_usize, write_result};
+use sjava_cache::edit::mutate_first_literal;
+use sjava_cache::IncrementalChecker;
+use sjava_core::CacheStats;
+use sjava_syntax::ast::Program;
+
+fn benchmarks() -> Vec<(&'static str, String)> {
+    vec![
+        ("windsensor", sjava_apps::windsensor::SOURCE.to_string()),
+        ("eyetrack", sjava_apps::eyetrack::SOURCE.to_string()),
+        ("sumobot", sjava_apps::sumobot::SOURCE.to_string()),
+        ("mp3dec", sjava_apps::mp3dec::source().to_string()),
+        // The largest benchmark: the decoder with a 512-wide synthesis
+        // window, whose unrolled butterfly makes `SynthesisFilter.compute`
+        // dominate the cold check — exactly the method an edit elsewhere
+        // should leave cached.
+        (
+            "mp3dec_w512",
+            sjava_apps::mp3dec::source_with(sjava_apps::mp3dec::GRANULE, 512),
+        ),
+    ]
+}
+
+/// Mutates one literal in the first method (source order) that has one.
+fn edit_one_method(program: &mut Program) {
+    let targets: Vec<(String, String)> = program
+        .classes
+        .iter()
+        .flat_map(|c| c.methods.iter().map(|m| (c.name.clone(), m.name.clone())))
+        .collect();
+    for (class, method) in targets {
+        if mutate_first_literal(program, &class, &method) {
+            return;
+        }
+    }
+    panic!("benchmark has no literal to mutate");
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1000.0
+}
+
+struct Row {
+    name: &'static str,
+    cold_ms: f64,
+    warm_ms: f64,
+    edit_ms: f64,
+    stats: CacheStats,
+}
+
+/// Measures one benchmark. `reps` controls how many timed repetitions
+/// each scenario averages over.
+fn measure(name: &'static str, source: &str, reps: usize) -> Row {
+    let program = sjava_syntax::parse(source).expect("benchmark parses");
+
+    // Cold: a fresh session per rep, so nothing is ever reused.
+    let mut cold = Duration::ZERO;
+    for _ in 0..reps {
+        let mut session = IncrementalChecker::new();
+        let t = Instant::now();
+        session.check(&program);
+        cold += t.elapsed();
+    }
+
+    // Warm: one primed session re-checking the unchanged program.
+    let mut session = IncrementalChecker::from_env();
+    let baseline = session.check(&program);
+    let mut warm = Duration::ZERO;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let report = session.check(&program);
+        warm += t.elapsed();
+        if std::env::var("SJAVA_BENCH_PHASES").is_ok() {
+            for (phase, d) in report.timings.phases() {
+                eprintln!("  {name} warm {phase}: {:.3} ms", ms(d));
+            }
+            eprintln!("  {name} warm wall: {:.3} ms", ms(report.timings.total()));
+        }
+        assert_eq!(
+            format!("{}", report.diagnostics),
+            format!("{}", baseline.diagnostics),
+            "{name}: warm diagnostics must be byte-identical"
+        );
+    }
+
+    // Edit: the developer workflow — a session warmed on the pristine
+    // program re-checks after a one-literal edit to a single method. A
+    // fresh session is primed (untimed) per rep so every timed check sees
+    // a never-before-seen fingerprint for exactly the edited cone.
+    let mut edited = program.clone();
+    edit_one_method(&mut edited);
+    let mut edit = Duration::ZERO;
+    let mut stats = CacheStats::default();
+    for _ in 0..reps {
+        let mut primed = IncrementalChecker::new();
+        primed.check(&program);
+        let t = Instant::now();
+        let report = primed.check(&edited);
+        edit += t.elapsed();
+        stats = report.cache.expect("incremental report carries stats");
+    }
+    // Correctness gate: the incremental output after the edit must match
+    // a fresh full check of the same AST byte-for-byte.
+    let full = sjava_core::check_program(&edited);
+    let incremental = session.check(&edited);
+    assert_eq!(
+        format!("{}", incremental.diagnostics),
+        format!("{}", full.diagnostics),
+        "{name}: incremental output diverged from the full checker"
+    );
+    assert_eq!(incremental.termination_failures, full.termination_failures);
+
+    Row {
+        name,
+        cold_ms: ms(cold) / reps as f64,
+        warm_ms: ms(warm) / reps as f64,
+        edit_ms: ms(edit) / reps as f64,
+        stats,
+    }
+}
+
+fn main() {
+    let reps = env_usize("SJAVA_REPS", 20);
+    let threads = sjava_par::num_threads();
+    println!("BENCH_incremental — content-addressed incremental checking");
+    println!("{reps} reps per scenario; pool width {threads} (override with SJAVA_THREADS)");
+
+    let rows: Vec<Row> = benchmarks()
+        .into_iter()
+        .map(|(name, source)| measure(name, &source, reps))
+        .collect();
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let warm_speedup = r.cold_ms / r.warm_ms.max(1e-9);
+        let edit_speedup = r.cold_ms / r.edit_ms.max(1e-9);
+        println!(
+            "{:>12}: cold {:8.3} ms | warm {:8.3} ms ({:6.1}x) | 1-method edit {:8.3} ms ({:6.1}x) | {} hits / {} misses",
+            r.name, r.cold_ms, r.warm_ms, warm_speedup, r.edit_ms, edit_speedup,
+            r.stats.hits, r.stats.misses
+        );
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"cold_ms\": {:.4}, \"warm_ms\": {:.4}, \"edit_ms\": {:.4}, \"warm_speedup\": {:.2}, \"edit_speedup\": {:.2}, \"hits\": {}, \"misses\": {}, \"invalidations\": {} }}{}\n",
+            r.name, r.cold_ms, r.warm_ms, r.edit_ms, warm_speedup, edit_speedup,
+            r.stats.hits, r.stats.misses, r.stats.invalidations,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let largest = rows.last().expect("benchmarks are non-empty");
+    let edit_speedup = largest.cold_ms / largest.edit_ms.max(1e-9);
+    println!(
+        "largest benchmark ({}): 1-method edit re-check is {edit_speedup:.1}x faster than a cold check",
+        largest.name
+    );
+    assert!(
+        edit_speedup >= 5.0,
+        "acceptance: warm 1-method-edit must be >= 5x faster than cold on {} (got {edit_speedup:.1}x)",
+        largest.name
+    );
+
+    let path = write_result("BENCH_incremental.json", &json);
+    println!("written to {}", path.display());
+}

@@ -1,0 +1,227 @@
+//! Golden-diagnostic snapshot suite: every `sjava-apps` benchmark and a
+//! set of deliberately-broken probe programs are checked, and the
+//! rendered report (ok flag, termination-failure count, and every
+//! diagnostic line) is compared byte-for-byte against checked-in
+//! fixtures under `tests/golden/`.
+//!
+//! Each source is also run through `sjava_cache::IncrementalChecker`
+//! twice — a cold check and a warm replay — and both must render the
+//! same bytes as the cache-less `check_source`, so the fixtures pin the
+//! incremental pipeline too.
+//!
+//! To regenerate after an intentional diagnostic change:
+//!
+//! ```text
+//! SJAVA_REGEN_GOLDEN=1 cargo test -p sjava-bench --test golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Set to `1` to rewrite the fixtures instead of comparing against them.
+const REGEN_ENV: &str = "SJAVA_REGEN_GOLDEN";
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Renders a report the same way for the full and incremental checkers.
+fn render(result: Result<sjava_core::CheckReport, sjava_core::ParseFailure>) -> String {
+    match result {
+        Ok(report) => format!(
+            "ok={} termination_failures={}\n{}",
+            report.is_ok(),
+            report.termination_failures,
+            report.diagnostics
+        ),
+        Err(failure) => format!("parse error\n{failure}"),
+    }
+}
+
+fn assert_matches_fixture(name: &str, rendered: &str) {
+    let path = fixture_dir().join(format!("{name}.txt"));
+    if std::env::var(REGEN_ENV).as_deref() == Ok("1") {
+        fs::create_dir_all(fixture_dir()).expect("create fixture dir");
+        fs::write(&path, rendered).expect("write fixture");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run with {REGEN_ENV}=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        expected,
+        "golden mismatch for `{name}`; if the new output is intended, \
+         regenerate with {REGEN_ENV}=1 and review the fixture diff"
+    );
+}
+
+/// Snapshots one source and pins the incremental checker to the same
+/// bytes, cold and warm.
+fn golden(name: &str, source: &str) {
+    let rendered = render(sjava_core::check_source(source));
+    assert_matches_fixture(name, &rendered);
+
+    let mut session = sjava_cache::IncrementalChecker::new();
+    let cold = render(session.check_source(source));
+    assert_eq!(cold, rendered, "{name}: incremental cold check diverged");
+    let warm = render(session.check_source(source));
+    assert_eq!(warm, rendered, "{name}: incremental warm replay diverged");
+}
+
+#[test]
+fn windsensor_matches_golden() {
+    golden("windsensor", sjava_apps::windsensor::SOURCE);
+}
+
+#[test]
+fn eyetrack_matches_golden() {
+    golden("eyetrack", sjava_apps::eyetrack::SOURCE);
+}
+
+#[test]
+fn sumobot_matches_golden() {
+    golden("sumobot", sjava_apps::sumobot::SOURCE);
+}
+
+#[test]
+fn mp3dec_matches_golden() {
+    golden("mp3dec", sjava_apps::mp3dec::source());
+}
+
+#[test]
+fn weather_matches_golden() {
+    // The unannotated weather source fails the checker; its long error
+    // list pins the merge order of the parallel per-method buffers.
+    golden("weather", sjava_apps::weather::SOURCE);
+}
+
+#[test]
+fn probe_flow_up_matches_golden() {
+    golden(
+        "probe_flow_up",
+        r#"@LATTICE("LO<HI") @METHODDEFAULT("V<IN") @THISLOC("V")
+           class A {
+               @LOC("HI") int hi; @LOC("LO") int lo;
+               void main() {
+                   SSJAVA: while (true) {
+                       @LOC("IN") int x = Device.read();
+                       hi = x;
+                       lo = hi;
+                       hi = lo;
+                       Out.emit(lo);
+                   }
+               }
+           }"#,
+    );
+}
+
+#[test]
+fn probe_implicit_flow_matches_golden() {
+    golden(
+        "probe_implicit_flow",
+        r#"@LATTICE("A<B") @METHODDEFAULT("V<IN") @THISLOC("V")
+           class A {
+               @LOC("A") int a; @LOC("B") int b;
+               void main() {
+                   SSJAVA: while (true) {
+                       @LOC("IN") int x = Device.read();
+                       b = x;
+                       a = b;
+                       if (a > 0) { b = 1; } else { b = 0; }
+                       Out.emit(a);
+                   }
+               }
+           }"#,
+    );
+}
+
+#[test]
+fn probe_unprovable_loop_matches_golden() {
+    golden(
+        "probe_unprovable_loop",
+        "class A { void main() { SSJAVA: while (true) {
+            int i = Device.read();
+            while (i != 3) { i = Device.read(); }
+            Out.emit(i);
+        } } }",
+    );
+}
+
+#[test]
+fn probe_stale_heap_matches_golden() {
+    // The windsensor example with the `dir2` shift made conditional:
+    // `bin.dir2` is still read by `calculate` every iteration but is no
+    // longer definitely overwritten, so the eviction analysis (§4.2)
+    // must flag the stale heap location.
+    golden(
+        "probe_stale_heap",
+        r#"@LATTICE("DIR<TMP,TMP<BIN")
+           class WDSensor {
+               @LOC("BIN") WindRec bin;
+               @LOC("DIR") int dir;
+
+               @LATTICE("STR<WDOBJ,WDOBJ<IN") @THISLOC("WDOBJ")
+               void windDirection() {
+                   bin = new WindRec();
+                   SSJAVA: while (true) {
+                       @LOC("IN") int inDir = Device.readSensor();
+                       if (inDir > 0) {
+                           bin.dir2 = bin.dir1;
+                       }
+                       bin.dir1 = bin.dir0;
+                       bin.dir0 = inDir;
+                       @LOC("STR") int outDir = calculate();
+                       Out.emit(outDir);
+                   }
+               }
+
+               @LATTICE("OUT<TMPD,TMPD<CAOBJ") @THISLOC("CAOBJ") @RETURNLOC("OUT")
+               int calculate() {
+                   @LOC("CAOBJ,TMP") int majorDir = bin.dir0;
+                   if (bin.dir1 == bin.dir2) {
+                       majorDir = bin.dir1;
+                   }
+                   this.dir = majorDir;
+                   @LOC("OUT") int strDir = majorDir;
+                   return strDir;
+               }
+           }
+           @LATTICE("DIR2<DIR1,DIR1<DIR0")
+           class WindRec {
+               @LOC("DIR0") int dir0;
+               @LOC("DIR1") int dir1;
+               @LOC("DIR2") int dir2;
+           }"#,
+    );
+}
+
+#[test]
+fn probe_unshared_accumulation_matches_golden() {
+    // Accumulating into a non-shared location carries state across
+    // iterations, which the flow/eviction rules reject without `ACC*`.
+    golden(
+        "probe_unshared_accumulation",
+        r#"@METHODDEFAULT("ACC<IN,V<ACC") @THISLOC("V")
+           class A {
+               void main() {
+                   SSJAVA: while (true) {
+                       @LOC("IN") int n = Device.read();
+                       @LOC("ACC") int s = 0;
+                       s = s + n;
+                       Out.emit(s);
+                   }
+               }
+           }"#,
+    );
+}
+
+#[test]
+fn probe_parse_error_matches_golden() {
+    golden("probe_parse_error", "class A { void main( { } }");
+}

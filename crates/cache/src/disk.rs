@@ -1,0 +1,380 @@
+//! Versioned on-disk persistence for cache entries.
+//!
+//! The format is a single `cache.bin` file: a magic string plus a `u32`
+//! version, then length-prefixed, deterministic (key-sorted) encodings of
+//! the per-method entry map and the callee-set map. Decoding is strictly
+//! bounds-checked: a wrong magic, a version mismatch, a truncated buffer,
+//! an out-of-range tag, or an implausible length (see [`MAX_ITEMS`])
+//! aborts the load and keeps only the entries already decoded — a corrupt
+//! file degrades to cache misses, never to an error or a wrong result.
+//!
+//! `last_fps` is deliberately **not** persisted: invalidation counts are a
+//! per-session statistic, while entries are content-addressed and valid
+//! forever. Entries are never pruned; the file is rewritten wholesale
+//! after each check, so stale fingerprints cost only disk space.
+
+use crate::MethodEntry;
+use sjava_analysis::callgraph::MethodRef;
+use sjava_analysis::heappath::HeapPath;
+use sjava_analysis::written::MethodSummary;
+use sjava_core::shared::SharedMember;
+use sjava_syntax::diag::{Diagnostic, Severity};
+use sjava_syntax::span::Span;
+use std::collections::{BTreeSet, HashMap};
+use std::path::{Path, PathBuf};
+
+/// File magic; anything else is ignored wholesale.
+const MAGIC: &[u8; 10] = b"SJAVACACHE";
+/// Format version; bump on any layout change.
+const VERSION: u32 = 1;
+/// Cache file name inside the cache directory.
+const FILE_NAME: &str = "cache.bin";
+/// Upper bound on any decoded count or string length. Real programs stay
+/// far below this; anything larger is treated as corruption rather than
+/// letting a flipped length byte drive a multi-gigabyte allocation.
+const MAX_ITEMS: u64 = 1 << 22;
+
+/// Path of the cache file inside `dir`.
+pub fn cache_file(dir: &Path) -> PathBuf {
+    dir.join(FILE_NAME)
+}
+
+/// Serializes the caches to `dir/cache.bin`, creating `dir` if needed.
+/// Keys are written in sorted order so equal caches produce equal bytes.
+///
+/// # Errors
+///
+/// Propagates I/O failures from directory creation or the file write.
+pub fn save(
+    dir: &Path,
+    entries: &HashMap<u64, MethodEntry>,
+    callees: &HashMap<u64, BTreeSet<MethodRef>>,
+) -> std::io::Result<()> {
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    put_u32(&mut buf, VERSION);
+
+    let mut keys: Vec<u64> = entries.keys().copied().collect();
+    keys.sort_unstable();
+    put_u64(&mut buf, keys.len() as u64);
+    for fp in keys {
+        put_u64(&mut buf, fp);
+        put_entry(&mut buf, &entries[&fp]);
+    }
+
+    let mut keys: Vec<u64> = callees.keys().copied().collect();
+    keys.sort_unstable();
+    put_u64(&mut buf, keys.len() as u64);
+    for key in keys {
+        put_u64(&mut buf, key);
+        let set = &callees[&key];
+        put_u64(&mut buf, set.len() as u64);
+        for mref in set {
+            put_str(&mut buf, &mref.0);
+            put_str(&mut buf, &mref.1);
+        }
+    }
+
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(cache_file(dir), buf)
+}
+
+/// Loads whatever validly-encoded prefix `dir/cache.bin` holds. A missing
+/// file, foreign magic, version mismatch, or corruption mid-stream all
+/// degrade to fewer (possibly zero) entries — never an error.
+pub fn load(
+    dir: &Path,
+) -> (HashMap<u64, MethodEntry>, HashMap<u64, BTreeSet<MethodRef>>) {
+    let mut entries = HashMap::new();
+    let mut callees = HashMap::new();
+    let Ok(buf) = std::fs::read(cache_file(dir)) else {
+        return (entries, callees);
+    };
+    let mut r = Reader { buf: &buf, pos: 0 };
+    // On any decode failure the closure bails with `None`: fully-decoded
+    // entries are kept, the one that failed mid-decode (and everything
+    // after it) is simply missing.
+    let _ = (|| -> Option<()> {
+        if r.bytes(MAGIC.len())? != MAGIC || r.u32()? != VERSION {
+            return None;
+        }
+        let n = r.count()?;
+        for _ in 0..n {
+            let fp = r.u64()?;
+            let entry = r.entry()?;
+            entries.insert(fp, entry);
+        }
+        let n = r.count()?;
+        for _ in 0..n {
+            let key = r.u64()?;
+            let m = r.count()?;
+            let mut set = BTreeSet::new();
+            for _ in 0..m {
+                set.insert((r.string()?, r.string()?));
+            }
+            callees.insert(key, set);
+        }
+        Some(())
+    })();
+    (entries, callees)
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_diags(buf: &mut Vec<u8>, diags: &[Diagnostic]) {
+    put_u64(buf, diags.len() as u64);
+    for d in diags {
+        buf.push(match d.severity {
+            Severity::Warning => 0,
+            Severity::Error => 1,
+        });
+        put_str(buf, &d.message);
+        put_u32(buf, d.span.start);
+        put_u32(buf, d.span.end);
+        put_u64(buf, d.notes.len() as u64);
+        for n in &d.notes {
+            put_str(buf, n);
+        }
+    }
+}
+
+fn put_paths(buf: &mut Vec<u8>, paths: &BTreeSet<HeapPath>) {
+    put_u64(buf, paths.len() as u64);
+    for p in paths {
+        put_u64(buf, p.0.len() as u64);
+        for seg in &p.0 {
+            put_str(buf, seg);
+        }
+    }
+}
+
+fn put_members(buf: &mut Vec<u8>, members: &BTreeSet<SharedMember>) {
+    put_u64(buf, members.len() as u64);
+    for (class, field) in members {
+        put_str(buf, class);
+        put_str(buf, field);
+    }
+}
+
+fn put_entry(buf: &mut Vec<u8>, e: &MethodEntry) {
+    put_paths(buf, &e.summary.reads);
+    put_paths(buf, &e.summary.may_writes);
+    put_paths(buf, &e.summary.must_writes);
+    put_diags(buf, &e.flow);
+    put_diags(buf, &e.alias);
+    buf.push(e.shared_present as u8);
+    put_members(buf, &e.shared_clears);
+    put_members(buf, &e.shared_reads);
+    put_u64(buf, e.term_failures as u64);
+    put_diags(buf, &e.term);
+}
+
+/// Bounds-checked cursor over the raw cache bytes; every accessor returns
+/// `None` on truncation or implausible data so the loader can bail.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.bytes(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.bytes(8)?.try_into().ok()?))
+    }
+
+    /// A length/count, rejected when implausibly large.
+    fn count(&mut self) -> Option<u64> {
+        let n = self.u64()?;
+        (n <= MAX_ITEMS).then_some(n)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let n = self.count()? as usize;
+        let bytes = self.bytes(n)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn diags(&mut self) -> Option<Vec<Diagnostic>> {
+        let n = self.count()?;
+        let mut out = Vec::new();
+        for _ in 0..n {
+            let severity = match self.u8()? {
+                0 => Severity::Warning,
+                1 => Severity::Error,
+                _ => return None,
+            };
+            let message = self.string()?;
+            let span = Span {
+                start: self.u32()?,
+                end: self.u32()?,
+            };
+            let notes_n = self.count()?;
+            let mut notes = Vec::new();
+            for _ in 0..notes_n {
+                notes.push(self.string()?);
+            }
+            out.push(Diagnostic {
+                severity,
+                message,
+                span,
+                notes,
+            });
+        }
+        Some(out)
+    }
+
+    fn paths(&mut self) -> Option<BTreeSet<HeapPath>> {
+        let n = self.count()?;
+        let mut out = BTreeSet::new();
+        for _ in 0..n {
+            let segs = self.count()?;
+            let mut path = Vec::new();
+            for _ in 0..segs {
+                path.push(self.string()?);
+            }
+            out.insert(HeapPath(path));
+        }
+        Some(out)
+    }
+
+    fn members(&mut self) -> Option<BTreeSet<SharedMember>> {
+        let n = self.count()?;
+        let mut out = BTreeSet::new();
+        for _ in 0..n {
+            out.insert((self.string()?, self.string()?));
+        }
+        Some(out)
+    }
+
+    fn entry(&mut self) -> Option<MethodEntry> {
+        Some(MethodEntry {
+            summary: MethodSummary {
+                reads: self.paths()?,
+                may_writes: self.paths()?,
+                must_writes: self.paths()?,
+            },
+            flow: self.diags()?,
+            alias: self.diags()?,
+            shared_present: match self.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            },
+            shared_clears: self.members()?,
+            shared_reads: self.members()?,
+            term_failures: self.u64()? as usize,
+            term: self.diags()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry() -> MethodEntry {
+        MethodEntry {
+            summary: MethodSummary {
+                reads: [HeapPath(vec!["a".into(), "b".into()])].into(),
+                may_writes: [HeapPath::root("x")].into(),
+                must_writes: BTreeSet::new(),
+            },
+            flow: vec![Diagnostic {
+                severity: Severity::Error,
+                message: "flow violation".into(),
+                span: Span::new(3, 9),
+                notes: vec!["note".into()],
+            }],
+            alias: vec![],
+            shared_present: true,
+            shared_clears: [("C".to_string(), "f".to_string())].into(),
+            shared_reads: BTreeSet::new(),
+            term_failures: 2,
+            term: vec![Diagnostic {
+                severity: Severity::Warning,
+                message: "loop may not terminate".into(),
+                span: Span::new(10, 20),
+                notes: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trips_entries_and_callees() {
+        let dir = std::env::temp_dir().join("sjava-cache-disk-roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut entries = HashMap::new();
+        entries.insert(42u64, sample_entry());
+        entries.insert(7u64, MethodEntry::default());
+        let mut callees = HashMap::new();
+        callees.insert(
+            9u64,
+            BTreeSet::from([("A".to_string(), "f".to_string())]),
+        );
+        save(&dir, &entries, &callees).expect("save");
+        let (e2, c2) = load(&dir);
+        assert_eq!(entries, e2);
+        assert_eq!(callees, c2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_tail_keeps_decoded_prefix() {
+        let dir = std::env::temp_dir().join("sjava-cache-disk-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut entries = HashMap::new();
+        entries.insert(1u64, sample_entry());
+        save(&dir, &entries, &HashMap::new()).expect("save");
+        // Truncate the file mid-entry: the loader must degrade to a miss.
+        let path = cache_file(&dir);
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+        let (e2, c2) = load(&dir);
+        assert!(e2.is_empty(), "truncated entry must not be resurrected");
+        assert!(c2.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_magic_or_version_is_ignored() {
+        let dir = std::env::temp_dir().join("sjava-cache-disk-magic");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(cache_file(&dir), b"NOTACACHEFILE").expect("write");
+        let (e, c) = load(&dir);
+        assert!(e.is_empty() && c.is_empty());
+        // Right magic, wrong version.
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&(VERSION + 1).to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(cache_file(&dir), buf).expect("write");
+        let (e, c) = load(&dir);
+        assert!(e.is_empty() && c.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,183 @@
+//! Minimal AST edits for exercising the incremental cache.
+//!
+//! The benchmark and the correctness tests both need "the smallest edit a
+//! developer could make": mutating one literal in one method, in place.
+//! Because the edit is applied to the AST (spans untouched) it changes the
+//! method's content fingerprint without perturbing any other method's
+//! diagnostics — dirtying exactly the edited method's caller cone.
+//!
+//! [`bump_first_int_literal`] is the verdict-preserving variant the
+//! benchmark uses (integer literals type at ⊤, so the checker's verdict
+//! cannot change). [`mutate_first_literal`] also accepts float, boolean,
+//! and string literals for programs that contain no integer literal; it
+//! may change the verdict, which is fine for tests that compare the
+//! incremental output against a full re-check of the same mutated AST.
+
+use sjava_syntax::ast::{Block, Expr, LValue, Program, Stmt};
+
+/// Increments the first integer literal (in statement order) found in the
+/// body of `class::method`. Returns `true` if a literal was found and
+/// bumped, `false` if the method is missing or contains no integer
+/// literal. Spans are left untouched, so a re-parse is not required and
+/// sibling methods keep identical fingerprints.
+pub fn bump_first_int_literal(program: &mut Program, class: &str, method: &str) -> bool {
+    mutate_method(program, class, method, &mut |e| match e {
+        Expr::IntLit { value, .. } => {
+            *value = value.wrapping_add(1);
+            true
+        }
+        _ => false,
+    })
+}
+
+/// Mutates the first literal of any kind (int, float, bool, string) in
+/// the body of `class::method`: integers and floats are incremented,
+/// booleans flipped, strings extended. Returns `false` if the method is
+/// missing or literal-free.
+pub fn mutate_first_literal(program: &mut Program, class: &str, method: &str) -> bool {
+    mutate_method(program, class, method, &mut |e| match e {
+        Expr::IntLit { value, .. } => {
+            *value = value.wrapping_add(1);
+            true
+        }
+        Expr::FloatLit { value, .. } => {
+            *value += 1.0;
+            true
+        }
+        Expr::BoolLit { value, .. } => {
+            *value = !*value;
+            true
+        }
+        Expr::StrLit { value, .. } => {
+            value.push('x');
+            true
+        }
+        _ => false,
+    })
+}
+
+/// The shared walker: applies `mutate` to expressions in statement order
+/// until it reports success.
+fn mutate_method(
+    program: &mut Program,
+    class: &str,
+    method: &str,
+    mutate: &mut dyn FnMut(&mut Expr) -> bool,
+) -> bool {
+    let Some(c) = program.classes.iter_mut().find(|c| c.name == class) else {
+        return false;
+    };
+    let Some(m) = c.methods.iter_mut().find(|m| m.name == method) else {
+        return false;
+    };
+    walk_block(&mut m.body, mutate)
+}
+
+fn walk_block(block: &mut Block, mutate: &mut dyn FnMut(&mut Expr) -> bool) -> bool {
+    block.stmts.iter_mut().any(|s| walk_stmt(s, mutate))
+}
+
+fn walk_stmt(stmt: &mut Stmt, mutate: &mut dyn FnMut(&mut Expr) -> bool) -> bool {
+    match stmt {
+        Stmt::VarDecl { init, .. } => init.as_mut().is_some_and(|e| walk_expr(e, mutate)),
+        Stmt::Assign { lhs, rhs, .. } => walk_lvalue(lhs, mutate) || walk_expr(rhs, mutate),
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
+            walk_expr(cond, mutate)
+                || walk_block(then_blk, mutate)
+                || else_blk.as_mut().is_some_and(|b| walk_block(b, mutate))
+        }
+        Stmt::While { cond, body, .. } => walk_expr(cond, mutate) || walk_block(body, mutate),
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+            ..
+        } => {
+            init.as_mut().is_some_and(|s| walk_stmt(s, mutate))
+                || cond.as_mut().is_some_and(|e| walk_expr(e, mutate))
+                || update.as_mut().is_some_and(|s| walk_stmt(s, mutate))
+                || walk_block(body, mutate)
+        }
+        Stmt::Return { value, .. } => value.as_mut().is_some_and(|e| walk_expr(e, mutate)),
+        Stmt::Break { .. } | Stmt::Continue { .. } => false,
+        Stmt::ExprStmt { expr, .. } => walk_expr(expr, mutate),
+        Stmt::Block(b) => walk_block(b, mutate),
+    }
+}
+
+fn walk_lvalue(lvalue: &mut LValue, mutate: &mut dyn FnMut(&mut Expr) -> bool) -> bool {
+    match lvalue {
+        LValue::Var { .. } | LValue::StaticField { .. } => false,
+        LValue::Field { base, .. } => walk_expr(base, mutate),
+        LValue::Index { base, index, .. } => walk_expr(base, mutate) || walk_expr(index, mutate),
+    }
+}
+
+fn walk_expr(expr: &mut Expr, mutate: &mut dyn FnMut(&mut Expr) -> bool) -> bool {
+    if mutate(expr) {
+        return true;
+    }
+    match expr {
+        Expr::IntLit { .. }
+        | Expr::FloatLit { .. }
+        | Expr::BoolLit { .. }
+        | Expr::StrLit { .. }
+        | Expr::Null { .. }
+        | Expr::This { .. }
+        | Expr::Var { .. }
+        | Expr::StaticField { .. }
+        | Expr::New { .. } => false,
+        Expr::Field { base, .. } | Expr::Length { base, .. } => walk_expr(base, mutate),
+        Expr::Index { base, index, .. } => walk_expr(base, mutate) || walk_expr(index, mutate),
+        Expr::Call { recv, args, .. } => {
+            recv.as_mut().is_some_and(|r| walk_expr(r, mutate))
+                || args.iter_mut().any(|a| walk_expr(a, mutate))
+        }
+        Expr::NewArray { len, .. } => walk_expr(len, mutate),
+        Expr::Unary { operand, .. } | Expr::Cast { operand, .. } => walk_expr(operand, mutate),
+        Expr::Binary { lhs, rhs, .. } => walk_expr(lhs, mutate) || walk_expr(rhs, mutate),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjava_syntax::parse;
+
+    #[test]
+    fn bumps_exactly_one_literal() {
+        let mut p = parse(
+            "class A { void f() { int x = 1; int y = 2; } void g() { int z = 7; } }",
+        )
+        .expect("parses");
+        assert!(bump_first_int_literal(&mut p, "A", "f"));
+        let expected = parse(
+            "class A { void f() { int x = 2; int y = 2; } void g() { int z = 7; } }",
+        )
+        .expect("parses");
+        assert_eq!(p, expected, "only the first literal of A::f changes");
+    }
+
+    #[test]
+    fn missing_method_or_literal_is_reported() {
+        let mut p = parse("class A { void f() { } }").expect("parses");
+        assert!(!bump_first_int_literal(&mut p, "A", "nope"));
+        assert!(!bump_first_int_literal(&mut p, "B", "f"));
+        assert!(!bump_first_int_literal(&mut p, "A", "f"));
+    }
+
+    #[test]
+    fn general_mutation_handles_bool_only_methods() {
+        let src = "class A { void f() { boolean b = true; } }";
+        let mut p = parse(src).expect("parses");
+        assert!(!bump_first_int_literal(&mut p, "A", "f"));
+        assert!(mutate_first_literal(&mut p, "A", "f"));
+        assert_ne!(p, parse(src).expect("parses"), "the bool literal flipped");
+    }
+}

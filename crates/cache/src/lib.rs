@@ -1,0 +1,505 @@
+//! # sjava-cache
+//!
+//! Content-addressed incremental layer over the SJava whole-program
+//! checker. An [`IncrementalChecker`] session memoizes every per-method
+//! analysis result — flow diagnostics, eviction summaries, aliasing
+//! diagnostics, shared-location summaries, and termination verdicts —
+//! keyed on a stable 64-bit fingerprint of the method's body, the class
+//! interfaces (lattices included), and its callees' fingerprints (see
+//! [`fingerprints`]). A re-check after an edit re-analyzes only the
+//! dirtied call-graph cone and replays cached results for everything
+//! else, merged in the same topological order as the full pipeline, so
+//! the diagnostics are **byte-identical** to a cold
+//! [`sjava_core::check_program`] run at any thread count.
+//!
+//! What is never cached: lattice construction is keyed separately on the
+//! interface hash; call-graph assembly, the eviction event-loop check,
+//! and the shared-location event-loop check are always recomputed (they
+//! read global state and are cheap relative to per-method analysis).
+//!
+//! Setting `SJAVA_CACHE_DIR` (see [`CACHE_DIR_ENV`]) persists entries to
+//! disk with a versioned header; a corrupt or mismatched file degrades
+//! to cache misses, never to an error or a stale result.
+//!
+//! ```
+//! let program = sjava_syntax::parse(
+//!     "class A { void main() { SSJAVA: while (true) { Out.emit(1); } } }",
+//! ).expect("parses");
+//! let mut session = sjava_cache::IncrementalChecker::new();
+//! let cold = session.check(&program);
+//! let warm = session.check(&program);
+//! assert_eq!(format!("{}", cold.diagnostics), format!("{}", warm.diagnostics));
+//! assert_eq!(warm.cache.expect("incremental").misses, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod disk;
+pub mod edit;
+pub mod fingerprints;
+
+use sjava_analysis::callgraph::{self, MethodRef};
+use sjava_analysis::termination;
+use sjava_analysis::written::{self, EvictionResult, MethodSummary};
+use sjava_core::shared::SharedMember;
+use sjava_core::{checker, linear, shared, CacheStats, CheckReport, Lattices, ParseFailure, PhaseTimings};
+use sjava_lattice::{hash_debug, mix, Fnv64};
+use sjava_syntax::ast::Program;
+use sjava_syntax::diag::{Diagnostic, Diagnostics};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use fingerprints::{iface_hash, local_fp};
+
+/// Environment variable naming the on-disk cache directory. When set,
+/// [`IncrementalChecker::from_env`] loads persisted entries from
+/// `$SJAVA_CACHE_DIR/cache.bin` and writes them back after every check.
+pub const CACHE_DIR_ENV: &str = "SJAVA_CACHE_DIR";
+
+/// Every cached per-method result, keyed (in the session maps) by the
+/// method's content fingerprint.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct MethodEntry {
+    /// Eviction read/write summary (`written::summarize`).
+    pub summary: MethodSummary,
+    /// Flow-down checker diagnostics (`checker::check_method_flows`).
+    pub flow: Vec<Diagnostic>,
+    /// Aliasing diagnostics (`linear::check_method_aliasing`).
+    pub alias: Vec<Diagnostic>,
+    /// Whether a shared-location summary was computed for this method
+    /// (false when the program has no shared members or the method has
+    /// no lattice info — mirrored so replays rebuild the same maps).
+    pub shared_present: bool,
+    /// Shared members this method definitely clears.
+    pub shared_clears: BTreeSet<SharedMember>,
+    /// Shared members this method reads.
+    pub shared_reads: BTreeSet<SharedMember>,
+    /// Termination failure count (`termination::check_method`).
+    pub term_failures: usize,
+    /// Termination diagnostics, in source order.
+    pub term: Vec<Diagnostic>,
+}
+
+/// The cached lattice model, valid while the interface hash matches.
+struct LatticeEntry {
+    iface: u64,
+    lattices: Lattices,
+    diags: Vec<Diagnostic>,
+}
+
+/// An incremental checking session.
+///
+/// Feed successive revisions of a program to [`IncrementalChecker::check`];
+/// each call returns a [`CheckReport`] whose diagnostics are byte-identical
+/// to a fresh [`sjava_core::check_program`] run, with
+/// [`CheckReport::cache`] describing how much was replayed. Entries are
+/// content-addressed, so a session can serve any number of programs (and
+/// survives edits being reverted — the old fingerprints hit again).
+pub struct IncrementalChecker {
+    entries: HashMap<u64, MethodEntry>,
+    callee_cache: HashMap<u64, BTreeSet<MethodRef>>,
+    lattice_cache: Option<LatticeEntry>,
+    last_keys: BTreeMap<MethodRef, u64>,
+    dir: Option<PathBuf>,
+}
+
+impl Default for IncrementalChecker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IncrementalChecker {
+    /// An empty in-memory session (no disk persistence).
+    pub fn new() -> Self {
+        IncrementalChecker {
+            entries: HashMap::new(),
+            callee_cache: HashMap::new(),
+            lattice_cache: None,
+            last_keys: BTreeMap::new(),
+            dir: None,
+        }
+    }
+
+    /// A session backed by an on-disk cache under `dir`: existing entries
+    /// are loaded (corrupt or version-mismatched data is silently treated
+    /// as missing) and the cache file is rewritten after every check.
+    pub fn with_dir(dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        let (entries, callee_cache) = disk::load(&dir);
+        IncrementalChecker {
+            entries,
+            callee_cache,
+            lattice_cache: None,
+            last_keys: BTreeMap::new(),
+            dir: Some(dir),
+        }
+    }
+
+    /// [`IncrementalChecker::with_dir`] when [`CACHE_DIR_ENV`] is set,
+    /// otherwise [`IncrementalChecker::new`].
+    pub fn from_env() -> Self {
+        match std::env::var(CACHE_DIR_ENV) {
+            Ok(dir) if !dir.trim().is_empty() => Self::with_dir(dir.trim()),
+            _ => Self::new(),
+        }
+    }
+
+    /// Number of cached per-method entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the session holds no cached entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every cached entry (the disk file, if any, is overwritten on
+    /// the next check).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.callee_cache.clear();
+        self.lattice_cache = None;
+        self.last_keys.clear();
+    }
+
+    /// Parses and checks source text incrementally, charging parse time
+    /// to [`PhaseTimings::parse`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseFailure`] when the source does not parse.
+    // The Ok variant (`CheckReport`) is no smaller than the Err variant,
+    // so boxing `ParseFailure` would not shrink the `Result`.
+    #[allow(clippy::result_large_err)]
+    pub fn check_source(&mut self, source: &str) -> Result<CheckReport, ParseFailure> {
+        let t = Instant::now();
+        let parsed = sjava_syntax::parse(source);
+        let parse = t.elapsed();
+        match parsed {
+            Ok(program) => {
+                let mut report = self.check(&program);
+                report.timings.parse = parse;
+                Ok(report)
+            }
+            Err(diagnostics) => Err(ParseFailure {
+                diagnostics,
+                timings: PhaseTimings {
+                    parse,
+                    threads: sjava_par::num_threads(),
+                    ..PhaseTimings::default()
+                },
+            }),
+        }
+    }
+
+    /// Checks `program`, replaying cached per-method results wherever the
+    /// content fingerprint matches and re-analyzing only the dirtied
+    /// call-graph cone. Diagnostics are byte-identical to
+    /// [`sjava_core::check_program`] on the same program.
+    pub fn check(&mut self, program: &Program) -> CheckReport {
+        let mut diags = Diagnostics::new();
+        let mut stats = CacheStats::default();
+        let mut timings = PhaseTimings {
+            threads: sjava_par::num_threads(),
+            ..PhaseTimings::default()
+        };
+        let iface = iface_hash(program);
+
+        // Lattice model, keyed on the interface hash (replaying its
+        // diagnostics in build order).
+        let t = Instant::now();
+        let lattices = match &self.lattice_cache {
+            Some(e) if e.iface == iface => {
+                for d in &e.diags {
+                    diags.push(d.clone());
+                }
+                e.lattices.clone()
+            }
+            _ => {
+                let mut ld = Diagnostics::new();
+                let lattices = Lattices::build(program, &mut ld);
+                let cached: Vec<Diagnostic> = ld.iter().cloned().collect();
+                for d in &cached {
+                    diags.push(d.clone());
+                }
+                self.lattice_cache = Some(LatticeEntry {
+                    iface,
+                    lattices: lattices.clone(),
+                    diags: cached,
+                });
+                lattices
+            }
+        };
+        timings.lattice_build = t.elapsed();
+
+        // Call graph: assembly is recomputed, per-method callee sets are
+        // served from the cache keyed on (iface, local body) — the set
+        // does not depend on callees, so the local fingerprint suffices.
+        // Local fingerprints are memoized for the whole check: hashing a
+        // method body is the dominant fixed cost of a warm check, so it
+        // must happen at most once per method.
+        let t = Instant::now();
+        let mut local_fps: HashMap<MethodRef, u64> = HashMap::new();
+        let callee_cache = &mut self.callee_cache;
+        let cg = callgraph::build_with(program, &mut diags, |mref| {
+            let lfp = *local_fps
+                .entry(mref.clone())
+                .or_insert_with(|| local_fp(program, mref));
+            callee_cache
+                .entry(mix(iface, lfp))
+                .or_insert_with(|| callgraph::method_callees(program, mref))
+                .clone()
+        });
+        timings.callgraph = t.elapsed();
+        let Some(cg) = cg else {
+            return CheckReport {
+                diagnostics: diags,
+                lattices,
+                eviction: None,
+                termination_failures: 0,
+                timings,
+                cache: Some(stats),
+            };
+        };
+
+        // Entry keys and summaries, bottom-up by wave. A method's key
+        // folds the interface hash, its own body fingerprint, and the
+        // *summary hashes* of its direct callees — the eviction and
+        // shared-location summary values, NOT the callee bodies. This is
+        // the early-cutoff property: flow, aliasing, and termination
+        // diagnostics depend only on a method's own body, the class
+        // interfaces, and its callees' summaries, so an edit that leaves
+        // every callee summary unchanged by value lets all callers
+        // replay their cached results.
+        let t = Instant::now();
+        let members = shared::shared_members(program, &lattices);
+        let mut keys: BTreeMap<MethodRef, u64> = BTreeMap::new();
+        let mut shashes: BTreeMap<MethodRef, u64> = BTreeMap::new();
+        let mut summaries: BTreeMap<MethodRef, MethodSummary> = BTreeMap::new();
+        let mut shared_clears: BTreeMap<MethodRef, BTreeSet<SharedMember>> = BTreeMap::new();
+        let mut shared_reads: BTreeMap<MethodRef, BTreeSet<SharedMember>> = BTreeMap::new();
+        for wave in cg.levels() {
+            // Waves order callees strictly before callers, so every
+            // callee's summary hash is final when its callers key.
+            type WaveResult = (
+                u64,
+                Option<MethodSummary>,
+                Option<(BTreeSet<SharedMember>, BTreeSet<SharedMember>)>,
+            );
+            let results: Vec<WaveResult> = sjava_par::run_indexed(wave.len(), |i| {
+                let mref = &wave[i];
+                let mut h = Fnv64::new();
+                h.write_u64(iface);
+                let lfp = local_fps
+                    .get(mref)
+                    .copied()
+                    .unwrap_or_else(|| local_fp(program, mref));
+                h.write_u64(lfp);
+                if let Some(cs) = cg.calls.get(mref) {
+                    h.write_usize(cs.len());
+                    for c in cs {
+                        h.write_u64(*shashes.get(c).unwrap_or(&0));
+                    }
+                }
+                let key = h.finish();
+                match self.entries.get(&key) {
+                    Some(e) => (
+                        key,
+                        Some(e.summary.clone()),
+                        e.shared_present
+                            .then(|| (e.shared_clears.clone(), e.shared_reads.clone())),
+                    ),
+                    None => (
+                        key,
+                        written::summarize(program, mref, &summaries),
+                        if members.is_empty() {
+                            None
+                        } else {
+                            shared::method_shared_summary(
+                                program,
+                                &lattices,
+                                mref,
+                                &members,
+                                &shared_clears,
+                                &shared_reads,
+                            )
+                        },
+                    ),
+                }
+            });
+            for (mref, (key, summary, sh)) in wave.iter().zip(results) {
+                let mut h = Fnv64::new();
+                match summary {
+                    Some(s) => {
+                        h.write_u64(1);
+                        h.write_u64(hash_debug(&s));
+                        summaries.insert(mref.clone(), s);
+                    }
+                    None => h.write_u64(0),
+                }
+                match sh {
+                    Some((c, r)) => {
+                        h.write_u64(1);
+                        h.write_u64(hash_debug(&c));
+                        h.write_u64(hash_debug(&r));
+                        shared_clears.insert(mref.clone(), c);
+                        shared_reads.insert(mref.clone(), r);
+                    }
+                    None => h.write_u64(0),
+                }
+                shashes.insert(mref.clone(), h.finish());
+                keys.insert(mref.clone(), key);
+            }
+        }
+        stats.invalidations = self
+            .last_keys
+            .iter()
+            .filter(|(m, key)| keys.get(*m).is_some_and(|now| now != *key))
+            .count();
+        let missing: Vec<usize> = (0..cg.topo.len())
+            .filter(|&i| !self.entries.contains_key(&keys[&cg.topo[i]]))
+            .collect();
+        stats.misses = missing.len();
+        stats.hits = cg.topo.len() - missing.len();
+
+        // Eviction event-loop check: always recomputed (it reads every
+        // summary at once and is cheap relative to per-method analysis).
+        let (stale_paths, stale_locals) = written::check_loop(program, &cg, &summaries);
+        written::report(&stale_paths, &stale_locals, &mut diags);
+        timings.eviction = t.elapsed();
+        let eviction = EvictionResult {
+            summaries,
+            stale_paths,
+            stale_locals,
+        };
+
+        // Flow check: fan out over the dirty indices only, then merge
+        // cached and fresh buffers in topological order — the same order
+        // the full pipeline merges, so output bytes match.
+        let t = Instant::now();
+        let fresh_flow: BTreeMap<usize, Diagnostics> = sjava_par::run_sparse(&missing, |i| {
+            checker::check_method_flows(program, &lattices, &cg.topo[i], &eviction.summaries)
+        })
+        .into_iter()
+        .collect();
+        for i in 0..cg.topo.len() {
+            match fresh_flow.get(&i) {
+                Some(d) => diags.extend(d.clone()),
+                None => {
+                    for d in &self.entries[&keys[&cg.topo[i]]].flow {
+                        diags.push(d.clone());
+                    }
+                }
+            }
+        }
+        timings.flow_check = t.elapsed();
+
+        // Aliasing: same dirty-cone fan-out and topo-order merge.
+        let t = Instant::now();
+        let fresh_alias: BTreeMap<usize, Diagnostics> = sjava_par::run_sparse(&missing, |i| {
+            linear::check_method_aliasing(program, &lattices, &cg.topo[i])
+        })
+        .into_iter()
+        .collect();
+        for i in 0..cg.topo.len() {
+            match fresh_alias.get(&i) {
+                Some(d) => diags.extend(d.clone()),
+                None => {
+                    for d in &self.entries[&keys[&cg.topo[i]]].alias {
+                        diags.push(d.clone());
+                    }
+                }
+            }
+        }
+        timings.aliasing = t.elapsed();
+
+        // Shared-location event-loop check: the per-method clears/reads
+        // summaries were already assembled (replayed or recomputed)
+        // alongside the keys; only the global loop walk runs here.
+        let t = Instant::now();
+        if !members.is_empty() {
+            shared::check_shared_loop(
+                program,
+                &lattices,
+                &cg,
+                &members,
+                &shared_clears,
+                &shared_reads,
+                &mut diags,
+            );
+        }
+        timings.shared = t.elapsed();
+
+        // Termination: verdicts depend only on the method body; replay or
+        // recompute per method, merged in topological order.
+        let t = Instant::now();
+        let mut termination_failures = 0usize;
+        let mut fresh_term: BTreeMap<usize, (usize, Diagnostics)> = BTreeMap::new();
+        for (i, mref) in cg.topo.iter().enumerate() {
+            match self.entries.get(&keys[mref]) {
+                Some(e) => {
+                    termination_failures += e.term_failures;
+                    for d in &e.term {
+                        diags.push(d.clone());
+                    }
+                }
+                None => {
+                    let (n, d) = termination::check_method(program, mref);
+                    termination_failures += n;
+                    diags.extend(d.clone());
+                    fresh_term.insert(i, (n, d));
+                }
+            }
+        }
+        timings.termination = t.elapsed();
+
+        // Admit the freshly-computed results into the cache.
+        for &i in &missing {
+            let mref = &cg.topo[i];
+            let (term_failures, term) = fresh_term
+                .remove(&i)
+                .map(|(n, d)| (n, d.into_vec()))
+                .unwrap_or_default();
+            let entry = MethodEntry {
+                summary: eviction.summaries.get(mref).cloned().unwrap_or_default(),
+                flow: fresh_flow
+                    .get(&i)
+                    .map(|d| d.iter().cloned().collect())
+                    .unwrap_or_default(),
+                alias: fresh_alias
+                    .get(&i)
+                    .map(|d| d.iter().cloned().collect())
+                    .unwrap_or_default(),
+                shared_present: shared_clears.contains_key(mref),
+                shared_clears: shared_clears.get(mref).cloned().unwrap_or_default(),
+                shared_reads: shared_reads.get(mref).cloned().unwrap_or_default(),
+                term_failures,
+                term,
+            };
+            self.entries.insert(keys[mref], entry);
+        }
+        self.last_keys = keys;
+        if let Some(dir) = &self.dir {
+            // Persistence is best-effort: an unwritable directory must not
+            // fail the check.
+            let _ = disk::save(dir, &self.entries, &self.callee_cache);
+        }
+
+        CheckReport {
+            diagnostics: diags,
+            lattices,
+            eviction: Some(eviction),
+            termination_failures,
+            timings,
+            cache: Some(stats),
+        }
+    }
+}
+
+/// The on-disk cache file a directory-backed session reads and writes.
+pub fn cache_file(dir: &Path) -> PathBuf {
+    disk::cache_file(dir)
+}

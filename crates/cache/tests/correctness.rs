@@ -1,0 +1,196 @@
+//! Cache correctness: an incremental re-check must be byte-identical to a
+//! cold full check, for every benchmark application and for every kind of
+//! edit — method bodies (fine-grained reuse), lattice annotations
+//! (whole-program invalidation), and corrupt on-disk entries (silent
+//! misses).
+
+use sjava_cache::edit::mutate_first_literal;
+use sjava_cache::IncrementalChecker;
+use sjava_core::{check_program, CheckReport};
+use sjava_syntax::ast::Program;
+
+fn apps() -> Vec<(&'static str, String)> {
+    vec![
+        ("windsensor", sjava_apps::windsensor::SOURCE.to_string()),
+        ("eyetrack", sjava_apps::eyetrack::SOURCE.to_string()),
+        ("sumobot", sjava_apps::sumobot::SOURCE.to_string()),
+        ("mp3dec", sjava_apps::mp3dec::source().to_string()),
+        ("weather", sjava_apps::weather::SOURCE.to_string()),
+    ]
+}
+
+/// Mutates the first literal anywhere in the program (first class, first
+/// method with one, in source order). Panics if none exists.
+fn bump_somewhere(program: &mut Program) -> (String, String) {
+    let targets: Vec<(String, String)> = program
+        .classes
+        .iter()
+        .flat_map(|c| c.methods.iter().map(|m| (c.name.clone(), m.name.clone())))
+        .collect();
+    for (class, method) in targets {
+        if mutate_first_literal(program, &class, &method) {
+            return (class, method);
+        }
+    }
+    panic!("no literal to mutate");
+}
+
+/// The parts of a report that must match a cold check byte-for-byte.
+fn digest(report: &CheckReport) -> (String, usize, bool) {
+    (
+        format!("{}", report.diagnostics),
+        report.termination_failures,
+        report.eviction.as_ref().is_some_and(|e| e.is_ok()),
+    )
+}
+
+#[test]
+fn warm_recheck_replays_everything() {
+    for (name, source) in apps() {
+        let program = sjava_syntax::parse(&source).unwrap_or_else(|d| panic!("{name}: {d}"));
+        let mut session = IncrementalChecker::new();
+        let cold = session.check(&program);
+        let warm = session.check(&program);
+        assert_eq!(digest(&cold), digest(&warm), "{name}: warm check differs");
+        let stats = warm.cache.expect("incremental check reports stats");
+        assert_eq!(stats.misses, 0, "{name}: warm check must not recompute");
+        assert!(stats.hits > 0, "{name}: warm check must replay methods");
+        assert_eq!(stats.invalidations, 0, "{name}: nothing changed");
+    }
+}
+
+#[test]
+fn method_edit_matches_full_recheck() {
+    for (name, source) in apps() {
+        let mut program = sjava_syntax::parse(&source).unwrap_or_else(|d| panic!("{name}: {d}"));
+        let mut session = IncrementalChecker::new();
+        session.check(&program);
+
+        let (class, method) = bump_somewhere(&mut program);
+        let incremental = session.check(&program);
+        let full = check_program(&program);
+        assert_eq!(
+            digest(&incremental),
+            digest(&full),
+            "{name}: incremental check after editing {class}::{method} diverges from full check"
+        );
+    }
+}
+
+#[test]
+fn edit_in_reachable_method_dirties_only_its_cone() {
+    // windsensor's event loop: mutate a method the call graph reaches and
+    // confirm the re-check recomputes strictly fewer methods than a cold
+    // run, while unrelated entries replay.
+    let source = sjava_apps::windsensor::SOURCE;
+    let mut program = sjava_syntax::parse(source).expect("parses");
+    let mut session = IncrementalChecker::new();
+    let cold = session.check(&program);
+    let total = cold.cache.expect("stats").misses;
+    assert!(total > 1, "windsensor has more than one reachable method");
+
+    bump_somewhere(&mut program);
+    let warm = session.check(&program);
+    let stats = warm.cache.expect("stats");
+    // The edit either hit an unreachable method (0 invalidations, full
+    // replay) or a reachable one (its cone recomputes). Either way the
+    // re-check must not recompute the whole program.
+    assert!(
+        stats.misses < total,
+        "1-method edit recomputed {}/{} methods",
+        stats.misses,
+        total
+    );
+    assert_eq!(stats.hits + stats.misses, total);
+}
+
+#[test]
+fn lattice_edit_invalidates_every_method() {
+    let base = "@LATTICE(\"LO<HI\") class A {
+        @LOC(\"HI\") static int h;
+        void main() { SSJAVA: while (true) { f(); } }
+        void f() { int x = 1; }
+    }";
+    let edited = base.replace("LO<HI", "MID<HI,LO<MID");
+    let p1 = sjava_syntax::parse(base).expect("parses");
+    let p2 = sjava_syntax::parse(&edited).expect("parses");
+
+    let mut session = IncrementalChecker::new();
+    let cold = session.check(&p1);
+    let total = cold.cache.expect("stats").misses;
+    let after = session.check(&p2);
+    let stats = after.cache.expect("stats");
+    assert_eq!(stats.hits, 0, "lattice edit must invalidate every entry");
+    assert_eq!(stats.misses, total, "every method recomputes");
+    assert_eq!(
+        stats.invalidations, total,
+        "every previously-seen method counts as invalidated"
+    );
+    assert_eq!(digest(&after), digest(&check_program(&p2)));
+}
+
+#[test]
+fn corrupt_disk_cache_degrades_to_misses() {
+    let dir = std::env::temp_dir().join("sjava-cache-correctness-corrupt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let program = sjava_syntax::parse(sjava_apps::eyetrack::SOURCE).expect("parses");
+
+    // Populate the on-disk cache, then destroy its tail.
+    let mut writer = IncrementalChecker::with_dir(&dir);
+    let cold = writer.check(&program);
+    drop(writer);
+    let path = sjava_cache::cache_file(&dir);
+    let mut bytes = std::fs::read(&path).expect("cache written");
+    let keep = bytes.len() / 3;
+    bytes.truncate(keep.max(16));
+    std::fs::write(&path, &bytes).expect("corrupt");
+
+    // A fresh session over the corrupt file must still produce the exact
+    // cold-check output; corrupt entries are silent misses.
+    let mut reader = IncrementalChecker::with_dir(&dir);
+    let warm = reader.check(&program);
+    assert_eq!(digest(&cold), digest(&warm), "corrupt cache changed output");
+    let stats = warm.cache.expect("stats");
+    assert!(
+        stats.misses > 0,
+        "truncation must have destroyed at least one entry"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disk_round_trip_serves_warm_hits_across_sessions() {
+    let dir = std::env::temp_dir().join("sjava-cache-correctness-roundtrip");
+    let _ = std::fs::remove_dir_all(&dir);
+    let program = sjava_syntax::parse(sjava_apps::sumobot::SOURCE).expect("parses");
+
+    let mut first = IncrementalChecker::with_dir(&dir);
+    let cold = first.check(&program);
+    assert!(cold.cache.expect("stats").misses > 0);
+    drop(first);
+
+    let mut second = IncrementalChecker::with_dir(&dir);
+    assert!(!second.is_empty(), "entries must load from disk");
+    let warm = second.check(&program);
+    assert_eq!(digest(&cold), digest(&warm));
+    let stats = warm.cache.expect("stats");
+    assert_eq!(stats.misses, 0, "disk-loaded entries must serve all methods");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reverting_an_edit_hits_the_old_entries() {
+    let source = sjava_apps::windsensor::SOURCE;
+    let original = sjava_syntax::parse(source).expect("parses");
+    let mut edited = original.clone();
+    bump_somewhere(&mut edited);
+
+    let mut session = IncrementalChecker::new();
+    session.check(&original);
+    session.check(&edited);
+    // Content addressing: the original fingerprints still have entries.
+    let back = session.check(&original);
+    let stats = back.cache.expect("stats");
+    assert_eq!(stats.misses, 0, "reverted program must be fully cached");
+    assert_eq!(digest(&back), digest(&check_program(&original)));
+}

@@ -34,25 +34,38 @@ pub fn check_flows(
     diags: &mut Diagnostics,
 ) {
     let per_method = sjava_par::run_indexed(cg.topo.len(), |i| {
-        let mref = &cg.topo[i];
-        let mut local = Diagnostics::new();
-        let Some((decl_class, method)) = program.resolve_method(&mref.0, &mref.1) else {
-            return local;
-        };
-        let Some(info) = lattices.method_info(&decl_class.name, &method.name) else {
-            return local;
-        };
-        if info.trusted {
-            return local;
-        }
-        let mut checker = MethodChecker::new(program, lattices, &decl_class.name, method, info)
-            .with_summaries(summaries);
-        checker.run(&mut local);
-        local
+        check_method_flows(program, lattices, &cg.topo[i], summaries)
     });
     for d in per_method {
         diags.extend(d);
     }
+}
+
+/// Flow-checks a single method into a private diagnostics buffer — the
+/// per-method unit of [`check_flows`]'s fan-out, exposed so the
+/// incremental layer can re-check only the dirtied call-graph cone and
+/// replay cached buffers for the rest. Trusted or unresolvable methods
+/// produce an empty buffer.
+pub fn check_method_flows(
+    program: &Program,
+    lattices: &Lattices,
+    mref: &MethodRef,
+    summaries: &BTreeMap<MethodRef, MethodSummary>,
+) -> Diagnostics {
+    let mut local = Diagnostics::new();
+    let Some((decl_class, method)) = program.resolve_method(&mref.0, &mref.1) else {
+        return local;
+    };
+    let Some(info) = lattices.method_info(&decl_class.name, &method.name) else {
+        return local;
+    };
+    if info.trusted {
+        return local;
+    }
+    let mut checker = MethodChecker::new(program, lattices, &decl_class.name, method, info)
+        .with_summaries(summaries);
+    checker.run(&mut local);
+    local
 }
 
 /// Collects the static variable→location environment of a method: the

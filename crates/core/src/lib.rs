@@ -97,6 +97,35 @@ impl PhaseTimings {
     }
 }
 
+/// Hit/miss counters from the incremental analysis cache (`sjava-cache`).
+///
+/// `None` on [`CheckReport::cache`] means the check ran the plain
+/// whole-program pipeline; `Some` means an incremental session served it
+/// and these counters describe how much work was replayed versus redone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Method results replayed from cache (fingerprint matched).
+    pub hits: usize,
+    /// Method results computed fresh (no entry for the fingerprint).
+    pub misses: usize,
+    /// Previously-cached methods whose fingerprint changed since the
+    /// session's last check — the dirtied call-graph cone.
+    pub invalidations: usize,
+}
+
+impl CacheStats {
+    /// Fraction of per-method results served from cache (`0.0` when
+    /// nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Outcome of checking a program for self-stabilization.
 #[derive(Debug)]
 pub struct CheckReport {
@@ -110,6 +139,8 @@ pub struct CheckReport {
     pub termination_failures: usize,
     /// Per-phase wall-clock timings of this check.
     pub timings: PhaseTimings,
+    /// Cache counters when the check ran through the incremental layer.
+    pub cache: Option<CacheStats>,
 }
 
 impl CheckReport {
@@ -141,6 +172,7 @@ pub fn check_program(program: &Program) -> CheckReport {
             eviction: None,
             termination_failures: 0,
             timings,
+            cache: None,
         };
     };
     let t = Instant::now();
@@ -164,6 +196,24 @@ pub fn check_program(program: &Program) -> CheckReport {
         eviction: Some(eviction),
         termination_failures,
         timings,
+        cache: None,
+    }
+}
+
+/// A failed parse from [`check_source`]: the parser's diagnostics plus
+/// the phase timings accumulated before the failure, so failed runs stay
+/// measurable (previously the parse-phase timing was silently dropped).
+#[derive(Debug)]
+pub struct ParseFailure {
+    /// The parser's diagnostics.
+    pub diagnostics: Diagnostics,
+    /// Timings with [`PhaseTimings::parse`] charged for the failed parse.
+    pub timings: PhaseTimings,
+}
+
+impl std::fmt::Display for ParseFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.diagnostics)
     }
 }
 
@@ -172,14 +222,30 @@ pub fn check_program(program: &Program) -> CheckReport {
 ///
 /// # Errors
 ///
-/// Returns the parser's diagnostics when the source does not parse.
-pub fn check_source(source: &str) -> Result<CheckReport, Diagnostics> {
+/// Returns a [`ParseFailure`] carrying the parser's diagnostics and the
+/// parse-phase timing when the source does not parse.
+// The Ok variant (`CheckReport`) is no smaller than the Err variant, so
+// boxing `ParseFailure` would not shrink the `Result`.
+#[allow(clippy::result_large_err)]
+pub fn check_source(source: &str) -> Result<CheckReport, ParseFailure> {
     let t = Instant::now();
-    let program = sjava_syntax::parse(source)?;
+    let parsed = sjava_syntax::parse(source);
     let parse = t.elapsed();
-    let mut report = check_program(&program);
-    report.timings.parse = parse;
-    Ok(report)
+    match parsed {
+        Ok(program) => {
+            let mut report = check_program(&program);
+            report.timings.parse = parse;
+            Ok(report)
+        }
+        Err(diagnostics) => Err(ParseFailure {
+            diagnostics,
+            timings: PhaseTimings {
+                parse,
+                threads: sjava_par::num_threads(),
+                ..PhaseTimings::default()
+            },
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -487,6 +553,19 @@ mod tests {
             .diagnostics
             .iter()
             .any(|d| d.message.contains("after its ownership")));
+    }
+
+    #[test]
+    fn parse_failure_keeps_parse_timing() {
+        // Regression: a failed parse used to drop the parse-phase timing
+        // entirely, making failed runs unmeasurable.
+        let err = check_source("class A { this is not sjava").expect_err("must not parse");
+        assert!(err.diagnostics.has_errors());
+        assert!(err.timings.parse > Duration::ZERO);
+        assert_eq!(err.timings.total(), err.timings.parse);
+        assert!(err.timings.threads >= 1);
+        // Display renders the diagnostics, as the old Err(Diagnostics) did.
+        assert_eq!(format!("{err}"), format!("{}", err.diagnostics));
     }
 
     #[test]

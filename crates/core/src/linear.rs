@@ -17,7 +17,7 @@
 
 use crate::checker::collect_var_locs;
 use crate::model::{Lattices, MethodInfo};
-use sjava_analysis::callgraph::CallGraph;
+use sjava_analysis::callgraph::{CallGraph, MethodRef};
 use sjava_analysis::jtype::TypeEnv;
 use sjava_lattice::CompositeLoc;
 use sjava_syntax::ast::*;
@@ -40,17 +40,30 @@ pub fn check_aliasing(
     diags: &mut Diagnostics,
 ) {
     for mref in &cg.topo {
-        let Some((decl_class, method)) = program.resolve_method(&mref.0, &mref.1) else {
-            continue;
-        };
-        let Some(info) = lattices.method_info(&decl_class.name, &method.name) else {
-            continue;
-        };
-        if info.trusted {
-            continue;
-        }
-        check_method(program, lattices, &decl_class.name, method, info, diags);
+        diags.extend(check_method_aliasing(program, lattices, mref));
     }
+}
+
+/// Alias/ownership check for a single method into a private buffer —
+/// the per-method unit the incremental layer caches and replays. Trusted
+/// or unresolvable methods produce an empty buffer.
+pub fn check_method_aliasing(
+    program: &Program,
+    lattices: &Lattices,
+    mref: &MethodRef,
+) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    let Some((decl_class, method)) = program.resolve_method(&mref.0, &mref.1) else {
+        return diags;
+    };
+    let Some(info) = lattices.method_info(&decl_class.name, &method.name) else {
+        return diags;
+    };
+    if info.trusted {
+        return diags;
+    }
+    check_method(program, lattices, &decl_class.name, method, info, &mut diags);
+    diags
 }
 
 fn check_method(

@@ -29,7 +29,28 @@ pub fn check_shared(
     cg: &CallGraph,
     diags: &mut Diagnostics,
 ) {
-    // Identify shared fields.
+    let members = shared_members(program, lattices);
+    if members.is_empty() {
+        return;
+    }
+
+    // Per-method "definitely clears" summaries, bottom-up.
+    let mut clears: BTreeMap<MethodRef, BTreeSet<SharedMember>> = BTreeMap::new();
+    let mut reads: BTreeMap<MethodRef, BTreeSet<SharedMember>> = BTreeMap::new();
+    for mref in &cg.topo {
+        if let Some((c, r)) = method_shared_summary(program, lattices, mref, &members, &clears, &reads) {
+            clears.insert(mref.clone(), c);
+            reads.insert(mref.clone(), r);
+        }
+    }
+
+    check_shared_loop(program, lattices, cg, &members, &clears, &reads, diags);
+}
+
+/// Identifies every field whose declared location is shared. Depends only
+/// on class interfaces, so the incremental layer recomputes it per check
+/// (it is cheap) rather than caching it.
+pub fn shared_members(program: &Program, lattices: &Lattices) -> BTreeSet<SharedMember> {
     let mut members: BTreeSet<SharedMember> = BTreeSet::new();
     for class in &program.classes {
         let Some(lat) = lattices.field_lattice(&class.name) else {
@@ -47,49 +68,58 @@ pub fn check_shared(
             }
         }
     }
-    if members.is_empty() {
-        return;
-    }
+    members
+}
 
-    // Per-method "definitely clears" summaries, bottom-up.
-    let mut clears: BTreeMap<MethodRef, BTreeSet<SharedMember>> = BTreeMap::new();
-    let mut reads: BTreeMap<MethodRef, BTreeSet<SharedMember>> = BTreeMap::new();
-    for mref in &cg.topo {
-        let Some((decl_class, method)) = program.resolve_method(&mref.0, &mref.1) else {
-            continue;
-        };
-        let Some(info) = lattices.method_info(&decl_class.name, &method.name) else {
-            continue;
-        };
-        if info.trusted {
-            clears.insert(mref.clone(), BTreeSet::new());
-            reads.insert(mref.clone(), BTreeSet::new());
-            continue;
-        }
-        let mut checker =
-            MethodChecker::new(program, lattices, &decl_class.name, method, info);
-        let mut scratch = Diagnostics::new();
-        checker.run(&mut scratch); // populate env; flow errors already reported elsewhere
-        let mut tenv = TypeEnv::for_method(program, &decl_class.name, method);
-        tenv.bind_block(&method.body);
-        let mut walker = Walker {
-            program,
-            lattices,
-            checker: &checker,
-            tenv,
-            members: &members,
-            clears: &clears,
-            reads_summary: &reads,
-            reads: BTreeSet::new(),
-        };
-        let got = walker.walk_block(&method.body, BTreeSet::new());
-        let r = walker.reads;
-        clears.insert(mref.clone(), got);
-        reads.insert(mref.clone(), r);
+/// Computes one method's shared-location summary — its definitely-cleared
+/// and read member sets — given the summaries of its callees (which must
+/// already be in `clears`/`reads`; the caller iterates bottom-up).
+/// Trusted methods yield empty sets; unresolvable references yield
+/// `None`. This is the per-method unit the incremental layer caches.
+pub fn method_shared_summary(
+    program: &Program,
+    lattices: &Lattices,
+    mref: &MethodRef,
+    members: &BTreeSet<SharedMember>,
+    clears: &BTreeMap<MethodRef, BTreeSet<SharedMember>>,
+    reads: &BTreeMap<MethodRef, BTreeSet<SharedMember>>,
+) -> Option<(BTreeSet<SharedMember>, BTreeSet<SharedMember>)> {
+    let (decl_class, method) = program.resolve_method(&mref.0, &mref.1)?;
+    let info = lattices.method_info(&decl_class.name, &method.name)?;
+    if info.trusted {
+        return Some((BTreeSet::new(), BTreeSet::new()));
     }
+    let mut checker = MethodChecker::new(program, lattices, &decl_class.name, method, info);
+    let mut scratch = Diagnostics::new();
+    checker.run(&mut scratch); // populate env; flow errors already reported elsewhere
+    let mut tenv = TypeEnv::for_method(program, &decl_class.name, method);
+    tenv.bind_block(&method.body);
+    let mut walker = Walker {
+        program,
+        lattices,
+        checker: &checker,
+        tenv,
+        members,
+        clears,
+        reads_summary: reads,
+        reads: BTreeSet::new(),
+    };
+    let got = walker.walk_block(&method.body, BTreeSet::new());
+    Some((got, walker.reads))
+}
 
-    // Event-loop check: every shared member read in the loop must be
-    // definitely cleared each iteration.
+/// The event-loop check: every shared member read in the loop must be
+/// definitely cleared each iteration. Reads every summary, so the
+/// incremental layer always recomputes it.
+pub fn check_shared_loop(
+    program: &Program,
+    lattices: &Lattices,
+    cg: &CallGraph,
+    members: &BTreeSet<SharedMember>,
+    clears: &BTreeMap<MethodRef, BTreeSet<SharedMember>>,
+    reads: &BTreeMap<MethodRef, BTreeSet<SharedMember>>,
+    diags: &mut Diagnostics,
+) {
     let Some((_, entry_method)) = program.resolve_method(&cg.entry.0, &cg.entry.1) else {
         return;
     };
@@ -109,9 +139,9 @@ pub fn check_shared(
         lattices,
         checker: &checker,
         tenv,
-        members: &members,
-        clears: &clears,
-        reads_summary: &reads,
+        members,
+        clears,
+        reads_summary: reads,
         reads: BTreeSet::new(),
     };
     let cleared = walker.walk_block(loop_body, BTreeSet::new());

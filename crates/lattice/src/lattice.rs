@@ -541,6 +541,36 @@ impl Lattice {
         longest + 1
     }
 
+    /// Every location `y` with `y ⊑ id`, in id order — the downward
+    /// closure read straight out of the `reach_down` bitsets. Used by the
+    /// property suite to cross-check the bitset closure against `leq`.
+    pub fn downset(&self, id: LocId) -> Vec<LocId> {
+        if !self.closure_fresh() {
+            return self.ids().filter(|&y| self.leq(y, id)).collect();
+        }
+        let row = &self.reach_down[id.0 as usize];
+        self.ids().filter(|y| bit(row, y.0 as usize)).collect()
+    }
+
+    /// A stable 64-bit content fingerprint of the lattice: names in id
+    /// order, explicit ordering edges, and shared flags. Two lattices
+    /// built from the same declarations (in the same order) fingerprint
+    /// identically across processes; any ordering/shared/name change
+    /// perturbs the digest.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::fingerprint::Fnv64::new();
+        h.write_usize(self.names.len());
+        for (i, name) in self.names.iter().enumerate() {
+            h.write_str(name);
+            h.write_u64(self.shared[i] as u64);
+            h.write_usize(self.above[i].len());
+            for hi in &self.above[i] {
+                h.write_u64(hi.0 as u64);
+            }
+        }
+        h.finish()
+    }
+
     /// All declared names in insertion order (excluding ⊤/⊥).
     pub fn named(&self) -> impl Iterator<Item = (LocId, &str)> {
         self.names

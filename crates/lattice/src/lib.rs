@@ -25,12 +25,14 @@
 pub mod completion;
 pub mod composite;
 pub mod dot;
+pub mod fingerprint;
 pub mod hierarchy;
 pub mod intern;
 pub mod lattice;
 pub mod paths;
 
 pub use completion::{dedekind_macneille, Completion};
+pub use fingerprint::{hash_debug, mix, Fnv64, HashWriter};
 pub use composite::{
     compare, from_loc_id, glb, is_shared, may_flow, CompositeLoc, Elem, LatticeCtx, SimpleCtx,
     Space,

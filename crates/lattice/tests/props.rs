@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use sjava_lattice::{
     compare, count_paths, dedekind_macneille, glb, may_flow, CompositeLoc, Elem, HierarchyGraph,
-    Lattice, SimpleCtx, BOTTOM, TOP,
+    Lattice, LocInterner, SimpleCtx, BOTTOM, TOP,
 };
 use std::cmp::Ordering;
 
@@ -124,6 +124,66 @@ proptest! {
     }
 
     #[test]
+    fn glb_and_lub_are_associative_on_completions(orders in arb_order(5)) {
+        // Associativity is NOT a law of the raw declared orders (they are
+        // mere posets where glb/lub pick a canonical bound); it IS a law
+        // of a true lattice, which the Dedekind–MacNeille completion
+        // guarantees. The checker always meets/joins inside a completion.
+        let mut h = HierarchyGraph::new();
+        for i in 0..5 {
+            h.add_node(format!("N{i}"));
+        }
+        for (lo, hi) in &orders {
+            h.add_edge(hi.clone(), lo.clone());
+        }
+        let c = dedekind_macneille(&h).expect("acyclic by construction");
+        let l = &c.lattice;
+        let ids: Vec<_> = l.ids().collect();
+        for &a in &ids {
+            for &b in &ids {
+                for &x in &ids {
+                    prop_assert_eq!(
+                        l.glb(l.glb(a, b), x),
+                        l.glb(a, l.glb(b, x)),
+                        "glb not associative at ({}, {}, {})",
+                        l.name(a), l.name(b), l.name(x)
+                    );
+                    prop_assert_eq!(
+                        l.lub(l.lub(a, b), x),
+                        l.lub(a, l.lub(b, x)),
+                        "lub not associative at ({}, {}, {})",
+                        l.name(a), l.name(b), l.name(x)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn downset_agrees_with_leq(orders in arb_order(8)) {
+        // `downset` reads the reach_down bitsets directly; `leq` probes
+        // one bit. The two views of the transitive closure must agree,
+        // and the downset must be duplicate-free.
+        let l = lattice_from(&orders, 8);
+        let ids: Vec<_> = l.ids().collect();
+        for &a in &ids {
+            let down = l.downset(a);
+            let mut dedup = down.clone();
+            dedup.sort();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), down.len(), "downset has duplicates");
+            for &b in &ids {
+                prop_assert_eq!(
+                    down.contains(&b),
+                    l.leq(b, a),
+                    "downset({}) and leq disagree on {}",
+                    l.name(a), l.name(b)
+                );
+            }
+        }
+    }
+
+    #[test]
     fn reduce_preserves_the_ordering_relation(orders in arb_order(7)) {
         let l = lattice_from(&orders, 7);
         let mut r = l.clone();
@@ -233,5 +293,48 @@ proptest! {
         let ctx = SimpleCtx { method: &m, fields: &f };
         prop_assert!(may_flow(&ctx, &CompositeLoc::Top, &a));
         prop_assert!(may_flow(&ctx, &a, &CompositeLoc::Bottom));
+    }
+
+    #[test]
+    fn interner_ids_are_stable_and_caches_match_raw_walks(
+        locs in prop::collection::vec(arb_composite(), 1..12)
+    ) {
+        let (m, f) = fixture();
+        let ctx = SimpleCtx { method: &m, fields: &f };
+
+        // Interning is idempotent and resolve round-trips, whatever the
+        // insertion order.
+        let forward = LocInterner::new();
+        let mut reversed_input = locs.clone();
+        reversed_input.reverse();
+        let reversed = LocInterner::new();
+        for l in &reversed_input {
+            reversed.intern(l);
+        }
+        for l in &locs {
+            let id = forward.intern(l);
+            prop_assert_eq!(id, forward.intern(l), "re-interning changed the id");
+            prop_assert_eq!(&forward.resolve(id), l, "resolve must round-trip");
+            let rid = reversed.intern(l);
+            prop_assert_eq!(&reversed.resolve(rid), l, "resolve must round-trip");
+        }
+        // Both orders intern the same distinct set.
+        prop_assert_eq!(forward.len(), reversed.len());
+
+        // Memoized compare/glb answers are insertion-order independent
+        // and identical to the uncached walks — twice, so the second
+        // round is served from the caches.
+        for _ in 0..2 {
+            for a in &locs {
+                for b in &locs {
+                    let raw = compare(&ctx, a, b);
+                    prop_assert_eq!(forward.compare(&ctx, a, b), raw);
+                    prop_assert_eq!(reversed.compare(&ctx, a, b), raw);
+                    let meet = glb(&ctx, a, b);
+                    prop_assert_eq!(&forward.glb(&ctx, a, b), &meet, "a={} b={}", a, b);
+                    prop_assert_eq!(&reversed.glb(&ctx, a, b), &meet, "a={} b={}", a, b);
+                }
+            }
+        }
     }
 }

@@ -87,6 +87,22 @@ where
     pairs.into_iter().map(|(_, v)| v).collect()
 }
 
+/// Cache-aware fan-out: runs `f` over a **sparse** set of indices (the
+/// dirty cone of an incremental re-check) and returns `(index, result)`
+/// pairs sorted by index. The caller typically interleaves these with
+/// cached results for the untouched indices, preserving the same merge
+/// order as a full [`run_indexed`] pass.
+pub fn run_sparse<T, F>(indices: &[usize], f: F) -> Vec<(usize, T)>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let results = run_indexed(indices.len(), |slot| f(indices[slot]));
+    let mut pairs: Vec<(usize, T)> = indices.iter().copied().zip(results).collect();
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    pairs
+}
+
 /// Partitions `0..n` into contiguous chunks, one per worker, and runs
 /// `f(chunk_range)` on each; chunk results are concatenated in order.
 /// Useful when per-index closures are too fine-grained to amortize.
@@ -137,6 +153,14 @@ mod tests {
     fn empty_and_singleton_inputs() {
         assert_eq!(run_indexed_with(0, 8, |i| i), Vec::<usize>::new());
         assert_eq!(run_indexed_with(1, 8, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn sparse_returns_sorted_pairs() {
+        let indices = [9usize, 2, 5, 0];
+        let out = run_sparse(&indices, |i| i * 10);
+        assert_eq!(out, vec![(0, 0), (2, 20), (5, 50), (9, 90)]);
+        assert_eq!(run_sparse(&[], |i: usize| i), Vec::<(usize, usize)>::new());
     }
 
     #[test]

@@ -10,6 +10,11 @@
 #   3. clippy with warnings denied
 #   4. an explicit release-mode run of the determinism regression, so
 #      the parallel pipeline is exercised with optimizations on
+#   5. the golden-diagnostic snapshot suite (regenerate fixtures with
+#      SJAVA_REGEN_GOLDEN=1 after an intentional diagnostic change)
+#   6. the incremental-cache correctness suite, with the worker pool
+#      pinned to 1 and then 4 threads so cached replay is proven
+#      deterministic across fan-out widths
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,5 +29,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== determinism: identical diagnostics at 1..8 worker threads =="
 cargo test --release -q -p sjava-bench --test determinism
+
+echo "== golden diagnostics (apps + violation probes, cold and cached) =="
+cargo test --release -q -p sjava-bench --test golden
+
+echo "== incremental cache correctness at 1 and 4 worker threads =="
+SJAVA_THREADS=1 cargo test --release -q -p sjava-cache --test correctness
+SJAVA_THREADS=4 cargo test --release -q -p sjava-cache --test correctness
 
 echo "CI green"
