@@ -6,7 +6,7 @@
 
 use crate::jtype::TypeEnv;
 use sjava_syntax::ast::*;
-use sjava_syntax::diag::Diagnostics;
+use sjava_syntax::diag::{Diag, Diagnostics};
 use sjava_syntax::span::Span;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -96,10 +96,10 @@ pub fn find_event_loop<'p>(
         for method in &class.methods {
             for stmt in event_loops_in(&method.body) {
                 if found.is_some() {
-                    diags.error(
+                    diags.push(Diag::event_loop(
                         "multiple SSJAVA event loops; exactly one is required",
                         stmt.span(),
-                    );
+                    ));
                     return None;
                 }
                 found = Some(((class.name.clone(), method.name.clone()), stmt));
@@ -107,7 +107,10 @@ pub fn find_event_loop<'p>(
         }
     }
     if found.is_none() {
-        diags.error("no SSJAVA-labeled main event loop found", Span::dummy());
+        diags.push(Diag::event_loop(
+            "no SSJAVA-labeled main event loop found",
+            Span::dummy(),
+        ));
     }
     found
 }
@@ -172,7 +175,11 @@ pub fn build(program: &Program, diags: &mut Diagnostics) -> Option<CallGraph> {
 /// from the event loop + topological sort) is always recomputed — it is
 /// cheap, and it is what makes the supplier's per-method answers safe to
 /// reuse.
-pub fn build_with<F>(program: &Program, diags: &mut Diagnostics, mut callees_of: F) -> Option<CallGraph>
+pub fn build_with<F>(
+    program: &Program,
+    diags: &mut Diagnostics,
+    mut callees_of: F,
+) -> Option<CallGraph>
 where
     F: FnMut(&MethodRef) -> BTreeSet<MethodRef>,
 {
@@ -224,10 +231,13 @@ where
     }
     visit(&entry, &calls, &mut state, &mut topo, &mut recursion);
     if let Some(m) = recursion {
-        diags.error(
-            format!("recursive call chain through `{}.{}` is prohibited", m.0, m.1),
+        diags.push(Diag::recursion(
+            format!(
+                "recursive call chain through `{}.{}` is prohibited",
+                m.0, m.1
+            ),
             loop_stmt.span(),
-        );
+        ));
         return None;
     }
 

@@ -123,7 +123,12 @@ impl fmt::Display for Cfg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, b) in self.blocks.iter().enumerate() {
             let succs: Vec<String> = b.succs.iter().map(|s| format!("B{}", s.0)).collect();
-            writeln!(f, "B{i} -> [{}] ({} instrs)", succs.join(","), b.instrs.len())?;
+            writeln!(
+                f,
+                "B{i} -> [{}] ({} instrs)",
+                succs.join(","),
+                b.instrs.len()
+            )?;
         }
         Ok(())
     }

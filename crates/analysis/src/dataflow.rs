@@ -47,14 +47,8 @@ pub fn solve<P: Problem>(cfg: &Cfg, problem: &P) -> Solution<P::Fact> {
     let mut work: VecDeque<BlockId> = cfg.ids().collect();
     while let Some(b) = work.pop_front() {
         let (incoming, dependents): (Vec<BlockId>, Vec<BlockId>) = match problem.direction() {
-            Direction::Forward => (
-                cfg.block(b).preds.clone(),
-                cfg.block(b).succs.clone(),
-            ),
-            Direction::Backward => (
-                cfg.block(b).succs.clone(),
-                cfg.block(b).preds.clone(),
-            ),
+            Direction::Forward => (cfg.block(b).preds.clone(), cfg.block(b).succs.clone()),
+            Direction::Backward => (cfg.block(b).succs.clone(), cfg.block(b).preds.clone()),
         };
         let facts: Vec<&P::Fact> = incoming
             .iter()
@@ -142,7 +136,10 @@ fn instr_uses(i: &Instr, out: &mut BTreeSet<String>) {
 /// The variable an instruction defines (kills), if any.
 pub fn instr_def(i: &Instr) -> Option<&str> {
     match i {
-        Instr::Decl { name, init: Some(_) } => Some(name),
+        Instr::Decl {
+            name,
+            init: Some(_),
+        } => Some(name),
         Instr::Assign {
             lhs: LValue::Var { name, .. },
             ..
@@ -282,9 +279,7 @@ mod tests {
     fn liveness_sees_loop_carried_values() {
         // `acc` is written at the end of the body and read at the top of
         // the next iteration: it must be live across the back edge.
-        let c = cfg_of(
-            "int acc = 0; while (p > 0) { p = p - acc; acc = acc + 1; }",
-        );
+        let c = cfg_of("int acc = 0; while (p > 0) { p = p - acc; acc = acc + 1; }");
         let sol = solve(&c, &LiveVariables);
         // At the loop-head block's entry, acc is live.
         let live_anywhere = sol.outputs.iter().any(|f| f.contains("acc"));
@@ -331,7 +326,10 @@ mod tests {
             .inputs
             .iter()
             .any(|f| f.iter().filter(|(_, _, v)| v == "x").count() == 2);
-        assert!(merged, "the conditional redefinition must merge at the join");
+        assert!(
+            merged,
+            "the conditional redefinition must merge at the join"
+        );
     }
 
     #[test]

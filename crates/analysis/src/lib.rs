@@ -31,17 +31,17 @@ pub mod callgraph;
 pub mod cfg;
 pub mod dataflow;
 pub mod heappath;
+pub mod jtype;
 pub mod lifetime;
 pub mod lint;
-pub mod jtype;
 pub mod termination;
 pub mod written;
 
 pub use callgraph::{build as build_callgraph, CallGraph, MethodRef};
-pub use heappath::HeapPath;
 pub use cfg::{BasicBlock, BlockId, Cfg, Instr};
 pub use dataflow::{solve, Direction, LiveVariables, Problem, ReachingDefs, Solution};
+pub use heappath::HeapPath;
+pub use jtype::TypeEnv;
 pub use lifetime::{analyze_lifetimes, AllocationSite, Escape};
 pub use lint::lint_program;
-pub use jtype::TypeEnv;
 pub use written::{analyze as analyze_eviction, EvictionResult, MethodSummary};

@@ -7,7 +7,7 @@
 use crate::cfg::{Cfg, Instr};
 use crate::dataflow::{expr_uses, instr_def, liveness_per_instr, solve, LiveVariables};
 use sjava_syntax::ast::*;
-use sjava_syntax::diag::Diagnostics;
+use sjava_syntax::diag::{Diag, Diagnostics};
 use std::collections::BTreeSet;
 
 /// Lints every method of a program, reporting warnings into `diags`.
@@ -35,8 +35,7 @@ fn lint_method(class: &str, method: &MethodDecl, diags: &mut Diagnostics) -> usi
 
     // Genuine locals: parameters plus declared variables. An unqualified
     // assignment to a *field* is a heap store, never a dead store.
-    let mut locals: BTreeSet<String> =
-        method.params.iter().map(|p| p.name.clone()).collect();
+    let mut locals: BTreeSet<String> = method.params.iter().map(|p| p.name.clone()).collect();
     let mut declared_all: Vec<(String, sjava_syntax::span::Span)> = Vec::new();
     collect_decls(&method.body, &mut declared_all);
     locals.extend(declared_all.iter().map(|(n, _)| n.clone()));
@@ -45,7 +44,9 @@ fn lint_method(class: &str, method: &MethodDecl, diags: &mut Diagnostics) -> usi
     for b in cfg.ids() {
         let after = liveness_per_instr(&cfg, &sol, b);
         for (idx, instr) in cfg.block(b).instrs.iter().enumerate() {
-            let Some(def) = instr_def(instr) else { continue };
+            let Some(def) = instr_def(instr) else {
+                continue;
+            };
             if !locals.contains(def) {
                 continue;
             }
@@ -57,13 +58,13 @@ fn lint_method(class: &str, method: &MethodDecl, diags: &mut Diagnostics) -> usi
                 _ => true,
             };
             if !after[idx].contains(def) && !trivial && !has_calls(instr) {
-                diags.warning(
+                diags.push(Diag::dead_store(
                     format!(
                         "dead store: `{def}` in `{class}.{}` is assigned but never read afterwards",
                         method.name
                     ),
                     instr_span(instr),
-                );
+                ));
                 findings += 1;
             }
         }
@@ -78,10 +79,10 @@ fn lint_method(class: &str, method: &MethodDecl, diags: &mut Diagnostics) -> usi
     }
     for (name, span) in declared_all {
         if !read.contains(&name) {
-            diags.warning(
+            diags.push(Diag::unused_local(
                 format!("unused local `{name}` in `{class}.{}`", method.name),
                 span,
-            );
+            ));
             findings += 1;
         }
     }
@@ -186,9 +187,7 @@ mod tests {
 
     #[test]
     fn flags_dead_store() {
-        let (n, d) = lint(
-            "class A { void f(int p) { int x = p * 2; x = p * 3; p = x; } }",
-        );
+        let (n, d) = lint("class A { void f(int p) { int x = p * 2; x = p * 3; p = x; } }");
         assert!(n >= 1, "{d}");
         assert!(d.iter().any(|w| w.message.contains("dead store")));
     }

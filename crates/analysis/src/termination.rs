@@ -9,7 +9,8 @@
 
 use crate::callgraph::{CallGraph, MethodRef};
 use sjava_syntax::ast::*;
-use sjava_syntax::diag::Diagnostics;
+use sjava_syntax::diag::{Diag, Diagnostics};
+use sjava_syntax::span::Span;
 use std::collections::BTreeSet;
 
 /// Checks termination of every inner loop reachable from the event loop.
@@ -51,16 +52,26 @@ fn check_block(block: &Block, diags: &mut Diagnostics) -> usize {
 fn check_stmt(stmt: &Stmt, diags: &mut Diagnostics) -> usize {
     match stmt {
         Stmt::While {
-            kind, cond, body, span,
+            kind,
+            cond,
+            body,
+            span,
         } => {
             let mut failures = check_block(body, diags);
             match kind {
                 LoopKind::EventLoop | LoopKind::Trusted(_) | LoopKind::MaxLoop(_) => {}
                 LoopKind::Plain => {
                     if !while_terminates(cond, body) {
-                        diags.error(
-                            "cannot prove loop terminates; add a MAXLOOP_n or TERMINATE_x label",
-                            *span,
+                        diags.push(
+                            Diag::unprovable_loop(
+                                "cannot prove loop terminates; add a MAXLOOP_n or TERMINATE_x label",
+                                *span,
+                            )
+                            .with_suggestion(
+                                Span::new(span.start, span.start),
+                                "MAXLOOP_1000: ",
+                                "label the loop with a hard iteration bound",
+                            ),
                         );
                         failures += 1;
                     }
@@ -81,9 +92,16 @@ fn check_stmt(stmt: &Stmt, diags: &mut Diagnostics) -> usize {
                 LoopKind::EventLoop | LoopKind::Trusted(_) | LoopKind::MaxLoop(_) => {}
                 LoopKind::Plain => {
                     if !for_terminates(init.as_deref(), cond.as_ref(), update.as_deref(), body) {
-                        diags.error(
-                            "cannot prove for-loop terminates; add a MAXLOOP_n or TERMINATE_x label",
-                            *span,
+                        diags.push(
+                            Diag::unprovable_loop(
+                                "cannot prove for-loop terminates; add a MAXLOOP_n or TERMINATE_x label",
+                                *span,
+                            )
+                            .with_suggestion(
+                                Span::new(span.start, span.start),
+                                "MAXLOOP_1000: ",
+                                "label the loop with a hard iteration bound",
+                            ),
                         );
                         failures += 1;
                     }
@@ -198,9 +216,7 @@ fn cond_guards(cond: &Expr, var: &str, step: Step, assigned: &BTreeSet<String>) 
             lhs,
             rhs,
             ..
-        } => {
-            cond_guards(lhs, var, step, assigned) || cond_guards(rhs, var, step, assigned)
-        }
+        } => cond_guards(lhs, var, step, assigned) || cond_guards(rhs, var, step, assigned),
         // A disjunction exits only when *both* sides go false.
         Expr::Binary {
             op: BinOp::Or,
@@ -209,14 +225,14 @@ fn cond_guards(cond: &Expr, var: &str, step: Step, assigned: &BTreeSet<String>) 
             ..
         } => cond_guards(lhs, var, step, assigned) && cond_guards(rhs, var, step, assigned),
         Expr::Binary { op, lhs, rhs, .. } => {
-            let (ivar_side, guard, flipped) =
-                if matches!(lhs.as_ref(), Expr::Var { name, .. } if name == var) {
-                    (true, rhs.as_ref(), false)
-                } else if matches!(rhs.as_ref(), Expr::Var { name, .. } if name == var) {
-                    (true, lhs.as_ref(), true)
-                } else {
-                    (false, rhs.as_ref(), false)
-                };
+            let (ivar_side, guard, flipped) = if matches!(lhs.as_ref(), Expr::Var { name, .. } if name == var)
+            {
+                (true, rhs.as_ref(), false)
+            } else if matches!(rhs.as_ref(), Expr::Var { name, .. } if name == var) {
+                (true, lhs.as_ref(), true)
+            } else {
+                (false, rhs.as_ref(), false)
+            };
             if !ivar_side || !is_invariant(guard, assigned) {
                 return false;
             }
@@ -327,72 +343,60 @@ mod tests {
 
     #[test]
     fn simple_for_loop_passes() {
-        let (n, _) = run(
-            "class A { void main() { SSJAVA: while (true) {
+        let (n, _) = run("class A { void main() { SSJAVA: while (true) {
                 int s = 0;
                 for (int i = 0; i < 10; i++) { s = s + i; }
                 Out.emit(s);
-            } } }",
-        );
+            } } }");
         assert_eq!(n, 0);
     }
 
     #[test]
     fn decrementing_while_passes() {
-        let (n, _) = run(
-            "class A { void main() { SSJAVA: while (true) {
+        let (n, _) = run("class A { void main() { SSJAVA: while (true) {
                 int i = Device.read();
                 while (i > 0) { i = i - 1; }
                 Out.emit(i);
-            } } }",
-        );
+            } } }");
         assert_eq!(n, 0);
     }
 
     #[test]
     fn unprovable_loop_fails() {
-        let (n, d) = run(
-            "class A { void main() { SSJAVA: while (true) {
+        let (n, d) = run("class A { void main() { SSJAVA: while (true) {
                 int i = Device.read();
                 while (i != 3) { i = Device.read(); }
                 Out.emit(i);
-            } } }",
-        );
+            } } }");
         assert_eq!(n, 1);
         assert!(d.has_errors());
     }
 
     #[test]
     fn wrong_direction_fails() {
-        let (n, _) = run(
-            "class A { void main() { SSJAVA: while (true) {
+        let (n, _) = run("class A { void main() { SSJAVA: while (true) {
                 int i = 0;
                 while (i < 10) { i = i - 1; }
-            } } }",
-        );
+            } } }");
         assert_eq!(n, 1);
     }
 
     #[test]
     fn changing_guard_fails() {
-        let (n, _) = run(
-            "class A { void main() { SSJAVA: while (true) {
+        let (n, _) = run("class A { void main() { SSJAVA: while (true) {
                 int i = 0; int g = 10;
                 while (i < g) { i = i + 1; g = g + 1; }
-            } } }",
-        );
+            } } }");
         assert_eq!(n, 1);
     }
 
     #[test]
     fn maxloop_and_terminate_labels_are_trusted() {
-        let (n, _) = run(
-            "class A { void main() { SSJAVA: while (true) {
+        let (n, _) = run("class A { void main() { SSJAVA: while (true) {
                 int i = Device.read();
                 MAXLOOP_100: while (i != 3) { i = Device.read(); }
                 TERMINATE_scan: while (i != 5) { i = Device.read(); }
-            } } }",
-        );
+            } } }");
         assert_eq!(n, 0);
     }
 
@@ -410,10 +414,8 @@ mod tests {
 
     #[test]
     fn callee_loops_are_checked() {
-        let (n, _) = run(
-            "class A { void main() { SSJAVA: while (true) { f(); } }
-               void f() { int i = 0; while (true) { i = i + 1; } } }",
-        );
+        let (n, _) = run("class A { void main() { SSJAVA: while (true) { f(); } }
+               void f() { int i = 0; while (true) { i = i + 1; } } }");
         assert_eq!(n, 1);
     }
 }

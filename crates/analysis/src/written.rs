@@ -15,7 +15,7 @@ use crate::callgraph::{CallGraph, MethodRef};
 use crate::heappath::{HeapPath, ELEMENT};
 use crate::jtype::TypeEnv;
 use sjava_syntax::ast::*;
-use sjava_syntax::diag::Diagnostics;
+use sjava_syntax::diag::{Diag, Diagnostics};
 use sjava_syntax::span::Span;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -115,16 +115,16 @@ pub fn check_loop(
 /// and a fresh analysis emit byte-identical messages.
 pub fn report(stale_paths: &[StalePath], stale_locals: &[StaleLocal], diags: &mut Diagnostics) {
     for (p, span) in stale_paths {
-        diags.error(
+        diags.push(Diag::stale_heap(
             format!("heap location {p} may be read without being overwritten every event-loop iteration"),
             *span,
-        );
+        ));
     }
     for (v, span) in stale_locals {
-        diags.error(
+        diags.push(Diag::stale_heap(
             format!("local `{v}` may carry a value across event-loop iterations without being overwritten"),
             *span,
-        );
+        ));
     }
 }
 
@@ -377,10 +377,7 @@ impl<'p> BodyAnalyzer<'p> {
                 if let Some((p, d)) = st.paths(name) {
                     (p.clone(), *d)
                 } else if self.is_field_of_class(name) {
-                    (
-                        BTreeSet::from([HeapPath::root("this").append(name)]),
-                        true,
-                    )
+                    (BTreeSet::from([HeapPath::root("this").append(name)]), true)
                 } else {
                     (BTreeSet::new(), true)
                 }
@@ -389,10 +386,9 @@ impl<'p> BodyAnalyzer<'p> {
                 let (paths, d) = self.paths_of(base, st);
                 (paths.iter().map(|p| p.append(field)).collect(), d)
             }
-            Expr::StaticField { class, field, .. } => (
-                BTreeSet::from([HeapPath::static_root(class, field)]),
-                true,
-            ),
+            Expr::StaticField { class, field, .. } => {
+                (BTreeSet::from([HeapPath::static_root(class, field)]), true)
+            }
             Expr::Index { base, .. } => {
                 let (paths, d) = self.paths_of(base, st);
                 (paths.iter().map(|p| p.append(ELEMENT)).collect(), d)
@@ -455,9 +451,7 @@ impl<'p> BodyAnalyzer<'p> {
             }
             Expr::Length { base, .. } => self.read_expr(base, st),
             Expr::Call { .. } => self.call_effects(e, st),
-            Expr::Unary { operand, .. } | Expr::Cast { operand, .. } => {
-                self.read_expr(operand, st)
-            }
+            Expr::Unary { operand, .. } | Expr::Cast { operand, .. } => self.read_expr(operand, st),
             Expr::Binary { lhs, rhs, .. } => {
                 self.read_expr(lhs, st);
                 self.read_expr(rhs, st);
@@ -668,7 +662,8 @@ impl<'p> BodyAnalyzer<'p> {
                     let mut merged = body_st;
                     // Additionally, a full-range element write pattern
                     // counts as a definite write of ⟨...,element⟩.
-                    if let Some(paths) = full_array_clear(self, init.as_deref(), cond.as_ref(), body, st)
+                    if let Some(paths) =
+                        full_array_clear(self, init.as_deref(), cond.as_ref(), body, st)
                     {
                         for p in paths {
                             merged.wt.insert(p);
@@ -708,24 +703,16 @@ pub fn for_loop_runs_at_least_once(init: Option<&Stmt>, cond: Option<&Expr>) -> 
     };
     match cond {
         Some(Expr::Binary {
-            op: BinOp::Lt,
-            rhs,
-            ..
+            op: BinOp::Lt, rhs, ..
         }) => matches!(rhs.as_ref(), Expr::IntLit { value, .. } if start < *value),
         Some(Expr::Binary {
-            op: BinOp::Le,
-            rhs,
-            ..
+            op: BinOp::Le, rhs, ..
         }) => matches!(rhs.as_ref(), Expr::IntLit { value, .. } if start <= *value),
         Some(Expr::Binary {
-            op: BinOp::Gt,
-            rhs,
-            ..
+            op: BinOp::Gt, rhs, ..
         }) => matches!(rhs.as_ref(), Expr::IntLit { value, .. } if start > *value),
         Some(Expr::Binary {
-            op: BinOp::Ge,
-            rhs,
-            ..
+            op: BinOp::Ge, rhs, ..
         }) => matches!(rhs.as_ref(), Expr::IntLit { value, .. } if start >= *value),
         _ => false,
     }
@@ -778,13 +765,7 @@ fn full_array_clear(
             if matches!(index, Expr::Var { name, .. } if *name == idx) {
                 let (paths, definite) = an.paths_of(base, st);
                 if definite && paths.len() == 1 {
-                    out.insert(
-                        paths
-                            .iter()
-                            .next()
-                            .expect("len checked")
-                            .append(ELEMENT),
-                    );
+                    out.insert(paths.iter().next().expect("len checked").append(ELEMENT));
                 }
             }
         }
@@ -814,8 +795,7 @@ mod tests {
     fn wind_sensor_pattern_passes() {
         // The Fig 2.1 shape: all of bin's fields overwritten each
         // iteration.
-        let (r, d) = run(
-            "class W { R bin; int dir;
+        let (r, d) = run("class W { R bin; int dir;
                 void main() {
                     bin = new R();
                     SSJAVA: while (true) {
@@ -828,8 +808,7 @@ mod tests {
                     }
                 }
              }
-             class R { int dir0; int dir1; int dir2; }",
-        );
+             class R { int dir0; int dir1; int dir2; }");
         assert!(r.is_ok(), "stale: {:?} {:?}", r.stale_paths, r.stale_locals);
         assert!(!d.has_errors());
     }
@@ -837,8 +816,7 @@ mod tests {
     #[test]
     fn stale_field_read_is_flagged() {
         // `acc` is read every iteration but only written conditionally.
-        let (r, _d) = run(
-            "class W { int acc;
+        let (r, _d) = run("class W { int acc;
                 void main() {
                     SSJAVA: while (true) {
                         int x = Device.read();
@@ -846,8 +824,7 @@ mod tests {
                         Out.emit(acc);
                     }
                 }
-             }",
-        );
+             }");
         assert!(!r.is_ok());
         assert!(r
             .stale_paths
@@ -859,8 +836,7 @@ mod tests {
     fn read_before_unconditional_write_is_ok() {
         // Reading the previous iteration's value is fine when the location
         // is overwritten on every iteration (condition 3).
-        let (r, _) = run(
-            "class W { int prev;
+        let (r, _) = run("class W { int prev;
                 void main() {
                     SSJAVA: while (true) {
                         int x = Device.read();
@@ -869,15 +845,13 @@ mod tests {
                         Out.emit(old + x);
                     }
                 }
-             }",
-        );
+             }");
         assert!(r.is_ok(), "stale: {:?}", r.stale_paths);
     }
 
     #[test]
     fn loop_invariant_reads_are_ok() {
-        let (r, _) = run(
-            "class W { int k;
+        let (r, _) = run("class W { int k;
                 void main() {
                     k = 7;
                     SSJAVA: while (true) {
@@ -885,28 +859,24 @@ mod tests {
                         Out.emit(x * k);
                     }
                 }
-             }",
-        );
+             }");
         assert!(r.is_ok(), "stale: {:?}", r.stale_paths);
     }
 
     #[test]
     fn callee_writes_count_for_eviction() {
-        let (r, _) = run(
-            "class W { int v;
+        let (r, _) = run("class W { int v;
                 void main() {
                     SSJAVA: while (true) { refresh(); Out.emit(v); }
                 }
                 void refresh() { v = Device.read(); }
-             }",
-        );
+             }");
         assert!(r.is_ok(), "stale: {:?}", r.stale_paths);
     }
 
     #[test]
     fn callee_reads_are_translated() {
-        let (r, _) = run(
-            "class W { int v;
+        let (r, _) = run("class W { int v;
                 void main() {
                     SSJAVA: while (true) {
                         int x = Device.read();
@@ -915,15 +885,16 @@ mod tests {
                     }
                 }
                 int peek() { return v; }
-             }",
+             }");
+        assert!(
+            !r.is_ok(),
+            "callee read of conditionally-written v must be stale"
         );
-        assert!(!r.is_ok(), "callee read of conditionally-written v must be stale");
     }
 
     #[test]
     fn clearing_for_loop_satisfies_eviction() {
-        let (r, _) = run(
-            "class W { float[] buf;
+        let (r, _) = run("class W { float[] buf;
                 void main() {
                     buf = new float[8];
                     SSJAVA: while (true) {
@@ -933,15 +904,13 @@ mod tests {
                         Out.emit(s);
                     }
                 }
-             }",
-        );
+             }");
         assert!(r.is_ok(), "stale: {:?} {:?}", r.stale_paths, r.stale_locals);
     }
 
     #[test]
     fn partial_array_write_is_stale() {
-        let (r, _) = run(
-            "class W { float[] buf;
+        let (r, _) = run("class W { float[] buf;
                 void main() {
                     buf = new float[8];
                     SSJAVA: while (true) {
@@ -950,15 +919,13 @@ mod tests {
                         Out.emit(buf[3]);
                     }
                 }
-             }",
-        );
+             }");
         assert!(!r.is_ok());
     }
 
     #[test]
     fn ssjava_array_insert_clears() {
-        let (r, _) = run(
-            "class W { int[] hist;
+        let (r, _) = run("class W { int[] hist;
                 void main() {
                     hist = new int[3];
                     SSJAVA: while (true) {
@@ -967,15 +934,13 @@ mod tests {
                         Out.emit(hist[0] + hist[2]);
                     }
                 }
-             }",
-        );
+             }");
         assert!(r.is_ok(), "stale: {:?}", r.stale_paths);
     }
 
     #[test]
     fn stale_local_across_iterations_is_flagged() {
-        let (r, _) = run(
-            "class W {
+        let (r, _) = run("class W {
                 void main() {
                     int carry = 0;
                     SSJAVA: while (true) {
@@ -984,8 +949,7 @@ mod tests {
                         if (x > 0) { carry = x; }
                     }
                 }
-             }",
-        );
+             }");
         assert!(
             r.stale_locals.iter().any(|(n, _)| n == "carry"),
             "carry should be stale: {:?}",
@@ -995,8 +959,7 @@ mod tests {
 
     #[test]
     fn local_always_overwritten_is_ok() {
-        let (r, _) = run(
-            "class W {
+        let (r, _) = run("class W {
                 void main() {
                     int carry = 0;
                     SSJAVA: while (true) {
@@ -1005,15 +968,13 @@ mod tests {
                         carry = x;
                     }
                 }
-             }",
-        );
+             }");
         assert!(r.is_ok(), "stale: {:?}", r.stale_locals);
     }
 
     #[test]
     fn aliased_write_through_local_reference() {
-        let (r, _) = run(
-            "class W { R rec;
+        let (r, _) = run("class W { R rec;
                 void main() {
                     rec = new R();
                     SSJAVA: while (true) {
@@ -1023,8 +984,7 @@ mod tests {
                     }
                 }
              }
-             class R { int v; }",
-        );
+             class R { int v; }");
         assert!(r.is_ok(), "stale: {:?}", r.stale_paths);
     }
 }

@@ -7,8 +7,11 @@ use sjava_analysis::{callgraph, written};
 use sjava_syntax::diag::Diagnostics;
 
 fn arb_path() -> impl Strategy<Value = HeapPath> {
-    prop::collection::vec(prop::sample::select(vec!["this", "a", "b", "f", "g", "h"]), 1..5)
-        .prop_map(|v| HeapPath(v.into_iter().map(String::from).collect()))
+    prop::collection::vec(
+        prop::sample::select(vec!["this", "a", "b", "f", "g", "h"]),
+        1..5,
+    )
+    .prop_map(|v| HeapPath(v.into_iter().map(String::from).collect()))
 }
 
 proptest! {

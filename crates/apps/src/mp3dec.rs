@@ -56,9 +56,7 @@ pub fn source_with(granule: usize, window: usize) -> String {
             } else {
                 format!("{} * 0.5", pair[0])
             };
-            butterfly.push_str(&format!(
-                "        @LOC(\"{loc}\") float {name} = {expr};\n"
-            ));
+            butterfly.push_str(&format!("        @LOC(\"{loc}\") float {name} = {expr};\n"));
             cur.push(name);
         }
         stage_locs.push(loc);
@@ -268,7 +266,9 @@ mod tests {
         assert!(r.error_log.is_empty(), "{:?}", r.error_log);
         // Output is a bounded audio signal.
         for v in r.outputs() {
-            let Value::Float(x) = v else { panic!("non-float pcm") };
+            let Value::Float(x) = v else {
+                panic!("non-float pcm")
+            };
             assert!(x.abs() <= 32767.0 * 2.0, "sample {x} out of range");
         }
     }

@@ -76,7 +76,11 @@ mod tests {
             let printed = print_program(&result.annotated);
             let reparsed = sjava_syntax::parse(&printed).expect("reparses");
             let report = check_program(&reparsed);
-            assert!(report.is_ok(), "{mode:?}:\n{}\n{printed}", report.diagnostics);
+            assert!(
+                report.is_ok(),
+                "{mode:?}:\n{}\n{printed}",
+                report.diagnostics
+            );
         }
     }
 

@@ -61,7 +61,12 @@ fn bench_parallel(c: &mut Criterion) {
 fn bench_parser(c: &mut Criterion) {
     let src = sjava_apps::mp3dec::source();
     c.bench_function("parse_mp3dec", |b| {
-        b.iter(|| sjava_syntax::parse(black_box(src)).expect("parses").classes.len())
+        b.iter(|| {
+            sjava_syntax::parse(black_box(src))
+                .expect("parses")
+                .classes
+                .len()
+        })
     });
 }
 

@@ -11,7 +11,10 @@ use std::hint::black_box;
 
 fn bench_glb(c: &mut Criterion) {
     let method = Lattice::from_decl(
-        &[("STR".into(), "WDOBJ".into()), ("WDOBJ".into(), "IN".into())],
+        &[
+            ("STR".into(), "WDOBJ".into()),
+            ("WDOBJ".into(), "IN".into()),
+        ],
         &[],
         &[],
     )
@@ -23,7 +26,10 @@ fn bench_glb(c: &mut Criterion) {
     )
     .expect("ok");
     let fields = vec![("WDSensor".to_string(), field)];
-    let ctx = SimpleCtx { method: &method, fields: &fields };
+    let ctx = SimpleCtx {
+        method: &method,
+        fields: &fields,
+    };
     let a = CompositeLoc::path(vec![Elem::method("WDOBJ"), Elem::field("WDSensor", "TMP")]);
     let b = CompositeLoc::path(vec![Elem::method("WDOBJ"), Elem::field("WDSensor", "BIN")]);
     c.bench_function("composite_glb", |bch| {
@@ -37,7 +43,10 @@ fn bench_intern(c: &mut Criterion) {
     // compared at every statement. The interner memoizes compare/glb per
     // (LocRef, LocRef) pair, so the steady state is two hash lookups.
     let method = Lattice::from_decl(
-        &[("STR".into(), "WDOBJ".into()), ("WDOBJ".into(), "IN".into())],
+        &[
+            ("STR".into(), "WDOBJ".into()),
+            ("WDOBJ".into(), "IN".into()),
+        ],
         &[],
         &[],
     )
@@ -49,13 +58,16 @@ fn bench_intern(c: &mut Criterion) {
     )
     .expect("ok");
     let fields = vec![("WDSensor".to_string(), field)];
-    let ctx = SimpleCtx { method: &method, fields: &fields };
+    let ctx = SimpleCtx {
+        method: &method,
+        fields: &fields,
+    };
     let locs: Vec<CompositeLoc> = ["STR", "WDOBJ", "IN"]
         .into_iter()
         .flat_map(|m| {
-            ["DIR", "TMP", "BIN"].into_iter().map(move |f| {
-                CompositeLoc::path(vec![Elem::method(m), Elem::field("WDSensor", f)])
-            })
+            ["DIR", "TMP", "BIN"]
+                .into_iter()
+                .map(move |f| CompositeLoc::path(vec![Elem::method(m), Elem::field("WDSensor", f)]))
         })
         .collect();
 
@@ -101,7 +113,12 @@ fn bench_completion(c: &mut Criterion) {
             }
         }
         group.bench_with_input(BenchmarkId::from_parameter(n), &h, |bch, h| {
-            bch.iter(|| dedekind_macneille(black_box(h)).expect("acyclic").lattice.len())
+            bch.iter(|| {
+                dedekind_macneille(black_box(h))
+                    .expect("acyclic")
+                    .lattice
+                    .len()
+            })
         });
     }
     group.finish();

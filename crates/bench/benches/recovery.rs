@@ -49,7 +49,9 @@ fn bench_eviction(c: &mut Criterion) {
         b.iter(|| {
             let mut d = sjava_syntax::diag::Diagnostics::new();
             let cg = sjava_analysis::callgraph::build(black_box(&program), &mut d).expect("cg");
-            sjava_analysis::written::analyze(&program, &cg, &mut d).summaries.len()
+            sjava_analysis::written::analyze(&program, &cg, &mut d)
+                .summaries
+                .len()
         })
     });
 }

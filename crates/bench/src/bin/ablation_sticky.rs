@@ -49,7 +49,11 @@ fn campaign(name: &str, source: &str, expect_ok: bool, csv: &mut String) -> (usi
     let program = sjava_syntax::parse(source).expect("parses");
     let report = check_program(&program);
     assert_eq!(report.is_ok(), expect_ok, "{name}: {}", report.diagnostics);
-    let verdict = if report.is_ok() { "verified" } else { "REJECTED" };
+    let verdict = if report.is_ok() {
+        "verified"
+    } else {
+        "REJECTED"
+    };
     println!("{name}: checker verdict = {verdict}");
 
     let trials = env_usize("SJAVA_TRIALS", 60);

@@ -10,7 +10,7 @@
 
 use std::time::{Duration, Instant};
 
-use sjava_bench::{env_usize, write_result};
+use sjava_bench::{assert_clean, deny_warnings, env_usize, write_result};
 use sjava_core::PhaseTimings;
 use sjava_par::{num_threads, run_indexed_with};
 
@@ -24,9 +24,9 @@ fn benchmarks() -> Vec<(&'static str, String)> {
 }
 
 /// One unit of work: a full cold check (parse included) of one benchmark.
-fn check_once(name: &str, source: &str) -> PhaseTimings {
+fn check_once(name: &str, source: &str, deny: bool) -> PhaseTimings {
     let report = sjava_core::check_source(source).expect("benchmark parses");
-    assert!(report.is_ok(), "{name} must check: {}", report.diagnostics);
+    assert_clean(name, &report.diagnostics, deny);
     report.timings
 }
 
@@ -36,12 +36,13 @@ fn run_pass(
     benches: &[(&'static str, String)],
     reps: usize,
     threads: usize,
+    deny: bool,
 ) -> (Duration, Vec<PhaseTimings>) {
     let units = benches.len() * reps;
     let t = Instant::now();
     let timings = run_indexed_with(units, threads, |i| {
         let (name, source) = &benches[i / reps];
-        check_once(name, source)
+        check_once(name, source, deny)
     });
     (t.elapsed(), timings)
 }
@@ -53,6 +54,7 @@ fn ms(d: Duration) -> f64 {
 fn main() {
     let reps = env_usize("SJAVA_REPS", 12);
     let threads = num_threads();
+    let deny = deny_warnings();
     let benches = benchmarks();
 
     println!("BENCH_checker — whole-program checking throughput");
@@ -63,11 +65,11 @@ fn main() {
 
     // Warm-up so neither pass pays first-touch costs.
     for (name, source) in &benches {
-        check_once(name, source);
+        check_once(name, source, deny);
     }
 
-    let (seq_wall, _) = run_pass(&benches, reps, 1);
-    let (par_wall, timings) = run_pass(&benches, reps, threads);
+    let (seq_wall, _) = run_pass(&benches, reps, 1, deny);
+    let (par_wall, timings) = run_pass(&benches, reps, threads, deny);
     let speedup = ms(seq_wall) / ms(par_wall).max(1e-9);
 
     println!("sequential pass: {:.1} ms", ms(seq_wall));
@@ -76,10 +78,7 @@ fn main() {
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"reps\": {reps},\n"));
-    json.push_str(&format!(
-        "  \"sequential_wall_ms\": {:.3},\n",
-        ms(seq_wall)
-    ));
+    json.push_str(&format!("  \"sequential_wall_ms\": {:.3},\n", ms(seq_wall)));
     json.push_str(&format!("  \"wall_clock_ms\": {:.3},\n", ms(par_wall)));
     json.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
     json.push_str("  \"benchmarks\": [\n");

@@ -49,5 +49,8 @@ fn main() {
     );
     let path = write_result("eval_eye.csv", &csv);
     println!("written to {}", path.display());
-    assert!(by_iters[4..].iter().all(|&n| n == 0), "recovery must be ≤3 iterations");
+    assert!(
+        by_iters[4..].iter().all(|&n| n == 0),
+        "recovery must be ≤3 iterations"
+    );
 }

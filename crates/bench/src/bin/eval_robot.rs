@@ -42,5 +42,8 @@ fn main() {
     println!("worst recovery: {worst} iteration(s) (paper: next iteration in all trials)");
     let path = write_result("eval_robot.csv", &csv);
     println!("written to {}", path.display());
-    assert!(worst <= 1, "the stateless controller must recover by the next iteration");
+    assert!(
+        worst <= 1,
+        "the stateless controller must recover by the next iteration"
+    );
 }

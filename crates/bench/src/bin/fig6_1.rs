@@ -64,7 +64,10 @@ fn main() {
     let median = recoveries.get(recoveries.len() / 2).copied().unwrap_or(0);
 
     println!("\ntrials with corrupted outputs: {diverged}/{trials} (paper: 466/1000)");
-    println!("histogram of samples-until-normal-output (bucket width {}):", hist.bucket_width);
+    println!(
+        "histogram of samples-until-normal-output (bucket width {}):",
+        hist.bucket_width
+    );
     print!("{}", hist.render());
     if let Some((peak_lo, peak_n)) = hist.peak() {
         println!(

@@ -87,7 +87,11 @@ fn main() {
     println!("\nsample   normal      injected");
     let step = ((hi - lo) / 40).max(1);
     for i in (lo..=hi).step_by(step) {
-        let marker = if (g[i] - j[i]).abs() > 1e-9 { "  <-- deviates" } else { "" };
+        let marker = if (g[i] - j[i]).abs() > 1e-9 {
+            "  <-- deviates"
+        } else {
+            ""
+        };
         println!("{i:>6} {:>11.1} {:>11.1}{marker}", g[i], j[i]);
     }
     println!(

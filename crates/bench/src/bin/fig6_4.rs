@@ -6,10 +6,10 @@
 //!
 //! Usage: `cargo run -p sjava-bench --bin fig6_4`
 
+use sjava_bench::write_result;
 use sjava_infer::{infer, Mode};
 use sjava_lattice::{count_paths, lattice_to_dot};
 use sjava_syntax::strip::strip_location_annotations;
-use sjava_bench::write_result;
 
 fn main() {
     let program = sjava_syntax::parse(sjava_apps::mp3dec::source()).expect("parses");

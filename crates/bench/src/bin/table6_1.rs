@@ -6,12 +6,12 @@
 //!
 //! Usage: `cargo run --release -p sjava-bench --bin table6_1`
 
+use sjava_bench::{assert_clean, deny_warnings, write_result};
 use sjava_core::check_program;
 use sjava_infer::{infer, Metrics, Mode};
 use sjava_syntax::ast::Program;
 use sjava_syntax::pretty::print_program;
 use sjava_syntax::strip::strip_location_annotations;
-use sjava_bench::write_result;
 
 struct Row {
     benchmark: String,
@@ -39,7 +39,7 @@ fn manual_metrics(program: &Program) -> Metrics {
     Metrics::from_gen(&gen)
 }
 
-fn rows_for(name: &str, source: &str, out: &mut Vec<Row>) {
+fn rows_for(name: &str, source: &str, deny: bool, out: &mut Vec<Row>) {
     let loc = source
         .lines()
         .filter(|l| !l.trim().is_empty() && !l.trim().starts_with("//"))
@@ -65,10 +65,10 @@ fn rows_for(name: &str, source: &str, out: &mut Vec<Row>) {
         let printed = print_program(&result.annotated);
         let reparsed = sjava_syntax::parse(&printed).expect("inferred source parses");
         let report = check_program(&reparsed);
-        assert!(
-            report.is_ok(),
-            "{name} {label} annotations fail to check: {}",
-            report.diagnostics
+        assert_clean(
+            &format!("{name} {label} (inferred)"),
+            &report.diagnostics,
+            deny,
         );
         out.push(Row {
             benchmark: name.to_string(),
@@ -84,15 +84,23 @@ fn rows_for(name: &str, source: &str, out: &mut Vec<Row>) {
 }
 
 fn main() {
+    let deny = deny_warnings();
     let mut rows = Vec::new();
-    rows_for("MP3", sjava_apps::mp3dec::source(), &mut rows);
-    rows_for("Eye", sjava_apps::eyetrack::SOURCE, &mut rows);
-    rows_for("Robot", sjava_apps::sumobot::SOURCE, &mut rows);
+    rows_for("MP3", sjava_apps::mp3dec::source(), deny, &mut rows);
+    rows_for("Eye", sjava_apps::eyetrack::SOURCE, deny, &mut rows);
+    rows_for("Robot", sjava_apps::sumobot::SOURCE, deny, &mut rows);
 
     println!("Table 6.1 — Inference Evaluation");
     println!(
         "{:<8}{:<8}{:>14}{:>14}{:>15}{:>15}{:>10}{:>7}",
-        "Bench", "Variant", "Simple locs", "Simple paths", "Complex locs", "Complex paths", "Time ms", "LoC"
+        "Bench",
+        "Variant",
+        "Simple locs",
+        "Simple paths",
+        "Complex locs",
+        "Complex paths",
+        "Time ms",
+        "LoC"
     );
     let mut csv = String::from(
         "benchmark,variant,simple_locs,simple_paths,complex_locs,complex_paths,time_ms,loc\n",
@@ -134,7 +142,7 @@ fn main() {
         ("Robot", sjava_apps::sumobot::SOURCE),
     ] {
         let report = sjava_core::check_source(source).expect("benchmark parses");
-        assert!(report.is_ok(), "{name}: {}", report.diagnostics);
+        assert_clean(name, &report.diagnostics, deny);
         let t = &report.timings;
         let breakdown: Vec<String> = t
             .phases()
@@ -153,8 +161,12 @@ fn main() {
     println!(
         "\nAll inferred annotations re-checked successfully (the paper's correctness result)."
     );
-    println!("Expected shape (Table 6.1): SInfer produces no more complex-lattice locations/paths than");
-    println!("the naive approach, at some extra inference time; manual annotations are the smallest.");
+    println!(
+        "Expected shape (Table 6.1): SInfer produces no more complex-lattice locations/paths than"
+    );
+    println!(
+        "the naive approach, at some extra inference time; manual annotations are the smallest."
+    );
     let path = write_result("table6_1.csv", &csv);
     println!("table written to {}", path.display());
 }

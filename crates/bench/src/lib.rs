@@ -186,6 +186,27 @@ pub fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// True when benchmark runs must also fail on warning-severity
+/// diagnostics: pass `--deny-warnings` to the binary or set
+/// `SJAVA_DENY_WARNINGS=1`.
+pub fn deny_warnings() -> bool {
+    std::env::args().any(|a| a == "--deny-warnings")
+        || std::env::var("SJAVA_DENY_WARNINGS").as_deref() == Ok("1")
+}
+
+/// Panics when `diags` contains errors — or any warnings, when `deny`
+/// is set — so benchmark runs fail loudly instead of silently counting
+/// new diagnostics into their numbers.
+pub fn assert_clean(name: &str, diags: &sjava_syntax::diag::Diagnostics, deny: bool) {
+    assert!(!diags.has_errors(), "{name} must check cleanly: {diags}");
+    if deny {
+        assert!(
+            !diags.has_warnings(),
+            "{name} has warnings and --deny-warnings is set: {diags}"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,28 +11,90 @@
 //! runs tests concurrently — a second test mutating the variable would
 //! race.
 
-fn render_all(threads: usize) -> String {
-    // SAFETY-free in edition 2021: std::env::set_var is a plain fn.
-    std::env::set_var(sjava_par::THREADS_ENV, threads.to_string());
-    assert_eq!(sjava_par::num_threads(), threads);
-    let mut out = String::new();
-    for (name, source) in [
+fn apps() -> Vec<(&'static str, String)> {
+    vec![
         ("windsensor", sjava_apps::windsensor::SOURCE.to_string()),
         ("eyetrack", sjava_apps::eyetrack::SOURCE.to_string()),
         ("sumobot", sjava_apps::sumobot::SOURCE.to_string()),
         ("mp3dec", sjava_apps::mp3dec::source().to_string()),
         ("weather", sjava_apps::weather::SOURCE.to_string()),
-    ] {
+    ]
+}
+
+fn render_all(threads: usize) -> String {
+    // SAFETY-free in edition 2021: std::env::set_var is a plain fn.
+    std::env::set_var(sjava_par::THREADS_ENV, threads.to_string());
+    assert_eq!(sjava_par::num_threads(), threads);
+    let mut out = String::new();
+    for (name, source) in apps() {
         match sjava_core::check_source(&source) {
             Ok(report) => {
+                // The merged report must already be in the stable total
+                // order on (file, span, code) — downstream consumers
+                // (cache replay, JSON/SARIF emitters) rely on it.
+                assert!(
+                    report.diagnostics.is_sorted(),
+                    "{name}: merged diagnostics are not in stable sorted order"
+                );
                 out.push_str(&format!(
                     "== {name}: ok={} ==\n{}\n",
                     report.is_ok(),
                     report.diagnostics
                 ));
             }
-            Err(diags) => out.push_str(&format!("== {name}: parse error ==\n{diags}\n")),
+            Err(failure) => {
+                assert!(
+                    failure.diagnostics.is_sorted(),
+                    "{name}: parse diagnostics not sorted"
+                );
+                out.push_str(&format!("== {name}: parse error ==\n{failure}\n"));
+            }
         }
+    }
+    std::env::remove_var(sjava_par::THREADS_ENV);
+    out
+}
+
+/// Renders every app's diagnostics through the JSON and SARIF emitters,
+/// once from a fresh check and once each from a cold and a warm
+/// incremental-cache session. All three must serialize to the same bytes
+/// at any worker count.
+fn render_emitters(threads: usize) -> String {
+    std::env::set_var(sjava_par::THREADS_ENV, threads.to_string());
+    let mut out = String::new();
+    for (name, source) in apps() {
+        let file = sjava_syntax::SourceFile::new(format!("{name}.sj"), source.clone());
+        let fresh = match sjava_core::check_source(&source) {
+            Ok(report) => report.diagnostics,
+            Err(failure) => failure.diagnostics,
+        };
+        let mut session = sjava_cache::IncrementalChecker::new();
+        let mut replay = |label: &str| match session.check_source(&source) {
+            Ok(report) => {
+                let json = sjava_syntax::emit::to_json(&file, &report.diagnostics);
+                let sarif = sjava_syntax::emit::to_sarif(&file, &report.diagnostics);
+                assert_eq!(
+                    json,
+                    sjava_syntax::emit::to_json(&file, &fresh),
+                    "{name}: {label} cache JSON diverged from fresh check"
+                );
+                assert_eq!(
+                    sarif,
+                    sjava_syntax::emit::to_sarif(&file, &fresh),
+                    "{name}: {label} cache SARIF diverged from fresh check"
+                );
+                (json, sarif)
+            }
+            Err(failure) => (
+                sjava_syntax::emit::to_json(&file, &failure.diagnostics),
+                sjava_syntax::emit::to_sarif(&file, &failure.diagnostics),
+            ),
+        };
+        let (cold_json, cold_sarif) = replay("cold");
+        let (warm_json, warm_sarif) = replay("warm");
+        assert_eq!(cold_json, warm_json, "{name}: warm JSON diverged");
+        assert_eq!(cold_sarif, warm_sarif, "{name}: warm SARIF diverged");
+        out.push_str(&format!("== {name} ==\n{cold_json}{cold_sarif}"));
     }
     std::env::remove_var(sjava_par::THREADS_ENV);
     out
@@ -58,7 +120,12 @@ fn render_trials(threads: usize) -> String {
         0.0,
     )
     .iter()
-    .map(|t| format!("{},{},{}\n", t.seed, t.stats.diverged, t.stats.recovery_iterations))
+    .map(|t| {
+        format!(
+            "{},{},{}\n",
+            t.seed, t.stats.diverged, t.stats.recovery_iterations
+        )
+    })
     .collect();
     std::env::remove_var(sjava_par::THREADS_ENV);
     out
@@ -75,6 +142,19 @@ fn diagnostics_identical_at_any_thread_count() {
         assert_eq!(
             baseline, wide,
             "diagnostics changed between 1 and {threads} worker threads"
+        );
+    }
+
+    // The structured emitters must be byte-identical at any worker
+    // count, and the incremental cache (cold and warm) must serialize
+    // to the same bytes as a fresh check — `render_emitters` asserts
+    // the cache half internally.
+    let emitted = render_emitters(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            emitted,
+            render_emitters(threads),
+            "JSON/SARIF output changed between 1 and {threads} worker threads"
         );
     }
 

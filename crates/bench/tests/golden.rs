@@ -54,8 +54,7 @@ fn assert_matches_fixture(name: &str, rendered: &str) {
         )
     });
     assert_eq!(
-        rendered,
-        expected,
+        rendered, expected,
         "golden mismatch for `{name}`; if the new output is intended, \
          regenerate with {REGEN_ENV}=1 and review the fixture diff"
     );

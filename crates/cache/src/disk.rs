@@ -18,15 +18,18 @@ use sjava_analysis::callgraph::MethodRef;
 use sjava_analysis::heappath::HeapPath;
 use sjava_analysis::written::MethodSummary;
 use sjava_core::shared::SharedMember;
-use sjava_syntax::diag::{Diagnostic, Severity};
+use sjava_syntax::codes::Code;
+use sjava_syntax::diag::{Diagnostic, Label, Severity, Suggestion};
 use sjava_syntax::span::Span;
 use std::collections::{BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
 
 /// File magic; anything else is ignored wholesale.
 const MAGIC: &[u8; 10] = b"SJAVACACHE";
-/// Format version; bump on any layout change.
-const VERSION: u32 = 1;
+/// Format version; bump on any layout change. Version 2 added the
+/// structured diagnostic fields (code, file, labels, suggestion);
+/// version-1 files fail the version check and degrade to misses.
+const VERSION: u32 = 2;
 /// Cache file name inside the cache directory.
 const FILE_NAME: &str = "cache.bin";
 /// Upper bound on any decoded count or string length. Real programs stay
@@ -82,9 +85,7 @@ pub fn save(
 /// Loads whatever validly-encoded prefix `dir/cache.bin` holds. A missing
 /// file, foreign magic, version mismatch, or corruption mid-stream all
 /// degrade to fewer (possibly zero) entries — never an error.
-pub fn load(
-    dir: &Path,
-) -> (HashMap<u64, MethodEntry>, HashMap<u64, BTreeSet<MethodRef>>) {
+pub fn load(dir: &Path) -> (HashMap<u64, MethodEntry>, HashMap<u64, BTreeSet<MethodRef>>) {
     let mut entries = HashMap::new();
     let mut callees = HashMap::new();
     let Ok(buf) = std::fs::read(cache_file(dir)) else {
@@ -132,6 +133,21 @@ fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(s.as_bytes());
 }
 
+fn put_opt_str(buf: &mut Vec<u8>, s: &Option<String>) {
+    match s {
+        None => buf.push(0),
+        Some(s) => {
+            buf.push(1);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn put_span(buf: &mut Vec<u8>, span: Span) {
+    put_u32(buf, span.start);
+    put_u32(buf, span.end);
+}
+
 fn put_diags(buf: &mut Vec<u8>, diags: &[Diagnostic]) {
     put_u64(buf, diags.len() as u64);
     for d in diags {
@@ -139,9 +155,25 @@ fn put_diags(buf: &mut Vec<u8>, diags: &[Diagnostic]) {
             Severity::Warning => 0,
             Severity::Error => 1,
         });
+        buf.extend_from_slice(&d.code.number().to_le_bytes());
         put_str(buf, &d.message);
-        put_u32(buf, d.span.start);
-        put_u32(buf, d.span.end);
+        put_span(buf, d.span);
+        put_opt_str(buf, &d.file);
+        put_u64(buf, d.labels.len() as u64);
+        for l in &d.labels {
+            put_span(buf, l.span);
+            put_str(buf, &l.message);
+            put_opt_str(buf, &l.file);
+        }
+        match &d.suggestion {
+            None => buf.push(0),
+            Some(s) => {
+                buf.push(1);
+                put_span(buf, s.span);
+                put_str(buf, &s.replacement);
+                put_str(buf, &s.message);
+            }
+        }
         put_u64(buf, d.notes.len() as u64);
         for n in &d.notes {
             put_str(buf, n);
@@ -219,6 +251,25 @@ impl<'a> Reader<'a> {
         String::from_utf8(bytes.to_vec()).ok()
     }
 
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.bytes(2)?.try_into().ok()?))
+    }
+
+    fn span(&mut self) -> Option<Span> {
+        Some(Span {
+            start: self.u32()?,
+            end: self.u32()?,
+        })
+    }
+
+    fn opt_string(&mut self) -> Option<Option<String>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.string()?)),
+            _ => None,
+        }
+    }
+
     fn diags(&mut self) -> Option<Vec<Diagnostic>> {
         let n = self.count()?;
         let mut out = Vec::new();
@@ -228,10 +279,29 @@ impl<'a> Reader<'a> {
                 1 => Severity::Error,
                 _ => return None,
             };
+            // An unregistered code number means a foreign or future
+            // format: bail, degrading the entry to a miss.
+            let code = Code::from_number(self.u16()?)?;
             let message = self.string()?;
-            let span = Span {
-                start: self.u32()?,
-                end: self.u32()?,
+            let span = self.span()?;
+            let file = self.opt_string()?;
+            let labels_n = self.count()?;
+            let mut labels = Vec::new();
+            for _ in 0..labels_n {
+                labels.push(Label {
+                    span: self.span()?,
+                    message: self.string()?,
+                    file: self.opt_string()?,
+                });
+            }
+            let suggestion = match self.u8()? {
+                0 => None,
+                1 => Some(Suggestion {
+                    span: self.span()?,
+                    replacement: self.string()?,
+                    message: self.string()?,
+                }),
+                _ => return None,
             };
             let notes_n = self.count()?;
             let mut notes = Vec::new();
@@ -240,8 +310,12 @@ impl<'a> Reader<'a> {
             }
             out.push(Diagnostic {
                 severity,
+                code,
                 message,
                 span,
+                file,
+                labels,
+                suggestion,
                 notes,
             });
         }
@@ -304,23 +378,21 @@ mod tests {
                 may_writes: [HeapPath::root("x")].into(),
                 must_writes: BTreeSet::new(),
             },
-            flow: vec![Diagnostic {
-                severity: Severity::Error,
-                message: "flow violation".into(),
-                span: Span::new(3, 9),
-                notes: vec!["note".into()],
-            }],
+            flow: vec![
+                sjava_syntax::diag::Diag::flow_up("flow violation", Span::new(3, 9))
+                    .with_note("note")
+                    .with_label(Span::new(0, 2), "lattice declared here")
+                    .with_suggestion(Span::new(3, 3), "fix ", "insert fix"),
+            ],
             alias: vec![],
             shared_present: true,
             shared_clears: [("C".to_string(), "f".to_string())].into(),
             shared_reads: BTreeSet::new(),
             term_failures: 2,
-            term: vec![Diagnostic {
-                severity: Severity::Warning,
-                message: "loop may not terminate".into(),
-                span: Span::new(10, 20),
-                notes: vec![],
-            }],
+            term: vec![sjava_syntax::diag::Diag::unprovable_loop(
+                "loop may not terminate",
+                Span::new(10, 20),
+            )],
         }
     }
 
@@ -332,10 +404,7 @@ mod tests {
         entries.insert(42u64, sample_entry());
         entries.insert(7u64, MethodEntry::default());
         let mut callees = HashMap::new();
-        callees.insert(
-            9u64,
-            BTreeSet::from([("A".to_string(), "f".to_string())]),
-        );
+        callees.insert(9u64, BTreeSet::from([("A".to_string(), "f".to_string())]));
         save(&dir, &entries, &callees).expect("save");
         let (e2, c2) = load(&dir);
         assert_eq!(entries, e2);
@@ -371,6 +440,13 @@ mod tests {
         // Right magic, wrong version.
         let mut buf = MAGIC.to_vec();
         buf.extend_from_slice(&(VERSION + 1).to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(cache_file(&dir), buf).expect("write");
+        let (e, c) = load(&dir);
+        assert!(e.is_empty() && c.is_empty());
+        // A pre-structured-diagnostics version-1 file degrades to misses.
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&1u32.to_le_bytes());
         buf.extend_from_slice(&0u64.to_le_bytes());
         std::fs::write(cache_file(&dir), buf).expect("write");
         let (e, c) = load(&dir);

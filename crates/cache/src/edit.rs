@@ -152,15 +152,12 @@ mod tests {
 
     #[test]
     fn bumps_exactly_one_literal() {
-        let mut p = parse(
-            "class A { void f() { int x = 1; int y = 2; } void g() { int z = 7; } }",
-        )
-        .expect("parses");
+        let mut p = parse("class A { void f() { int x = 1; int y = 2; } void g() { int z = 7; } }")
+            .expect("parses");
         assert!(bump_first_int_literal(&mut p, "A", "f"));
-        let expected = parse(
-            "class A { void f() { int x = 2; int y = 2; } void g() { int z = 7; } }",
-        )
-        .expect("parses");
+        let expected =
+            parse("class A { void f() { int x = 2; int y = 2; } void g() { int z = 7; } }")
+                .expect("parses");
         assert_eq!(p, expected, "only the first literal of A::f changes");
     }
 

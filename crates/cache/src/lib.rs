@@ -42,7 +42,9 @@ use sjava_analysis::callgraph::{self, MethodRef};
 use sjava_analysis::termination;
 use sjava_analysis::written::{self, EvictionResult, MethodSummary};
 use sjava_core::shared::SharedMember;
-use sjava_core::{checker, linear, shared, CacheStats, CheckReport, Lattices, ParseFailure, PhaseTimings};
+use sjava_core::{
+    checker, linear, shared, CacheStats, CheckReport, Lattices, ParseFailure, PhaseTimings,
+};
 use sjava_lattice::{hash_debug, mix, Fnv64};
 use sjava_syntax::ast::Program;
 use sjava_syntax::diag::{Diagnostic, Diagnostics};
@@ -255,6 +257,7 @@ impl IncrementalChecker {
         });
         timings.callgraph = t.elapsed();
         let Some(cg) = cg else {
+            diags.sort_stable();
             return CheckReport {
                 diagnostics: diags,
                 lattices,
@@ -488,6 +491,9 @@ impl IncrementalChecker {
             let _ = disk::save(dir, &self.entries, &self.callee_cache);
         }
 
+        // Same stable total order as `sjava_core::check_program`, so
+        // replayed and freshly-computed reports stay byte-identical.
+        diags.sort_stable();
         CheckReport {
             diagnostics: diags,
             lattices,

@@ -174,7 +174,10 @@ fn disk_round_trip_serves_warm_hits_across_sessions() {
     let warm = second.check(&program);
     assert_eq!(digest(&cold), digest(&warm));
     let stats = warm.cache.expect("stats");
-    assert_eq!(stats.misses, 0, "disk-loaded entries must serve all methods");
+    assert_eq!(
+        stats.misses, 0,
+        "disk-loaded entries must serve all methods"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

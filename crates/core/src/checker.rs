@@ -12,7 +12,7 @@ use sjava_analysis::jtype::TypeEnv;
 use sjava_analysis::written::MethodSummary;
 use sjava_lattice::{compare, is_shared, CompositeLoc, Elem, LocInterner};
 use sjava_syntax::ast::*;
-use sjava_syntax::diag::Diagnostics;
+use sjava_syntax::diag::{Diag, Diagnostics};
 use sjava_syntax::span::Span;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
@@ -86,10 +86,10 @@ pub fn collect_var_locs(
                 resolve_annot_with(annot, &info.lattice, class, program),
             );
         } else {
-            diags.error(
+            diags.push(Diag::missing_annot(
                 format!("parameter `{}` is missing a @LOC annotation", p.name),
                 p.span,
-            );
+            ));
         }
     }
     collect_block(program, class, info, &method.body, &mut env, diags);
@@ -113,18 +113,18 @@ fn collect_block(
                     let loc = resolve_annot_with(annot, &info.lattice, class, program);
                     if let Some(prev) = env.get(name) {
                         if *prev != loc {
-                            diags.error(
+                            diags.push(Diag::resolve(
                                 format!("variable `{name}` redeclared with a different location"),
                                 *span,
-                            );
+                            ));
                         }
                     }
                     env.insert(name.clone(), loc);
                 } else {
-                    diags.error(
+                    diags.push(Diag::missing_annot(
                         format!("variable `{name}` is missing a @LOC annotation"),
                         *span,
-                    );
+                    ));
                 }
             }
             Stmt::If {
@@ -227,11 +227,7 @@ impl<'p> MethodChecker<'p> {
     pub fn run(&mut self, diags: &mut Diagnostics) {
         self.env = collect_var_locs(self.program, &self.class, self.method, self.info, diags);
         self.env_ready = true;
-        let pc = self
-            .info
-            .pc_loc
-            .clone()
-            .unwrap_or(CompositeLoc::Top);
+        let pc = self.info.pc_loc.clone().unwrap_or(CompositeLoc::Top);
         self.check_block(&self.method.body, &pc, diags);
     }
 
@@ -240,13 +236,13 @@ impl<'p> MethodChecker<'p> {
         match &self.info.this_loc {
             Some(t) => CompositeLoc::method(t),
             None => {
-                diags.error(
+                diags.push(Diag::missing_annot(
                     format!(
                         "method `{}.{}` accesses `this` but has no @THISLOC",
                         self.class, self.method.name
                     ),
                     span,
-                );
+                ));
                 CompositeLoc::Top
             }
         }
@@ -272,7 +268,10 @@ impl<'p> MethodChecker<'p> {
                     self.field_loc(&base, &self.class, name, *span, diags)
                 } else {
                     if self.env_ready {
-                        diags.error(format!("variable `{name}` has no location"), *span);
+                        diags.push(Diag::resolve(
+                            format!("variable `{name}` has no location"),
+                            *span,
+                        ));
                     }
                     CompositeLoc::Top
                 }
@@ -281,17 +280,20 @@ impl<'p> MethodChecker<'p> {
             Expr::Field { base, field, span } => {
                 let base_loc = self.loc_of(base, diags);
                 let Some(Type::Class(c)) = self.tenv.ty(base) else {
-                    diags.error(
+                    diags.push(Diag::resolve(
                         format!("cannot resolve receiver type for field `{field}`"),
                         *span,
-                    );
+                    ));
                     return CompositeLoc::Top;
                 };
                 self.field_loc(&base_loc, &c, field, *span, diags)
             }
             Expr::StaticField { class, field, span } => {
                 let Some(fd) = self.program.field(class, field) else {
-                    diags.error(format!("unknown static field `{class}.{field}`"), *span);
+                    diags.push(Diag::resolve(
+                        format!("unknown static field `{class}.{field}`"),
+                        *span,
+                    ));
                     return CompositeLoc::Top;
                 };
                 if fd.is_final {
@@ -301,12 +303,10 @@ impl<'p> MethodChecker<'p> {
                     let base = CompositeLoc::method(g);
                     self.field_loc(&base, class, field, *span, diags)
                 } else {
-                    diags.error(
-                        format!(
-                            "access to non-final static `{class}.{field}` requires @GLOBALLOC"
-                        ),
+                    diags.push(Diag::missing_annot(
+                        format!("access to non-final static `{class}.{field}` requires @GLOBALLOC"),
                         *span,
-                    );
+                    ));
                     CompositeLoc::Top
                 }
             }
@@ -321,9 +321,7 @@ impl<'p> MethodChecker<'p> {
             Expr::Call { .. } => self.check_call(e, &CompositeLoc::Top, true, diags),
             // Fresh allocations are owned and may be placed anywhere.
             Expr::New { .. } | Expr::NewArray { .. } => CompositeLoc::Top,
-            Expr::Unary { operand, .. } | Expr::Cast { operand, .. } => {
-                self.loc_of(operand, diags)
-            }
+            Expr::Unary { operand, .. } | Expr::Cast { operand, .. } => self.loc_of(operand, diags),
             // OPERATION: glb of the operand locations.
             Expr::Binary { lhs, rhs, .. } => {
                 let a = self.loc_of(lhs, diags);
@@ -342,14 +340,17 @@ impl<'p> MethodChecker<'p> {
         diags: &mut Diagnostics,
     ) -> CompositeLoc {
         let Some(fi) = self.lattices.field_info(self.program, class, field) else {
-            diags.error(format!("unknown field `{class}.{field}`"), span);
+            diags.push(Diag::resolve(
+                format!("unknown field `{class}.{field}`"),
+                span,
+            ));
             return CompositeLoc::Top;
         };
         let Some(loc_name) = fi.loc_name else {
-            diags.error(
+            diags.push(Diag::missing_annot(
                 format!("field `{class}.{field}` is missing a @LOC annotation"),
                 span,
-            );
+            ));
             return CompositeLoc::Top;
         };
         base.extend_field(&fi.declaring_class, &loc_name)
@@ -364,17 +365,20 @@ impl<'p> MethodChecker<'p> {
                     let base = self.this_loc(*span, diags);
                     self.field_loc(&base, &self.class, name, *span, diags)
                 } else {
-                    diags.error(format!("variable `{name}` has no location"), *span);
+                    diags.push(Diag::resolve(
+                        format!("variable `{name}` has no location"),
+                        *span,
+                    ));
                     CompositeLoc::Top
                 }
             }
             LValue::Field { base, field, span } => {
                 let base_loc = self.loc_of(base, diags);
                 let Some(Type::Class(c)) = self.tenv.ty(base) else {
-                    diags.error(
+                    diags.push(Diag::resolve(
                         format!("cannot resolve receiver type for field `{field}`"),
                         *span,
-                    );
+                    ));
                     return CompositeLoc::Top;
                 };
                 self.field_loc(&base_loc, &c, field, *span, diags)
@@ -385,10 +389,10 @@ impl<'p> MethodChecker<'p> {
                     let base = CompositeLoc::method(g);
                     self.field_loc(&base, class, field, *span, diags)
                 } else {
-                    diags.error(
+                    diags.push(Diag::missing_annot(
                         format!("write to static `{class}.{field}` requires @GLOBALLOC"),
                         *span,
-                    );
+                    ));
                     CompositeLoc::Top
                 }
             }
@@ -408,10 +412,16 @@ impl<'p> MethodChecker<'p> {
             Some(Ordering::Less) => {}
             Some(Ordering::Equal) if is_shared(&self.ctx(), dst) => {}
             _ => {
-                diags.error(
-                    format!("{what} violates the flow-down rule: {src} does not flow down to {dst}"),
+                let mut d = Diag::flow_up(
+                    format!(
+                        "{what} violates the flow-down rule: {src} does not flow down to {dst}"
+                    ),
                     span,
                 );
+                if let Some(ls) = self.info.lattice_span {
+                    d = d.with_label(ls, "method lattice declared here");
+                }
+                diags.push(d);
             }
         }
     }
@@ -426,12 +436,12 @@ impl<'p> MethodChecker<'p> {
             Some(Ordering::Less) => {}
             Some(Ordering::Equal) if is_shared(&self.ctx(), dst) => {}
             _ => {
-                diags.error(
+                diags.push(Diag::implicit_flow(
                     format!(
                         "implicit flow: assignment to {dst} under program counter {pc} is not allowed"
                     ),
                     span,
-                );
+                ));
             }
         }
     }
@@ -467,12 +477,12 @@ impl<'p> MethodChecker<'p> {
                     let idx = self.loc_of(index, diags);
                     match self.cache.compare(&self.ctx(), &arr, &idx) {
                         Some(Ordering::Less) => {}
-                        _ => diags.error(
+                        _ => diags.push(Diag::flow_up(
                             format!(
                                 "array store: array location {arr} must be lower than index location {idx}"
                             ),
                             *span,
-                        ),
+                        )),
                     }
                 }
                 self.check_subexprs(rhs, pc, diags);
@@ -529,21 +539,21 @@ impl<'p> MethodChecker<'p> {
                             // at or below the returned value.
                             match self.cache.compare(&self.ctx(), rl, &src) {
                                 Some(Ordering::Less) | Some(Ordering::Equal) => {}
-                                _ => diags.error(
+                                _ => diags.push(Diag::flow_up(
                                     format!(
                                         "return value at {src} is below the declared @RETURNLOC {rl}"
                                     ),
                                     *span,
-                                ),
+                                )),
                             }
                         }
-                        None => diags.error(
+                        None => diags.push(Diag::missing_annot(
                             format!(
                                 "method `{}.{}` returns a value but has no @RETURNLOC",
                                 self.class, self.method.name
                             ),
                             *span,
-                        ),
+                        )),
                     }
                 }
             }
@@ -654,20 +664,20 @@ impl<'p> MethodChecker<'p> {
             }
         }
         let Some(target_class) = self.tenv.call_target_class(e) else {
-            diags.error(format!("cannot resolve call target `{name}`"), *span);
+            diags.push(Diag::resolve(
+                format!("cannot resolve call target `{name}`"),
+                *span,
+            ));
             return CompositeLoc::Top;
         };
         let Some((decl_class, callee)) = self.program.resolve_method(&target_class, name) else {
-            diags.error(
+            diags.push(Diag::resolve(
                 format!("unknown method `{target_class}.{name}`"),
                 *span,
-            );
+            ));
             return CompositeLoc::Top;
         };
-        let Some(callee_info) = self
-            .lattices
-            .method_info(&decl_class.name, &callee.name)
-        else {
+        let Some(callee_info) = self.lattices.method_info(&decl_class.name, &callee.name) else {
             return CompositeLoc::Top;
         };
         if callee_info.trusted {
@@ -702,13 +712,13 @@ impl<'p> MethodChecker<'p> {
         let _ = callee_annots;
         for (p, a) in callee.params.iter().zip(args) {
             let Some(annot) = &p.annots.loc else {
-                diags.error(
+                diags.push(Diag::missing_annot(
                     format!(
                         "callee `{}.{}` parameter `{}` is missing @LOC",
                         decl_class.name, callee.name, p.name
                     ),
                     *span,
-                );
+                ));
                 continue;
             };
             let ploc =
@@ -717,9 +727,7 @@ impl<'p> MethodChecker<'p> {
             // against the receiver's field hierarchy (§4.1.5).
             if let Some(t) = &callee_info.this_loc {
                 let elems = ploc.elems();
-                if elems.len() > 1
-                    && elems[0] == Elem::method(t.clone())
-                {
+                if elems.len() > 1 && elems[0] == Elem::method(t.clone()) {
                     let mut expected = recv_loc.clone();
                     for f in &elems[1..] {
                         if let sjava_lattice::Space::Field(c) = &f.space {
@@ -729,13 +737,13 @@ impl<'p> MethodChecker<'p> {
                     let arg_loc = self.loc_of(a, diags);
                     match self.cache.compare(&self.ctx(), &expected, &arg_loc) {
                         Some(Ordering::Less) | Some(Ordering::Equal) => {}
-                        _ => diags.error(
+                        _ => diags.push(Diag::call_site(
                             format!(
                                 "argument at {arg_loc} must be at or above {expected} required by callee parameter `{}`",
                                 p.name
                             ),
                             *span,
-                        ),
+                        )),
                     }
                 }
             }
@@ -751,15 +759,17 @@ impl<'p> MethodChecker<'p> {
                 }
                 let callee_rel = compare(&callee_ctx, &callee_locs[i], &callee_locs[j]);
                 if matches!(callee_rel, Some(Ordering::Less)) {
-                    let caller_rel = self.cache.compare(&self.ctx(), &caller_locs[i], &caller_locs[j]);
+                    let caller_rel =
+                        self.cache
+                            .compare(&self.ctx(), &caller_locs[i], &caller_locs[j]);
                     if !matches!(caller_rel, Some(Ordering::Less) | Some(Ordering::Equal)) {
-                        diags.error(
+                        diags.push(Diag::call_site(
                             format!(
                                 "call to `{}.{}` violates the callee's parameter ordering: {} must be at or below {}",
                                 decl_class.name, callee.name, caller_locs[i], caller_locs[j]
                             ),
                             *span,
-                        );
+                        ));
                     }
                 }
             }
@@ -781,10 +791,12 @@ impl<'p> MethodChecker<'p> {
                         // Map the written path's root into the caller.
                         let base = if root == "this" {
                             Some(recv_loc.clone())
-                        } else if let Some(i) =
-                            callee.params.iter().position(|p| p.name == root)
-                        {
-                            let idx = if callee_info.this_loc.is_some() { i + 1 } else { i };
+                        } else if let Some(i) = callee.params.iter().position(|p| p.name == root) {
+                            let idx = if callee_info.this_loc.is_some() {
+                                i + 1
+                            } else {
+                                i
+                            };
                             caller_locs.get(idx).cloned()
                         } else {
                             None // static roots handled via @GLOBALLOC checks
@@ -793,26 +805,24 @@ impl<'p> MethodChecker<'p> {
                         let base_class = if root == "this" {
                             Some(target_class.clone())
                         } else {
-                            callee
-                                .params
-                                .iter()
-                                .find(|p| p.name == root)
-                                .and_then(|p| match &p.ty {
+                            callee.params.iter().find(|p| p.name == root).and_then(|p| {
+                                match &p.ty {
                                     Type::Class(c) => Some(c.clone()),
                                     _ => None,
-                                })
+                                }
+                            })
                         };
                         let dst = self.extend_along_path(base, base_class, &w.0[1..], &mut scratch);
                         match self.cache.compare(&self.ctx(), &dst, pc) {
                             Some(Ordering::Less) => {}
                             Some(Ordering::Equal) if is_shared(&self.ctx(), &dst) => {}
-                            _ => diags.error(
+                            _ => diags.push(Diag::implicit_flow(
                                 format!(
                                     "implicit flow: call to `{}.{}` under program counter {pc} may write {dst}",
                                     decl_class.name, callee.name
                                 ),
                                 *span,
-                            ),
+                            )),
                         }
                     }
                 }
@@ -823,13 +833,13 @@ impl<'p> MethodChecker<'p> {
         // parameters at or above the declared return location.
         let Some(ret_loc) = &callee_info.return_loc else {
             if callee.ret != Type::Void {
-                diags.error(
+                diags.push(Diag::missing_annot(
                     format!(
                         "method `{}.{}` returns a value but has no @RETURNLOC",
                         decl_class.name, callee.name
                     ),
                     *span,
-                );
+                ));
             }
             return CompositeLoc::Top;
         };
@@ -878,13 +888,10 @@ impl<'p> MethodChecker<'p> {
                 return loc;
             };
             loc = self.field_loc(&loc, &c, f, Span::dummy(), diags);
-            class = self
-                .program
-                .field(&c, f)
-                .and_then(|fd| match &fd.ty {
-                    Type::Class(nc) => Some(nc.clone()),
-                    _ => None,
-                });
+            class = self.program.field(&c, f).and_then(|fd| match &fd.ty {
+                Type::Class(nc) => Some(nc.clone()),
+                _ => None,
+            });
         }
         loc
     }

@@ -166,6 +166,7 @@ pub fn check_program(program: &Program) -> CheckReport {
     let cg = callgraph::build(program, &mut diags);
     timings.callgraph = t.elapsed();
     let Some(cg) = cg else {
+        diags.sort_stable();
         return CheckReport {
             diagnostics: diags,
             lattices,
@@ -190,6 +191,9 @@ pub fn check_program(program: &Program) -> CheckReport {
     let t = Instant::now();
     let termination_failures = sjava_analysis::termination::check(program, &cg, &mut diags);
     timings.termination = t.elapsed();
+    // The merged report is presented in the stable total order on
+    // (file, span, code) regardless of phase or thread interleaving.
+    diags.sort_stable();
     CheckReport {
         diagnostics: diags,
         lattices,

@@ -21,7 +21,7 @@ use sjava_analysis::callgraph::{CallGraph, MethodRef};
 use sjava_analysis::jtype::TypeEnv;
 use sjava_lattice::CompositeLoc;
 use sjava_syntax::ast::*;
-use sjava_syntax::diag::Diagnostics;
+use sjava_syntax::diag::{Diag, Diagnostics};
 use std::collections::HashMap;
 
 /// Ownership state of a reference variable.
@@ -62,7 +62,14 @@ pub fn check_method_aliasing(
     if info.trusted {
         return diags;
     }
-    check_method(program, lattices, &decl_class.name, method, info, &mut diags);
+    check_method(
+        program,
+        lattices,
+        &decl_class.name,
+        method,
+        info,
+        &mut diags,
+    );
     diags
 }
 
@@ -110,7 +117,8 @@ struct Cx<'p, 'd> {
 }
 
 fn is_ref_expr(cx: &Cx<'_, '_>, e: &Expr) -> bool {
-    matches!(cx.tenv.ty(e), Some(t) if t.is_reference()) || matches!(e, Expr::New { .. } | Expr::NewArray { .. })
+    matches!(cx.tenv.ty(e), Some(t) if t.is_reference())
+        || matches!(e, Expr::New { .. } | Expr::NewArray { .. })
 }
 
 /// Classifies the ownership of a reference-producing expression.
@@ -129,12 +137,17 @@ fn rhs_ownership(e: &Expr, st: &HashMap<String, Own>) -> Own {
     }
 }
 
-fn use_var(name: &str, span: sjava_syntax::span::Span, st: &HashMap<String, Own>, cx: &mut Cx<'_, '_>) {
+fn use_var(
+    name: &str,
+    span: sjava_syntax::span::Span,
+    st: &HashMap<String, Own>,
+    cx: &mut Cx<'_, '_>,
+) {
     if st.get(name) == Some(&Own::Dead) {
-        cx.diags.error(
+        cx.diags.push(Diag::delegate(
             format!("use of `{name}` after its ownership was delegated"),
             span,
-        );
+        ));
     }
 }
 
@@ -199,21 +212,21 @@ fn handle_call(e: &Expr, st: &mut HashMap<String, Own>, cx: &mut Cx<'_, '_>) {
             Expr::Var { name: vn, .. } => {
                 let own = st.get(vn).copied().unwrap_or(Own::Borrowed);
                 if own != Own::Owned {
-                    cx.diags.error(
+                    cx.diags.push(Diag::delegate(
                         format!(
                             "argument `{vn}` to @DELEGATE parameter `{}` must be an owned reference",
                             p.name
                         ),
                         *span,
-                    );
+                    ));
                 }
                 st.insert(vn.clone(), Own::Dead);
             }
             Expr::New { .. } | Expr::NewArray { .. } | Expr::Call { .. } => {}
-            other => cx.diags.error(
+            other => cx.diags.push(Diag::delegate(
                 "only owned variables or fresh values may be passed to @DELEGATE parameters",
                 other.span(),
-            ),
+            )),
         }
     }
 }
@@ -274,12 +287,12 @@ fn walk_stmt(stmt: &Stmt, st: &mut HashMap<String, Own>, cx: &mut Cx<'_, '_>) {
                             if let Expr::Var { name: vn, .. } = rhs {
                                 let own = st.get(vn).copied().unwrap_or(Own::Borrowed);
                                 if own == Own::Borrowed {
-                                    cx.diags.error(
+                                    cx.diags.push(Diag::alias(
                                         format!(
                                             "storing `{vn}` would create a second heap alias (linear-type violation)"
                                         ),
                                         *span,
-                                    );
+                                    ));
                                 }
                                 st.insert(vn.clone(), Own::Borrowed);
                             }
@@ -295,12 +308,12 @@ fn walk_stmt(stmt: &Stmt, st: &mut HashMap<String, Own>, cx: &mut Cx<'_, '_>) {
                             Expr::Var { name: vn, .. } => {
                                 let own = st.get(vn).copied().unwrap_or(Own::Borrowed);
                                 if own == Own::Borrowed {
-                                    cx.diags.error(
+                                    cx.diags.push(Diag::alias(
                                         format!(
                                             "storing `{vn}` would create a second heap alias (linear-type violation)"
                                         ),
                                         *span,
-                                    );
+                                    ));
                                 }
                                 // The heap now owns the tree.
                                 st.insert(vn.clone(), Own::Borrowed);
@@ -310,10 +323,10 @@ fn walk_stmt(stmt: &Stmt, st: &mut HashMap<String, Own>, cx: &mut Cx<'_, '_>) {
                             | Expr::NewArray { .. }
                             | Expr::Call { .. } => {}
                             Expr::Field { .. } | Expr::Index { .. } | Expr::StaticField { .. } => {
-                                cx.diags.error(
+                                cx.diags.push(Diag::alias(
                                     "moving a reference between heap locations requires detaching it into an owned variable first",
                                     *span,
-                                );
+                                ));
                             }
                             _ => {}
                         }
@@ -324,12 +337,12 @@ fn walk_stmt(stmt: &Stmt, st: &mut HashMap<String, Own>, cx: &mut Cx<'_, '_>) {
                         if let Expr::Var { name: vn, .. } = rhs {
                             let own = st.get(vn).copied().unwrap_or(Own::Borrowed);
                             if own == Own::Borrowed {
-                                cx.diags.error(
+                                cx.diags.push(Diag::alias(
                                     format!(
                                         "storing `{vn}` into a static field would create a second heap alias"
                                     ),
                                     *span,
-                                );
+                                ));
                             }
                             st.insert(vn.clone(), Own::Borrowed);
                         }
@@ -388,10 +401,10 @@ fn walk_stmt(stmt: &Stmt, st: &mut HashMap<String, Own>, cx: &mut Cx<'_, '_>) {
                 if is_ref_expr(cx, v) {
                     if let Expr::Var { name, span } = v {
                         if st.get(name) == Some(&Own::Borrowed) {
-                            cx.diags.error(
+                            cx.diags.push(Diag::alias(
                                 format!("returning borrowed reference `{name}` is not allowed; methods return owned references"),
                                 *span,
-                            );
+                            ));
                         }
                     }
                 }
@@ -407,23 +420,18 @@ fn walk_stmt(stmt: &Stmt, st: &mut HashMap<String, Own>, cx: &mut Cx<'_, '_>) {
 }
 
 /// Variable-variable aliasing requires identical location types (§4.1.6).
-fn check_var_alias_locs(
-    dst: &str,
-    rhs: &Expr,
-    _st: &HashMap<String, Own>,
-    cx: &mut Cx<'_, '_>,
-) {
+fn check_var_alias_locs(dst: &str, rhs: &Expr, _st: &HashMap<String, Own>, cx: &mut Cx<'_, '_>) {
     if let Expr::Var { name: src, span } = rhs {
         let (Some(a), Some(b)) = (cx.env.get(dst), cx.env.get(src)) else {
             return;
         };
         if a != b {
-            cx.diags.error(
+            cx.diags.push(Diag::alias(
                 format!(
                     "aliasing `{src}` into `{dst}` with a different location type ({b} vs {a}) is prohibited"
                 ),
                 *span,
-            );
+            ));
         }
     }
 }

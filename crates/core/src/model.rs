@@ -2,12 +2,12 @@
 //! method lattice of every method from the source annotations (§3.3), and
 //! checks the inheritance constraints of §3.5.
 
+use sjava_lattice::{CompositeLoc, Elem};
 use sjava_lattice::{Lattice, LatticeCtx};
 use sjava_syntax::annot::{CompositeLocAnnot, LatticeDecl, MethodAnnots};
 use sjava_syntax::ast::*;
-use sjava_syntax::diag::Diagnostics;
+use sjava_syntax::diag::{Diag, Diagnostics};
 use sjava_syntax::span::Span;
-use sjava_lattice::{CompositeLoc, Elem};
 use std::collections::HashMap;
 
 /// Lattice-related information of one method.
@@ -25,6 +25,9 @@ pub struct MethodInfo {
     pub pc_loc: Option<CompositeLoc>,
     /// Whether the method is trusted (skipped by checking).
     pub trusted: bool,
+    /// Span of the method's `@LATTICE` declaration, when it has one;
+    /// used as a secondary label on flow diagnostics.
+    pub lattice_span: Option<Span>,
 }
 
 /// Location-annotation info of one field.
@@ -76,6 +79,7 @@ impl Lattices {
                         .as_ref()
                         .map(|c| resolve_annot_with(c, &lat, &class.name, program)),
                     trusted: annots.trusted || class.annots.trusted,
+                    lattice_span: annots.lattice.as_ref().map(|d| d.span),
                     lattice: lat,
                 };
                 model
@@ -127,10 +131,10 @@ impl Lattices {
                 continue;
             };
             let Some(parent) = program.class(parent_name) else {
-                diags.error(
+                diags.push(Diag::inherit(
                     format!("unknown superclass `{parent_name}`"),
                     class.span,
-                );
+                ));
                 continue;
             };
             let sub = &self.fields[&class.name];
@@ -139,13 +143,13 @@ impl Lattices {
             // the same orderings.
             for (id_a, name_a) in sup.named() {
                 let Some(sub_a) = sub.get(name_a) else {
-                    diags.error(
+                    diags.push(Diag::inherit(
                         format!(
                             "subclass `{}` is missing inherited location `{name_a}`",
                             class.name
                         ),
                         class.span,
-                    );
+                    ));
                     continue;
                 };
                 for (id_b, name_b) in sup.named() {
@@ -155,34 +159,30 @@ impl Lattices {
                     let parent_rel = sup.leq(id_a, id_b);
                     let sub_rel = sub.leq(sub_a, sub_b);
                     if parent_rel != sub_rel {
-                        diags.error(
+                        diags.push(Diag::inherit(
                             format!(
                                 "subclass `{}` changes the ordering between inherited locations `{name_a}` and `{name_b}`",
                                 class.name
                             ),
                             class.span,
-                        );
+                        ));
                     }
                 }
             }
             // Overridden methods: same parameter locations.
             for method in &class.methods {
-                let Some(parent_m) = parent
-                    .methods
-                    .iter()
-                    .find(|m| m.name == method.name)
-                else {
+                let Some(parent_m) = parent.methods.iter().find(|m| m.name == method.name) else {
                     continue;
                 };
                 for (p_sub, p_sup) in method.params.iter().zip(&parent_m.params) {
                     if p_sub.annots.loc != p_sup.annots.loc {
-                        diags.error(
+                        diags.push(Diag::inherit(
                             format!(
                                 "override `{}.{}` changes the declared location of parameter `{}`",
                                 class.name, method.name, p_sub.name
                             ),
                             method.span,
-                        );
+                        ));
                     }
                 }
             }
@@ -218,7 +218,10 @@ fn build_lattice(decl: &LatticeDecl, diags: &mut Diagnostics) -> Lattice {
     match Lattice::from_decl(&decl.orders, &decl.shared, &decl.isolated) {
         Ok(l) => l,
         Err(e) => {
-            diags.error(format!("invalid lattice declaration: {e}"), decl.span);
+            diags.push(Diag::lattice(
+                format!("invalid lattice declaration: {e}"),
+                decl.span,
+            ));
             Lattice::new()
         }
     }
@@ -337,9 +340,24 @@ mod tests {
         .expect("parses");
         let mut d = Diagnostics::new();
         let m = Lattices::build(&p, &mut d);
-        assert!(m.method_info("W", "a").expect("a").lattice.get("H").is_some());
-        assert!(m.method_info("W", "b").expect("b").lattice.get("Y").is_some());
-        assert!(m.method_info("W", "b").expect("b").lattice.get("H").is_none());
+        assert!(m
+            .method_info("W", "a")
+            .expect("a")
+            .lattice
+            .get("H")
+            .is_some());
+        assert!(m
+            .method_info("W", "b")
+            .expect("b")
+            .lattice
+            .get("Y")
+            .is_some());
+        assert!(m
+            .method_info("W", "b")
+            .expect("b")
+            .lattice
+            .get("H")
+            .is_none());
     }
 
     #[test]

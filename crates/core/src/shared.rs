@@ -14,7 +14,7 @@ use sjava_analysis::callgraph::{CallGraph, MethodRef};
 use sjava_analysis::jtype::TypeEnv;
 use sjava_lattice::{compare, is_shared};
 use sjava_syntax::ast::*;
-use sjava_syntax::diag::Diagnostics;
+use sjava_syntax::diag::{Diag, Diagnostics};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -38,7 +38,9 @@ pub fn check_shared(
     let mut clears: BTreeMap<MethodRef, BTreeSet<SharedMember>> = BTreeMap::new();
     let mut reads: BTreeMap<MethodRef, BTreeSet<SharedMember>> = BTreeMap::new();
     for mref in &cg.topo {
-        if let Some((c, r)) = method_shared_summary(program, lattices, mref, &members, &clears, &reads) {
+        if let Some((c, r)) =
+            method_shared_summary(program, lattices, mref, &members, &clears, &reads)
+        {
             clears.insert(mref.clone(), c);
             reads.insert(mref.clone(), r);
         }
@@ -147,13 +149,13 @@ pub fn check_shared_loop(
     let cleared = walker.walk_block(loop_body, BTreeSet::new());
     for m in walker.reads.iter() {
         if !cleared.contains(m) {
-            diags.error(
+            diags.push(Diag::shared_accum(
                 format!(
                     "shared location of `{}.{}` is read but not cleared (written from a higher location) every event-loop iteration",
                     m.0, m.1
                 ),
                 cg.event_loop_span,
-            );
+            ));
         }
     }
 }
@@ -238,7 +240,9 @@ impl Walker<'_, '_> {
                 // Arrays with shared locations: the member is the array
                 // field itself.
                 match base {
-                    Expr::Field { base: b2, field, .. } => {
+                    Expr::Field {
+                        base: b2, field, ..
+                    } => {
                         let Some(Type::Class(c)) = self.tenv.ty(b2) else {
                             return None;
                         };
@@ -266,12 +270,11 @@ impl Walker<'_, '_> {
 
     fn scan_reads(&mut self, e: &Expr) {
         match e {
-            Expr::Var { name, .. }
-                if self.tenv.local(name).is_none() => {
-                    if let Some(m) = self.member_field(&self.tenv.class.clone(), name) {
-                        self.reads.insert(m);
-                    }
+            Expr::Var { name, .. } if self.tenv.local(name).is_none() => {
+                if let Some(m) = self.member_field(&self.tenv.class.clone(), name) {
+                    self.reads.insert(m);
                 }
+            }
             Expr::Field { base, field, .. } => {
                 self.scan_reads(base);
                 if let Some(Type::Class(c)) = self.tenv.ty(base) {

@@ -103,7 +103,10 @@ fn stale_nested_field_is_rejected() {
         @LATTICE("V1") class Inner { @LOC("V1") int v; }
     "#;
     let report = check_program(&parse(src).expect("parses"));
-    assert!(!report.is_ok(), "conditionally-written nested field must be stale");
+    assert!(
+        !report.is_ok(),
+        "conditionally-written nested field must be stale"
+    );
 }
 
 #[test]

@@ -105,8 +105,7 @@ pub fn decompose(
                             let cycle = cycle_between(&mh, &b, &a);
                             let mut did = false;
                             for n in cycle {
-                                let relocatable = tenv.local(&n).is_some()
-                                    || n.starts_with("ILOC");
+                                let relocatable = tenv.local(&n).is_some() || n.starts_with("ILOC");
                                 if n != "this"
                                     && n != PC
                                     && n != RET
@@ -210,10 +209,7 @@ pub fn decompose(
                 }
             }
             for v in &relocated {
-                var_tuples.insert(
-                    v.clone(),
-                    Tuple(vec!["this".to_string(), v.clone()]),
-                );
+                var_tuples.insert(v.clone(), Tuple(vec!["this".to_string(), v.clone()]));
             }
             d.methods.insert(mref.clone(), mh);
             d.method_alias.insert(mref.clone(), maliases);
@@ -242,11 +238,7 @@ fn cycle_between(g: &HierarchyGraph, from: &str, to: &str) -> Vec<String> {
     out
 }
 
-fn apply_relocation(
-    graph: &FlowGraph,
-    relocated: &BTreeSet<String>,
-    _class: &str,
-) -> FlowGraph {
+fn apply_relocation(graph: &FlowGraph, relocated: &BTreeSet<String>, _class: &str) -> FlowGraph {
     if relocated.is_empty() {
         return graph.clone();
     }
@@ -395,7 +387,10 @@ mod tests {
                } } }",
         );
         let mh = &d.methods[&cg.entry];
-        assert!(mh.find_cycle().is_none(), "method hierarchy must be acyclic");
+        assert!(
+            mh.find_cycle().is_none(),
+            "method hierarchy must be acyclic"
+        );
         // f3 was relocated into the field space.
         let vt = &d.var_tuples[&cg.entry]["f3"];
         assert_eq!(vt.0, vec!["this".to_string(), "f3".to_string()]);
@@ -433,7 +428,10 @@ mod tests {
         );
         let fh = &d.fields["W"];
         let merged: Vec<&str> = fh.shared_nodes().collect();
-        assert!(!merged.is_empty(), "cycle a<->b must merge into a shared node: {fh}");
+        assert!(
+            !merged.is_empty(),
+            "cycle a<->b must merge into a shared node: {fh}"
+        );
     }
 
     #[test]

@@ -53,24 +53,18 @@ pub fn annotate(
             let massign = gen.method_assign.get(&mref);
             let resolve_m = |name: &str| -> String {
                 let node = d.method_name(&mref, name);
-                massign
-                    .and_then(|a| a.get(&node))
-                    .cloned()
-                    .unwrap_or(node)
+                massign.and_then(|a| a.get(&node)).cloned().unwrap_or(node)
             };
             if method.ret != Type::Void {
-                method.annots.return_loc = Some(CompositeLocAnnot::new(vec![LocElem::plain(
-                    resolve_m(RET),
-                )]));
+                method.annots.return_loc =
+                    Some(CompositeLocAnnot::new(vec![LocElem::plain(resolve_m(RET))]));
             }
             // Parameter and local locations from the variable tuples.
             let tuples = d.var_tuples.get(&mref);
             let var_annot = |var: &str| -> Option<CompositeLocAnnot> {
                 let t = tuples.and_then(|m| m.get(var))?;
                 if t.0.len() == 1 {
-                    Some(CompositeLocAnnot::new(vec![LocElem::plain(resolve_m(
-                        var,
-                    ))]))
+                    Some(CompositeLocAnnot::new(vec![LocElem::plain(resolve_m(var))]))
                 } else {
                     // Relocated local: ⟨this, v⟩ with v a field location of
                     // the current class.

@@ -84,14 +84,9 @@ pub fn generate(
 
 /// Naive conversion: Dedekind–MacNeille completion of the hierarchy as-is;
 /// every node is its own location.
-fn naive_lattice(
-    h: &HierarchyGraph,
-) -> Result<(Lattice, BTreeMap<String, String>), LatticeError> {
+fn naive_lattice(h: &HierarchyGraph) -> Result<(Lattice, BTreeMap<String, String>), LatticeError> {
     let c = dedekind_macneille(h)?;
-    let assign = h
-        .nodes()
-        .map(|n| (n.to_string(), n.to_string()))
-        .collect();
+    let assign = h.nodes().map(|n| (n.to_string(), n.to_string())).collect();
     Ok((c.lattice, assign))
 }
 
@@ -369,11 +364,7 @@ fn iface_reachable(
 }
 
 /// Interface nodes that reach `n` *from above* via non-interface paths.
-fn iface_sources(
-    h: &HierarchyGraph,
-    n: &str,
-    is_iface: &dyn Fn(&str) -> bool,
-) -> BTreeSet<String> {
+fn iface_sources(h: &HierarchyGraph, n: &str, is_iface: &dyn Fn(&str) -> bool) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
     let mut stack: Vec<String> = h.above(n).map(|s| s.to_string()).collect();
     let mut seen = BTreeSet::new();
@@ -444,10 +435,11 @@ mod tests {
         h.add_edge("b", "g");
         h.add_edge("f", "z");
         h.add_edge("g", "z");
-        let (lat, assign) =
-            sinfer_lattice(&h, &iface_set(&["a", "b", "f", "g", "z"])).expect("ok");
+        let (lat, assign) = sinfer_lattice(&h, &iface_set(&["a", "b", "f", "g", "z"])).expect("ok");
         // One of f/g aliased to the other.
-        assert!(assign.get("g") == Some(&"f".to_string()) || assign.get("f") == Some(&"g".to_string()));
+        assert!(
+            assign.get("g") == Some(&"f".to_string()) || assign.get("f") == Some(&"g".to_string())
+        );
         assert!(lat.get("a").is_some());
     }
 

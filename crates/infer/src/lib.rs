@@ -41,7 +41,7 @@ pub mod vfg;
 
 use sjava_analysis::callgraph;
 use sjava_syntax::ast::Program;
-use sjava_syntax::diag::Diagnostics;
+use sjava_syntax::diag::{Diag, Diagnostics};
 use std::time::{Duration, Instant};
 
 pub use decompose::{decompose as decompose_graphs, Decomposition};
@@ -79,10 +79,10 @@ pub fn infer(program: &Program, mode: Mode) -> Result<InferenceResult, Diagnosti
     let gen = match lattgen::generate(&d, mode, program) {
         Ok(g) => g,
         Err(e) => {
-            diags.error(
+            diags.push(Diag::infer(
                 format!("inference failed to build lattices: {e} (the program may not be self-stabilizing, §5.2.7)"),
                 cg.event_loop_span,
-            );
+            ));
             return Err(diags);
         }
     };

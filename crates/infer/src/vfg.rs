@@ -179,10 +179,7 @@ impl FlowGraph {
 }
 
 /// Builds flow graphs for every reachable method, bottom-up.
-pub fn build_flow_graphs(
-    program: &Program,
-    cg: &CallGraph,
-) -> BTreeMap<MethodRef, FlowGraph> {
+pub fn build_flow_graphs(program: &Program, cg: &CallGraph) -> BTreeMap<MethodRef, FlowGraph> {
     let mut graphs: BTreeMap<MethodRef, FlowGraph> = BTreeMap::new();
     let mut summaries: BTreeMap<MethodRef, Vec<(Tuple, Tuple)>> = BTreeMap::new();
     for mref in &cg.topo {
@@ -396,11 +393,7 @@ impl<'p> Builder<'p> {
         ret_sources
     }
 
-    fn translate(
-        &self,
-        t: &Tuple,
-        roots: &BTreeMap<String, BTreeSet<Tuple>>,
-    ) -> BTreeSet<Tuple> {
+    fn translate(&self, t: &Tuple, roots: &BTreeMap<String, BTreeSet<Tuple>>) -> BTreeSet<Tuple> {
         match roots.get(t.root_name()) {
             Some(bases) => bases.iter().map(|b| t.rebase(b)).collect(),
             None => BTreeSet::new(),
@@ -570,10 +563,7 @@ mod tests {
             } } }",
         );
         let g = &gs[&("A".to_string(), "main".to_string())];
-        assert!(g.reaches(
-            &Tuple::root("x"),
-            &Tuple::root("this").append("f")
-        ));
+        assert!(g.reaches(&Tuple::root("x"), &Tuple::root("this").append("f")));
     }
 
     #[test]
@@ -634,10 +624,7 @@ mod tests {
                int get() { return v; } }",
         );
         let g = &gs[&("A".to_string(), "get".to_string())];
-        assert!(g.reaches(
-            &Tuple::root("this").append("v"),
-            &Tuple::root(RET)
-        ));
+        assert!(g.reaches(&Tuple::root("this").append("v"), &Tuple::root(RET)));
     }
 
     #[test]
@@ -648,6 +635,9 @@ mod tests {
                void f(int p) { p = p - 1; } }",
         );
         let g = &gs[&("A".to_string(), "f".to_string())];
-        assert!(g.reaches(&Tuple::root(PC), &Tuple::root("p")) || g.self_flows.contains(&Tuple::root("p")));
+        assert!(
+            g.reaches(&Tuple::root(PC), &Tuple::root("p"))
+                || g.self_flows.contains(&Tuple::root("p"))
+        );
     }
 }

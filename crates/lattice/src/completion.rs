@@ -150,11 +150,9 @@ pub fn dedekind_macneille(g: &HierarchyGraph) -> Result<Completion, LatticeError
         let lo = lattice.ensure(&names[*s]);
         for t in minimal {
             let hi = lattice.ensure(&names[t]);
-            lattice
-                .add_order(lo, hi)
-                .map_err(|_| LatticeError::Cycle {
-                    at: names[*s].clone(),
-                })?;
+            lattice.add_order(lo, hi).map_err(|_| LatticeError::Cycle {
+                at: names[*s].clone(),
+            })?;
         }
     }
     lattice.recompute();

@@ -183,10 +183,7 @@ impl LatticeCtx for SimpleCtx<'_> {
     }
 
     fn field_lattice(&self, class: &str) -> Option<&Lattice> {
-        self.fields
-            .iter()
-            .find(|(n, _)| n == class)
-            .map(|(_, l)| l)
+        self.fields.iter().find(|(n, _)| n == class).map(|(_, l)| l)
     }
 }
 
@@ -395,10 +392,7 @@ mod tests {
         )
         .expect("method lattice");
         let wd = Lattice::from_decl(
-            &[
-                ("DIR".into(), "TMP".into()),
-                ("TMP".into(), "BIN".into()),
-            ],
+            &[("DIR".into(), "TMP".into()), ("TMP".into(), "BIN".into())],
             &[],
             &[],
         )
@@ -510,10 +504,7 @@ mod tests {
     fn glb_case1_strictly_lower_first() {
         // Method lattice with a diamond: M < A, M < B.
         let m = Lattice::from_decl(
-            &[
-                ("M".into(), "A".into()),
-                ("M".into(), "B".into()),
-            ],
+            &[("M".into(), "A".into()), ("M".into(), "B".into())],
             &[],
             &[],
         )

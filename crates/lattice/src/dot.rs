@@ -24,10 +24,7 @@ pub fn lattice_to_dot(lattice: &Lattice, title: &str) -> String {
         }
         let above = lattice.directly_above(id);
         if above.iter().all(|&p| p == TOP) {
-            s.push_str(&format!(
-                "  \"_TOP\" -> \"{}\";\n",
-                lattice.name(id)
-            ));
+            s.push_str(&format!("  \"_TOP\" -> \"{}\";\n", lattice.name(id)));
         }
         for &hi in above {
             if hi != TOP {
@@ -38,15 +35,8 @@ pub fn lattice_to_dot(lattice: &Lattice, title: &str) -> String {
                 ));
             }
         }
-        if lattice
-            .directly_below(id)
-            .iter()
-            .all(|&c| c == BOTTOM)
-        {
-            s.push_str(&format!(
-                "  \"{}\" -> \"_BOTTOM\";\n",
-                lattice.name(id)
-            ));
+        if lattice.directly_below(id).iter().all(|&c| c == BOTTOM) {
+            s.push_str(&format!("  \"{}\" -> \"_BOTTOM\";\n", lattice.name(id)));
         }
     }
     s.push_str("}\n");

@@ -145,17 +145,17 @@ impl HierarchyGraph {
     /// Strongly connected components (each as a sorted node list).
     pub fn sccs(&self) -> Vec<Vec<String>> {
         // Iterative Tarjan.
-        let idx_of: BTreeMap<&str, usize> =
-            self.nodes.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+        let idx_of: BTreeMap<&str, usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
         let names: Vec<&str> = self.nodes.iter().map(|s| s.as_str()).collect();
         let n = names.len();
         let succ: Vec<Vec<usize>> = names
             .iter()
-            .map(|name| {
-                self.below(name)
-                    .map(|t| idx_of[t])
-                    .collect::<Vec<_>>()
-            })
+            .map(|name| self.below(name).map(|t| idx_of[t]).collect::<Vec<_>>())
             .collect();
         let mut index = vec![usize::MAX; n];
         let mut low = vec![0usize; n];

@@ -154,10 +154,7 @@ mod tests {
         )
         .expect("method lattice");
         let wd = Lattice::from_decl(
-            &[
-                ("DIR".into(), "TMP".into()),
-                ("TMP".into(), "BIN".into()),
-            ],
+            &[("DIR".into(), "TMP".into()), ("TMP".into(), "BIN".into())],
             &[],
             &[],
         )

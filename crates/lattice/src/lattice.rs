@@ -378,17 +378,18 @@ impl Lattice {
                 if !bit(&cand, xi) {
                     continue;
                 }
-                let above_in_cand = self.reach_up[xi]
-                    .iter()
-                    .zip(&cand)
-                    .enumerate()
-                    .any(|(w, (up, c))| {
-                        let mut hits = up & c;
-                        if xi / 64 == w {
-                            hits &= !(1 << (xi % 64)); // ignore x itself
-                        }
-                        hits != 0
-                    });
+                let above_in_cand =
+                    self.reach_up[xi]
+                        .iter()
+                        .zip(&cand)
+                        .enumerate()
+                        .any(|(w, (up, c))| {
+                            let mut hits = up & c;
+                            if xi / 64 == w {
+                                hits &= !(1 << (xi % 64)); // ignore x itself
+                            }
+                            hits != 0
+                        });
                 if !above_in_cand {
                     if maximal.is_some() {
                         return BOTTOM; // two maximal lower bounds: no unique GLB
@@ -437,17 +438,18 @@ impl Lattice {
                 if !bit(&cand, xi) {
                     continue;
                 }
-                let below_in_cand = self.reach_down[xi]
-                    .iter()
-                    .zip(&cand)
-                    .enumerate()
-                    .any(|(w, (down, c))| {
-                        let mut hits = down & c;
-                        if xi / 64 == w {
-                            hits &= !(1 << (xi % 64));
-                        }
-                        hits != 0
-                    });
+                let below_in_cand =
+                    self.reach_down[xi]
+                        .iter()
+                        .zip(&cand)
+                        .enumerate()
+                        .any(|(w, (down, c))| {
+                            let mut hits = down & c;
+                            if xi / 64 == w {
+                                hits &= !(1 << (xi % 64));
+                            }
+                            hits != 0
+                        });
                 if !below_in_cand {
                     if minimal.is_some() {
                         return TOP;
@@ -613,10 +615,7 @@ mod tests {
     fn chain() -> Lattice {
         // DIR < TMP < BIN
         Lattice::from_decl(
-            &[
-                ("DIR".into(), "TMP".into()),
-                ("TMP".into(), "BIN".into()),
-            ],
+            &[("DIR".into(), "TMP".into()), ("TMP".into(), "BIN".into())],
             &[],
             &[],
         )
@@ -645,10 +644,7 @@ mod tests {
     #[test]
     fn cycles_are_rejected() {
         let err = Lattice::from_decl(
-            &[
-                ("A".into(), "B".into()),
-                ("B".into(), "A".into()),
-            ],
+            &[("A".into(), "B".into()), ("B".into(), "A".into())],
             &[],
             &[],
         );
@@ -678,10 +674,7 @@ mod tests {
     fn glb_uses_unique_maximal_lower_bound() {
         // diamond: M < A, M < B  (A and B incomparable, M below both)
         let l = Lattice::from_decl(
-            &[
-                ("M".into(), "A".into()),
-                ("M".into(), "B".into()),
-            ],
+            &[("M".into(), "A".into()), ("M".into(), "B".into())],
             &[],
             &[],
         )
@@ -694,12 +687,7 @@ mod tests {
 
     #[test]
     fn shared_flag_round_trips() {
-        let l = Lattice::from_decl(
-            &[("A".into(), "B".into())],
-            &["IDX".into()],
-            &[],
-        )
-        .expect("ok");
+        let l = Lattice::from_decl(&[("A".into(), "B".into())], &["IDX".into()], &[]).expect("ok");
         assert!(l.is_shared(l.get("IDX").expect("idx")));
         assert!(!l.is_shared(l.get("A").expect("a")));
     }

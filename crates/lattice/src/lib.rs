@@ -32,13 +32,13 @@ pub mod lattice;
 pub mod paths;
 
 pub use completion::{dedekind_macneille, Completion};
-pub use fingerprint::{hash_debug, mix, Fnv64, HashWriter};
 pub use composite::{
     compare, from_loc_id, glb, is_shared, may_flow, CompositeLoc, Elem, LatticeCtx, SimpleCtx,
     Space,
 };
 pub use dot::lattice_to_dot;
-pub use intern::{LocInterner, LocRef};
+pub use fingerprint::{hash_debug, mix, Fnv64, HashWriter};
 pub use hierarchy::HierarchyGraph;
+pub use intern::{LocInterner, LocRef};
 pub use lattice::{Lattice, LatticeError, LocId, BOTTOM, TOP};
 pub use paths::{count_paths, is_complex, COMPLEX_THRESHOLD};

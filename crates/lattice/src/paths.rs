@@ -27,11 +27,7 @@ fn paths_from(l: &Lattice, node: LocId, memo: &mut HashMap<LocId, u128>) -> u128
         // possibly ⊥-pointing edges).
         l.ids()
             .filter(|&x| x != TOP && x != BOTTOM)
-            .filter(|&x| {
-                l.directly_above(x)
-                    .iter()
-                    .all(|&p| p == TOP)
-            })
+            .filter(|&x| l.directly_above(x).iter().all(|&p| p == TOP))
             .collect()
     } else {
         l.directly_below(node)

@@ -77,7 +77,9 @@ where
                     }
                     local.push((i, f(i)));
                 }
-                done.lock().expect("worker panicked holding lock").extend(local);
+                done.lock()
+                    .expect("worker panicked holding lock")
+                    .extend(local);
             });
         }
     });

@@ -50,11 +50,7 @@ fn value_eq(a: &Value, b: &Value, eps: f64) -> bool {
 /// paper's "number of output samples" is playback time, so an injected
 /// iteration that emits extra garbage samples counts as (at most) that
 /// whole iteration being bad, not as an unbounded divergence.
-pub fn compare_runs(
-    golden: &[Vec<Value>],
-    injected: &[Vec<Value>],
-    eps: f64,
-) -> RecoveryStats {
+pub fn compare_runs(golden: &[Vec<Value>], injected: &[Vec<Value>], eps: f64) -> RecoveryStats {
     let mut first_bad_sample = None;
     let mut last_bad_sample = None;
     let mut first_bad_iter = None;

@@ -176,10 +176,7 @@ mod heap_tests {
     #[test]
     fn heap_injection_corrupts_one_cell() {
         let mut heap = Heap::new();
-        let id = heap.alloc_object(
-            "A",
-            HashMap::from([("x".to_string(), Value::Int(7))]),
-        );
+        let id = heap.alloc_object("A", HashMap::from([("x".to_string(), Value::Int(7))]));
         let mut inj = Injector::with_kind(3, 5, InjectKind::Heap);
         inj.corrupt_heap(4, &mut heap);
         assert_eq!(heap.read_field(id, "x"), Some(Value::Int(7)));

@@ -80,10 +80,7 @@ impl SeededInput {
 
 impl InputProvider for SeededInput {
     fn next(&mut self, channel: &str) -> Value {
-        if channel.contains("Float")
-            || channel.contains("Temp")
-            || channel.contains("Hum")
-        {
+        if channel.contains("Float") || channel.contains("Temp") || channel.contains("Hum") {
             Value::Float(self.rng.gen_range(-1.0..1.0))
         } else {
             Value::Int(self.rng.gen_range(self.int_range.0..self.int_range.1))

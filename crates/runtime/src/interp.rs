@@ -431,9 +431,7 @@ impl<'p, I: InputProvider> Interpreter<'p, I> {
             LValue::Var { name, .. } => {
                 if frame.locals.contains_key(name) {
                     frame.locals.insert(name.clone(), v);
-                } else if frame.this.is_some()
-                    && self.program.field(&frame.class, name).is_some()
-                {
+                } else if frame.this.is_some() && self.program.field(&frame.class, name).is_some() {
                     let this = frame.this.expect("checked");
                     self.heap.write_field(this, name, v);
                 } else {
@@ -478,8 +476,7 @@ impl<'p, I: InputProvider> Interpreter<'p, I> {
                 }
             }
             LValue::StaticField { class, field, .. } => {
-                self.statics
-                    .insert((class.clone(), field.clone()), v);
+                self.statics.insert((class.clone(), field.clone()), v);
                 Ok(())
             }
         }
@@ -848,7 +845,10 @@ impl<'p, I: InputProvider> Interpreter<'p, I> {
                 (Value::Int(x), Value::Int(y)) => Value::Int(*x.min(y)),
                 _ => Value::Float(f(a).min(f(b))),
             },
-            _ => self.soft_error(&format!("unknown Math intrinsic `{name}`"), Value::Float(0.0))?,
+            _ => self.soft_error(
+                &format!("unknown Math intrinsic `{name}`"),
+                Value::Float(0.0),
+            )?,
         })
     }
 
@@ -878,10 +878,7 @@ impl<'p, I: InputProvider> Interpreter<'p, I> {
                 }
                 Ok(Value::Null)
             }
-            _ => self.soft_error(
-                &format!("bad SSJavaArray intrinsic `{name}`"),
-                Value::Null,
-            ),
+            _ => self.soft_error(&format!("bad SSJavaArray intrinsic `{name}`"), Value::Null),
         }
     }
 }

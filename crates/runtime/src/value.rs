@@ -231,9 +231,6 @@ mod tests {
     fn default_values_match_types() {
         assert_eq!(Value::default_for(&Type::Int), Value::Int(0));
         assert_eq!(Value::default_for(&Type::Boolean), Value::Bool(false));
-        assert_eq!(
-            Value::default_for(&Type::Class("X".into())),
-            Value::Null
-        );
+        assert_eq!(Value::default_for(&Type::Class("X".into())), Value::Null);
     }
 }

@@ -13,7 +13,7 @@
 //! locElement     := location | ClassName . location
 //! ```
 
-use crate::diag::{Diagnostic, Diagnostics};
+use crate::diag::{Diag, Diagnostics};
 use crate::span::Span;
 use std::fmt;
 
@@ -223,7 +223,7 @@ pub fn parse_lattice_decl(payload: &str, span: Span, diags: &mut Diagnostics) ->
         if let Some((lo, hi)) = part.split_once('<') {
             let (lo, hi) = (lo.trim(), hi.trim());
             if !is_location_name(lo) || !is_location_name(hi) {
-                diags.push(Diagnostic::error(
+                diags.push(Diag::annot(
                     format!("invalid ordering entry `{part}` in lattice declaration"),
                     span,
                 ));
@@ -233,7 +233,7 @@ pub fn parse_lattice_decl(payload: &str, span: Span, diags: &mut Diagnostics) ->
         } else if let Some(name) = part.strip_suffix('*') {
             let name = name.trim();
             if !is_location_name(name) {
-                diags.push(Diagnostic::error(
+                diags.push(Diag::annot(
                     format!("invalid shared location `{part}` in lattice declaration"),
                     span,
                 ));
@@ -245,7 +245,7 @@ pub fn parse_lattice_decl(payload: &str, span: Span, diags: &mut Diagnostics) ->
             // useful for single-location lattices.
             decl.isolated.push(part.to_string());
         } else {
-            diags.push(Diagnostic::error(
+            diags.push(Diag::annot(
                 format!("cannot parse lattice entry `{part}`"),
                 span,
             ));
@@ -256,7 +256,11 @@ pub fn parse_lattice_decl(payload: &str, span: Span, diags: &mut Diagnostics) ->
 
 /// Parses a composite-location payload (`@LOC`, `@RETURNLOC`, `@PCLOC`,
 /// `@DELTA`), handling nested `DELTA(...)` wrappers.
-pub fn parse_composite_loc(payload: &str, span: Span, diags: &mut Diagnostics) -> CompositeLocAnnot {
+pub fn parse_composite_loc(
+    payload: &str,
+    span: Span,
+    diags: &mut Diagnostics,
+) -> CompositeLocAnnot {
     let mut delta = 0usize;
     let mut rest = payload.trim();
     loop {
@@ -277,7 +281,7 @@ pub fn parse_composite_loc(payload: &str, span: Span, diags: &mut Diagnostics) -
         if let Some((class, name)) = part.split_once('.') {
             let (class, name) = (class.trim(), name.trim());
             if !is_location_name(class) || !is_location_name(name) {
-                diags.push(Diagnostic::error(
+                diags.push(Diag::annot(
                     format!("invalid location element `{part}`"),
                     span,
                 ));
@@ -287,14 +291,14 @@ pub fn parse_composite_loc(payload: &str, span: Span, diags: &mut Diagnostics) -
         } else if is_location_name(part) {
             elems.push(LocElem::plain(part));
         } else {
-            diags.push(Diagnostic::error(
+            diags.push(Diag::annot(
                 format!("invalid location element `{part}`"),
                 span,
             ));
         }
     }
     if elems.is_empty() {
-        diags.push(Diagnostic::error("empty composite location", span));
+        diags.push(Diag::annot("empty composite location", span));
     }
     CompositeLocAnnot { delta, elems }
 }
@@ -320,8 +324,7 @@ fn split_top_commas(s: &str) -> Vec<&str> {
 
 fn is_location_name(s: &str) -> bool {
     !s.is_empty()
-        && s.chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && !s.chars().next().expect("nonempty").is_ascii_digit()
 }
 

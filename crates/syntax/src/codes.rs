@@ -1,0 +1,380 @@
+//! The central registry of stable diagnostic codes.
+//!
+//! Every [`crate::Diagnostic`] carries exactly one [`Code`]; the code is
+//! mandatory at construction time, so the code↔check mapping is enforced
+//! by the type system rather than by convention. Each code corresponds to
+//! one check in the SJava pipeline (PLDI 2012 §4–5) and owns:
+//!
+//! * a stable `SJ0xxx` identifier that external tooling may key on,
+//! * a short kebab-case name,
+//! * a one-line summary (mirrored in the README code table), and
+//! * a long-form [`Code::explain`] text served by `sjava check --explain`.
+//!
+//! Code numbers are grouped by pipeline stage: `SJ00xx` front-end,
+//! `SJ01xx` flow checking, `SJ02xx` aliasing/linearity, `SJ03xx`
+//! eviction/sharing, `SJ04xx` termination and call-graph shape, `SJ05xx`
+//! inference, `SJ06xx` lints.
+
+use std::fmt;
+
+/// A stable diagnostic code, one variant per check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// SJ0001: lexical error.
+    Lex,
+    /// SJ0002: syntax error.
+    Parse,
+    /// SJ0003: malformed or unknown annotation.
+    Annot,
+    /// SJ0004: invalid location lattice declaration.
+    Lattice,
+    /// SJ0005: inheritance violates lattice or annotation compatibility.
+    Inherit,
+    /// SJ0006: name-resolution failure during checking.
+    Resolve,
+    /// SJ0007: missing location annotation.
+    MissingAnnot,
+    /// SJ0101: value flows upward against the location lattice.
+    FlowUp,
+    /// SJ0102: implicit flow through the program counter.
+    ImplicitFlow,
+    /// SJ0103: call-site location constraint violated.
+    CallSite,
+    /// SJ0201: heap aliasing violates the linear type system.
+    Alias,
+    /// SJ0202: ownership-delegation misuse.
+    Delegate,
+    /// SJ0301: heap location may be read before being overwritten.
+    StaleHeap,
+    /// SJ0302: shared location accumulates across event-loop iterations.
+    SharedAccum,
+    /// SJ0401: loop termination cannot be proved.
+    UnprovableLoop,
+    /// SJ0402: recursive call chain.
+    Recursion,
+    /// SJ0403: event-loop shape violation.
+    EventLoop,
+    /// SJ0501: annotation inference failure.
+    Infer,
+    /// SJ0601: dead store lint.
+    DeadStore,
+    /// SJ0602: unused local lint.
+    UnusedLocal,
+}
+
+impl Code {
+    /// Every registered code, in ascending numeric order.
+    pub const ALL: &'static [Code] = &[
+        Code::Lex,
+        Code::Parse,
+        Code::Annot,
+        Code::Lattice,
+        Code::Inherit,
+        Code::Resolve,
+        Code::MissingAnnot,
+        Code::FlowUp,
+        Code::ImplicitFlow,
+        Code::CallSite,
+        Code::Alias,
+        Code::Delegate,
+        Code::StaleHeap,
+        Code::SharedAccum,
+        Code::UnprovableLoop,
+        Code::Recursion,
+        Code::EventLoop,
+        Code::Infer,
+        Code::DeadStore,
+        Code::UnusedLocal,
+    ];
+
+    /// The stable numeric identity of this code (the `xxx` in `SJ0xxx`).
+    pub fn number(self) -> u16 {
+        match self {
+            Code::Lex => 1,
+            Code::Parse => 2,
+            Code::Annot => 3,
+            Code::Lattice => 4,
+            Code::Inherit => 5,
+            Code::Resolve => 6,
+            Code::MissingAnnot => 7,
+            Code::FlowUp => 101,
+            Code::ImplicitFlow => 102,
+            Code::CallSite => 103,
+            Code::Alias => 201,
+            Code::Delegate => 202,
+            Code::StaleHeap => 301,
+            Code::SharedAccum => 302,
+            Code::UnprovableLoop => 401,
+            Code::Recursion => 402,
+            Code::EventLoop => 403,
+            Code::Infer => 501,
+            Code::DeadStore => 601,
+            Code::UnusedLocal => 602,
+        }
+    }
+
+    /// Recovers a code from its stable number, for decoding cache entries.
+    pub fn from_number(n: u16) -> Option<Code> {
+        Code::ALL.iter().copied().find(|c| c.number() == n)
+    }
+
+    /// Parses the `SJ0xxx` display form (case-insensitive prefix).
+    pub fn parse(s: &str) -> Option<Code> {
+        let rest = s
+            .strip_prefix("SJ")
+            .or_else(|| s.strip_prefix("sj"))
+            .unwrap_or(s);
+        let n: u16 = rest.parse().ok()?;
+        Code::from_number(n)
+    }
+
+    /// Short kebab-case name of the check.
+    pub fn name(self) -> &'static str {
+        match self {
+            Code::Lex => "lex-error",
+            Code::Parse => "parse-error",
+            Code::Annot => "bad-annotation",
+            Code::Lattice => "bad-lattice",
+            Code::Inherit => "inheritance-mismatch",
+            Code::Resolve => "unresolved-name",
+            Code::MissingAnnot => "missing-location",
+            Code::FlowUp => "flow-up",
+            Code::ImplicitFlow => "implicit-flow",
+            Code::CallSite => "call-site-flow",
+            Code::Alias => "heap-alias",
+            Code::Delegate => "delegate-misuse",
+            Code::StaleHeap => "stale-heap",
+            Code::SharedAccum => "shared-accumulation",
+            Code::UnprovableLoop => "unprovable-loop",
+            Code::Recursion => "recursion",
+            Code::EventLoop => "event-loop-shape",
+            Code::Infer => "inference-failure",
+            Code::DeadStore => "dead-store",
+            Code::UnusedLocal => "unused-local",
+        }
+    }
+
+    /// One-line summary, mirrored in the README code table.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::Lex => "the source text contains a token the lexer cannot read",
+            Code::Parse => "the token stream does not form a valid SJava program",
+            Code::Annot => "an SJava annotation payload is malformed or unknown",
+            Code::Lattice => "a @LATTICE/@METHODDEFAULT declaration is not a valid partial order",
+            Code::Inherit => "a subclass or override is incompatible with inherited annotations",
+            Code::Resolve => "a name used by the checker cannot be resolved",
+            Code::MissingAnnot => {
+                "a variable, parameter, or method is missing a location annotation"
+            }
+            Code::FlowUp => "an assignment or return moves a value upward against the lattice",
+            Code::ImplicitFlow => {
+                "a write under a conditional leaks information via the program counter"
+            }
+            Code::CallSite => "a call violates the callee's parameter location constraints",
+            Code::Alias => "a reference operation would create a second alias to a heap object",
+            Code::Delegate => "an ownership delegation is invalid or a delegated value is reused",
+            Code::StaleHeap => {
+                "a heap location may be read without being overwritten each iteration"
+            }
+            Code::SharedAccum => {
+                "a shared location is read but never cleared inside the event loop"
+            }
+            Code::UnprovableLoop => {
+                "a loop has no MAXLOOP/TERMINATE certificate and cannot be proved finite"
+            }
+            Code::Recursion => "the call graph contains a recursive chain, which SJava prohibits",
+            Code::EventLoop => "the program lacks exactly one SSJAVA-labeled main event loop",
+            Code::Infer => "annotation inference could not build consistent lattices",
+            Code::DeadStore => "a stored value is always overwritten before any read",
+            Code::UnusedLocal => "a local variable is never read",
+        }
+    }
+
+    /// Long-form explanation, served by `sjava check --explain SJ0xxx`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Code::Lex => {
+                "The lexer met a character sequence it cannot turn into a token: an \
+                 unrecognized character, an unterminated string or block comment, a \
+                 malformed numeric literal, or a stray `@` without an annotation name.\n\n\
+                 Fix the source text at the reported span; later phases do not run \
+                 until the file lexes cleanly."
+            }
+            Code::Parse => {
+                "The parser expected a different construct at the reported span — a \
+                 missing token, a malformed declaration, or an expression in a place \
+                 the grammar does not allow one.\n\n\
+                 SJava's grammar is a small Java subset (PLDI 2012 §3); the message \
+                 names the expected token or construct."
+            }
+            Code::Annot => {
+                "An `@LATTICE`, `@LOC`, `@METHODDEFAULT`, or related annotation has a \
+                 payload the annotation parser cannot understand, or the annotation \
+                 name itself is not one SJava defines.\n\n\
+                 Annotation payloads are comma-separated entries such as `A<B` \
+                 (ordering), `spinLoc SHARED` (shared marker), or composite location \
+                 elements. Check the payload against the forms in the README."
+            }
+            Code::Lattice => {
+                "The declared location ordering does not form a valid lattice: an \
+                 entry is self-ordering, mentions an undeclared element, or the \
+                 relation contains a cycle.\n\n\
+                 Flow checking needs a partial order with a greatest element, so the \
+                 program is rejected before any method body is examined (§4.1)."
+            }
+            Code::Inherit => {
+                "A subclass extends an unknown superclass, drops a location its \
+                 superclass declares, changes the relative ordering of inherited \
+                 locations, or an override changes a parameter's declared location.\n\n\
+                 Inherited lattices may be refined but never contradicted; otherwise \
+                 virtual dispatch would change the meaning of a location (§4.4)."
+            }
+            Code::Resolve => {
+                "The checker could not resolve a name the program uses: an unknown \
+                 field, static field, method, call target, or receiver type.\n\n\
+                 Resolution failures are hard errors because every flow rule needs \
+                 the declared location of both endpoints."
+            }
+            Code::MissingAnnot => {
+                "A local variable, parameter, field, or method return is missing the \
+                 `@LOC`/`@THISLOC`/`@RETURNLOC`/`@GLOBALLOC` annotation the checker \
+                 needs to place it in the lattice.\n\n\
+                 Every storage location must have a declared position before flow \
+                 checking can run; `sjava infer` can propose annotations (§5.2)."
+            }
+            Code::FlowUp => {
+                "An assignment, initialization, array store, or return moves a value \
+                 from a source location to a destination that is not strictly below \
+                 it in the location lattice — violating the flow-down rule that makes \
+                 error propagation die out across event-loop iterations (§4.1).\n\n\
+                 Either lower the destination, raise the source, or route the value \
+                 through intermediate locations that descend the lattice."
+            }
+            Code::ImplicitFlow => {
+                "A write (or a call that may write) occurs under a conditional whose \
+                 guard reads a location not strictly above the write target. The \
+                 guard's value leaks into the target via the program counter, an \
+                 implicit flow the lattice must also order (§4.1).\n\n\
+                 Hoist the write out of the conditional or re-order the lattice so \
+                 the guard dominates the target."
+            }
+            Code::CallSite => {
+                "A method call violates the callee's location contract: an argument \
+                 sits below the callee's declared parameter floor, or two arguments \
+                 arrive in an order the callee's parameter lattice forbids (§4.3).\n\n\
+                 The callee's `@METHODDEFAULT`/parameter annotations are part of its \
+                 signature; adjust the caller's locations or the callee's contract."
+            }
+            Code::Alias => {
+                "A reference operation would create a second usable alias to the same \
+                 heap object: storing a referenced object into a field, moving a \
+                 reference between heap locations without detaching it first, \
+                 returning a borrowed reference, or aliasing across location types.\n\n\
+                 SJava's linear type system permits exactly one usable reference to \
+                 each heap object so eviction can reason per-location (§4.2)."
+            }
+            Code::Delegate => {
+                "An ownership delegation is misused: a variable is read after its \
+                 ownership was delegated away, a non-owned value is passed to a \
+                 `@DELEGATE` parameter, or a delegation target is not a variable or \
+                 fresh allocation.\n\n\
+                 Delegation transfers the single linear reference; the source is \
+                 dead afterwards until re-assigned."
+            }
+            Code::StaleHeap => {
+                "The eviction analysis found a heap location (or a local crossing \
+                 iterations) that some path reads without first overwriting it in the \
+                 same event-loop iteration. A corrupted value stored there could \
+                 survive forever, defeating self-stabilization (§4.2).\n\n\
+                 Overwrite the location unconditionally each iteration, or mark it \
+                 SHARED and clear it per the shared-location protocol."
+            }
+            Code::SharedAccum => {
+                "A location marked SHARED is read inside the event loop but never \
+                 cleared, so values accumulate across iterations and a corrupted \
+                 value is never flushed (§4.2.3).\n\n\
+                 Shared locations must be cleared (fully overwritten) at least once \
+                 per iteration after their last read."
+            }
+            Code::UnprovableLoop => {
+                "A loop has no `MAXLOOP_n` bound, no `TERMINATE_x` decreasing-\
+                 variable certificate, and is not of a shape the checker can prove \
+                 finite. A wedged loop would stop the event loop from reaching its \
+                 next iteration, so self-stabilization requires a certificate (§4.5).\n\n\
+                 Label the loop `MAXLOOP_n:` for a hard iteration bound or \
+                 `TERMINATE_x:` naming a strictly decreasing loop variable."
+            }
+            Code::Recursion => {
+                "The call graph reachable from the event loop contains a cycle. \
+                 Recursion gives unbounded stack depth and defeats the per-iteration \
+                 progress guarantee, so SJava prohibits it outright (§4.5).\n\n\
+                 Rewrite the recursive chain as an explicitly bounded loop."
+            }
+            Code::EventLoop => {
+                "Self-stabilization is defined relative to one main event loop: the \
+                 program must contain exactly one `SSJAVA:`-labeled loop reachable as \
+                 the entry point. This program has none, or more than one.\n\n\
+                 Label the single top-level `while` of the main routine `SSJAVA:`."
+            }
+            Code::Infer => {
+                "Annotation inference failed to construct lattices that satisfy every \
+                 flow constraint — usually because the program genuinely is not \
+                 self-stabilizing (§5.2.7).\n\n\
+                 The underlying constraint conflict is reported in the message; fix \
+                 the offending flow and re-run `sjava infer`."
+            }
+            Code::DeadStore => {
+                "Every path from this store reaches another store to the same \
+                 variable before any read, so the stored value is never observed.\n\n\
+                 Delete the store or move the computation to where its result is \
+                 used. This is a lint: it does not fail the check unless \
+                 `--deny-warnings` is set."
+            }
+            Code::UnusedLocal => {
+                "The local variable is declared (and possibly written) but never \
+                 read.\n\n\
+                 Remove the variable, or use it. This is a lint: it does not fail \
+                 the check unless `--deny-warnings` is set."
+            }
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SJ{:04}", self.number())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_stable() {
+        // Numbers are unique and ascending; display form round-trips.
+        let mut last = 0u16;
+        for &c in Code::ALL {
+            assert!(c.number() > last, "codes must be ascending: {c}");
+            last = c.number();
+            assert_eq!(Code::from_number(c.number()), Some(c));
+            assert_eq!(Code::parse(&c.to_string()), Some(c));
+            assert!(!c.name().is_empty());
+            assert!(!c.summary().is_empty());
+            assert!(
+                c.explain().len() > c.summary().len(),
+                "{c} explain() must be long-form"
+            );
+        }
+        assert_eq!(Code::parse("sj0101"), Some(Code::FlowUp));
+        assert_eq!(Code::parse("SJ9999"), None);
+        assert_eq!(Code::parse("nope"), None);
+    }
+
+    #[test]
+    fn display_is_zero_padded() {
+        assert_eq!(Code::Lex.to_string(), "SJ0001");
+        assert_eq!(Code::FlowUp.to_string(), "SJ0101");
+        assert_eq!(Code::UnusedLocal.to_string(), "SJ0602");
+    }
+}

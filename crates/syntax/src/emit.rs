@@ -1,0 +1,299 @@
+//! Machine-readable diagnostic emitters: JSON and SARIF 2.1.0.
+//!
+//! `sjava-syntax` carries no dependencies, so both emitters are written
+//! by hand against a tiny escaping helper. Output is byte-deterministic
+//! for a given `(file, diagnostics)` pair: key order is fixed, numbers
+//! are plain decimals, and no timestamps or absolute paths are emitted —
+//! the determinism suite compares emitter output across thread counts
+//! and cold/warm cache runs.
+
+use crate::codes::Code;
+use crate::diag::{Diagnostic, Diagnostics, Severity};
+use crate::span::{SourceFile, Span};
+use std::fmt::Write;
+
+/// Escapes `s` as a JSON string literal, including the quotes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn severity_str(s: Severity) -> &'static str {
+    match s {
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    }
+}
+
+fn json_span(span: Span) -> String {
+    format!("{{\"start\":{},\"end\":{}}}", span.start, span.end)
+}
+
+/// `{"line":l,"col":c}` for the position of `offset` in `file`.
+fn json_pos(file: &SourceFile, offset: u32) -> String {
+    let lc = file.line_col(offset);
+    format!("{{\"line\":{},\"col\":{}}}", lc.line, lc.col)
+}
+
+fn json_diagnostic(file: &SourceFile, d: &Diagnostic) -> String {
+    let mut out = String::new();
+    out.push('{');
+    let _ = write!(
+        out,
+        "\"code\":{},\"name\":{},\"severity\":{},\"message\":{},\"file\":{},\"span\":{},\"start\":{},\"end\":{}",
+        json_str(&d.code.to_string()),
+        json_str(d.code.name()),
+        json_str(severity_str(d.severity)),
+        json_str(&d.message),
+        json_str(d.file.as_deref().unwrap_or(&file.name)),
+        json_span(d.span),
+        json_pos(file, d.span.start),
+        json_pos(file, d.span.end),
+    );
+    out.push_str(",\"labels\":[");
+    for (i, l) in d.labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"file\":{},\"span\":{},\"message\":{}}}",
+            json_str(l.file.as_deref().unwrap_or(&file.name)),
+            json_span(l.span),
+            json_str(&l.message),
+        );
+    }
+    out.push_str("],\"notes\":[");
+    for (i, n) in d.notes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_str(n));
+    }
+    out.push_str("],\"suggestion\":");
+    match &d.suggestion {
+        Some(s) => {
+            let _ = write!(
+                out,
+                "{{\"span\":{},\"replacement\":{},\"message\":{}}}",
+                json_span(s.span),
+                json_str(&s.replacement),
+                json_str(&s.message),
+            );
+        }
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    out
+}
+
+/// Renders the diagnostics as a single deterministic JSON document.
+pub fn to_json(file: &SourceFile, diags: &Diagnostics) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"file\":{},\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+        json_str(&file.name),
+        diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count(),
+        diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count(),
+    );
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_diagnostic(file, d));
+    }
+    out.push_str("]}");
+    out.push('\n');
+    out
+}
+
+/// One SARIF `physicalLocation` object for `span` in `uri`.
+fn sarif_location(file: &SourceFile, uri: &str, span: Span) -> String {
+    let start = file.line_col(span.start);
+    let end = file.line_col(span.end);
+    format!(
+        "{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{}}},\
+         \"region\":{{\"startLine\":{},\"startColumn\":{},\"endLine\":{},\"endColumn\":{}}}}}}}",
+        json_str(uri),
+        start.line,
+        start.col,
+        end.line,
+        end.col
+    )
+}
+
+/// Renders the diagnostics as a minimal SARIF 2.1.0 log with one run.
+///
+/// The rule table lists the entire code registry (not just fired codes)
+/// so `ruleIndex` values are stable across programs.
+pub fn to_sarif(file: &SourceFile, diags: &Diagnostics) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"sjava\",\"informationUri\":\"https://doi.org/10.1145/2254064.2254068\",\
+         \"rules\":[",
+    );
+    for (i, &c) in Code::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"name\":{},\"shortDescription\":{{\"text\":{}}},\
+             \"fullDescription\":{{\"text\":{}}}}}",
+            json_str(&c.to_string()),
+            json_str(c.name()),
+            json_str(c.summary()),
+            json_str(c.explain()),
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let uri = d.file.as_deref().unwrap_or(&file.name);
+        let rule_index = Code::ALL.iter().position(|&c| c == d.code).unwrap_or(0);
+        let _ = write!(
+            out,
+            "{{\"ruleId\":{},\"ruleIndex\":{},\"level\":{},\"message\":{{\"text\":{}}},\
+             \"locations\":[{}]",
+            json_str(&d.code.to_string()),
+            rule_index,
+            json_str(severity_str(d.severity)),
+            json_str(&d.message),
+            sarif_location(file, uri, d.span),
+        );
+        if !d.labels.is_empty() {
+            out.push_str(",\"relatedLocations\":[");
+            for (j, l) in d.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let luri = l.file.as_deref().unwrap_or(&file.name);
+                // Spans in other files cannot be resolved against this
+                // file's line index; anchor them at 1:1.
+                let loc = if l.file.as_deref().is_some_and(|f| f != file.name) {
+                    format!(
+                        "{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{}}},\
+                         \"region\":{{\"startLine\":1,\"startColumn\":1}}}},\
+                         \"message\":{{\"text\":{}}}}}",
+                        json_str(luri),
+                        json_str(&l.message)
+                    )
+                } else {
+                    let base = sarif_location(file, luri, l.span);
+                    format!(
+                        "{},\"message\":{{\"text\":{}}}}}",
+                        &base[..base.len() - 1],
+                        json_str(&l.message)
+                    )
+                };
+                out.push_str(&loc);
+            }
+            out.push(']');
+        }
+        if let Some(s) = &d.suggestion {
+            let start = file.line_col(s.span.start);
+            let end = file.line_col(s.span.end);
+            let _ = write!(
+                out,
+                ",\"fixes\":[{{\"description\":{{\"text\":{}}},\"artifactChanges\":[{{\
+                 \"artifactLocation\":{{\"uri\":{}}},\"replacements\":[{{\
+                 \"deletedRegion\":{{\"startLine\":{},\"startColumn\":{},\"endLine\":{},\"endColumn\":{}}},\
+                 \"insertedContent\":{{\"text\":{}}}}}]}}]}}]",
+                json_str(&s.message),
+                json_str(&file.name),
+                start.line,
+                start.col,
+                end.line,
+                end.col,
+                json_str(&s.replacement),
+            );
+        }
+        out.push('}');
+    }
+    out.push_str("]}]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diag;
+
+    fn sample() -> (SourceFile, Diagnostics) {
+        let f = SourceFile::new("t.sj", "a = b;\nc = d;\n");
+        let mut ds = Diagnostics::new();
+        ds.push(
+            Diag::flow_up("bad \"flow\"", Span::new(0, 6))
+                .with_label(Span::new(7, 13), "declared here")
+                .with_label_in("other.sj", Span::new(0, 3), "elsewhere")
+                .with_note("note\nline")
+                .with_suggestion(Span::new(0, 0), "x ", "insert"),
+        );
+        ds.push(Diag::unused_local("unused `c`", Span::new(7, 8)));
+        (f, ds)
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let (f, ds) = sample();
+        let j = to_json(&f, &ds);
+        assert!(j.contains("\"errors\":1,\"warnings\":1"), "{j}");
+        assert!(j.contains("bad \\\"flow\\\""), "{j}");
+        assert!(j.contains("\"note\\nline\""), "{j}");
+        assert!(j.contains("\"code\":\"SJ0101\""), "{j}");
+        assert!(j.contains("\"code\":\"SJ0602\""), "{j}");
+        assert!(j.contains("\"file\":\"other.sj\""), "{j}");
+        assert!(j.ends_with("]}\n"), "{j}");
+    }
+
+    #[test]
+    fn sarif_has_required_fields() {
+        let (f, ds) = sample();
+        let s = to_sarif(&f, &ds);
+        assert!(s.contains("\"version\":\"2.1.0\""), "{s}");
+        assert!(s.contains("\"$schema\""), "{s}");
+        assert!(s.contains("\"runs\":["), "{s}");
+        assert!(s.contains("\"name\":\"sjava\""), "{s}");
+        assert!(s.contains("\"results\":["), "{s}");
+        assert!(s.contains("\"ruleId\":\"SJ0101\""), "{s}");
+        assert!(s.contains("\"relatedLocations\""), "{s}");
+        assert!(s.contains("\"fixes\""), "{s}");
+        // Every registered code appears in the rule table.
+        for &c in Code::ALL {
+            assert!(s.contains(&format!("\"id\":\"{c}\"")), "missing rule {c}");
+        }
+    }
+
+    #[test]
+    fn emitters_are_deterministic() {
+        let (f, ds) = sample();
+        assert_eq!(to_json(&f, &ds), to_json(&f, &ds));
+        assert_eq!(to_sarif(&f, &ds), to_sarif(&f, &ds));
+    }
+}

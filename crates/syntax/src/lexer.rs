@@ -1,6 +1,6 @@
 //! Hand-written lexer for the SJava dialect.
 
-use crate::diag::{Diagnostic, Diagnostics};
+use crate::diag::{Diag, Diagnostics};
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
 
@@ -44,7 +44,7 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     let name = self.ident_text();
                     if name.is_empty() {
-                        diags.push(Diagnostic::error(
+                        diags.push(Diag::lex(
                             "expected annotation name after `@`",
                             self.span_from(start),
                         ));
@@ -62,7 +62,7 @@ impl<'a> Lexer<'a> {
                         // Skip one full UTF-8 scalar value, not one byte.
                         let ch = self.src[self.pos..].chars().next().expect("valid utf8");
                         self.pos += ch.len_utf8();
-                        diags.push(Diagnostic::error(
+                        diags.push(Diag::lex(
                             format!("unrecognized character `{ch}`"),
                             self.span_from(start),
                         ));
@@ -117,7 +117,7 @@ impl<'a> Lexer<'a> {
                         self.bump();
                     }
                     if !closed {
-                        diags.push(Diagnostic::error(
+                        diags.push(Diag::lex(
                             "unterminated block comment",
                             self.span_from(start),
                         ));
@@ -178,7 +178,7 @@ impl<'a> Lexer<'a> {
             match text.parse::<f64>() {
                 Ok(v) => TokenKind::FloatLit(v),
                 Err(_) => {
-                    diags.push(Diagnostic::error(
+                    diags.push(Diag::lex(
                         format!("invalid float literal `{text}`"),
                         self.span_from(start),
                     ));
@@ -189,7 +189,7 @@ impl<'a> Lexer<'a> {
             match text.parse::<i64>() {
                 Ok(v) => TokenKind::IntLit(v),
                 Err(_) => {
-                    diags.push(Diagnostic::error(
+                    diags.push(Diag::lex(
                         format!("integer literal `{text}` out of range"),
                         self.span_from(start),
                     ));
@@ -206,7 +206,7 @@ impl<'a> Lexer<'a> {
         loop {
             match self.peek() {
                 None | Some(b'\n') => {
-                    diags.push(Diagnostic::error(
+                    diags.push(Diag::lex(
                         "unterminated string literal",
                         self.span_from(start),
                     ));
@@ -231,7 +231,7 @@ impl<'a> Lexer<'a> {
                         Some('"') => value.push('"'),
                         Some('0') => value.push('\0'),
                         other => {
-                            diags.push(Diagnostic::error(
+                            diags.push(Diag::lex(
                                 format!("unknown escape `\\{}`", other.unwrap_or(' ')),
                                 self.span_from(start),
                             ));

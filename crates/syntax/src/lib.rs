@@ -27,7 +27,9 @@
 
 pub mod annot;
 pub mod ast;
+pub mod codes;
 pub mod diag;
+pub mod emit;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
@@ -41,7 +43,8 @@ pub use ast::{
     BinOp, Block, ClassDecl, Expr, FieldDecl, LValue, LoopKind, MethodDecl, Param, Program, Stmt,
     Type, UnOp,
 };
-pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use codes::Code;
+pub use diag::{Diag, Diagnostic, Diagnostics, Label, Severity, Suggestion};
 pub use span::{LineCol, SourceFile, Span};
 
 /// Parses SJava source, returning the program or the accumulated
@@ -55,6 +58,7 @@ pub fn parse(src: &str) -> Result<Program, Diagnostics> {
     let mut diags = Diagnostics::new();
     let program = parser::parse_program(src, &mut diags);
     if diags.has_errors() {
+        diags.sort_stable();
         Err(diags)
     } else {
         Ok(program)

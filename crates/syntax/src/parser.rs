@@ -4,7 +4,7 @@ use crate::annot::{
     parse_composite_loc, parse_lattice_decl, ClassAnnots, MethodAnnots, RawAnnot, VarAnnots,
 };
 use crate::ast::*;
-use crate::diag::{Diagnostic, Diagnostics};
+use crate::diag::{Diag, Diagnostics};
 use crate::lexer::lex;
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
@@ -72,7 +72,7 @@ impl<'a> Parser<'a> {
         if self.eat(kind) {
             true
         } else {
-            self.diags.push(Diagnostic::error(
+            self.diags.push(Diag::parse(
                 format!("expected `{kind}`, found `{}`", self.peek()),
                 self.span(),
             ));
@@ -85,7 +85,7 @@ impl<'a> Parser<'a> {
             self.bump();
             name
         } else {
-            self.diags.push(Diagnostic::error(
+            self.diags.push(Diag::parse(
                 format!("expected identifier, found `{}`", self.peek()),
                 self.span(),
             ));
@@ -107,7 +107,7 @@ impl<'a> Parser<'a> {
                     classes.push(c);
                 }
             } else {
-                self.diags.push(Diagnostic::error(
+                self.diags.push(Diag::parse(
                     format!("expected class declaration, found `{}`", self.peek()),
                     self.span(),
                 ));
@@ -128,7 +128,7 @@ impl<'a> Parser<'a> {
                     self.bump();
                     payload = Some(s);
                 } else if !self.at(&TokenKind::RParen) {
-                    self.diags.push(Diagnostic::error(
+                    self.diags.push(Diag::annot(
                         "annotation payload must be a string literal",
                         self.span(),
                     ));
@@ -187,7 +187,7 @@ impl<'a> Parser<'a> {
                 }
                 "TRUSTED" => ca.trusted = true,
                 other => {
-                    self.diags.push(Diagnostic::error(
+                    self.diags.push(Diag::annot(
                         format!("unknown class annotation `@{other}`"),
                         a.span,
                     ));
@@ -217,7 +217,7 @@ impl<'a> Parser<'a> {
                 }
                 "TRUSTED" => ma.trusted = true,
                 other => {
-                    self.diags.push(Diagnostic::error(
+                    self.diags.push(Diag::annot(
                         format!("unknown method annotation `@{other}`"),
                         a.span,
                     ));
@@ -243,7 +243,7 @@ impl<'a> Parser<'a> {
                 }
                 "DELEGATE" => va.delegate = true,
                 other => {
-                    self.diags.push(Diagnostic::error(
+                    self.diags.push(Diag::annot(
                         format!("unknown variable annotation `@{other}`"),
                         a.span,
                     ));
@@ -408,7 +408,7 @@ impl<'a> Parser<'a> {
                 Type::Class(name)
             }
             other => {
-                self.diags.push(Diagnostic::error(
+                self.diags.push(Diag::parse(
                     format!("expected type, found `{other}`"),
                     self.span(),
                 ));
@@ -466,10 +466,8 @@ impl<'a> Parser<'a> {
                         return Some(LoopKind::MaxLoop(n));
                     }
                 }
-                self.diags.push(Diagnostic::error(
-                    format!("unknown loop label `{name}`"),
-                    span,
-                ));
+                self.diags
+                    .push(Diag::parse(format!("unknown loop label `{name}`"), span));
                 return Some(LoopKind::Plain);
             }
         }
@@ -713,10 +711,8 @@ impl<'a> Parser<'a> {
                 span,
             }),
             other => {
-                self.diags.push(Diagnostic::error(
-                    "expression is not assignable",
-                    other.span(),
-                ));
+                self.diags
+                    .push(Diag::parse("expression is not assignable", other.span()));
                 None
             }
         }
@@ -920,8 +916,7 @@ impl<'a> Parser<'a> {
                     let mut elem = ty;
                     // `new int[n][]`-style jagged arrays: extra bracket
                     // pairs raise the element type.
-                    while self.at(&TokenKind::LBracket) && self.peek_at(1) == &TokenKind::RBracket
-                    {
+                    while self.at(&TokenKind::LBracket) && self.peek_at(1) == &TokenKind::RBracket {
                         self.bump();
                         self.bump();
                         elem = Type::Array(Box::new(elem));
@@ -938,7 +933,7 @@ impl<'a> Parser<'a> {
                     let class = match ty {
                         Type::Class(c) => c,
                         other => {
-                            self.diags.push(Diagnostic::error(
+                            self.diags.push(Diag::parse(
                                 format!("cannot `new` non-class type `{other}`"),
                                 span,
                             ));
@@ -973,7 +968,7 @@ impl<'a> Parser<'a> {
                 e
             }
             other => {
-                self.diags.push(Diagnostic::error(
+                self.diags.push(Diag::parse(
                     format!("expected expression, found `{other}`"),
                     span,
                 ));
@@ -1006,7 +1001,7 @@ impl<'a> Parser<'a> {
                 Some(Type::Class(name))
             }
             other => {
-                self.diags.push(Diagnostic::error(
+                self.diags.push(Diag::parse(
                     format!("expected type after `new`, found `{other}`"),
                     self.span(),
                 ));
@@ -1065,9 +1060,7 @@ mod tests {
 
     #[test]
     fn parses_event_loop_label() {
-        let p = parse_ok(
-            "class A { void run() { SSJAVA: while(true) { int x = 1; } } }",
-        );
+        let p = parse_ok("class A { void run() { SSJAVA: while(true) { int x = 1; } } }");
         let m = &p.classes[0].methods[0];
         match &m.body.stmts[0] {
             Stmt::While { kind, .. } => assert_eq!(*kind, LoopKind::EventLoop),
@@ -1095,8 +1088,20 @@ mod tests {
     fn desugars_compound_assignment() {
         let p = parse_ok("class A { void f() { int i = 0; i += 2; i++; } }");
         let m = &p.classes[0].methods[0];
-        assert!(matches!(&m.body.stmts[1], Stmt::Assign { rhs: Expr::Binary { op: BinOp::Add, .. }, .. }));
-        assert!(matches!(&m.body.stmts[2], Stmt::Assign { rhs: Expr::Binary { op: BinOp::Add, .. }, .. }));
+        assert!(matches!(
+            &m.body.stmts[1],
+            Stmt::Assign {
+                rhs: Expr::Binary { op: BinOp::Add, .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &m.body.stmts[2],
+            Stmt::Assign {
+                rhs: Expr::Binary { op: BinOp::Add, .. },
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1107,7 +1112,12 @@ mod tests {
             panic!()
         };
         // 1 + (2*3)
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = e else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = e
+        else {
             panic!("expected add at root, got {e:?}")
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
@@ -1119,9 +1129,25 @@ mod tests {
             "class A { int[] data; void f() { data = new int[10]; data[0] = 1; int n = data.length; } }",
         );
         let m = &p.classes[0].methods[0];
-        assert!(matches!(&m.body.stmts[0], Stmt::Assign { rhs: Expr::NewArray { .. }, .. }));
-        assert!(matches!(&m.body.stmts[1], Stmt::Assign { lhs: LValue::Index { .. }, .. }));
-        let Stmt::VarDecl { init: Some(Expr::Length { .. }), .. } = &m.body.stmts[2] else {
+        assert!(matches!(
+            &m.body.stmts[0],
+            Stmt::Assign {
+                rhs: Expr::NewArray { .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &m.body.stmts[1],
+            Stmt::Assign {
+                lhs: LValue::Index { .. },
+                ..
+            }
+        ));
+        let Stmt::VarDecl {
+            init: Some(Expr::Length { .. }),
+            ..
+        } = &m.body.stmts[2]
+        else {
             panic!()
         };
     }
@@ -1132,17 +1158,30 @@ mod tests {
             "class A { B b; void f() { b = new B(); b.go(1, 2); go(); } } class B { void go(int x, int y) {} }",
         );
         let m = &p.classes[0].methods[0];
-        assert!(matches!(&m.body.stmts[1], Stmt::ExprStmt { expr: Expr::Call { recv: Some(_), .. }, .. }));
-        assert!(matches!(&m.body.stmts[2], Stmt::ExprStmt { expr: Expr::Call { recv: None, .. }, .. }));
+        assert!(matches!(
+            &m.body.stmts[1],
+            Stmt::ExprStmt {
+                expr: Expr::Call { recv: Some(_), .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &m.body.stmts[2],
+            Stmt::ExprStmt {
+                expr: Expr::Call { recv: None, .. },
+                ..
+            }
+        ));
     }
 
     #[test]
     fn resolves_static_class_references() {
-        let p = parse_ok(
-            "class A { void f() { int x = Device.readSensor(); Out.emit(x); } }",
-        );
+        let p = parse_ok("class A { void f() { int x = Device.readSensor(); Out.emit(x); } }");
         let m = &p.classes[0].methods[0];
-        let Stmt::VarDecl { init: Some(Expr::Call { class_recv, .. }), .. } = &m.body.stmts[0]
+        let Stmt::VarDecl {
+            init: Some(Expr::Call { class_recv, .. }),
+            ..
+        } = &m.body.stmts[0]
         else {
             panic!()
         };
@@ -1153,9 +1192,13 @@ mod tests {
     fn parses_casts() {
         let p = parse_ok("class A { void f() { float y = 2.5; int x = (int) y; } }");
         let m = &p.classes[0].methods[0];
-        assert!(
-            matches!(&m.body.stmts[1], Stmt::VarDecl { init: Some(Expr::Cast { ty: Type::Int, .. }), .. })
-        );
+        assert!(matches!(
+            &m.body.stmts[1],
+            Stmt::VarDecl {
+                init: Some(Expr::Cast { ty: Type::Int, .. }),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1164,7 +1207,10 @@ mod tests {
             "class A { void f(int x) { if (x > 0) x = 1; else if (x < 0) x = 2; else x = 3; } }",
         );
         let m = &p.classes[0].methods[0];
-        let Stmt::If { else_blk: Some(b), .. } = &m.body.stmts[0] else {
+        let Stmt::If {
+            else_blk: Some(b), ..
+        } = &m.body.stmts[0]
+        else {
             panic!()
         };
         assert!(matches!(&b.stmts[0], Stmt::If { .. }));
@@ -1180,9 +1226,7 @@ mod tests {
 
     #[test]
     fn parses_delta_annotation() {
-        let p = parse_ok(
-            r#"class A { void f() { @DELTA("THIS,F") int x = 0; x = x; } }"#,
-        );
+        let p = parse_ok(r#"class A { void f() { @DELTA("THIS,F") int x = 0; x = x; } }"#);
         let Stmt::VarDecl { annots, .. } = &p.classes[0].methods[0].body.stmts[0] else {
             panic!()
         };

@@ -220,7 +220,10 @@ fn resolve_expr(expr: &mut Expr, cx: &Cx<'_>) {
             resolve_expr(base, cx);
         }
         Expr::Call {
-            recv, class_recv, args, ..
+            recv,
+            class_recv,
+            args,
+            ..
         } => {
             if class_recv.is_none() {
                 if let Some(r) = recv {
@@ -257,9 +260,9 @@ fn resolve_expr(expr: &mut Expr, cx: &Cx<'_>) {
 
 #[cfg(test)]
 mod tests {
+    use crate::ast::*;
     use crate::diag::Diagnostics;
     use crate::parser::parse_program;
-    use crate::ast::*;
 
     #[test]
     fn variable_shadows_class_name() {
@@ -271,7 +274,11 @@ mod tests {
         assert!(!d.has_errors());
         let m = &p.classes[1].methods[0];
         // `d.f` must remain an instance field access.
-        let Stmt::VarDecl { init: Some(Expr::Field { .. }), .. } = &m.body.stmts[1] else {
+        let Stmt::VarDecl {
+            init: Some(Expr::Field { .. }),
+            ..
+        } = &m.body.stmts[1]
+        else {
             panic!("expected instance field access: {:?}", m.body.stmts[1]);
         };
     }
@@ -287,11 +294,17 @@ mod tests {
         let m = &p.classes[1].methods[0];
         assert!(matches!(
             &m.body.stmts[0],
-            Stmt::VarDecl { init: Some(Expr::StaticField { .. }), .. }
+            Stmt::VarDecl {
+                init: Some(Expr::StaticField { .. }),
+                ..
+            }
         ));
         assert!(matches!(
             &m.body.stmts[1],
-            Stmt::Assign { lhs: LValue::StaticField { .. }, .. }
+            Stmt::Assign {
+                lhs: LValue::StaticField { .. },
+                ..
+            }
         ));
     }
 }

@@ -124,10 +124,9 @@ fn count_block(block: &Block, counts: &mut AnnotationCounts) {
 
 fn count_stmt(stmt: &Stmt, counts: &mut AnnotationCounts) {
     match stmt {
-        Stmt::VarDecl { annots, .. }
-            if annots.loc.is_some() => {
-                counts.locations += 1;
-            }
+        Stmt::VarDecl { annots, .. } if annots.loc.is_some() => {
+            counts.locations += 1;
+        }
         Stmt::If {
             then_blk, else_blk, ..
         } => {
@@ -194,7 +193,10 @@ mod tests {
         let m = &s.classes[0].methods[0];
         assert!(matches!(
             &m.body.stmts[1],
-            Stmt::While { kind: LoopKind::EventLoop, .. }
+            Stmt::While {
+                kind: LoopKind::EventLoop,
+                ..
+            }
         ));
     }
 

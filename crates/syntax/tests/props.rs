@@ -194,8 +194,7 @@ fn arb_stmt() -> impl Strategy<Value = String> {
     let iff = (arb_expr(), arb_expr()).prop_map(|(c, e)| format!("if ({c}) {{ b = {e}; }}"));
     let iffelse = (arb_expr(), arb_expr(), arb_expr())
         .prop_map(|(c, t, e)| format!("if ({c}) {{ a = {t}; }} else {{ b = {e}; }}"));
-    let forl =
-        arb_expr().prop_map(|e| format!("for (int i = 0; i < 4; i++) {{ a = {e}; }}"));
+    let forl = arb_expr().prop_map(|e| format!("for (int i = 0; i < 4; i++) {{ a = {e}; }}"));
     let whil = arb_expr().prop_map(|e| format!("while (a > 0) {{ a = a - 1; b = {e}; }}"));
     prop_oneof![assign, decl, iff, iffelse, forl, whil]
 }

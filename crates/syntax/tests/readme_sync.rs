@@ -1,0 +1,46 @@
+//! Keeps the "Diagnostic codes" table in the top-level README in sync
+//! with the central registry: every registered `SJ0xxx` code must have a
+//! table row carrying its name and one-line summary, and the table must
+//! not list codes that no longer exist.
+
+use sjava_syntax::codes::Code;
+
+fn readme() -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("README.md");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+#[test]
+fn readme_table_matches_registry() {
+    let text = readme();
+    let table: Vec<&str> = text.lines().filter(|l| l.starts_with("| SJ0")).collect();
+    assert_eq!(
+        table.len(),
+        Code::ALL.len(),
+        "README lists {} diagnostic-code rows but the registry has {}",
+        table.len(),
+        Code::ALL.len()
+    );
+    for &code in Code::ALL {
+        let row = table
+            .iter()
+            .find(|l| l.contains(&format!("| {code} ")))
+            .unwrap_or_else(|| panic!("README has no table row for {code}"));
+        assert!(
+            row.contains(code.name()),
+            "README row for {code} does not mention its name `{}`:\n{row}",
+            code.name()
+        );
+        assert!(
+            row.contains(code.summary()),
+            "README row for {code} does not carry its registry summary:\n{row}"
+        );
+        assert!(
+            !code.explain().trim().is_empty(),
+            "{code} has an empty --explain text"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Renderer edge cases: spans at EOF, zero-width spans, multi-line
+//! spans, tab-containing source lines, and labels whose file differs
+//! from the diagnostic's primary file. Each case must render without
+//! panicking and report the full `line:col-line:col` range.
+
+use sjava_syntax::{Diag, SourceFile, Span};
+
+#[test]
+fn span_at_eof() {
+    // Span starting exactly at text.len(): the `expected …, found EOF`
+    // shape the parser produces.
+    let f = SourceFile::new("eof.sj", "class A {");
+    let d = Diag::parse("expected `}`, found end of file", Span::new(9, 9));
+    let s = d.render(&f);
+    assert!(s.contains("--> eof.sj:1:10-1:10"), "{s}");
+    assert!(s.contains("1 | class A {"), "{s}");
+    assert!(s.contains("^"), "{s}");
+
+    // EOF just after a trailing newline: the span sits on a line that
+    // has no text at all.
+    let f = SourceFile::new("eof2.sj", "class A {}\n");
+    let d = Diag::parse("unexpected end of file", Span::new(11, 11));
+    let s = d.render(&f);
+    assert!(s.contains("--> eof2.sj:2:1-2:1"), "{s}");
+    assert!(s.contains("| ^"), "{s}");
+}
+
+#[test]
+fn zero_width_span() {
+    let f = SourceFile::new("z.sj", "a = b;");
+    let d = Diag::flow_up("insertion point", Span::new(2, 2));
+    let s = d.render(&f);
+    assert!(s.contains("--> z.sj:1:3-1:3"), "{s}");
+    // A zero-width span still gets one caret, under the right column.
+    assert!(s.contains("|   ^"), "{s}");
+    assert!(!s.contains("^^"), "{s}");
+}
+
+#[test]
+fn multi_line_span() {
+    let f = SourceFile::new("m.sj", "while (x) {\n    y = z;\n}\n");
+    let d = Diag::unprovable_loop("cannot prove loop terminates", Span::new(0, 24));
+    let s = d.render(&f);
+    // Full range in the header — this is the satellite fix: the end of
+    // the span must not be dropped.
+    assert!(s.contains("--> m.sj:1:1-3:2"), "{s}");
+    // First line underlined, with a marker for where the span ends.
+    assert!(s.contains("1 | while (x) {"), "{s}");
+    assert!(s.contains("^^^^^^^^^^^"), "{s}");
+    assert!(s.contains("(ends at 3:2)"), "{s}");
+}
+
+#[test]
+fn tab_containing_line() {
+    // Tabs expand to four columns; the caret must sit under `q`, not
+    // drift left by the tab-vs-column difference.
+    let f = SourceFile::new("t.sj", "\t\tq = r;");
+    let d = Diag::flow_up("bad store", Span::new(2, 3));
+    let s = d.render(&f);
+    assert!(s.contains("--> t.sj:1:3-1:4"), "{s}");
+    let line = s
+        .lines()
+        .find(|l| l.contains("q = r;"))
+        .expect("source line");
+    let caret = s
+        .lines()
+        .find(|l| l.trim_end().ends_with('^'))
+        .expect("caret line");
+    let q_col = line.find('q').expect("q in shown line");
+    let c_col = caret.find('^').expect("caret");
+    assert_eq!(q_col, c_col, "caret must align under `q`:\n{s}");
+}
+
+#[test]
+fn label_in_other_file() {
+    let f = SourceFile::new("main.sj", "a = b;\n");
+    let d = Diag::flow_up("flows up", Span::new(0, 6)).with_label_in(
+        "lattice.sj",
+        Span::new(3, 9),
+        "declared here",
+    );
+    let s = d.render(&f);
+    // The foreign label is reported by file and byte range, with no
+    // snippet (we cannot index another file's lines), and must not
+    // panic or mis-slice the primary file.
+    assert!(
+        s.contains("::: lattice.sj: declared here (bytes 3..9)"),
+        "{s}"
+    );
+    assert!(s.contains("--> main.sj:1:1-1:7"), "{s}");
+}
+
+#[test]
+fn same_file_label_renders_snippet() {
+    let f = SourceFile::new("x.sj", "@LATTICE(\"A<B\")\nb = a;\n");
+    let d = Diag::flow_up("flows up", Span::new(16, 22))
+        .with_label(Span::new(0, 15), "lattice declared here");
+    let s = d.render(&f);
+    assert!(s.contains("1 | @LATTICE(\"A<B\")"), "{s}");
+    assert!(s.contains("--------------- lattice declared here"), "{s}");
+    assert!(s.contains("2 | b = a;"), "{s}");
+}

@@ -26,7 +26,11 @@ fn main() {
         _ => "?",
     };
     println!("golden strategy trace:");
-    let trace: Vec<&str> = golden.iteration_outputs.iter().map(|it| name(&it[0])).collect();
+    let trace: Vec<&str> = golden
+        .iteration_outputs
+        .iter()
+        .map(|it| name(&it[0]))
+        .collect();
     println!("  {}\n", trace.join(" "));
 
     let mut corrupted = 0;
@@ -45,7 +49,10 @@ fn main() {
                 name(&golden.iteration_outputs[bad][0]),
                 bad + stats.recovery_iterations
             );
-            assert!(stats.recovery_iterations <= 1, "stateless loop: next-iteration recovery");
+            assert!(
+                stats.recovery_iterations <= 1,
+                "stateless loop: next-iteration recovery"
+            );
         }
     }
     println!("\n{corrupted}/25 injections changed a decision; all recovered by the next iteration");

@@ -4,19 +4,25 @@
 #   ./scripts/ci.sh
 #
 # Steps:
-#   1. release build of every crate
-#   2. the full test suite (includes the 1-vs-N worker determinism
+#   1. rustfmt check over the whole workspace
+#   2. release build of every crate
+#   3. the full test suite (includes the 1-vs-N worker determinism
 #      regression in crates/bench/tests/determinism.rs)
-#   3. clippy with warnings denied
-#   4. an explicit release-mode run of the determinism regression, so
+#   4. clippy with warnings denied
+#   5. an explicit release-mode run of the determinism regression, so
 #      the parallel pipeline is exercised with optimizations on
-#   5. the golden-diagnostic snapshot suite (regenerate fixtures with
-#      SJAVA_REGEN_GOLDEN=1 after an intentional diagnostic change)
-#   6. the incremental-cache correctness suite, with the worker pool
+#   6. the golden-diagnostic snapshot suite (regenerate fixtures with
+#      SJAVA_REGEN_GOLDEN=1 after an intentional diagnostic change),
+#      followed by a freshness gate: the fixtures are regenerated into
+#      place and any drift from the checked-in bytes fails the build
+#   7. the incremental-cache correctness suite, with the worker pool
 #      pinned to 1 and then 4 threads so cached replay is proven
 #      deterministic across fan-out widths
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== rustfmt =="
+cargo fmt --all --check
 
 echo "== build (release) =="
 cargo build --release --workspace
@@ -32,6 +38,21 @@ cargo test --release -q -p sjava-bench --test determinism
 
 echo "== golden diagnostics (apps + violation probes, cold and cached) =="
 cargo test --release -q -p sjava-bench --test golden
+
+echo "== golden fixtures are fresh (regenerate + diff) =="
+golden_dir=crates/bench/tests/golden
+backup_dir=$(mktemp -d)
+cp "$golden_dir"/*.txt "$backup_dir"/
+SJAVA_REGEN_GOLDEN=1 cargo test --release -q -p sjava-bench --test golden
+if ! diff -ru "$backup_dir" "$golden_dir" >/dev/null; then
+    diff -ru "$backup_dir" "$golden_dir" || true
+    cp "$backup_dir"/*.txt "$golden_dir"/
+    rm -rf "$backup_dir"
+    echo "golden fixtures are stale: regenerating them produced different bytes." >&2
+    echo "Run SJAVA_REGEN_GOLDEN=1 cargo test -p sjava-bench --test golden and commit the diff." >&2
+    exit 1
+fi
+rm -rf "$backup_dir"
 
 echo "== incremental cache correctness at 1 and 4 worker threads =="
 SJAVA_THREADS=1 cargo test --release -q -p sjava-cache --test correctness

@@ -1,21 +1,30 @@
 //! `sjava` — command-line front end for the Self-Stabilizing Java tools.
 //!
 //! ```text
-//! sjava check <file.sj>                 verify self-stabilization
+//! sjava check <file.sj> [--format=text|json|sarif] [--deny-warnings]
+//!                                       verify self-stabilization
+//! sjava check --explain SJ0xxx          describe a diagnostic code
 //! sjava infer <file.sj> [--naive]       infer annotations, print source
 //! sjava run <file.sj> <Class.method> N  run the event loop N iterations
 //! sjava lattice <file.sj>               print declared lattices as DOT
 //! ```
+//!
+//! Exit codes: `0` success, `1` the check (or another command) failed
+//! with diagnostics, `2` usage or I/O error.
 
 use std::process::ExitCode;
 
+use sjava::syntax::codes::Code;
 use sjava::syntax::pretty::print_program;
-use sjava::syntax::SourceFile;
+use sjava::syntax::{emit, SourceFile};
+
+/// Exit status for usage and I/O errors, distinct from check failures.
+const EXIT_USAGE: u8 = 2;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
-        Some("check") if args.len() >= 2 => cmd_check(&args[1]),
+        Some("check") if args.len() >= 2 => cmd_check(&args[1..]),
         Some("infer") if args.len() >= 2 => {
             let naive = args.iter().any(|a| a == "--naive");
             cmd_infer(&args[1], naive)
@@ -27,9 +36,9 @@ fn main() -> ExitCode {
         Some("vfg") if args.len() >= 2 => cmd_vfg(&args[1]),
         _ => {
             eprintln!(
-                "usage:\n  sjava check <file.sj>\n  sjava infer <file.sj> [--naive]\n  sjava run <file.sj> <Class.method> <iterations>\n  sjava lattice <file.sj>\n  sjava lifetimes <file.sj>\n  sjava lint <file.sj>\n  sjava vfg <file.sj>"
+                "usage:\n  sjava check <file.sj> [--format=text|json|sarif] [--deny-warnings]\n  sjava check --explain SJ0xxx\n  sjava infer <file.sj> [--naive]\n  sjava run <file.sj> <Class.method> <iterations>\n  sjava lattice <file.sj>\n  sjava lifetimes <file.sj>\n  sjava lint <file.sj>\n  sjava vfg <file.sj>"
             );
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_USAGE)
         }
     }
 }
@@ -61,7 +70,10 @@ fn cmd_lifetimes(path: &str) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let sites = sjava::analysis::analyze_lifetimes(&program, &cg);
-    println!("{:<24}{:<12}{:<10}{:<12}at", "method", "class", "escape", "bound");
+    println!(
+        "{:<24}{:<12}{:<10}{:<12}at",
+        "method", "class", "escape", "bound"
+    );
     for s in sites {
         let bound = s
             .bound_iterations
@@ -117,25 +129,123 @@ fn load(path: &str) -> Result<(SourceFile, sjava::Program), ExitCode> {
     }
 }
 
-fn cmd_check(path: &str) -> ExitCode {
-    let (file, program) = match load(path) {
-        Ok(x) => x,
-        Err(c) => return c,
-    };
-    let report = sjava::check(&program);
-    for d in report.diagnostics.iter() {
-        eprintln!("{}", d.render(&file));
+/// Output format of `sjava check`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    // `sjava check --explain SJ0xxx` prints the long-form text of a code.
+    if let Some(i) = args.iter().position(|a| a == "--explain") {
+        let Some(code_arg) = args.get(i + 1) else {
+            eprintln!("error: --explain requires a code, e.g. `--explain SJ0101`");
+            return ExitCode::from(EXIT_USAGE);
+        };
+        let Some(code) = Code::parse(code_arg) else {
+            eprintln!("error: unknown diagnostic code `{code_arg}`");
+            eprintln!("known codes:");
+            for &c in Code::ALL {
+                eprintln!("  {c} ({}): {}", c.name(), c.summary());
+            }
+            return ExitCode::from(EXIT_USAGE);
+        };
+        println!(
+            "{code} ({}): {}\n\n{}",
+            code.name(),
+            code.summary(),
+            code.explain()
+        );
+        return ExitCode::SUCCESS;
     }
-    if report.is_ok() {
-        println!("{path}: self-stabilizing ✓");
-        if let Some(ev) = &report.eviction {
-            println!("  methods analyzed: {}", ev.summaries.len());
+
+    let mut format = Format::Text;
+    let mut deny_warnings = false;
+    let mut path: Option<&str> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--format" => {
+                let Some(f) = iter.next() else {
+                    eprintln!("error: --format requires a value: text, json, or sarif");
+                    return ExitCode::from(EXIT_USAGE);
+                };
+                match parse_format(f) {
+                    Some(fm) => format = fm,
+                    None => return bad_format(f),
+                }
+            }
+            f if f.starts_with("--format=") => {
+                let v = &f["--format=".len()..];
+                match parse_format(v) {
+                    Some(fm) => format = fm,
+                    None => return bad_format(v),
+                }
+            }
+            f if f.starts_with("--") => {
+                eprintln!("error: unknown flag `{f}`");
+                return ExitCode::from(EXIT_USAGE);
+            }
+            p => path = Some(p),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("error: `sjava check` needs a file");
+        return ExitCode::from(EXIT_USAGE);
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read `{path}`: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let file = SourceFile::new(path, text);
+    let diagnostics = match sjava::parse(&file.text) {
+        Ok(program) => sjava::check(&program).diagnostics,
+        Err(diags) => diags,
+    };
+
+    match format {
+        Format::Text => {
+            for d in diagnostics.iter() {
+                eprintln!("{}", d.render(&file));
+            }
+        }
+        Format::Json => print!("{}", emit::to_json(&file, &diagnostics)),
+        Format::Sarif => print!("{}", emit::to_sarif(&file, &diagnostics)),
+    }
+
+    let failed = diagnostics.has_errors() || (deny_warnings && diagnostics.has_warnings());
+    if failed {
+        if format == Format::Text {
+            println!("{path}: NOT verified self-stabilizing ✗");
+        }
+        ExitCode::FAILURE
+    } else {
+        if format == Format::Text {
+            println!("{path}: self-stabilizing ✓");
         }
         ExitCode::SUCCESS
-    } else {
-        println!("{path}: NOT verified self-stabilizing ✗");
-        ExitCode::FAILURE
     }
+}
+
+fn parse_format(s: &str) -> Option<Format> {
+    match s {
+        "text" => Some(Format::Text),
+        "json" => Some(Format::Json),
+        "sarif" => Some(Format::Sarif),
+        _ => None,
+    }
+}
+
+fn bad_format(s: &str) -> ExitCode {
+    eprintln!("error: unknown format `{s}` (expected text, json, or sarif)");
+    ExitCode::from(EXIT_USAGE)
 }
 
 fn cmd_infer(path: &str, naive: bool) -> ExitCode {
@@ -192,7 +302,10 @@ fn cmd_run(path: &str, entry: &str, iters: &str) -> ExitCode {
                 println!("iter {i}: {}", rendered.join(" "));
             }
             if !result.error_log.is_empty() {
-                eprintln!("// {} errors ignored (crash avoidance)", result.error_log.len());
+                eprintln!(
+                    "// {} errors ignored (crash avoidance)",
+                    result.error_log.len()
+                );
             }
             ExitCode::SUCCESS
         }

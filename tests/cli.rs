@@ -21,7 +21,11 @@ fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
 fn check_accepts_good_program() {
     let path = write_temp("good.sj", sjava::apps::windsensor::SOURCE);
     let out = sjava(&["check", path.to_str().expect("utf8")]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("self-stabilizing"), "{stdout}");
 }
@@ -46,7 +50,11 @@ fn check_rejects_bad_program() {
 fn infer_emits_checkable_source() {
     let path = write_temp("weather.sj", sjava::apps::weather::SOURCE);
     let out = sjava(&["infer", path.to_str().expect("utf8")]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let annotated = String::from_utf8_lossy(&out.stdout);
     assert!(annotated.contains("@LATTICE"), "{annotated}");
     // The printed source checks.
@@ -57,8 +65,17 @@ fn infer_emits_checkable_source() {
 #[test]
 fn run_executes_iterations() {
     let path = write_temp("sensor.sj", sjava::apps::windsensor::SOURCE);
-    let out = sjava(&["run", path.to_str().expect("utf8"), "WDSensor.windDirection", "3"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = sjava(&[
+        "run",
+        path.to_str().expect("utf8"),
+        "WDSensor.windDirection",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(stdout.lines().count(), 3, "{stdout}");
 }

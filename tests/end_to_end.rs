@@ -2,8 +2,8 @@
 //! execute → inject → recover, and the checker's verdict agrees with the
 //! observed runtime behaviour.
 
-use sjava::{check, compare_runs, parse, ExecOptions, Injector, Interpreter};
 use sjava::runtime::InputProvider;
+use sjava::{check, compare_runs, parse, ExecOptions, Injector, Interpreter};
 
 fn assert_bounded_recovery<I: InputProvider, F: Fn(u64) -> I>(
     source: &str,
@@ -35,7 +35,10 @@ fn assert_bounded_recovery<I: InputProvider, F: Fn(u64) -> I>(
             );
         }
     }
-    assert!(diverged > 0, "the campaign must hit live state at least once");
+    assert!(
+        diverged > 0,
+        "the campaign must hit live state at least once"
+    );
 }
 
 #[test]

@@ -10,10 +10,7 @@ fn accept_and_run(name: &str, source: &str, entry: (&str, &str), iters: usize) -
     let program = parse(source).unwrap_or_else(|d| panic!("{name} parses: {d}"));
     let report = check(&program);
     assert!(report.is_ok(), "{name} must check:\n{}", report.diagnostics);
-    let inputs = ScriptedInput::new().channel(
-        "read",
-        (1..=iters as i64).map(Value::Int).collect(),
-    );
+    let inputs = ScriptedInput::new().channel("read", (1..=iters as i64).map(Value::Int).collect());
     let run = Interpreter::new(&program, inputs, ExecOptions::default())
         .run(entry.0, entry.1, iters)
         .unwrap_or_else(|e| panic!("{name} runs: {e}"));

@@ -10,7 +10,10 @@ fn expect_rejection(name: &str, source: &str, needle: &str) {
     let report = check(&program);
     assert!(!report.is_ok(), "{name}: must be rejected");
     assert!(
-        report.diagnostics.iter().any(|d| d.message.contains(needle)),
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains(needle)),
         "{name}: expected a `{needle}` diagnostic, got:\n{}",
         report.diagnostics
     );
