@@ -1,0 +1,585 @@
+//! Dense, integer-interned dataflow engine.
+//!
+//! The original solver in [`crate::dataflow`] keeps per-block facts as
+//! `BTreeSet<String>`: every meet allocates a fresh tree and every
+//! transfer clones one, so fixpoint iteration spends its time in
+//! allocator traffic and string compares. This module is the
+//! production replacement: analysis entities (variable names, reaching
+//! definition sites, heap paths) are interned to dense `u32` ids once,
+//! facts become [`BitSet`]s (a `Vec<u64>` of machine words), meet is a
+//! word-wise OR, transfer is `gen ∪ (in − kill)` over precomputed
+//! per-block masks, and the worklist visits blocks in reverse postorder
+//! with an on-queue bitmask instead of a linear scan.
+//!
+//! The string-keyed solver stays available to tests as an oracle; the
+//! public liveness/reaching-defs entry points in `dataflow` convert
+//! bitset results back to `BTreeSet` at the boundary, so downstream
+//! consumers (the lint pass) see identical values.
+
+use crate::cfg::{BlockId, Cfg};
+use sjava_lattice::FnvHashMap;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------
+// BitSet
+// ---------------------------------------------------------------------
+
+const BITS: usize = u64::BITS as usize;
+
+/// A growable bit set over dense ids. Equality ignores trailing zero
+/// words, so sets that grew to different capacities still compare by
+/// contents.
+#[derive(Debug, Clone, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        BitSet::default()
+    }
+
+    /// An empty set pre-sized for ids `0..nbits`.
+    pub fn with_capacity(nbits: usize) -> Self {
+        BitSet {
+            words: vec![0; nbits.div_ceil(BITS)],
+        }
+    }
+
+    fn grow(&mut self, word: usize) {
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+    }
+
+    /// Inserts `bit`; returns true when it was newly added.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        let (w, m) = (bit / BITS, 1u64 << (bit % BITS));
+        self.grow(w);
+        let had = self.words[w] & m != 0;
+        self.words[w] |= m;
+        !had
+    }
+
+    /// Removes `bit`; returns true when it was present.
+    pub fn remove(&mut self, bit: usize) -> bool {
+        let (w, m) = (bit / BITS, 1u64 << (bit % BITS));
+        if w >= self.words.len() {
+            return false;
+        }
+        let had = self.words[w] & m != 0;
+        self.words[w] &= !m;
+        had
+    }
+
+    /// Membership test.
+    pub fn contains(&self, bit: usize) -> bool {
+        let (w, m) = (bit / BITS, 1u64 << (bit % BITS));
+        self.words.get(w).is_some_and(|x| x & m != 0)
+    }
+
+    /// `self ∪= other`; returns true when `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self ∩= other`; returns true when `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (i, a) in self.words.iter_mut().enumerate() {
+            let b = other.words.get(i).copied().unwrap_or(0);
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// `self −= other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Removes every bit.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let tz = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(wi * BITS + tz)
+            })
+        })
+    }
+}
+
+impl PartialEq for BitSet {
+    fn eq(&self, other: &Self) -> bool {
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        short == &long[..short.len()] && long[short.len()..].iter().all(|&w| w == 0)
+    }
+}
+
+impl Eq for BitSet {}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = BitSet::new();
+        for b in iter {
+            s.insert(b);
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interner
+// ---------------------------------------------------------------------
+
+/// Interns values of any hashable type to dense `u32` ids.
+#[derive(Debug, Clone, Default)]
+pub struct Interner<T: std::hash::Hash + Eq + Clone> {
+    map: HashMap<T, u32>,
+    items: Vec<T>,
+}
+
+impl<T: std::hash::Hash + Eq + Clone> Interner<T> {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner {
+            map: HashMap::new(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Returns the id of `value`, interning it on first sight.
+    pub fn intern(&mut self, value: &T) -> u32 {
+        if let Some(&id) = self.map.get(value) {
+            return id;
+        }
+        let id = self.items.len() as u32;
+        self.items.push(value.clone());
+        self.map.insert(value.clone(), id);
+        id
+    }
+
+    /// The id of `value` when already interned.
+    pub fn get(&self, value: &T) -> Option<u32> {
+        self.map.get(value).copied()
+    }
+
+    /// The value behind an id.
+    pub fn resolve(&self, id: u32) -> &T {
+        &self.items[id as usize]
+    }
+
+    /// Number of interned values.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Interned local-variable name (per method).
+pub type VarId = u32;
+
+/// String interner specialized for variable names: accepts `&str` keys
+/// without allocating on lookup hits.
+#[derive(Debug, Clone, Default)]
+pub struct VarInterner {
+    map: FnvHashMap<String, VarId>,
+    names: Vec<String>,
+}
+
+impl VarInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        VarInterner::default()
+    }
+
+    /// Returns the id of `name`, interning it on first sight.
+    pub fn intern(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let id = self.names.len() as VarId;
+        self.names.push(name.to_string());
+        self.map.insert(name.to_string(), id);
+        id
+    }
+
+    /// The id of `name` when already interned.
+    pub fn get(&self, name: &str) -> Option<VarId> {
+        self.map.get(name).copied()
+    }
+
+    /// The name behind an id.
+    pub fn resolve(&self, id: VarId) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Heap-path interner
+// ---------------------------------------------------------------------
+
+/// Interned heap path (per analysis scope).
+pub type PathId = u32;
+
+/// Interns [`HeapPath`](crate::heappath::HeapPath)s into a tree of dense
+/// ids: each node stores its parent and one component, so extending a
+/// path by a field is a single hash probe and *prefix* queries walk the
+/// parent chain instead of scanning a path set.
+#[derive(Debug, Clone, Default)]
+pub struct PathInterner {
+    /// Component-name atoms (field names, roots).
+    atoms: VarInterner,
+    /// `node → (parent, component atom)`; roots have no parent.
+    nodes: Vec<(Option<PathId>, VarId)>,
+    roots: FnvHashMap<VarId, PathId>,
+    children: FnvHashMap<(PathId, VarId), PathId>,
+}
+
+impl PathInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        PathInterner::default()
+    }
+
+    /// Interns a single-component root path.
+    pub fn root(&mut self, name: &str) -> PathId {
+        let atom = self.atoms.intern(name);
+        if let Some(&id) = self.roots.get(&atom) {
+            return id;
+        }
+        let id = self.nodes.len() as PathId;
+        self.nodes.push((None, atom));
+        self.roots.insert(atom, id);
+        id
+    }
+
+    /// Interns `base.field`.
+    pub fn append(&mut self, base: PathId, field: &str) -> PathId {
+        let atom = self.atoms.intern(field);
+        if let Some(&id) = self.children.get(&(base, atom)) {
+            return id;
+        }
+        let id = self.nodes.len() as PathId;
+        self.nodes.push((Some(base), atom));
+        self.children.insert((base, atom), id);
+        id
+    }
+
+    /// Interns a full path (root + components).
+    pub fn intern_path(&mut self, path: &crate::heappath::HeapPath) -> PathId {
+        let mut id = self.root(&path.0[0]);
+        for comp in &path.0[1..] {
+            id = self.append(id, comp);
+        }
+        id
+    }
+
+    /// Splices callee path components (everything after the callee's
+    /// root) onto a caller base path — the `⊙` operator of Fig 4.4.
+    pub fn splice(&mut self, base: PathId, callee: &crate::heappath::HeapPath) -> PathId {
+        let mut id = base;
+        for comp in &callee.0[1..] {
+            id = self.append(id, comp);
+        }
+        id
+    }
+
+    /// Reconstructs the string form of a path.
+    pub fn resolve(&self, id: PathId) -> crate::heappath::HeapPath {
+        let mut comps = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            let (parent, atom) = self.nodes[c as usize];
+            comps.push(self.atoms.resolve(atom).to_string());
+            cur = parent;
+        }
+        comps.reverse();
+        crate::heappath::HeapPath(comps)
+    }
+
+    /// True when `set` contains `id` or any ancestor (proper prefix) of
+    /// it — i.e. when some member of `set` is a prefix of `id`'s path.
+    pub fn covered_by(&self, set: &BitSet, id: PathId) -> bool {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if set.contains(c as usize) {
+                return true;
+            }
+            cur = self.nodes[c as usize].0;
+        }
+        false
+    }
+
+    /// Number of interned paths.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Block ordering + gen/kill solver
+// ---------------------------------------------------------------------
+
+/// Reverse postorder over the CFG's successor edges; unreachable blocks
+/// are appended afterwards in id order so every block still gets facts.
+pub fn reverse_postorder(cfg: &Cfg) -> Vec<BlockId> {
+    let n = cfg.len();
+    let mut seen = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with explicit child cursors (no recursion limit).
+    let mut stack: Vec<(BlockId, usize)> = vec![(cfg.entry, 0)];
+    seen[cfg.entry.0] = true;
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        let succs = &cfg.block(b).succs;
+        if *next < succs.len() {
+            let s = succs[*next];
+            *next += 1;
+            if !seen[s.0] {
+                seen[s.0] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    for (i, visited) in seen.iter().enumerate() {
+        if !visited {
+            post.push(BlockId(i));
+        }
+    }
+    post
+}
+
+/// Per-block input/output bitsets after solving.
+#[derive(Debug, Clone)]
+pub struct DenseSolution {
+    /// Fact at block entry (in execution order).
+    pub inputs: Vec<BitSet>,
+    /// Fact at block exit.
+    pub outputs: Vec<BitSet>,
+}
+
+/// Solves a union-meet gen/kill problem to fixpoint.
+///
+/// `forward` chooses the edge direction; blocks are visited in reverse
+/// postorder (forward) or postorder (backward) so most functions settle
+/// in one or two sweeps. `out = gen ∪ (in − kill)` per block.
+pub fn solve_gen_kill(cfg: &Cfg, forward: bool, gen: &[BitSet], kill: &[BitSet]) -> DenseSolution {
+    let n = cfg.len();
+    let mut inputs = vec![BitSet::new(); n];
+    let mut outputs = vec![BitSet::new(); n];
+
+    let mut order = reverse_postorder(cfg);
+    if !forward {
+        order.reverse();
+    }
+    // priority[b] = position of b in the visit order, so re-queued blocks
+    // pop in a stable, convergence-friendly order.
+    let mut priority = vec![0usize; n];
+    for (i, &b) in order.iter().enumerate() {
+        priority[b.0] = i;
+    }
+
+    let mut queued = vec![true; n];
+    // Simple index-queue: a deque of priorities would also work, but a
+    // boolean mask plus repeated ordered sweeps keeps the hot loop free
+    // of heap traffic.
+    let mut work: std::collections::VecDeque<BlockId> = order.iter().copied().collect();
+    let mut scratch = BitSet::new();
+
+    while let Some(b) = work.pop_front() {
+        queued[b.0] = false;
+        let block = cfg.block(b);
+        let incoming = if forward { &block.preds } else { &block.succs };
+
+        scratch.clear();
+        for &p in incoming {
+            scratch.union_with(&outputs[p.0]);
+        }
+
+        // out = gen ∪ (in − kill)
+        let mut out = scratch.clone();
+        out.subtract(&kill[b.0]);
+        out.union_with(&gen[b.0]);
+
+        std::mem::swap(&mut inputs[b.0], &mut scratch);
+        if out != outputs[b.0] {
+            let dependents = if forward { &block.succs } else { &block.preds };
+            for &d in dependents {
+                if !queued[d.0] {
+                    queued[d.0] = true;
+                    work.push_back(d);
+                }
+            }
+            outputs[b.0] = out;
+        }
+    }
+
+    DenseSolution { inputs, outputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new();
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(130));
+        assert!(s.contains(3) && s.contains(130) && !s.contains(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 130]);
+        assert_eq!(s.count(), 2);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn equality_ignores_capacity() {
+        let mut a = BitSet::new();
+        let mut b = BitSet::with_capacity(1024);
+        a.insert(5);
+        b.insert(5);
+        assert_eq!(a, b);
+        b.insert(900);
+        assert_ne!(a, b);
+        b.remove(900);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn union_intersect_subtract() {
+        let a: BitSet = [1, 2, 3, 200].into_iter().collect();
+        let b: BitSet = [2, 3, 4].into_iter().collect();
+        let mut u = a.clone();
+        assert!(u.union_with(&b));
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 200]);
+        assert!(!u.union_with(&b));
+        let mut i = a.clone();
+        assert!(i.intersect_with(&b));
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 3]);
+        let mut d = a.clone();
+        d.subtract(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 200]);
+    }
+
+    #[test]
+    fn interner_round_trips() {
+        let mut vi = VarInterner::new();
+        let a = vi.intern("alpha");
+        let b = vi.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(vi.intern("alpha"), a);
+        assert_eq!(vi.resolve(b), "beta");
+        assert_eq!(vi.get("gamma"), None);
+        assert_eq!(vi.len(), 2);
+
+        let mut gi: Interner<(usize, String)> = Interner::new();
+        let x = gi.intern(&(1, "x".into()));
+        assert_eq!(gi.intern(&(1, "x".into())), x);
+        assert_eq!(gi.resolve(x), &(1, "x".to_string()));
+    }
+
+    #[test]
+    fn path_interner_round_trips_and_prefixes() {
+        use crate::heappath::HeapPath;
+        let mut pi = PathInterner::new();
+        let this = pi.root("this");
+        let bin = pi.append(this, "bin");
+        let dir0 = pi.append(bin, "dir0");
+        assert_eq!(pi.append(this, "bin"), bin);
+        assert_eq!(pi.resolve(dir0).0, vec!["this", "bin", "dir0"]);
+
+        let p = HeapPath(vec!["this".into(), "bin".into(), "dir0".into()]);
+        assert_eq!(pi.intern_path(&p), dir0);
+
+        // covered_by = "some set member is a prefix of the path".
+        let set: BitSet = [bin as usize].into_iter().collect();
+        assert!(pi.covered_by(&set, dir0));
+        assert!(pi.covered_by(&set, bin));
+        assert!(!pi.covered_by(&set, this));
+
+        // splice drops the callee root, keeps the rest.
+        let callee = HeapPath(vec!["r".into(), "v".into()]);
+        let spliced = pi.splice(bin, &callee);
+        assert_eq!(pi.resolve(spliced).0, vec!["this", "bin", "v"]);
+        assert_eq!(pi.splice(bin, &HeapPath(vec!["r".into()])), bin);
+    }
+
+    #[test]
+    fn rpo_visits_entry_first() {
+        let p = sjava_syntax::parse(
+            "class A { void f(int p) { if (p > 0) { p = 1; } else { p = 2; } p = 3; } }",
+        )
+        .expect("parses");
+        let cfg = crate::cfg::Cfg::build(&p.method("A", "f").expect("m").body);
+        let order = reverse_postorder(&cfg);
+        assert_eq!(order[0], cfg.entry);
+        assert_eq!(order.len(), cfg.len());
+        let mut sorted: Vec<usize> = order.iter().map(|b| b.0).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..cfg.len()).collect::<Vec<_>>());
+    }
+}

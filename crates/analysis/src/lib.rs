@@ -30,6 +30,7 @@
 pub mod callgraph;
 pub mod cfg;
 pub mod dataflow;
+pub mod dense;
 pub mod heappath;
 pub mod jtype;
 pub mod lifetime;
@@ -39,7 +40,8 @@ pub mod written;
 
 pub use callgraph::{build as build_callgraph, CallGraph, MethodRef};
 pub use cfg::{BasicBlock, BlockId, Cfg, Instr};
-pub use dataflow::{solve, Direction, LiveVariables, Problem, ReachingDefs, Solution};
+pub use dataflow::{live_variables, liveness_per_instr, reaching_defs, Solution};
+pub use dense::{BitSet, Interner, VarId, VarInterner};
 pub use heappath::HeapPath;
 pub use jtype::TypeEnv;
 pub use lifetime::{analyze_lifetimes, AllocationSite, Escape};

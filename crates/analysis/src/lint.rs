@@ -5,7 +5,7 @@
 //! location the eviction analysis will also complain about.
 
 use crate::cfg::{Cfg, Instr};
-use crate::dataflow::{expr_uses, instr_def, liveness_per_instr, solve, LiveVariables};
+use crate::dataflow::{expr_uses, instr_def, live_variables, liveness_per_instr};
 use sjava_syntax::ast::*;
 use sjava_syntax::diag::{Diag, Diagnostics};
 use std::collections::BTreeSet;
@@ -30,7 +30,7 @@ pub fn lint_program(program: &Program, diags: &mut Diagnostics) -> usize {
 
 fn lint_method(class: &str, method: &MethodDecl, diags: &mut Diagnostics) -> usize {
     let cfg = Cfg::build(&method.body);
-    let sol = solve(&cfg, &LiveVariables);
+    let sol = live_variables(&cfg);
     let mut findings = 0;
 
     // Genuine locals: parameters plus declared variables. An unqualified

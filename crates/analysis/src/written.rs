@@ -12,8 +12,10 @@
 //! definite-assignment analysis.
 
 use crate::callgraph::{CallGraph, MethodRef};
+use crate::dense::{BitSet, PathId, PathInterner, VarId, VarInterner};
 use crate::heappath::{HeapPath, ELEMENT};
 use crate::jtype::TypeEnv;
+use sjava_lattice::FnvHashMap;
 use sjava_syntax::ast::*;
 use sjava_syntax::diag::{Diag, Diagnostics};
 use sjava_syntax::span::Span;
@@ -139,18 +141,30 @@ fn summarize_method(
     let mut an = BodyAnalyzer::new(program, env, summaries);
     let mut st = FlowState::default();
     if !method.is_static {
-        st.bind_definite("this", HeapPath::root("this"));
+        let var = an.vars.intern("this");
+        let root = an.paths.root("this");
+        st.bind_definite(var, root);
     }
     for p in &method.params {
         if p.ty.is_reference() {
-            st.bind_definite(&p.name, HeapPath::root(&p.name));
+            let var = an.vars.intern(&p.name);
+            let root = an.paths.root(&p.name);
+            st.bind_definite(var, root);
         }
     }
     an.walk_block(&method.body, &mut st);
     MethodSummary {
-        reads: an.reads.into_iter().map(|(p, _)| p).collect(),
-        may_writes: an.may_writes,
-        must_writes: st.wt,
+        reads: an.reads.iter().map(|&(p, _)| an.paths.resolve(p)).collect(),
+        may_writes: an
+            .may_writes
+            .iter()
+            .map(|p| an.paths.resolve(p as PathId))
+            .collect(),
+        must_writes: st
+            .wt
+            .iter()
+            .map(|p| an.paths.resolve(p as PathId))
+            .collect(),
     }
 }
 
@@ -172,11 +186,15 @@ fn check_event_loop(
     let mut an = BodyAnalyzer::new(program, env, summaries);
     let mut st = FlowState::default();
     if !method.is_static {
-        st.bind_definite("this", HeapPath::root("this"));
+        let var = an.vars.intern("this");
+        let root = an.paths.root("this");
+        st.bind_definite(var, root);
     }
     for p in &method.params {
         if p.ty.is_reference() {
-            st.bind_definite(&p.name, HeapPath::root(&p.name));
+            let var = an.vars.intern(&p.name);
+            let root = an.paths.root(&p.name);
+            st.bind_definite(var, root);
         }
     }
     let Some((pre, loop_body)) = split_at_event_loop(&method.body) else {
@@ -198,27 +216,27 @@ fn check_event_loop(
     // the back edge. (Condition (2) — overwritten before the read — was
     // already applied when collecting reads.)
     let mut stale_paths = Vec::new();
-    for (p, span) in &an.reads {
-        let cond1 = !an.may_writes.iter().any(|ow| p.has_prefix(ow));
-        let cond3 = st.wt.iter().any(|wt| p.has_prefix(wt));
+    for &(p, span) in &an.reads {
+        let cond1 = !an.paths.covered_by(&an.may_writes, p);
+        let cond3 = an.paths.covered_by(&st.wt, p);
         if !cond1 && !cond3 {
-            stale_paths.push((p.clone(), *span));
+            stale_paths.push((an.paths.resolve(p), span));
         }
     }
 
     // Local-variable conditions.
     let mut stale_locals = Vec::new();
-    for (name, span, was_assigned_before) in &an.local_reads {
-        if *was_assigned_before {
+    for &(var, span, was_assigned_before) in &an.local_reads {
+        if was_assigned_before {
             continue; // condition (2)
         }
-        let assigned_in_loop = an.any_assigned.contains(name);
-        let assigned_every_iter = st.assigned.contains(name);
+        let assigned_in_loop = an.any_assigned.contains(var as usize);
+        let assigned_every_iter = st.assigned.contains(var as usize);
         if assigned_in_loop && !assigned_every_iter {
-            stale_locals.push((name.clone(), *span));
+            stale_locals.push((an.vars.resolve(var).to_string(), span));
         }
     }
-    stale_paths.sort_by_key(|(p, _)| p.clone());
+    stale_paths.sort_by(|a, b| a.0.cmp(&b.0));
     stale_paths.dedup_by(|a, b| a.0 == b.0);
     stale_locals.sort();
     stale_locals.dedup_by(|a, b| a.0 == b.0);
@@ -275,27 +293,29 @@ fn split_at_event_loop(body: &Block) -> Option<(&[Stmt], &Block)> {
     find(body).map(|b| (&body.stmts[..0], b))
 }
 
-/// Alias + must-write state flowing through a body.
+/// Alias + must-write state flowing through a body. All sets are dense
+/// bitsets over the per-method path/variable interners, so branch clones
+/// are flat `memcpy`s instead of tree rebuilds.
 #[derive(Debug, Clone, Default)]
 struct FlowState {
     /// Variable → (possible heap paths, definitely-unique).
-    hp: BTreeMap<String, (BTreeSet<HeapPath>, bool)>,
+    hp: FnvHashMap<VarId, (BitSet, bool)>,
     /// Must-written heap paths (`WT`).
-    wt: BTreeSet<HeapPath>,
+    wt: BitSet,
     /// Definitely-assigned locals since scope start (event-loop iteration).
-    assigned: BTreeSet<String>,
+    assigned: BitSet,
     /// Set when the path has returned (unreachable continuation).
     returned: bool,
 }
 
 impl FlowState {
-    fn bind_definite(&mut self, var: &str, path: HeapPath) {
+    fn bind_definite(&mut self, var: VarId, path: PathId) {
         self.hp
-            .insert(var.to_string(), (BTreeSet::from([path]), true));
+            .insert(var, ([path as usize].into_iter().collect(), true));
     }
 
-    fn paths(&self, var: &str) -> Option<&(BTreeSet<HeapPath>, bool)> {
-        self.hp.get(var)
+    fn paths(&self, var: VarId) -> Option<&(BitSet, bool)> {
+        self.hp.get(&var)
     }
 
     /// Control-flow join of two branch states.
@@ -306,23 +326,29 @@ impl FlowState {
         if b.returned {
             return a;
         }
-        let mut hp = BTreeMap::new();
+        let mut hp =
+            FnvHashMap::with_capacity_and_hasher(a.hp.len().max(b.hp.len()), Default::default());
         for (k, (pa, da)) in &a.hp {
             if let Some((pb, db)) = b.hp.get(k) {
                 let definite = da & db && pa == pb;
-                let union: BTreeSet<HeapPath> = pa.union(pb).cloned().collect();
-                hp.insert(k.clone(), (union, definite));
+                let mut union = pa.clone();
+                union.union_with(pb);
+                hp.insert(*k, (union, definite));
             } else {
-                hp.insert(k.clone(), (pa.clone(), false));
+                hp.insert(*k, (pa.clone(), false));
             }
         }
         for (k, (pb, _)) in b.hp {
             hp.entry(k).or_insert((pb, false));
         }
+        let mut wt = a.wt;
+        wt.intersect_with(&b.wt);
+        let mut assigned = a.assigned;
+        assigned.intersect_with(&b.assigned);
         FlowState {
             hp,
-            wt: a.wt.intersection(&b.wt).cloned().collect(),
-            assigned: a.assigned.intersection(&b.assigned).cloned().collect(),
+            wt,
+            assigned,
             returned: false,
         }
     }
@@ -332,13 +358,17 @@ struct BodyAnalyzer<'p> {
     program: &'p Program,
     env: TypeEnv<'p>,
     summaries: &'p BTreeMap<MethodRef, MethodSummary>,
+    /// Per-method heap-path interner; ids index `may_writes`/`wt`.
+    paths: PathInterner,
+    /// Per-method local-variable interner; ids index `assigned`.
+    vars: VarInterner,
     /// Reads surviving condition (2), with spans.
-    reads: Vec<(HeapPath, Span)>,
-    may_writes: BTreeSet<HeapPath>,
-    /// Local reads `(name, span, assigned-before-read)`.
-    local_reads: Vec<(String, Span, bool)>,
+    reads: Vec<(PathId, Span)>,
+    may_writes: BitSet,
+    /// Local reads `(var, span, assigned-before-read)`.
+    local_reads: Vec<(VarId, Span, bool)>,
     /// Locals assigned anywhere in the walked region.
-    any_assigned: BTreeSet<String>,
+    any_assigned: BitSet,
     /// Whether local reads should be tracked (event-loop mode).
     locals_tracked: bool,
 }
@@ -353,10 +383,12 @@ impl<'p> BodyAnalyzer<'p> {
             program,
             env,
             summaries,
+            paths: PathInterner::new(),
+            vars: VarInterner::new(),
             reads: Vec::new(),
-            may_writes: BTreeSet::new(),
+            may_writes: BitSet::new(),
             local_reads: Vec::new(),
-            any_assigned: BTreeSet::new(),
+            any_assigned: BitSet::new(),
             locals_tracked: false,
         }
     }
@@ -370,50 +402,62 @@ impl<'p> BodyAnalyzer<'p> {
     }
 
     /// Possible heap paths of a reference-valued expression.
-    fn paths_of(&self, e: &Expr, st: &FlowState) -> (BTreeSet<HeapPath>, bool) {
+    fn paths_of(&mut self, e: &Expr, st: &FlowState) -> (BitSet, bool) {
         match e {
-            Expr::This { .. } => (BTreeSet::from([HeapPath::root("this")]), true),
+            Expr::This { .. } => {
+                let id = self.paths.root("this");
+                ([id as usize].into_iter().collect(), true)
+            }
             Expr::Var { name, .. } => {
-                if let Some((p, d)) = st.paths(name) {
+                if let Some((p, d)) = self.vars.get(name).and_then(|v| st.paths(v)) {
                     (p.clone(), *d)
                 } else if self.is_field_of_class(name) {
-                    (BTreeSet::from([HeapPath::root("this").append(name)]), true)
+                    let root = self.paths.root("this");
+                    let id = self.paths.append(root, name);
+                    ([id as usize].into_iter().collect(), true)
                 } else {
-                    (BTreeSet::new(), true)
+                    (BitSet::new(), true)
                 }
             }
             Expr::Field { base, field, .. } => {
                 let (paths, d) = self.paths_of(base, st);
-                (paths.iter().map(|p| p.append(field)).collect(), d)
+                (self.append_all(&paths, field), d)
             }
             Expr::StaticField { class, field, .. } => {
-                (BTreeSet::from([HeapPath::static_root(class, field)]), true)
+                let id = self.paths.intern_path(&HeapPath::static_root(class, field));
+                ([id as usize].into_iter().collect(), true)
             }
             Expr::Index { base, .. } => {
                 let (paths, d) = self.paths_of(base, st);
-                (paths.iter().map(|p| p.append(ELEMENT)).collect(), d)
+                (self.append_all(&paths, ELEMENT), d)
             }
             Expr::Cast { operand, .. } => self.paths_of(operand, st),
             // Fresh allocations and call results are untracked (owned).
-            _ => (BTreeSet::new(), true),
+            _ => (BitSet::new(), true),
         }
     }
 
-    fn record_read(&mut self, path: HeapPath, span: Span, st: &FlowState) {
+    /// `{ p.field | p ∈ paths }` as a fresh path set.
+    fn append_all(&mut self, paths: &BitSet, field: &str) -> BitSet {
+        let mut out = BitSet::new();
+        for p in paths.iter() {
+            out.insert(self.paths.append(p as PathId, field) as usize);
+        }
+        out
+    }
+
+    fn record_read(&mut self, path: PathId, span: Span, st: &FlowState) {
         // Condition (2): covered if a prefix was definitely written.
-        if st.wt.iter().any(|wt| path.has_prefix(wt)) {
+        if self.paths.covered_by(&st.wt, path) {
             return;
         }
         self.reads.push((path, span));
     }
 
-    fn record_write(&mut self, paths: &BTreeSet<HeapPath>, definite: bool, st: &mut FlowState) {
-        for p in paths {
-            self.may_writes.insert(p.clone());
-        }
-        if definite && paths.len() == 1 {
-            st.wt
-                .insert(paths.iter().next().expect("len checked").clone());
+    fn record_write(&mut self, paths: &BitSet, definite: bool, st: &mut FlowState) {
+        self.may_writes.union_with(paths);
+        if definite && paths.count() == 1 {
+            st.wt.insert(paths.iter().next().expect("count checked"));
         }
     }
 
@@ -423,30 +467,35 @@ impl<'p> BodyAnalyzer<'p> {
             Expr::Var { name, span } => {
                 if self.is_local(name) {
                     if self.locals_tracked {
-                        let before = st.assigned.contains(name);
-                        self.local_reads.push((name.clone(), *span, before));
+                        let var = self.vars.intern(name);
+                        let before = st.assigned.contains(var as usize);
+                        self.local_reads.push((var, *span, before));
                     }
                 } else if self.is_field_of_class(name) {
-                    let p = HeapPath::root("this").append(name);
+                    let root = self.paths.root("this");
+                    let p = self.paths.append(root, name);
                     self.record_read(p, *span, st);
                 }
             }
             Expr::Field { base, field, span } => {
                 self.read_expr(base, st);
                 let (paths, _) = self.paths_of(base, st);
-                for p in paths {
-                    self.record_read(p.append(field), *span, st);
+                let appended = self.append_all(&paths, field);
+                for p in appended.iter() {
+                    self.record_read(p as PathId, *span, st);
                 }
             }
             Expr::StaticField { class, field, span } => {
-                self.record_read(HeapPath::static_root(class, field), *span, st);
+                let p = self.paths.intern_path(&HeapPath::static_root(class, field));
+                self.record_read(p, *span, st);
             }
             Expr::Index { base, index, span } => {
                 self.read_expr(base, st);
                 self.read_expr(index, st);
                 let (paths, _) = self.paths_of(base, st);
-                for p in paths {
-                    self.record_read(p.append(ELEMENT), *span, st);
+                let appended = self.append_all(&paths, ELEMENT);
+                for p in appended.iter() {
+                    self.record_read(p as PathId, *span, st);
                 }
             }
             Expr::Length { base, .. } => self.read_expr(base, st),
@@ -484,8 +533,7 @@ impl<'p> BodyAnalyzer<'p> {
         if class_recv.as_deref() == Some("SSJavaArray") && (name == "insert" || name == "clear") {
             if let Some(arr) = args.first() {
                 let (paths, d) = self.paths_of(arr, st);
-                let elem_paths: BTreeSet<HeapPath> =
-                    paths.iter().map(|p| p.append(ELEMENT)).collect();
+                let elem_paths = self.append_all(&paths, ELEMENT);
                 self.record_write(&elem_paths, d, st);
             }
             return;
@@ -497,53 +545,64 @@ impl<'p> BodyAnalyzer<'p> {
             return;
         };
         let key = (decl_class.name.clone(), callee.name.clone());
-        let Some(summary) = self.summaries.get(&key).cloned() else {
+        // `summaries` outlives `self`'s other borrows, so no clone needed.
+        let summaries = self.summaries;
+        let Some(summary) = summaries.get(&key) else {
             return;
         };
         // Map callee roots to caller argument paths.
-        let mut roots: BTreeMap<String, (BTreeSet<HeapPath>, bool)> = BTreeMap::new();
+        let mut roots: FnvHashMap<&str, (BitSet, bool)> = FnvHashMap::default();
         if let Some(r) = recv {
-            roots.insert("this".to_string(), self.paths_of(r, st));
+            roots.insert("this", self.paths_of(r, st));
         } else if class_recv.is_none() {
             // Unqualified call on the current receiver.
-            roots.insert(
-                "this".to_string(),
-                (BTreeSet::from([HeapPath::root("this")]), true),
-            );
+            let id = self.paths.root("this");
+            roots.insert("this", ([id as usize].into_iter().collect(), true));
         }
         for (p, a) in callee.params.iter().zip(args) {
             if p.ty.is_reference() {
-                roots.insert(p.name.clone(), self.paths_of(a, st));
+                roots.insert(p.name.as_str(), self.paths_of(a, st));
             }
         }
-        let translate = |path: &HeapPath| -> Option<(BTreeSet<HeapPath>, bool)> {
-            let root = path.root_name().to_string();
-            if root.contains('.') {
-                // Static-rooted paths pass through unchanged.
-                return Some((BTreeSet::from([path.clone()]), true));
-            }
-            let (paths, d) = roots.get(&root)?;
-            Some((paths.iter().map(|p| p.splice(path)).collect(), *d))
-        };
         for r in &summary.reads {
-            if let Some((paths, _)) = translate(r) {
-                for p in paths {
-                    self.record_read(p, *span, st);
+            if let Some((paths, _)) = self.translate(&roots, r) {
+                for p in paths.iter() {
+                    self.record_read(p as PathId, *span, st);
                 }
             }
         }
         for w in &summary.may_writes {
-            if let Some((paths, _)) = translate(w) {
-                for p in paths {
-                    self.may_writes.insert(p);
-                }
+            if let Some((paths, _)) = self.translate(&roots, w) {
+                self.may_writes.union_with(&paths);
             }
         }
         for w in &summary.must_writes {
-            if let Some((paths, d)) = translate(w) {
+            if let Some((paths, d)) = self.translate(&roots, w) {
                 self.record_write(&paths, d, st);
             }
         }
+    }
+
+    /// Translates one callee summary path into caller path ids by mapping
+    /// its root through `roots` and splicing the remaining components
+    /// (the call-site `⊙` rule of §4.2.1).
+    fn translate(
+        &mut self,
+        roots: &FnvHashMap<&str, (BitSet, bool)>,
+        path: &HeapPath,
+    ) -> Option<(BitSet, bool)> {
+        let root = path.root_name();
+        if root.contains('.') {
+            // Static-rooted paths pass through unchanged.
+            let id = self.paths.intern_path(path);
+            return Some(([id as usize].into_iter().collect(), true));
+        }
+        let (paths, d) = roots.get(root)?;
+        let mut out = BitSet::new();
+        for base in paths.iter() {
+            out.insert(self.paths.splice(base as PathId, path) as usize);
+        }
+        Some((out, *d))
     }
 
     fn walk_block(&mut self, block: &Block, st: &mut FlowState) {
@@ -560,12 +619,13 @@ impl<'p> BodyAnalyzer<'p> {
             Stmt::VarDecl { name, init, ty, .. } => {
                 if let Some(e) = init {
                     self.read_expr(e, st);
+                    let var = self.vars.intern(name);
                     if ty.is_reference() {
                         let (paths, d) = self.paths_of(e, st);
-                        st.hp.insert(name.clone(), (paths, d));
+                        st.hp.insert(var, (paths, d));
                     }
-                    st.assigned.insert(name.clone());
-                    self.any_assigned.insert(name.clone());
+                    st.assigned.insert(var as usize);
+                    self.any_assigned.insert(var as usize);
                 }
             }
             Stmt::Assign { lhs, rhs, .. } => {
@@ -573,6 +633,7 @@ impl<'p> BodyAnalyzer<'p> {
                 match lhs {
                     LValue::Var { name, .. } => {
                         if self.is_local(name) {
+                            let var = self.vars.intern(name);
                             if self
                                 .env
                                 .local(name)
@@ -580,34 +641,35 @@ impl<'p> BodyAnalyzer<'p> {
                                 .unwrap_or(false)
                             {
                                 let (paths, d) = self.paths_of(rhs, st);
-                                st.hp.insert(name.clone(), (paths, d));
+                                st.hp.insert(var, (paths, d));
                             }
-                            st.assigned.insert(name.clone());
-                            self.any_assigned.insert(name.clone());
+                            st.assigned.insert(var as usize);
+                            self.any_assigned.insert(var as usize);
                         } else if self.is_field_of_class(name) {
-                            let p = BTreeSet::from([HeapPath::root("this").append(name)]);
+                            let root = self.paths.root("this");
+                            let id = self.paths.append(root, name);
+                            let p = [id as usize].into_iter().collect();
                             self.record_write(&p, true, st);
                         }
                     }
                     LValue::Field { base, field, .. } => {
                         self.read_expr(base, st);
                         let (paths, d) = self.paths_of(base, st);
-                        let fp: BTreeSet<HeapPath> =
-                            paths.iter().map(|p| p.append(field)).collect();
+                        let fp = self.append_all(&paths, field);
                         self.record_write(&fp, d, st);
                     }
                     LValue::Index { base, index, .. } => {
                         self.read_expr(base, st);
                         self.read_expr(index, st);
                         let (paths, _) = self.paths_of(base, st);
-                        let fp: BTreeSet<HeapPath> =
-                            paths.iter().map(|p| p.append(ELEMENT)).collect();
+                        let fp = self.append_all(&paths, ELEMENT);
                         // A single array-element store is a may-write only
                         // (other indices keep their values).
                         self.record_write(&fp, false, st);
                     }
                     LValue::StaticField { class, field, .. } => {
-                        let p = BTreeSet::from([HeapPath::static_root(class, field)]);
+                        let id = self.paths.intern_path(&HeapPath::static_root(class, field));
+                        let p = [id as usize].into_iter().collect();
                         self.record_write(&p, true, st);
                     }
                 }
@@ -665,9 +727,7 @@ impl<'p> BodyAnalyzer<'p> {
                     if let Some(paths) =
                         full_array_clear(self, init.as_deref(), cond.as_ref(), body, st)
                     {
-                        for p in paths {
-                            merged.wt.insert(p);
-                        }
+                        merged.wt.union_with(&paths);
                     }
                     *st = merged;
                 } else {
@@ -722,12 +782,12 @@ pub fn for_loop_runs_at_least_once(init: Option<&Stmt>, cond: Option<&Expr>) -> 
 /// `for (i = 0; i < K; i++) a[i] = ...;` and returns the element paths it
 /// definitely overwrites.
 fn full_array_clear(
-    an: &BodyAnalyzer<'_>,
+    an: &mut BodyAnalyzer<'_>,
     init: Option<&Stmt>,
     cond: Option<&Expr>,
     body: &Block,
     st: &FlowState,
-) -> Option<BTreeSet<HeapPath>> {
+) -> Option<BitSet> {
     // Index must start at 0 and the guard be `i < K` or `i <= K`.
     let idx = match init {
         Some(Stmt::VarDecl {
@@ -755,7 +815,7 @@ fn full_array_clear(
         _ => return None,
     }
     // Body must assign a[idx] directly at the top level.
-    let mut out = BTreeSet::new();
+    let mut out = BitSet::new();
     for s in &body.stmts {
         if let Stmt::Assign {
             lhs: LValue::Index { base, index, .. },
@@ -764,8 +824,9 @@ fn full_array_clear(
         {
             if matches!(index, Expr::Var { name, .. } if *name == idx) {
                 let (paths, definite) = an.paths_of(base, st);
-                if definite && paths.len() == 1 {
-                    out.insert(paths.iter().next().expect("len checked").append(ELEMENT));
+                if definite && paths.count() == 1 {
+                    let base_id = paths.iter().next().expect("count checked") as PathId;
+                    out.insert(an.paths.append(base_id, ELEMENT) as usize);
                 }
             }
         }

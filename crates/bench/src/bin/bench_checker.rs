@@ -1,18 +1,33 @@
-//! Checker throughput benchmark: runs the whole-program checker over
-//! every `sjava-apps` benchmark `SJAVA_REPS` times (default 12), once on
-//! a single worker and once on the full pool, and emits
-//! `results/BENCH_checker.json` with per-phase timings and the measured
-//! wall-clock speedup.
+//! Checker throughput benchmark: paper apps + synthetic stress corpus.
 //!
-//! Usage: `cargo run --release -p sjava-bench --bin bench_checker`
-//! Env overrides: `SJAVA_REPS` (repetitions per benchmark),
-//! `SJAVA_THREADS` (worker-pool width; `1` forces the sequential path).
+//! Three measurements, all repeated `SJAVA_REPS` times (≥5 enforced)
+//! with **min and median** reported so single-shot noise never lands in
+//! `results/BENCH_checker.json`:
+//!
+//! 1. *Paper-app fan-out*: all four dissertation apps × reps checks,
+//!    fanned across the worker pool, wall-clock vs a one-worker pass.
+//! 2. *Small-app single check*: one app checked end-to-end at 1 worker
+//!    vs the full pool. The adaptive cutover in `sjava-par` must keep
+//!    this ≥ 0.95 (parallelism must never cost a small program).
+//! 3. *Stress corpus*: one `stressgen` program (defaults to the large
+//!    preset, ≥200 methods) checked end-to-end at 1, 4 and max workers,
+//!    with per-phase medians for both the sequential and parallel runs.
+//!
+//! Usage: `cargo run --release -p sjava-bench --bin bench_checker [--gate]`
+//!
+//! `--gate` turns the acceptance thresholds into an exit code for CI:
+//! stress speedup at ≥4 workers must reach `SJAVA_GATE_STRESS` (default
+//! 1.5) and the small-app single-check ratio `SJAVA_GATE_SMALL` (default
+//! 0.95). Env overrides: `SJAVA_REPS`, `SJAVA_THREADS` (pool width),
+//! `SJAVA_STRESS_PRESET` (`small`/`default`/`large`) plus
+//! `SJAVA_STRESS_{CLASSES,METHODS,FIELDS,DEPTH,STMTS,SEED}`.
 
 use std::time::{Duration, Instant};
 
+use sjava_bench::stressgen::{self, StressConfig};
 use sjava_bench::{assert_clean, deny_warnings, env_usize, write_result};
 use sjava_core::PhaseTimings;
-use sjava_par::{num_threads, run_indexed_with};
+use sjava_par::run_indexed_with;
 
 fn benchmarks() -> Vec<(&'static str, String)> {
     vec![
@@ -23,94 +38,264 @@ fn benchmarks() -> Vec<(&'static str, String)> {
     ]
 }
 
-/// One unit of work: a full cold check (parse included) of one benchmark.
+/// One unit of work: a full cold check (parse included) of one program.
 fn check_once(name: &str, source: &str, deny: bool) -> PhaseTimings {
     let report = sjava_core::check_source(source).expect("benchmark parses");
     assert_clean(name, &report.diagnostics, deny);
     report.timings
 }
 
-/// Fans `reps` checks of every benchmark across `threads` workers and
-/// returns (wall-clock, per-benchmark timings in benchmark-major order).
-fn run_pass(
-    benches: &[(&'static str, String)],
-    reps: usize,
-    threads: usize,
-    deny: bool,
-) -> (Duration, Vec<PhaseTimings>) {
-    let units = benches.len() * reps;
-    let t = Instant::now();
-    let timings = run_indexed_with(units, threads, |i| {
-        let (name, source) = &benches[i / reps];
-        check_once(name, source, deny)
-    });
-    (t.elapsed(), timings)
+/// `reps` individually-timed cold checks at the given pool width.
+fn time_checks(name: &str, source: &str, reps: usize, threads: usize, deny: bool) -> Sample {
+    std::env::set_var(sjava_par::THREADS_ENV, threads.to_string());
+    let mut wall = Vec::with_capacity(reps);
+    let mut timings = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        timings.push(check_once(name, source, deny));
+        wall.push(ms(t.elapsed()));
+    }
+    Sample { wall, timings }
+}
+
+/// Wall-clock samples plus the matching per-phase timings of one config.
+struct Sample {
+    wall: Vec<f64>,
+    timings: Vec<PhaseTimings>,
+}
+
+impl Sample {
+    fn min(&self) -> f64 {
+        self.wall.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    fn median(&self) -> f64 {
+        let mut s = self.wall.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[s.len() / 2]
+    }
+
+    /// Per-phase median across reps, as `"phase": ms` JSON fields.
+    fn phase_json(&self) -> String {
+        let names: Vec<&str> = self.timings[0]
+            .phases()
+            .iter()
+            .map(|(name, _)| *name)
+            .collect();
+        let fields: Vec<String> = names
+            .iter()
+            .enumerate()
+            .map(|(pi, name)| {
+                let mut vals: Vec<f64> =
+                    self.timings.iter().map(|t| ms(t.phases()[pi].1)).collect();
+                vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                format!("\"{name}\": {:.4}", vals[vals.len() / 2])
+            })
+            .collect();
+        fields.join(", ")
+    }
 }
 
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1000.0
 }
 
+fn stress_config() -> StressConfig {
+    let mut cfg = match std::env::var("SJAVA_STRESS_PRESET").as_deref() {
+        Ok("small") => StressConfig::small(),
+        Ok("default") => StressConfig::default(),
+        _ => StressConfig::large(),
+    };
+    cfg.classes = env_usize("SJAVA_STRESS_CLASSES", cfg.classes);
+    cfg.methods = env_usize("SJAVA_STRESS_METHODS", cfg.methods);
+    cfg.fields = env_usize("SJAVA_STRESS_FIELDS", cfg.fields);
+    cfg.loop_depth = env_usize("SJAVA_STRESS_DEPTH", cfg.loop_depth);
+    cfg.stmts = env_usize("SJAVA_STRESS_STMTS", cfg.stmts);
+    cfg.seed = env_usize("SJAVA_STRESS_SEED", cfg.seed as usize) as u64;
+    cfg
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn main() {
-    let reps = env_usize("SJAVA_REPS", 12);
-    let threads = num_threads();
+    let gate = std::env::args().any(|a| a == "--gate");
+    let reps = env_usize("SJAVA_REPS", 7).max(5);
     let deny = deny_warnings();
+    // Pool width to measure: the env override if present, else all cores.
+    let threads = sjava_par::num_threads();
     let benches = benchmarks();
+    let stress_cfg = stress_config();
+    let stress_src = stressgen::generate(&stress_cfg);
+    let stress_name = stress_cfg.label();
 
     println!("BENCH_checker — whole-program checking throughput");
     println!(
-        "{} benchmarks × {reps} reps; pool width {threads} (override with SJAVA_THREADS)",
-        benches.len()
+        "{} paper apps + stress corpus `{stress_name}` ({} methods); {reps} reps; pool width {threads}",
+        benches.len(),
+        stress_cfg.method_count()
     );
 
-    // Warm-up so neither pass pays first-touch costs.
+    // Warm-up so no pass pays first-touch costs.
     for (name, source) in &benches {
         check_once(name, source, deny);
     }
+    check_once(&stress_name, &stress_src, deny);
 
-    let (seq_wall, _) = run_pass(&benches, reps, 1, deny);
-    let (par_wall, timings) = run_pass(&benches, reps, threads, deny);
-    let speedup = ms(seq_wall) / ms(par_wall).max(1e-9);
+    // ── 1. paper-app fan-out: benches × reps units across the pool ──
+    let fanout = |width: usize| -> Duration {
+        std::env::set_var(sjava_par::THREADS_ENV, width.to_string());
+        let units = benches.len() * reps;
+        let t = Instant::now();
+        run_indexed_with(units, width, |i| {
+            let (name, source) = &benches[i / reps];
+            check_once(name, source, deny)
+        });
+        t.elapsed()
+    };
+    let fan_seq = fanout(1);
+    let fan_par = fanout(threads);
+    let fan_speedup = ms(fan_seq) / ms(fan_par).max(1e-9);
+    println!(
+        "paper-app fan-out: {:.1} ms sequential, {:.1} ms on {threads} workers ({fan_speedup:.2}x)",
+        ms(fan_seq),
+        ms(fan_par)
+    );
 
-    println!("sequential pass: {:.1} ms", ms(seq_wall));
-    println!("parallel pass:   {:.1} ms ({speedup:.2}x)", ms(par_wall));
+    // ── 2. per-app single checks, min/median at 1 worker ──
+    let app_samples: Vec<(&str, Sample)> = benches
+        .iter()
+        .map(|(name, source)| (*name, time_checks(name, source, reps, 1, deny)))
+        .collect();
+
+    // Small-app parallel tax: the same single check on the full pool.
+    // The adaptive cutover must make this a wash (speedup ≈ 1).
+    let (small_name, small_src) = (&benches[0].0, &benches[0].1);
+    let small_seq = time_checks(small_name, small_src, reps, 1, deny);
+    let small_par = time_checks(small_name, small_src, reps, threads, deny);
+    let small_speedup = small_seq.median() / small_par.median().max(1e-9);
+    println!(
+        "small-app single check ({small_name}): {:.3} ms @1, {:.3} ms @{threads} ({small_speedup:.2}x)",
+        small_seq.median(),
+        small_par.median()
+    );
+
+    // ── 3. stress corpus at 1, 4 and max workers ──
+    let stress_seq = time_checks(&stress_name, &stress_src, reps, 1, deny);
+    let four = 4.min(threads.max(1));
+    let stress_par4 = time_checks(&stress_name, &stress_src, reps, four, deny);
+    let stress_parn = time_checks(&stress_name, &stress_src, reps, threads, deny);
+    let speedup4 = stress_seq.median() / stress_par4.median().max(1e-9);
+    let speedupn = stress_seq.median() / stress_parn.median().max(1e-9);
+    println!(
+        "stress corpus: {:.1} ms @1, {:.1} ms @{four} ({speedup4:.2}x), {:.1} ms @{threads} ({speedupn:.2}x)",
+        stress_seq.median(),
+        stress_par4.median(),
+        stress_parn.median()
+    );
+
+    // Restore the pool width for anything running after us in-process.
+    std::env::set_var(sjava_par::THREADS_ENV, threads.to_string());
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"reps\": {reps},\n"));
-    json.push_str(&format!("  \"sequential_wall_ms\": {:.3},\n", ms(seq_wall)));
-    json.push_str(&format!("  \"wall_clock_ms\": {:.3},\n", ms(par_wall)));
-    json.push_str(&format!("  \"speedup\": {speedup:.3},\n"));
-    json.push_str("  \"benchmarks\": [\n");
-    for (b, (name, _)) in benches.iter().enumerate() {
-        // Benchmark-major ordering: reps for benchmark `b` occupy
-        // indices b*reps .. (b+1)*reps.
-        let slice = &timings[b * reps..(b + 1) * reps];
-        let mut avg = PhaseTimings::default();
-        for t in slice {
-            avg.parse += t.parse;
-            avg.lattice_build += t.lattice_build;
-            avg.callgraph += t.callgraph;
-            avg.eviction += t.eviction;
-            avg.flow_check += t.flow_check;
-            avg.aliasing += t.aliasing;
-            avg.shared += t.shared;
-            avg.termination += t.termination;
-        }
-        let phases: Vec<String> = avg
-            .phases()
-            .iter()
-            .map(|(phase, d)| format!("\"{phase}\": {:.4}", ms(*d) / reps as f64))
-            .collect();
+    json.push_str("  \"paper_apps\": {\n");
+    json.push_str(&format!(
+        "    \"fanout_sequential_wall_ms\": {:.3},\n",
+        ms(fan_seq)
+    ));
+    json.push_str(&format!(
+        "    \"fanout_parallel_wall_ms\": {:.3},\n",
+        ms(fan_par)
+    ));
+    json.push_str(&format!("    \"fanout_speedup\": {fan_speedup:.3},\n"));
+    json.push_str(&format!(
+        "    \"single_check\": {{ \"app\": \"{small_name}\", \"seq_ms_min\": {:.4}, \"seq_ms_median\": {:.4}, \"par_ms_min\": {:.4}, \"par_ms_median\": {:.4}, \"speedup\": {small_speedup:.3} }},\n",
+        small_seq.min(),
+        small_seq.median(),
+        small_par.min(),
+        small_par.median()
+    ));
+    json.push_str("    \"benchmarks\": [\n");
+    for (i, (name, sample)) in app_samples.iter().enumerate() {
         json.push_str(&format!(
-            "    {{ \"name\": \"{name}\", \"total_ms\": {:.4}, \"phases_ms\": {{ {} }} }}{}\n",
-            ms(avg.total()) / reps as f64,
-            phases.join(", "),
-            if b + 1 < benches.len() { "," } else { "" }
+            "      {{ \"name\": \"{name}\", \"total_ms_min\": {:.4}, \"total_ms_median\": {:.4}, \"phases_ms\": {{ {} }} }}{}\n",
+            sample.min(),
+            sample.median(),
+            sample.phase_json(),
+            if i + 1 < app_samples.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("    ]\n  },\n");
+    json.push_str("  \"stress\": {\n");
+    json.push_str(&format!("    \"name\": \"{stress_name}\",\n"));
+    json.push_str(&format!(
+        "    \"methods\": {},\n",
+        stress_cfg.method_count()
+    ));
+    json.push_str(&format!("    \"seed\": {},\n", stress_cfg.seed));
+    json.push_str(&format!(
+        "    \"seq_ms_min\": {:.3}, \"seq_ms_median\": {:.3},\n",
+        stress_seq.min(),
+        stress_seq.median()
+    ));
+    json.push_str(&format!(
+        "    \"par4_ms_min\": {:.3}, \"par4_ms_median\": {:.3}, \"speedup_at_4\": {speedup4:.3},\n",
+        stress_par4.min(),
+        stress_par4.median()
+    ));
+    json.push_str(&format!(
+        "    \"parmax_ms_min\": {:.3}, \"parmax_ms_median\": {:.3}, \"speedup_at_max\": {speedupn:.3},\n",
+        stress_parn.min(),
+        stress_parn.median()
+    ));
+    json.push_str(&format!(
+        "    \"phases_seq_ms\": {{ {} }},\n",
+        stress_seq.phase_json()
+    ));
+    json.push_str(&format!(
+        "    \"phases_parmax_ms\": {{ {} }}\n",
+        stress_parn.phase_json()
+    ));
+    json.push_str("  }\n}\n");
 
     let path = write_result("BENCH_checker.json", &json);
     println!("written to {}", path.display());
+
+    if gate {
+        let stress_floor = env_f64("SJAVA_GATE_STRESS", 1.5);
+        let small_floor = env_f64("SJAVA_GATE_SMALL", 0.95);
+        let mut failed = false;
+        if threads >= 4 {
+            if speedup4 < stress_floor {
+                eprintln!(
+                    "GATE FAIL: stress speedup at {four} workers {speedup4:.2}x < {stress_floor:.2}x"
+                );
+                failed = true;
+            }
+        } else {
+            println!("gate: <4 workers available, stress-speedup gate skipped");
+        }
+        if threads >= 2 {
+            if small_speedup < small_floor {
+                eprintln!(
+                    "GATE FAIL: small-app single-check speedup {small_speedup:.2}x < {small_floor:.2}x (parallel tax)"
+                );
+                failed = true;
+            }
+        } else {
+            // At pool width 1 the "parallel" run is a second sequential run:
+            // there is no tax to measure, only timer noise.
+            println!("gate: single worker, small-app parallel-tax gate skipped");
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("gate: all thresholds met");
+    }
 }

@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod stressgen;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sjava_runtime::{

@@ -1,0 +1,336 @@
+//! Deterministic synthetic stress-corpus generator.
+//!
+//! The paper's four applications finish a whole-program check in ~3 ms,
+//! which is far too little work to measure phase costs or parallel
+//! speedup honestly. This module synthesizes *fully annotated* SJava
+//! programs at configurable scale — `classes × methods` reachable
+//! methods, `fields` heap locations per class, `loop_depth` nested
+//! counted loops and `stmts` accumulation statements per method — that
+//! pass the complete checker (flow-down typing, eviction, aliasing,
+//! shared locations, termination) cleanly, so every phase does maximum
+//! real work with zero error-path shortcuts.
+//!
+//! Generation is a pure function of [`StressConfig`]: the same config
+//! (including `seed`, which perturbs literal constants and field-read
+//! choices through a splitmix64 stream) always yields byte-identical
+//! source. No wall clock, no global RNG — the corpus is reproducible
+//! across machines and sessions, which the determinism and golden suites
+//! rely on.
+//!
+//! Program shape: a `StressMain` event loop reads one `Device` input per
+//! iteration and dispatches it to `classes` independent worker objects.
+//! Each worker runs an intra-class call chain `m0 → m1 → … → m{M-1}`
+//! (the call graph is a forest of chains, so the eviction analysis gets
+//! `methods` bottom-up waves of `classes` independent summaries each).
+//! Every method shifts the worker's field chain (definite heap writes),
+//! reads fields back (heap reads covered by the §4.2.1 conditions),
+//! accumulates through `loop_depth` nested provably-terminating loops,
+//! and branches on its parameter (exercising flow-state merges).
+
+use std::fmt::Write as _;
+
+/// Shape of a generated stress program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StressConfig {
+    /// Number of worker classes (event-loop fan-out width).
+    pub classes: usize,
+    /// Methods per worker class, chained `m0 → m1 → …` (call-graph depth).
+    pub methods: usize,
+    /// Heap fields per worker class (eviction-analysis path count).
+    pub fields: usize,
+    /// Nested counted loops per method (program-counter lattice depth).
+    pub loop_depth: usize,
+    /// Accumulation statements in the innermost loop of each method.
+    pub stmts: usize,
+    /// Seed perturbing literal constants and field-read choices.
+    pub seed: u64,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            classes: 8,
+            methods: 6,
+            fields: 4,
+            loop_depth: 2,
+            stmts: 4,
+            seed: 0x5353_4157, // "SSAW"
+        }
+    }
+}
+
+impl StressConfig {
+    /// The small smoke preset (CI-sized; finishes in a few ms).
+    pub fn small() -> Self {
+        StressConfig {
+            classes: 3,
+            methods: 4,
+            fields: 3,
+            loop_depth: 2,
+            stmts: 2,
+            seed: 7,
+        }
+    }
+
+    /// The production-scale preset: ≥200 reachable methods.
+    pub fn large() -> Self {
+        StressConfig {
+            classes: 25,
+            methods: 8,
+            fields: 6,
+            loop_depth: 3,
+            stmts: 8,
+            seed: 7,
+        }
+    }
+
+    /// Total reachable methods (`classes × methods` plus the entry).
+    pub fn method_count(&self) -> usize {
+        self.classes * self.methods + 1
+    }
+
+    /// A short self-describing name, used in benchmark rows.
+    pub fn label(&self) -> String {
+        format!(
+            "stress_c{}m{}f{}d{}s{}",
+            self.classes, self.methods, self.fields, self.loop_depth, self.stmts
+        )
+    }
+}
+
+/// Deterministic splitmix64 stream (no process state, no wall clock).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// A small positive literal in `1..=bound`.
+    fn lit(&mut self, bound: u64) -> u64 {
+        self.next() % bound + 1
+    }
+}
+
+/// Generates the annotated source of a stress program.
+pub fn generate(cfg: &StressConfig) -> String {
+    let c = cfg.classes.max(1);
+    let m = cfg.methods.max(1);
+    let f = cfg.fields.max(2);
+    let d = cfg.loop_depth.max(1);
+    let s = cfg.stmts.max(1);
+    let mut rng = Mix(cfg.seed ^ 0x534a_5354_5245_5353); // "SJSTRESS"
+    let mut out = String::new();
+
+    writeln!(
+        out,
+        "// synthetic stress corpus: {} classes x {} methods, {} fields, depth {}, {} stmts, seed {}",
+        c, m, f, d, s, cfg.seed
+    )
+    .unwrap();
+
+    for ci in 0..c {
+        gen_worker(&mut out, ci, m, f, d, s, &mut rng);
+    }
+    gen_main(&mut out, c, &mut rng);
+    out
+}
+
+/// The per-method lattice: `R < A < K{D} < … < K1 < TL < OBJ < TH < P`,
+/// with the accumulator and loop indices shared (`*`) so same-level
+/// accumulation is legal under the §4.1.8 extension.
+fn method_lattice(d: usize) -> String {
+    let mut rel = vec![format!("R<A"), format!("A<K{d}")];
+    for lv in (2..=d).rev() {
+        rel.push(format!("K{lv}<K{}", lv - 1));
+    }
+    rel.push("K1<TL".to_string());
+    rel.push("TL<OBJ".to_string());
+    rel.push("OBJ<TH".to_string());
+    rel.push("TH<P".to_string());
+    rel.push("A*".to_string());
+    for lv in 1..=d {
+        rel.push(format!("K{lv}*"));
+    }
+    rel.join(",")
+}
+
+fn gen_worker(out: &mut String, ci: usize, m: usize, f: usize, d: usize, s: usize, rng: &mut Mix) {
+    // Field lattice: a strict chain F{f-1} < … < F1 < F0 so the
+    // shift-down pattern (`f1 = f0`) is a legal flow.
+    let chain: Vec<String> = (1..f).map(|j| format!("F{j}<F{}", j - 1)).collect();
+    writeln!(out, "@LATTICE(\"{}\")", chain.join(",")).unwrap();
+    writeln!(out, "class W{ci} {{").unwrap();
+    for j in 0..f {
+        writeln!(out, "    @LOC(\"F{j}\") int f{j};").unwrap();
+    }
+    for mj in 0..m {
+        gen_method(out, mj, m, f, d, s, rng);
+    }
+    writeln!(out, "}}").unwrap();
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gen_method(out: &mut String, mj: usize, m: usize, f: usize, d: usize, s: usize, rng: &mut Mix) {
+    writeln!(
+        out,
+        "    @LATTICE(\"{}\") @THISLOC(\"OBJ\") @RETURNLOC(\"R\")",
+        method_lattice(d)
+    )
+    .unwrap();
+    writeln!(out, "    int m{mj}(@LOC(\"P\") int p) {{").unwrap();
+    writeln!(
+        out,
+        "        @LOC(\"TH\") int th = p * {} + {};",
+        rng.lit(7),
+        rng.lit(97)
+    )
+    .unwrap();
+    // Shift the field chain down and refresh the top from the parameter:
+    // every field is definitely written each call, so the loop-level
+    // eviction condition (3) covers all the reads this method's callers
+    // translate upward.
+    for j in (1..f).rev() {
+        writeln!(out, "        f{j} = f{};", j - 1).unwrap();
+    }
+    writeln!(out, "        f0 = th;").unwrap();
+    // Read a couple of fields back (covered by the writes above).
+    let ra = rng.next() as usize % f;
+    let rb = rng.next() as usize % f;
+    writeln!(out, "        @LOC(\"TL\") int tl = f{ra} + f{rb};").unwrap();
+    writeln!(out, "        @LOC(\"A\") int s = 0;").unwrap();
+    // Nested counted loops; every bound is a literal so the termination
+    // analysis proves them.
+    for lv in 1..=d {
+        let bound = 4 + rng.next() % 5;
+        writeln!(
+            out,
+            "{}for (@LOC(\"K{lv}\") int k{lv} = 0; k{lv} < {bound}; k{lv}++) {{",
+            pad(lv + 1)
+        )
+        .unwrap();
+    }
+    for _ in 0..s {
+        writeln!(
+            out,
+            "{}s = s + th * {} + k{d} + tl - {};",
+            pad(d + 2),
+            rng.lit(5),
+            rng.lit(9)
+        )
+        .unwrap();
+    }
+    for lv in (1..=d).rev() {
+        if lv > 1 {
+            writeln!(out, "{}s = s + k{};", pad(lv + 1), lv - 1).unwrap();
+        }
+        writeln!(out, "{}}}", pad(lv + 1)).unwrap();
+    }
+    // A parameter-guarded branch writing the same field on both arms:
+    // exercises the flow-state merge (must-write intersection survives).
+    writeln!(
+        out,
+        "        if (p > {}) {{ f0 = th + {}; }} else {{ f0 = th - {}; }}",
+        rng.lit(31),
+        rng.lit(5),
+        rng.lit(5)
+    )
+    .unwrap();
+    if mj + 1 < m {
+        writeln!(out, "        s = s + m{}(th);", mj + 1).unwrap();
+    }
+    writeln!(out, "        @LOC(\"R\") int r = s * 2 + 1;").unwrap();
+    writeln!(out, "        return r;").unwrap();
+    writeln!(out, "    }}").unwrap();
+}
+
+fn gen_main(out: &mut String, c: usize, rng: &mut Mix) {
+    let chain: Vec<String> = (1..c).map(|i| format!("W{i}<W{}", i - 1)).collect();
+    if chain.is_empty() {
+        writeln!(out, "@LATTICE(\"W0\")").unwrap();
+    } else {
+        writeln!(out, "@LATTICE(\"{}\")", chain.join(",")).unwrap();
+    }
+    writeln!(out, "class StressMain {{").unwrap();
+    for i in 0..c {
+        writeln!(out, "    @LOC(\"W{i}\") W{i} w{i};").unwrap();
+    }
+    writeln!(
+        out,
+        "    @LATTICE(\"RES<OBJ,OBJ<IN,RES*\") @THISLOC(\"OBJ\")"
+    )
+    .unwrap();
+    writeln!(out, "    void run() {{").unwrap();
+    for i in 0..c {
+        writeln!(out, "        w{i} = new W{i}();").unwrap();
+    }
+    writeln!(out, "        SSJAVA: while (true) {{").unwrap();
+    writeln!(out, "            @LOC(\"IN\") int x = Device.read();").unwrap();
+    writeln!(out, "            @LOC(\"RES\") int res = 0;").unwrap();
+    for i in 0..c {
+        writeln!(out, "            res = res + w{i}.m0(x + {});", rng.lit(13)).unwrap();
+    }
+    writeln!(out, "            Out.emit(res);").unwrap();
+    writeln!(out, "        }}").unwrap();
+    writeln!(out, "    }}").unwrap();
+    writeln!(out, "}}").unwrap();
+}
+
+fn pad(level: usize) -> String {
+    "    ".repeat(level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = StressConfig::small();
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let mut other = cfg;
+        other.seed ^= 1;
+        assert_ne!(generate(&cfg), generate(&other));
+    }
+
+    #[test]
+    fn small_preset_checks_cleanly() {
+        let src = generate(&StressConfig::small());
+        let report = sjava_core::check_source(&src).expect("parses");
+        assert!(report.is_ok(), "{}", report.diagnostics);
+    }
+
+    #[test]
+    fn default_preset_checks_cleanly() {
+        let src = generate(&StressConfig::default());
+        let report = sjava_core::check_source(&src).expect("parses");
+        assert!(report.is_ok(), "{}", report.diagnostics);
+    }
+
+    #[test]
+    fn seeds_do_not_change_cleanliness() {
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            let cfg = StressConfig {
+                seed,
+                ..StressConfig::small()
+            };
+            let report = sjava_core::check_source(&generate(&cfg)).expect("parses");
+            assert!(report.is_ok(), "seed {seed}: {}", report.diagnostics);
+        }
+    }
+
+    #[test]
+    fn large_preset_has_promised_scale() {
+        let cfg = StressConfig::large();
+        assert!(cfg.method_count() >= 200);
+        let src = generate(&cfg);
+        let p = sjava_syntax::parse(&src).expect("parses");
+        let mut d = sjava_syntax::diag::Diagnostics::new();
+        let cg = sjava_analysis::callgraph::build(&p, &mut d).expect("call graph");
+        assert_eq!(cg.topo.len(), cfg.method_count());
+    }
+}

@@ -12,12 +12,23 @@
 //! race.
 
 fn apps() -> Vec<(&'static str, String)> {
+    // The synthetic stress corpus rides along with the paper apps: its
+    // default preset (49 methods) is wide enough to clear the adaptive
+    // sequential threshold, so the thread sweep genuinely fans out. A
+    // second copy with every @LOC annotation stripped from one class
+    // fails the checker, pinning the merge order of a *dense* error list
+    // at production scale.
+    let stress = sjava_bench::stressgen::generate(&sjava_bench::stressgen::StressConfig::default());
+    let broken = stress.replacen("@LOC(\"F0\") ", "", 1);
+    assert_ne!(stress, broken, "strip must remove an annotation");
     vec![
         ("windsensor", sjava_apps::windsensor::SOURCE.to_string()),
         ("eyetrack", sjava_apps::eyetrack::SOURCE.to_string()),
         ("sumobot", sjava_apps::sumobot::SOURCE.to_string()),
         ("mp3dec", sjava_apps::mp3dec::source().to_string()),
         ("weather", sjava_apps::weather::SOURCE.to_string()),
+        ("stress_default", stress),
+        ("stress_missing_loc", broken),
     ]
 }
 
@@ -134,9 +145,12 @@ fn render_trials(threads: usize) -> String {
 #[test]
 fn diagnostics_identical_at_any_thread_count() {
     let baseline = render_all(1);
-    // The verified benchmarks contribute empty diagnostics; weather
-    // contributes a long error list. Both must be stable.
+    // The verified benchmarks contribute empty diagnostics; weather and
+    // the stripped stress corpus contribute long error lists. Both kinds
+    // must be stable.
     assert!(baseline.contains("weather"));
+    assert!(baseline.contains("== stress_default: ok=true =="));
+    assert!(baseline.contains("== stress_missing_loc: ok=false =="));
     for threads in [2, 4, 8] {
         let wide = render_all(threads);
         assert_eq!(

@@ -224,3 +224,23 @@ fn probe_unshared_accumulation_matches_golden() {
 fn probe_parse_error_matches_golden() {
     golden("probe_parse_error", "class A { void main( { } }");
 }
+
+#[test]
+fn stress_small_matches_golden() {
+    // The synthetic corpus generator is a pure function of its config,
+    // so its checked report can be pinned like any hand-written app:
+    // byte-identical source in, byte-identical (clean) report out,
+    // fresh and from the cold/warm incremental cache.
+    let src = sjava_bench::stressgen::generate(&sjava_bench::stressgen::StressConfig::small());
+    golden("stress_small", &src);
+}
+
+#[test]
+fn stress_missing_loc_matches_golden() {
+    // The same corpus with one class's first @LOC stripped: a dense,
+    // machine-generated error list whose order the fixture pins.
+    let src = sjava_bench::stressgen::generate(&sjava_bench::stressgen::StressConfig::small());
+    let broken = src.replacen("@LOC(\"F0\") ", "", 1);
+    assert_ne!(src, broken, "strip must remove an annotation");
+    golden("stress_missing_loc", &broken);
+}

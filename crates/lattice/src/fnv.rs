@@ -1,0 +1,54 @@
+//! A minimal FNV-1a hasher for the checker's hot small-key maps.
+//!
+//! The default `HashMap` hasher (SipHash) is keyed and DoS-resistant but
+//! costs tens of nanoseconds per probe; the checker's internal maps are
+//! keyed by short identifier strings and dense ids from trusted input, so
+//! the classic FNV-1a fold is both sufficient and several times faster.
+
+use crate::fingerprint::Fnv64;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// [`Fnv64`] adapted to `std::hash::Hasher` so it can back a `HashMap`.
+#[derive(Default)]
+pub struct FnvHasher(Fnv64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0.finish()
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.0.write(bytes);
+    }
+}
+
+/// `BuildHasher` plugging [`FnvHasher`] into `HashMap`.
+pub type FnvBuildHasher = BuildHasherDefault<FnvHasher>;
+
+/// A `HashMap` using FNV-1a.
+pub type FnvHashMap<K, V> = std::collections::HashMap<K, V, FnvBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        let mut a = FnvHasher::default();
+        let mut b = FnvHasher::default();
+        a.write(b"f0");
+        b.write(b"f1");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FnvHashMap<String, u32> = FnvHashMap::default();
+        for i in 0..100u32 {
+            m.insert(format!("k{i}"), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(m.get(&format!("k{i}")), Some(&i));
+        }
+    }
+}

@@ -18,25 +18,87 @@
 //! locking, since per-method state is thread-local to the worker checking
 //! that method.
 
-use crate::composite::{compare, glb, CompositeLoc, LatticeCtx};
+use crate::composite::{compare, glb, is_shared, CompositeLoc, LatticeCtx};
+use crate::fnv::FnvHashMap;
 use crate::lattice::Lattice;
 use std::cell::RefCell;
 use std::cmp::Ordering;
-use std::collections::HashMap;
 
 /// Dense id of an interned [`CompositeLoc`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LocRef(pub u32);
+
+/// A square matrix over interned ids holding one byte per ordered pair,
+/// with `0` meaning "not yet computed". A method interns a few dozen
+/// locations at most, so the matrix stays tiny and every cache probe is a
+/// bounds check and an indexed load — no hashing at all.
+#[derive(Debug, Default)]
+struct PairMatrix {
+    stride: usize,
+    cells: Vec<u8>,
+}
+
+impl PairMatrix {
+    fn get(&self, a: LocRef, b: LocRef) -> u8 {
+        let (a, b) = (a.0 as usize, b.0 as usize);
+        if a < self.stride && b < self.stride {
+            self.cells[a * self.stride + b]
+        } else {
+            0
+        }
+    }
+
+    fn set(&mut self, a: LocRef, b: LocRef, v: u8) {
+        let needed = (a.0.max(b.0) as usize) + 1;
+        if needed > self.stride {
+            let stride = needed.max(8).next_power_of_two();
+            let mut cells = vec![0u8; stride * stride];
+            for i in 0..self.stride {
+                cells[i * stride..i * stride + self.stride]
+                    .copy_from_slice(&self.cells[i * self.stride..(i + 1) * self.stride]);
+            }
+            self.stride = stride;
+            self.cells = cells;
+        }
+        self.cells[a.0 as usize * self.stride + b.0 as usize] = v;
+    }
+}
+
+/// Byte encoding of a memoized `Option<Ordering>` (`0` = absent).
+fn enc_ord(res: Option<Ordering>) -> u8 {
+    match res {
+        None => 1,
+        Some(Ordering::Less) => 2,
+        Some(Ordering::Equal) => 3,
+        Some(Ordering::Greater) => 4,
+    }
+}
+
+fn dec_ord(v: u8) -> Option<Ordering> {
+    match v {
+        2 => Some(Ordering::Less),
+        3 => Some(Ordering::Equal),
+        4 => Some(Ordering::Greater),
+        _ => None,
+    }
+}
+
+/// Per-base list of `(class, field) → extended id` memo entries for
+/// [`LocInterner::extend_field_id`].
+type ExtEntries = Vec<((String, String), LocRef)>;
 
 /// An interning table over composite locations with memoized
 /// [`compare`]/[`glb`] caches. See the module docs for the one-context
 /// caveat.
 #[derive(Debug, Default)]
 pub struct LocInterner {
-    ids: RefCell<HashMap<CompositeLoc, LocRef>>,
+    ids: RefCell<FnvHashMap<CompositeLoc, LocRef>>,
     locs: RefCell<Vec<CompositeLoc>>,
-    cmp_cache: RefCell<HashMap<(LocRef, LocRef), Option<Ordering>>>,
-    glb_cache: RefCell<HashMap<(LocRef, LocRef), LocRef>>,
+    cmp_cache: RefCell<PairMatrix>,
+    glb_cache: RefCell<FnvHashMap<(u32, u32), LocRef>>,
+    ext_cache: RefCell<FnvHashMap<LocRef, ExtEntries>>,
+    /// Per-id memo of [`is_shared`]: `0` unknown, `1` no, `2` yes.
+    shared_cache: RefCell<Vec<u8>>,
 }
 
 impl LocInterner {
@@ -88,13 +150,14 @@ impl LocInterner {
             return Some(Ordering::Equal);
         }
         let (ra, rb) = (self.intern(a), self.intern(b));
-        if let Some(&hit) = self.cmp_cache.borrow().get(&(ra, rb)) {
-            return hit;
+        let hit = self.cmp_cache.borrow().get(ra, rb);
+        if hit != 0 {
+            return dec_ord(hit);
         }
         let res = compare(ctx, a, b);
         let mut cache = self.cmp_cache.borrow_mut();
-        cache.insert((ra, rb), res);
-        cache.insert((rb, ra), res.map(Ordering::reverse));
+        cache.set(ra, rb, enc_ord(res));
+        cache.set(rb, ra, enc_ord(res.map(Ordering::reverse)));
         res
     }
 
@@ -105,7 +168,7 @@ impl LocInterner {
             return a.clone();
         }
         let (ra, rb) = (self.intern(a), self.intern(b));
-        let key = if ra <= rb { (ra, rb) } else { (rb, ra) };
+        let key = if ra <= rb { (ra.0, rb.0) } else { (rb.0, ra.0) };
         if let Some(&hit) = self.glb_cache.borrow().get(&key) {
             return self.resolve(hit);
         }
@@ -121,6 +184,83 @@ impl LocInterner {
             self.compare(ctx, dst, src),
             Some(Ordering::Less) | Some(Ordering::Equal)
         )
+    }
+
+    /// Id-level [`compare`]: no location hashing at all — equality is an
+    /// integer compare and repeat queries are a probe on a pair of `u32`s.
+    /// Shares the same cache as the value-based [`LocInterner::compare`].
+    pub fn compare_ids(&self, ctx: &dyn LatticeCtx, a: LocRef, b: LocRef) -> Option<Ordering> {
+        if a == b {
+            return Some(Ordering::Equal);
+        }
+        let hit = self.cmp_cache.borrow().get(a, b);
+        if hit != 0 {
+            return dec_ord(hit);
+        }
+        let res = {
+            let locs = self.locs.borrow();
+            compare(ctx, &locs[a.0 as usize], &locs[b.0 as usize])
+        };
+        let mut cache = self.cmp_cache.borrow_mut();
+        cache.set(a, b, enc_ord(res));
+        cache.set(b, a, enc_ord(res.map(Ordering::reverse)));
+        res
+    }
+
+    /// Id-level [`glb`]; the result is interned and returned as an id.
+    pub fn glb_ids(&self, ctx: &dyn LatticeCtx, a: LocRef, b: LocRef) -> LocRef {
+        if a == b {
+            return a;
+        }
+        let key = if a <= b { (a.0, b.0) } else { (b.0, a.0) };
+        if let Some(&hit) = self.glb_cache.borrow().get(&key) {
+            return hit;
+        }
+        let res = {
+            let locs = self.locs.borrow();
+            glb(ctx, &locs[a.0 as usize], &locs[b.0 as usize])
+        };
+        let r = self.intern(&res);
+        self.glb_cache.borrow_mut().insert(key, r);
+        r
+    }
+
+    /// Memoized [`is_shared`] by id.
+    pub fn is_shared_id(&self, ctx: &dyn LatticeCtx, a: LocRef) -> bool {
+        if let Some(&hit) = self.shared_cache.borrow().get(a.0 as usize) {
+            if hit != 0 {
+                return hit == 2;
+            }
+        }
+        let res = {
+            let locs = self.locs.borrow();
+            is_shared(ctx, &locs[a.0 as usize])
+        };
+        let mut cache = self.shared_cache.borrow_mut();
+        if cache.len() <= a.0 as usize {
+            cache.resize(a.0 as usize + 1, 0);
+        }
+        cache[a.0 as usize] = if res { 2 } else { 1 };
+        res
+    }
+
+    /// Memoized `⊕` (field extension) by id: `base ⊕ class.name`. Repeat
+    /// extensions of the same base probe a short per-base list with plain
+    /// string equality — no location hashing, no allocation.
+    pub fn extend_field_id(&self, base: LocRef, class: &str, name: &str) -> LocRef {
+        if let Some(list) = self.ext_cache.borrow().get(&base) {
+            if let Some((_, r)) = list.iter().find(|((c, n), _)| c == class && n == name) {
+                return *r;
+            }
+        }
+        let loc = self.locs.borrow()[base.0 as usize].extend_field(class, name);
+        let r = self.intern(&loc);
+        self.ext_cache
+            .borrow_mut()
+            .entry(base)
+            .or_default()
+            .push(((class.to_string(), name.to_string()), r));
+        r
     }
 }
 

@@ -26,6 +26,7 @@ pub mod completion;
 pub mod composite;
 pub mod dot;
 pub mod fingerprint;
+pub mod fnv;
 pub mod hierarchy;
 pub mod intern;
 pub mod lattice;
@@ -38,6 +39,7 @@ pub use composite::{
 };
 pub use dot::lattice_to_dot;
 pub use fingerprint::{hash_debug, mix, Fnv64, HashWriter};
+pub use fnv::{FnvBuildHasher, FnvHashMap};
 pub use hierarchy::HierarchyGraph;
 pub use intern::{LocInterner, LocRef};
 pub use lattice::{Lattice, LatticeError, LocId, BOTTOM, TOP};

@@ -23,6 +23,25 @@ use std::sync::Mutex;
 /// forces the sequential path at runtime).
 pub const THREADS_ENV: &str = "SJAVA_THREADS";
 
+/// Environment variable overriding the adaptive sequential threshold of
+/// [`run_indexed`] (`SJAVA_PAR_THRESHOLD=0` parallelizes everything).
+pub const THRESHOLD_ENV: &str = "SJAVA_PAR_THRESHOLD";
+
+/// Default [`par_threshold`]: a paper-sized app checks in well under a
+/// millisecond per method, so spawning scoped workers (tens of
+/// microseconds each) only pays for itself once a few dozen tasks exist.
+const DEFAULT_THRESHOLD: usize = 24;
+
+/// Fan-outs with fewer tasks than this run sequentially even when workers
+/// are available — below it, thread spawn and merge overhead exceeds the
+/// work being split. Override with `SJAVA_PAR_THRESHOLD`.
+pub fn par_threshold() -> usize {
+    match std::env::var(THRESHOLD_ENV) {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(DEFAULT_THRESHOLD),
+        Err(_) => DEFAULT_THRESHOLD,
+    }
+}
+
 /// The number of worker threads fan-outs will use: `SJAVA_THREADS` when
 /// set, otherwise the machine's available parallelism. Always ≥1; always
 /// 1 when the `parallel` feature is disabled.
@@ -41,6 +60,10 @@ pub fn num_threads() -> usize {
 /// Runs `f(0) .. f(n-1)` across [`num_threads`] scoped workers and
 /// returns the results **in index order**.
 ///
+/// Adaptive: fan-outs smaller than [`par_threshold`] run sequentially —
+/// paper-sized apps never pay thread-spawn overhead, while stress-sized
+/// corpora split across the full pool. Results are identical either way.
+///
 /// Panics in a task propagate to the caller once all workers have
 /// stopped pulling new indices.
 pub fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
@@ -48,6 +71,9 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    if n < par_threshold() {
+        return (0..n).map(f).collect();
+    }
     run_indexed_with(n, num_threads(), f)
 }
 
@@ -62,6 +88,10 @@ where
         return (0..n).map(f).collect();
     }
     let workers = threads.min(n);
+    // Workers claim contiguous batches of indices rather than one index
+    // per `fetch_add`: ~8 batches per worker keeps the counter cool while
+    // still letting a fast worker steal from a slow one's tail.
+    let batch = (n / (workers * 8)).max(1);
     let next = AtomicUsize::new(0);
     let done = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|s| {
@@ -71,11 +101,13 @@ where
                 // the mutex is taken `workers` times, not `n` times.
                 let mut local: Vec<(usize, T)> = Vec::new();
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+                    let start = next.fetch_add(batch, Ordering::Relaxed);
+                    if start >= n {
                         break;
                     }
-                    local.push((i, f(i)));
+                    for i in start..(start + batch).min(n) {
+                        local.push((i, f(i)));
+                    }
                 }
                 done.lock()
                     .expect("worker panicked holding lock")
@@ -169,6 +201,34 @@ mod tests {
     fn chunked_concatenates_in_order() {
         let out = run_chunked(37, |r| r.map(|i| i * 2).collect());
         assert_eq!(out, (0..37).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn adaptive_threshold_is_env_tunable() {
+        // No other test in this crate reads THRESHOLD_ENV, so mutating it
+        // here cannot race.
+        assert_eq!(par_threshold(), 24);
+        std::env::set_var(THRESHOLD_ENV, "3");
+        assert_eq!(par_threshold(), 3);
+        std::env::set_var(THRESHOLD_ENV, "garbage");
+        assert_eq!(par_threshold(), 24);
+        std::env::remove_var(THRESHOLD_ENV);
+        // Below and above the threshold produce identical results.
+        assert_eq!(run_indexed(5, |i| i * 3), vec![0, 3, 6, 9, 12]);
+        let big = run_indexed(100, |i| i * 3);
+        assert_eq!(big, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_pulling_covers_every_index_once() {
+        // n chosen so the last batch is ragged (n not divisible by batch).
+        let calls = AtomicUsize::new(0);
+        let out = run_indexed_with(1003, 3, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1003);
+        assert_eq!(out, (0..1003).collect::<Vec<_>>());
     }
 
     #[test]

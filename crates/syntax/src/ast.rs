@@ -7,19 +7,61 @@
 
 use crate::annot::{ClassAnnots, MethodAnnots, VarAnnots};
 use crate::span::Span;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A whole program: a set of classes.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Default)]
 pub struct Program {
     /// All class declarations, in source order.
     pub classes: Vec<ClassDecl>,
+    /// Lazily-built class-name → index map. Valid only while `classes`
+    /// keeps its names and order; passes that restructure the class list
+    /// must build a fresh `Program` (cloning resets the index).
+    class_index: OnceLock<HashMap<String, usize>>,
+}
+
+impl Clone for Program {
+    fn clone(&self) -> Self {
+        Program::new(self.classes.clone())
+    }
+}
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.classes == other.classes
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Program")
+            .field("classes", &self.classes)
+            .finish()
+    }
 }
 
 impl Program {
-    /// Looks up a class by name.
+    /// Builds a program from its class list.
+    pub fn new(classes: Vec<ClassDecl>) -> Self {
+        Program {
+            classes,
+            class_index: OnceLock::new(),
+        }
+    }
+
+    /// Looks up a class by name. O(1) after the first lookup; on duplicate
+    /// class names the first declaration wins, matching a linear scan.
     pub fn class(&self, name: &str) -> Option<&ClassDecl> {
-        self.classes.iter().find(|c| c.name == name)
+        let idx = self.class_index.get_or_init(|| {
+            let mut m = HashMap::with_capacity(self.classes.len());
+            for (i, c) in self.classes.iter().enumerate() {
+                m.entry(c.name.clone()).or_insert(i);
+            }
+            m
+        });
+        idx.get(name).map(|&i| &self.classes[i])
     }
 
     /// Looks up a method by `(class, method)` name pair.

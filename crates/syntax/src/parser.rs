@@ -114,7 +114,7 @@ impl<'a> Parser<'a> {
                 self.bump();
             }
         }
-        Program { classes }
+        Program::new(classes)
     }
 
     fn raw_annots(&mut self) -> Vec<RawAnnot> {

@@ -18,6 +18,8 @@
 #   7. the incremental-cache correctness suite, with the worker pool
 #      pinned to 1 and then 4 threads so cached replay is proven
 #      deterministic across fan-out widths
+#   8. the benchmark harness in gate mode on the small stress preset,
+#      enforcing the parallel-speedup and small-app-tax floors
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,5 +59,17 @@ rm -rf "$backup_dir"
 echo "== incremental cache correctness at 1 and 4 worker threads =="
 SJAVA_THREADS=1 cargo test --release -q -p sjava-cache --test correctness
 SJAVA_THREADS=4 cargo test --release -q -p sjava-cache --test correctness
+
+echo "== bench smoke gate (small stress preset, 3 reps) =="
+# Exercises the full harness end to end and enforces the perf floors:
+# stress speedup ≥ SJAVA_GATE_STRESS at ≥4 workers and small-app
+# parallel tax ≥ SJAVA_GATE_SMALL (each skipped on machines too narrow
+# to measure it). The small preset keeps this a smoke test, not a
+# benchmark run; it runs from a scratch directory so the smoke JSON
+# does not overwrite the committed results/BENCH_checker.json.
+gate_bin=$PWD/target/release/bench_checker
+gate_dir=$(mktemp -d)
+(cd "$gate_dir" && SJAVA_STRESS_PRESET=small SJAVA_REPS=3 "$gate_bin" --gate)
+rm -rf "$gate_dir"
 
 echo "CI green"

@@ -7,6 +7,9 @@
 //! sjava infer <file.sj> [--naive]       infer annotations, print source
 //! sjava run <file.sj> <Class.method> N  run the event loop N iterations
 //! sjava lattice <file.sj>               print declared lattices as DOT
+//! sjava stress [--preset=small|large] [--classes=N] [--methods=N]
+//!              [--fields=N] [--depth=N] [--stmts=N] [--seed=N] [--check]
+//!                                       emit a synthetic stress program
 //! ```
 //!
 //! Exit codes: `0` success, `1` the check (or another command) failed
@@ -34,12 +37,117 @@ fn main() -> ExitCode {
         Some("lifetimes") if args.len() >= 2 => cmd_lifetimes(&args[1]),
         Some("lint") if args.len() >= 2 => cmd_lint(&args[1]),
         Some("vfg") if args.len() >= 2 => cmd_vfg(&args[1]),
+        Some("stress") => cmd_stress(&args[1..]),
         _ => {
             eprintln!(
-                "usage:\n  sjava check <file.sj> [--format=text|json|sarif] [--deny-warnings]\n  sjava check --explain SJ0xxx\n  sjava infer <file.sj> [--naive]\n  sjava run <file.sj> <Class.method> <iterations>\n  sjava lattice <file.sj>\n  sjava lifetimes <file.sj>\n  sjava lint <file.sj>\n  sjava vfg <file.sj>"
+                "usage:\n  sjava check <file.sj> [--format=text|json|sarif] [--deny-warnings]\n  sjava check --explain SJ0xxx\n  sjava infer <file.sj> [--naive]\n  sjava run <file.sj> <Class.method> <iterations>\n  sjava lattice <file.sj>\n  sjava lifetimes <file.sj>\n  sjava lint <file.sj>\n  sjava vfg <file.sj>\n  sjava stress [--preset=small|large] [--classes=N] [--methods=N] [--fields=N]\n               [--depth=N] [--stmts=N] [--seed=N] [--check]"
             );
             ExitCode::from(EXIT_USAGE)
         }
+    }
+}
+
+/// `sjava stress`: prints a deterministic synthetic stress program to
+/// stdout (the same generator the benchmark harness uses). With
+/// `--check`, runs the whole-program checker over it instead and reports
+/// pass/fail — handy for timing the checker on arbitrary scales:
+///
+/// ```text
+/// sjava stress --classes=50 --methods=10 > big.sj
+/// sjava stress --preset=large --check
+/// ```
+fn cmd_stress(args: &[String]) -> ExitCode {
+    use sjava_bench::stressgen::StressConfig;
+
+    let mut cfg = StressConfig::default();
+    let mut check = false;
+    for a in args {
+        let numeric = |v: &str| -> Result<usize, ExitCode> {
+            v.parse().map_err(|_| {
+                eprintln!("error: `{a}` needs a non-negative integer value");
+                ExitCode::from(EXIT_USAGE)
+            })
+        };
+        let (flag, value) = match a.split_once('=') {
+            Some((f, v)) => (f, v),
+            None => (a.as_str(), ""),
+        };
+        match flag {
+            "--preset" => match value {
+                "small" => cfg = StressConfig::small(),
+                "large" => cfg = StressConfig::large(),
+                "default" => cfg = StressConfig::default(),
+                other => {
+                    eprintln!(
+                        "error: unknown preset `{other}` (expected small, default, or large)"
+                    );
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--classes" => match numeric(value) {
+                Ok(n) => cfg.classes = n,
+                Err(c) => return c,
+            },
+            "--methods" => match numeric(value) {
+                Ok(n) => cfg.methods = n,
+                Err(c) => return c,
+            },
+            "--fields" => match numeric(value) {
+                Ok(n) => cfg.fields = n,
+                Err(c) => return c,
+            },
+            "--depth" => match numeric(value) {
+                Ok(n) => cfg.loop_depth = n,
+                Err(c) => return c,
+            },
+            "--stmts" => match numeric(value) {
+                Ok(n) => cfg.stmts = n,
+                Err(c) => return c,
+            },
+            "--seed" => match numeric(value) {
+                Ok(n) => cfg.seed = n as u64,
+                Err(c) => return c,
+            },
+            "--check" => check = true,
+            other => {
+                eprintln!("error: unknown flag `{other}` for `sjava stress`");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    }
+
+    let src = sjava_bench::stressgen::generate(&cfg);
+    if !check {
+        print!("{src}");
+        eprintln!(
+            "// {}: {} methods, {} bytes",
+            cfg.label(),
+            cfg.method_count(),
+            src.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let file = SourceFile::new(format!("<{}>", cfg.label()), src);
+    let started = std::time::Instant::now();
+    let diagnostics = match sjava::parse(&file.text) {
+        Ok(program) => sjava::check(&program).diagnostics,
+        Err(diags) => diags,
+    };
+    let elapsed = started.elapsed();
+    for d in diagnostics.iter() {
+        eprintln!("{}", d.render(&file));
+    }
+    let label = cfg.label();
+    if diagnostics.has_errors() {
+        println!("{label}: NOT verified self-stabilizing ✗ ({elapsed:.2?})");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "{label}: {} methods self-stabilizing ✓ ({elapsed:.2?})",
+            cfg.method_count()
+        );
+        ExitCode::SUCCESS
     }
 }
 
