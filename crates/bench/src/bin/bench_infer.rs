@@ -1,0 +1,346 @@
+//! Inference throughput benchmark: dense engine vs the legacy oracle.
+//!
+//! Every corpus is *stripped* of its annotations first (the inference
+//! input is always a bare program), then inferred with `Mode::SInfer`
+//! unless stated otherwise. All measurements repeat `SJAVA_REPS` times
+//! (≥5 enforced) with **min and median** reported:
+//!
+//! 1. *Paper apps*: the four dissertation apps, legacy vs dense at one
+//!    worker — the representation win in isolation.
+//! 2. *Stress corpus*: one stripped `stressgen` program (defaults to the
+//!    large preset), legacy at 1 worker vs dense at 1, 4 and max
+//!    workers, plus a naive-mode dense row. Per-phase medians
+//!    (vfg/decompose/lattgen/emit) for the legacy and dense-1 runs.
+//!
+//! Before anything is timed, the run asserts byte-identical inferred
+//! annotations: dense == legacy on every corpus and mode, and dense with
+//! itself across 1/4/max workers — the benchmark refuses to measure an
+//! engine that diverges.
+//!
+//! Usage: `cargo run --release -p sjava-bench --bin bench_infer [--gate]`
+//!
+//! `--gate` turns the acceptance thresholds into an exit code for CI:
+//! dense-vs-legacy stress speedup at one worker must reach
+//! `SJAVA_GATE_INFER` (default 1.5); with ≥4 workers available, dense
+//! must additionally not *lose* wall-clock when parallel
+//! (`SJAVA_GATE_INFER_PAR`, default 0.95, skipped on narrow machines).
+//! Env overrides: `SJAVA_REPS`, `SJAVA_THREADS`, `SJAVA_STRESS_PRESET`
+//! plus `SJAVA_STRESS_{CLASSES,METHODS,FIELDS,DEPTH,STMTS,SEED}`.
+
+use std::time::{Duration, Instant};
+
+use sjava_bench::stressgen::{self, StressConfig};
+use sjava_bench::{env_usize, write_result};
+use sjava_infer::{infer_with, Engine, InferTimings, Mode};
+use sjava_syntax::ast::Program;
+use sjava_syntax::pretty::print_program;
+use sjava_syntax::strip::strip_location_annotations;
+
+fn benchmarks() -> Vec<(&'static str, String)> {
+    vec![
+        ("windsensor", sjava_apps::windsensor::SOURCE.to_string()),
+        ("eyetrack", sjava_apps::eyetrack::SOURCE.to_string()),
+        ("sumobot", sjava_apps::sumobot::SOURCE.to_string()),
+        ("mp3dec", sjava_apps::mp3dec::source().to_string()),
+    ]
+}
+
+/// Parses and strips one corpus: the bare inference input.
+fn stripped(name: &str, source: &str) -> Program {
+    let program = sjava_syntax::parse(source)
+        .unwrap_or_else(|d| panic!("benchmark `{name}` fails to parse: {d}"));
+    strip_location_annotations(&program)
+}
+
+/// One full inference run; panics if inference fails (every corpus here
+/// must infer cleanly).
+fn infer_once(name: &str, program: &Program, mode: Mode, engine: Engine) -> InferTimings {
+    infer_with(program, mode, engine)
+        .unwrap_or_else(|d| panic!("inference of `{name}` failed: {d}"))
+        .timings
+}
+
+/// The printed annotated output — the byte-identity witness.
+fn inferred_text(name: &str, program: &Program, mode: Mode, engine: Engine) -> String {
+    let r = infer_with(program, mode, engine)
+        .unwrap_or_else(|d| panic!("inference of `{name}` failed: {d}"));
+    print_program(&r.annotated)
+}
+
+/// `reps` individually-timed inference runs at the given pool width.
+fn time_infers(
+    name: &str,
+    program: &Program,
+    mode: Mode,
+    engine: Engine,
+    reps: usize,
+    threads: usize,
+) -> Sample {
+    std::env::set_var(sjava_par::THREADS_ENV, threads.to_string());
+    let mut wall = Vec::with_capacity(reps);
+    let mut timings = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        timings.push(infer_once(name, program, mode, engine));
+        wall.push(ms(t.elapsed()));
+    }
+    Sample { wall, timings }
+}
+
+/// Wall-clock samples plus the matching per-phase timings of one config.
+struct Sample {
+    wall: Vec<f64>,
+    timings: Vec<InferTimings>,
+}
+
+impl Sample {
+    fn min(&self) -> f64 {
+        self.wall.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    fn median(&self) -> f64 {
+        let mut s = self.wall.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[s.len() / 2]
+    }
+
+    /// Per-phase median across reps, as `"phase": ms` JSON fields.
+    fn phase_json(&self) -> String {
+        let names: Vec<&str> = self.timings[0]
+            .phases()
+            .iter()
+            .map(|(name, _)| *name)
+            .collect();
+        let fields: Vec<String> = names
+            .iter()
+            .enumerate()
+            .map(|(pi, name)| {
+                let mut vals: Vec<f64> =
+                    self.timings.iter().map(|t| ms(t.phases()[pi].1)).collect();
+                vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                format!("\"{name}\": {:.4}", vals[vals.len() / 2])
+            })
+            .collect();
+        fields.join(", ")
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1000.0
+}
+
+fn stress_config() -> StressConfig {
+    let mut cfg = match std::env::var("SJAVA_STRESS_PRESET").as_deref() {
+        Ok("small") => StressConfig::small(),
+        Ok("default") => StressConfig::default(),
+        _ => StressConfig::large(),
+    };
+    cfg.classes = env_usize("SJAVA_STRESS_CLASSES", cfg.classes);
+    cfg.methods = env_usize("SJAVA_STRESS_METHODS", cfg.methods);
+    cfg.fields = env_usize("SJAVA_STRESS_FIELDS", cfg.fields);
+    cfg.loop_depth = env_usize("SJAVA_STRESS_DEPTH", cfg.loop_depth);
+    cfg.stmts = env_usize("SJAVA_STRESS_STMTS", cfg.stmts);
+    cfg.seed = env_usize("SJAVA_STRESS_SEED", cfg.seed as usize) as u64;
+    cfg
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let gate = std::env::args().any(|a| a == "--gate");
+    let reps = env_usize("SJAVA_REPS", 7).max(5);
+    let threads = sjava_par::num_threads();
+    let benches = benchmarks();
+    let stress_cfg = stress_config();
+    let stress_src = stressgen::generate(&stress_cfg);
+    let stress_name = stress_cfg.label();
+
+    println!("BENCH_infer — annotation-inference throughput, dense vs legacy");
+    println!(
+        "{} paper apps + stripped stress corpus `{stress_name}` ({} methods); {reps} reps; pool width {threads}",
+        benches.len(),
+        stress_cfg.method_count()
+    );
+
+    let apps: Vec<(&str, Program)> = benches
+        .iter()
+        .map(|(name, source)| (*name, stripped(name, source)))
+        .collect();
+    let stress = stripped(&stress_name, &stress_src);
+
+    // ── Byte-identity: refuse to benchmark a diverging engine ──
+    let widths: Vec<usize> = {
+        let mut w = vec![1, 4.min(threads.max(1)), threads];
+        w.dedup();
+        w
+    };
+    for (name, program) in apps
+        .iter()
+        .chain(std::iter::once(&(stress_name.as_str(), stress.clone())))
+    {
+        for mode in [Mode::Naive, Mode::SInfer] {
+            std::env::set_var(sjava_par::THREADS_ENV, "1");
+            let oracle = inferred_text(name, program, mode, Engine::Legacy);
+            for &w in &widths {
+                std::env::set_var(sjava_par::THREADS_ENV, w.to_string());
+                let dense = inferred_text(name, program, mode, Engine::Dense);
+                assert_eq!(
+                    oracle, dense,
+                    "dense output diverges from legacy on `{name}` ({mode:?}, {w} workers)"
+                );
+            }
+        }
+    }
+    println!(
+        "byte-identity: dense == legacy on all corpora, both modes, {} pool width(s)",
+        widths.len()
+    );
+
+    // Warm-up so no timed pass pays first-touch costs.
+    for (name, program) in &apps {
+        infer_once(name, program, Mode::SInfer, Engine::Dense);
+    }
+    infer_once(&stress_name, &stress, Mode::SInfer, Engine::Dense);
+
+    // ── 1. paper apps: legacy vs dense, one worker ──
+    let mut app_rows: Vec<(String, Sample, Sample, f64)> = Vec::new();
+    for (name, program) in &apps {
+        let legacy = time_infers(name, program, Mode::SInfer, Engine::Legacy, reps, 1);
+        let dense = time_infers(name, program, Mode::SInfer, Engine::Dense, reps, 1);
+        let speedup = legacy.median() / dense.median().max(1e-9);
+        println!(
+            "{name}: legacy {:.3} ms, dense {:.3} ms ({speedup:.2}x)",
+            legacy.median(),
+            dense.median()
+        );
+        app_rows.push((name.to_string(), legacy, dense, speedup));
+    }
+
+    // ── 2. stress corpus ──
+    let legacy_seq = time_infers(&stress_name, &stress, Mode::SInfer, Engine::Legacy, reps, 1);
+    let dense1 = time_infers(&stress_name, &stress, Mode::SInfer, Engine::Dense, reps, 1);
+    let four = 4.min(threads.max(1));
+    let dense4 = time_infers(
+        &stress_name,
+        &stress,
+        Mode::SInfer,
+        Engine::Dense,
+        reps,
+        four,
+    );
+    let densen = time_infers(
+        &stress_name,
+        &stress,
+        Mode::SInfer,
+        Engine::Dense,
+        reps,
+        threads,
+    );
+    let naive1 = time_infers(&stress_name, &stress, Mode::Naive, Engine::Dense, reps, 1);
+    let speedup1 = legacy_seq.median() / dense1.median().max(1e-9);
+    let speedup4 = dense1.median() / dense4.median().max(1e-9);
+    let speedupn = dense1.median() / densen.median().max(1e-9);
+    println!(
+        "stress corpus (SInfer): legacy {:.1} ms @1, dense {:.1} ms @1 ({speedup1:.2}x), {:.1} ms @{four} ({speedup4:.2}x vs dense@1), {:.1} ms @{threads} ({speedupn:.2}x)",
+        legacy_seq.median(),
+        dense1.median(),
+        dense4.median(),
+        densen.median()
+    );
+    println!("stress corpus (Naive, dense @1): {:.1} ms", naive1.median());
+
+    // Restore the pool width for anything running after us in-process.
+    std::env::set_var(sjava_par::THREADS_ENV, threads.to_string());
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str("  \"paper_apps\": [\n");
+    for (i, (name, legacy, dense, speedup)) in app_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"legacy_ms_min\": {:.4}, \"legacy_ms_median\": {:.4}, \"dense_ms_min\": {:.4}, \"dense_ms_median\": {:.4}, \"speedup\": {speedup:.3}, \"phases_dense_ms\": {{ {} }} }}{}\n",
+            legacy.min(),
+            legacy.median(),
+            dense.min(),
+            dense.median(),
+            dense.phase_json(),
+            if i + 1 < app_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"stress\": {\n");
+    json.push_str(&format!("    \"name\": \"{stress_name}\",\n"));
+    json.push_str(&format!(
+        "    \"methods\": {},\n",
+        stress_cfg.method_count()
+    ));
+    json.push_str(&format!("    \"seed\": {},\n", stress_cfg.seed));
+    json.push_str(&format!(
+        "    \"legacy_ms_min\": {:.3}, \"legacy_ms_median\": {:.3},\n",
+        legacy_seq.min(),
+        legacy_seq.median()
+    ));
+    json.push_str(&format!(
+        "    \"dense1_ms_min\": {:.3}, \"dense1_ms_median\": {:.3}, \"speedup_dense_vs_legacy\": {speedup1:.3},\n",
+        dense1.min(),
+        dense1.median()
+    ));
+    json.push_str(&format!(
+        "    \"dense4_ms_min\": {:.3}, \"dense4_ms_median\": {:.3}, \"speedup_at_4\": {speedup4:.3},\n",
+        dense4.min(),
+        dense4.median()
+    ));
+    json.push_str(&format!(
+        "    \"densemax_ms_min\": {:.3}, \"densemax_ms_median\": {:.3}, \"speedup_at_max\": {speedupn:.3},\n",
+        densen.min(),
+        densen.median()
+    ));
+    json.push_str(&format!(
+        "    \"naive_dense1_ms_min\": {:.3}, \"naive_dense1_ms_median\": {:.3},\n",
+        naive1.min(),
+        naive1.median()
+    ));
+    json.push_str(&format!(
+        "    \"phases_legacy_ms\": {{ {} }},\n",
+        legacy_seq.phase_json()
+    ));
+    json.push_str(&format!(
+        "    \"phases_dense1_ms\": {{ {} }}\n",
+        dense1.phase_json()
+    ));
+    json.push_str("  }\n}\n");
+
+    let path = write_result("BENCH_infer.json", &json);
+    println!("written to {}", path.display());
+
+    if gate {
+        let infer_floor = env_f64("SJAVA_GATE_INFER", 1.5);
+        let par_floor = env_f64("SJAVA_GATE_INFER_PAR", 0.95);
+        let mut failed = false;
+        if speedup1 < infer_floor {
+            eprintln!(
+                "GATE FAIL: dense-vs-legacy stress inference speedup {speedup1:.2}x < {infer_floor:.2}x"
+            );
+            failed = true;
+        }
+        if threads >= 4 {
+            if speedupn < par_floor {
+                eprintln!(
+                    "GATE FAIL: dense inference at {threads} workers {speedupn:.2}x vs dense@1 < {par_floor:.2}x (parallel tax)"
+                );
+                failed = true;
+            }
+        } else {
+            println!("gate: <4 workers available, parallel-scaling gate skipped");
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("gate: all thresholds met");
+    }
+}

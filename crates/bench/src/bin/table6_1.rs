@@ -21,6 +21,9 @@ struct Row {
     complex_locs: usize,
     complex_paths: u128,
     time_ms: f64,
+    /// Per-phase inference breakdown `[vfg, decompose, lattgen, emit]`
+    /// in milliseconds (NaN for the manual rows, which infer nothing).
+    phases_ms: [f64; 4],
     loc: usize,
 }
 
@@ -55,6 +58,7 @@ fn rows_for(name: &str, source: &str, deny: bool, out: &mut Vec<Row>) {
         complex_locs: manual.complex_locations(),
         complex_paths: manual.complex_paths(),
         time_ms: f64::NAN,
+        phases_ms: [f64::NAN; 4],
         loc,
     });
 
@@ -78,6 +82,13 @@ fn rows_for(name: &str, source: &str, deny: bool, out: &mut Vec<Row>) {
             complex_locs: result.metrics.complex_locations(),
             complex_paths: result.metrics.complex_paths(),
             time_ms: result.elapsed.as_secs_f64() * 1000.0,
+            phases_ms: {
+                let mut p = [0.0; 4];
+                for (slot, (_, d)) in p.iter_mut().zip(result.timings.phases()) {
+                    *slot = d.as_secs_f64() * 1000.0;
+                }
+                p
+            },
             loc,
         });
     }
@@ -92,7 +103,7 @@ fn main() {
 
     println!("Table 6.1 — Inference Evaluation");
     println!(
-        "{:<8}{:<8}{:>14}{:>14}{:>15}{:>15}{:>10}{:>7}",
+        "{:<8}{:<8}{:>14}{:>14}{:>15}{:>15}{:>10}{:>9}{:>9}{:>9}{:>9}{:>7}",
         "Bench",
         "Variant",
         "Simple locs",
@@ -100,19 +111,28 @@ fn main() {
         "Complex locs",
         "Complex paths",
         "Time ms",
+        "vfg",
+        "decomp",
+        "lattgen",
+        "emit",
         "LoC"
     );
     let mut csv = String::from(
-        "benchmark,variant,simple_locs,simple_paths,complex_locs,complex_paths,time_ms,loc\n",
+        "benchmark,variant,simple_locs,simple_paths,complex_locs,complex_paths,time_ms,\
+         vfg_ms,decompose_ms,lattgen_ms,emit_ms,loc\n",
     );
-    for r in &rows {
-        let time = if r.time_ms.is_nan() {
+    let fmt_ms = |ms: f64| {
+        if ms.is_nan() {
             "n/a".to_string()
         } else {
-            format!("{:.1}", r.time_ms)
-        };
+            format!("{ms:.1}")
+        }
+    };
+    for r in &rows {
+        let time = fmt_ms(r.time_ms);
+        let [vfg, decompose, lattgen, emit] = r.phases_ms.map(fmt_ms);
         println!(
-            "{:<8}{:<8}{:>14}{:>14}{:>15}{:>15}{:>10}{:>7}",
+            "{:<8}{:<8}{:>14}{:>14}{:>15}{:>15}{:>10}{:>9}{:>9}{:>9}{:>9}{:>7}",
             r.benchmark,
             r.variant,
             r.simple_locs,
@@ -120,10 +140,14 @@ fn main() {
             r.complex_locs,
             r.complex_paths,
             time,
+            vfg,
+            decompose,
+            lattgen,
+            emit,
             r.loc
         );
         csv.push_str(&format!(
-            "{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.benchmark,
             r.variant,
             r.simple_locs,
@@ -131,6 +155,10 @@ fn main() {
             r.complex_locs,
             r.complex_paths,
             time,
+            vfg,
+            decompose,
+            lattgen,
+            emit,
             r.loc
         ));
     }

@@ -111,6 +111,41 @@ fn render_emitters(threads: usize) -> String {
     out
 }
 
+/// Runs the dense inference engine over every annotatable app (location
+/// annotations stripped first) plus the small stress corpus, in both
+/// modes, and renders the re-annotated programs. The dense engine fans
+/// its per-method VFG construction and per-class decomposition out over
+/// `SJAVA_THREADS` workers, so this string must be byte-identical at
+/// any width.
+fn render_infer(threads: usize) -> String {
+    std::env::set_var(sjava_par::THREADS_ENV, threads.to_string());
+    assert_eq!(sjava_par::num_threads(), threads);
+    let stress = sjava_bench::stressgen::generate(&sjava_bench::stressgen::StressConfig::small());
+    let sources = [
+        ("windsensor", sjava_apps::windsensor::SOURCE),
+        ("eyetrack", sjava_apps::eyetrack::SOURCE),
+        ("sumobot", sjava_apps::sumobot::SOURCE),
+        ("mp3dec", sjava_apps::mp3dec::source()),
+        ("stress_small", &stress),
+    ];
+    let mut out = String::new();
+    for (name, source) in sources {
+        let program = sjava_syntax::parse(source).expect("parses");
+        let stripped = sjava_syntax::strip::strip_location_annotations(&program);
+        for mode in [sjava_infer::Mode::Naive, sjava_infer::Mode::SInfer] {
+            let result = sjava_infer::infer(&stripped, mode)
+                .unwrap_or_else(|d| panic!("{name} {mode:?}: inference failed: {d}"));
+            assert_eq!(result.timings.threads, threads);
+            out.push_str(&format!(
+                "== {name} {mode:?} ==\n{}",
+                sjava_syntax::pretty::print_program(&result.annotated)
+            ));
+        }
+    }
+    std::env::remove_var(sjava_par::THREADS_ENV);
+    out
+}
+
 fn render_trials(threads: usize) -> String {
     std::env::set_var(sjava_par::THREADS_ENV, threads.to_string());
     let program = sjava_syntax::parse(sjava_apps::windsensor::SOURCE).expect("parses");
@@ -169,6 +204,17 @@ fn diagnostics_identical_at_any_thread_count() {
             emitted,
             render_emitters(threads),
             "JSON/SARIF output changed between 1 and {threads} worker threads"
+        );
+    }
+
+    // The dense inference engine re-annotates every app byte-identically
+    // at any fan-out width (ISSUE 5 acceptance: SJAVA_THREADS=1/4/max).
+    let inferred = render_infer(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            inferred,
+            render_infer(threads),
+            "inferred annotations changed between 1 and {threads} worker threads"
         );
     }
 

@@ -73,6 +73,40 @@ fn golden(name: &str, source: &str) {
     assert_eq!(warm, rendered, "{name}: incremental warm replay diverged");
 }
 
+/// Snapshots the inferred annotations for one source: the location
+/// annotations are stripped and both inference modes are run, pinning
+/// the exact bytes `sjava infer` would print plus the Table 6.1
+/// metrics line. The legacy (sequential, string-keyed) engine must
+/// produce the same bytes as the dense default, so the fixtures also
+/// pin the oracle equivalence.
+fn golden_infer(name: &str, source: &str) {
+    let program = sjava_syntax::parse(source).expect("benchmark parses");
+    let stripped = sjava_syntax::strip::strip_location_annotations(&program);
+    let mut rendered = String::new();
+    for (mode, label) in [
+        (sjava_infer::Mode::Naive, "naive"),
+        (sjava_infer::Mode::SInfer, "SInfer"),
+    ] {
+        let dense = sjava_infer::infer(&stripped, mode)
+            .unwrap_or_else(|d| panic!("{name} {label}: inference failed: {d}"));
+        let legacy = sjava_infer::infer_with(&stripped, mode, sjava_infer::Engine::Legacy)
+            .unwrap_or_else(|d| panic!("{name} {label}: legacy inference failed: {d}"));
+        let printed = sjava_syntax::pretty::print_program(&dense.annotated);
+        assert_eq!(
+            printed,
+            sjava_syntax::pretty::print_program(&legacy.annotated),
+            "{name} {label}: dense and legacy engines emitted different annotations"
+        );
+        let m = &dense.metrics;
+        rendered.push_str(&format!(
+            "== {label}: locations={} paths={} ==\n{printed}",
+            m.simple_locations() + m.complex_locations(),
+            m.simple_paths() + m.complex_paths(),
+        ));
+    }
+    assert_matches_fixture(&format!("infer_{name}"), &rendered);
+}
+
 #[test]
 fn windsensor_matches_golden() {
     golden("windsensor", sjava_apps::windsensor::SOURCE);
@@ -233,6 +267,35 @@ fn stress_small_matches_golden() {
     // fresh and from the cold/warm incremental cache.
     let src = sjava_bench::stressgen::generate(&sjava_bench::stressgen::StressConfig::small());
     golden("stress_small", &src);
+}
+
+#[test]
+fn infer_windsensor_matches_golden() {
+    golden_infer("windsensor", sjava_apps::windsensor::SOURCE);
+}
+
+#[test]
+fn infer_eyetrack_matches_golden() {
+    golden_infer("eyetrack", sjava_apps::eyetrack::SOURCE);
+}
+
+#[test]
+fn infer_sumobot_matches_golden() {
+    golden_infer("sumobot", sjava_apps::sumobot::SOURCE);
+}
+
+#[test]
+fn infer_mp3dec_matches_golden() {
+    golden_infer("mp3dec", sjava_apps::mp3dec::source());
+}
+
+#[test]
+fn infer_stress_small_matches_golden() {
+    // The small synthetic corpus, annotations stripped and re-inferred:
+    // a machine-scale fixture that pins the dense engine's emission
+    // order (and the legacy oracle's agreement) beyond the paper apps.
+    let src = sjava_bench::stressgen::generate(&sjava_bench::stressgen::StressConfig::small());
+    golden_infer("stress_small", &src);
 }
 
 #[test]

@@ -43,7 +43,7 @@ impl Decomposition {
     }
 }
 
-fn resolve_alias(map: Option<&BTreeMap<String, String>>, name: &str) -> String {
+pub(crate) fn resolve_alias(map: Option<&BTreeMap<String, String>>, name: &str) -> String {
     let Some(map) = map else {
         return name.to_string();
     };
@@ -220,7 +220,7 @@ pub fn decompose(
     d
 }
 
-fn shared_name(group: &[String]) -> String {
+pub(crate) fn shared_name(group: &[String]) -> String {
     // A deterministic merged name: the lexicographically first member plus
     // a marker.
     format!("SH_{}", group.first().cloned().unwrap_or_default())
@@ -228,7 +228,7 @@ fn shared_name(group: &[String]) -> String {
 
 /// Nodes on some path from `from` to `to` (used to extract a would-be
 /// cycle's members).
-fn cycle_between(g: &HierarchyGraph, from: &str, to: &str) -> Vec<String> {
+pub(crate) fn cycle_between(g: &HierarchyGraph, from: &str, to: &str) -> Vec<String> {
     let mut out = Vec::new();
     for n in g.nodes() {
         if g.reaches(from, n) && g.reaches(n, to) {

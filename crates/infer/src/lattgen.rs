@@ -4,8 +4,35 @@
 use crate::decompose::Decomposition;
 use crate::vfg::{PC, RET};
 use sjava_analysis::callgraph::MethodRef;
-use sjava_lattice::{dedekind_macneille, HierarchyGraph, Lattice, LatticeError, BOTTOM, TOP};
+use sjava_lattice::{
+    canonical_key, dedekind_macneille, Completion, CompletionCache, HierarchyGraph, Lattice,
+    LatticeError, BOTTOM, TOP,
+};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+
+/// How hierarchy graphs are turned into complete lattices.
+///
+/// The legacy engine completes every hierarchy from scratch with the
+/// string-based closure; the dense engine routes through a shared
+/// [`CompletionCache`] so structurally identical hierarchies (rampant in
+/// generated corpora, and the common case for naive mode) are completed
+/// once. Both produce byte-identical lattices.
+pub enum Completer<'a> {
+    /// Uncached string-based completion (the seed behavior).
+    Exact,
+    /// Memoized dense completion through a shared cache.
+    Cached(&'a CompletionCache),
+}
+
+impl Completer<'_> {
+    fn complete(&self, h: &HierarchyGraph) -> Result<Completion, LatticeError> {
+        match self {
+            Completer::Exact => dedekind_macneille(h),
+            Completer::Cached(cache) => cache.complete(h),
+        }
+    }
+}
 
 /// Inference mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,49 +70,150 @@ pub fn generate(
     mode: Mode,
     program: &sjava_syntax::ast::Program,
 ) -> Result<GenLattices, LatticeError> {
+    generate_with(d, mode, program, &Completer::Exact, false)
+}
+
+/// [`generate`] with an explicit completion strategy and optional fan-out.
+///
+/// With `parallel` set, per-hierarchy lattice generation is distributed
+/// via `sjava_par::run_indexed` — methods first, then classes, each in
+/// deterministic `BTreeMap` order, with results merged (and the first
+/// error surfaced) in that same order, so the output is byte-identical to
+/// the sequential path at any thread count.
+///
+/// # Errors
+///
+/// Same as [`generate`]: the first cyclic hierarchy in iteration order.
+pub fn generate_with(
+    d: &Decomposition,
+    mode: Mode,
+    program: &sjava_syntax::ast::Program,
+    completer: &Completer<'_>,
+    parallel: bool,
+) -> Result<GenLattices, LatticeError> {
     let mut out = GenLattices::default();
-    for (mref, h) in &d.methods {
-        let params: BTreeSet<String> = program
-            .method(&mref.0, &mref.1)
-            .map(|m| m.params.iter().map(|p| p.name.clone()).collect())
-            .unwrap_or_default();
-        let mut iface: BTreeSet<String> = params;
-        iface.insert("this".to_string());
-        iface.insert(RET.to_string());
-        iface.insert(PC.to_string());
-        let (lat, assign) = match mode {
-            Mode::Naive => naive_lattice(h)?,
-            Mode::SInfer => sinfer_lattice(h, &iface)?,
-        };
+    type Hierarchies<'a, K> = Vec<(&'a K, &'a HierarchyGraph, BTreeSet<String>)>;
+    // Whole-result memo for the cached (dense) path: `naive_lattice` and
+    // `sinfer_lattice` are pure functions of `(mode, hierarchy, iface)`,
+    // so structurally identical hierarchies — rampant in generated
+    // corpora, where many methods share one flow shape — convert once
+    // and clone thereafter. The key is injective, so a hit returns the
+    // exact lattice the miss path would have computed.
+    let memo: Option<LatticeMemo> = match completer {
+        Completer::Exact => None,
+        Completer::Cached(_) => Some(Mutex::new(sjava_lattice::FnvHashMap::default())),
+    };
+    let method_work: Hierarchies<'_, MethodRef> = d
+        .methods
+        .iter()
+        .map(|(mref, h)| {
+            let params: BTreeSet<String> = program
+                .method(&mref.0, &mref.1)
+                .map(|m| m.params.iter().map(|p| p.name.clone()).collect())
+                .unwrap_or_default();
+            let mut iface: BTreeSet<String> = params;
+            iface.insert("this".to_string());
+            iface.insert(RET.to_string());
+            iface.insert(PC.to_string());
+            (mref, h, iface)
+        })
+        .collect();
+    for (mref, result) in convert_all(&method_work, mode, completer, memo.as_ref(), parallel) {
+        let (lat, assign) = result?;
         out.methods.insert(mref.clone(), lat);
         out.method_assign.insert(mref.clone(), assign);
     }
-    for (class, h) in &d.fields {
-        if h.node_count() == 0 {
-            continue;
-        }
-        // Interface nodes of a field hierarchy: locations of actual
-        // fields (relocated locals and ILOCs are non-interface).
-        let mut iface: BTreeSet<String> = BTreeSet::new();
-        if let Some(cd) = program.class(class) {
-            for f in &cd.fields {
-                iface.insert(d.field_name(class, &f.name));
+    let field_work: Hierarchies<'_, String> = d
+        .fields
+        .iter()
+        .filter(|(_, h)| h.node_count() > 0)
+        .map(|(class, h)| {
+            // Interface nodes of a field hierarchy: locations of actual
+            // fields (relocated locals and ILOCs are non-interface).
+            let mut iface: BTreeSet<String> = BTreeSet::new();
+            if let Some(cd) = program.class(class) {
+                for f in &cd.fields {
+                    iface.insert(d.field_name(class, &f.name));
+                }
             }
-        }
-        let (lat, assign) = match mode {
-            Mode::Naive => naive_lattice(h)?,
-            Mode::SInfer => sinfer_lattice(h, &iface)?,
-        };
+            (class, h, iface)
+        })
+        .collect();
+    for (class, result) in convert_all(&field_work, mode, completer, memo.as_ref(), parallel) {
+        let (lat, assign) = result?;
         out.fields.insert(class.clone(), lat);
         out.field_assign.insert(class.clone(), assign);
     }
     Ok(out)
 }
 
+type Converted = Result<(Lattice, BTreeMap<String, String>), LatticeError>;
+
+/// Whole-conversion memo: injective `(mode, hierarchy, iface)` key →
+/// the converted lattice and assignment. Errors are never cached.
+type LatticeMemo = Mutex<sjava_lattice::FnvHashMap<String, (Lattice, BTreeMap<String, String>)>>;
+
+/// The injective memo key for one conversion unit.
+fn memo_key(mode: Mode, h: &HierarchyGraph, iface: &BTreeSet<String>) -> String {
+    let mut key = String::from(match mode {
+        Mode::Naive => "N\u{3}",
+        Mode::SInfer => "S\u{3}",
+    });
+    key.push_str(&canonical_key(h));
+    key.push('\u{3}');
+    for n in iface {
+        key.push_str(n);
+        key.push('\u{1}');
+    }
+    key
+}
+
+/// Converts every hierarchy in `work`, optionally fanning out across the
+/// worker pool; results come back in input order either way.
+fn convert_all<'a, K>(
+    work: &'a [(&'a K, &'a HierarchyGraph, BTreeSet<String>)],
+    mode: Mode,
+    completer: &Completer<'_>,
+    memo: Option<&LatticeMemo>,
+    parallel: bool,
+) -> Vec<(&'a K, Converted)>
+where
+    K: Sync,
+{
+    let convert = |(key, h, iface): &(&'a K, &'a HierarchyGraph, BTreeSet<String>)| {
+        let mk = memo.map(|m| {
+            let k = memo_key(mode, h, iface);
+            let hit = m.lock().expect("lattice memo poisoned").get(&k).cloned();
+            (k, hit)
+        });
+        if let Some((_, Some(cached))) = &mk {
+            return (*key, Ok(cached.clone()));
+        }
+        let result = match mode {
+            Mode::Naive => naive_lattice(h, completer),
+            Mode::SInfer => sinfer_lattice(h, iface, completer),
+        };
+        if let (Some((k, None)), Some(m), Ok(value)) = (&mk, memo, &result) {
+            m.lock()
+                .expect("lattice memo poisoned")
+                .insert(k.clone(), value.clone());
+        }
+        (*key, result)
+    };
+    if parallel {
+        sjava_par::run_indexed(work.len(), |i| convert(&work[i]))
+    } else {
+        work.iter().map(convert).collect()
+    }
+}
+
 /// Naive conversion: Dedekind–MacNeille completion of the hierarchy as-is;
 /// every node is its own location.
-fn naive_lattice(h: &HierarchyGraph) -> Result<(Lattice, BTreeMap<String, String>), LatticeError> {
-    let c = dedekind_macneille(h)?;
+fn naive_lattice(
+    h: &HierarchyGraph,
+    completer: &Completer<'_>,
+) -> Result<(Lattice, BTreeMap<String, String>), LatticeError> {
+    let c = completer.complete(h)?;
     let assign = h.nodes().map(|n| (n.to_string(), n.to_string())).collect();
     Ok((c.lattice, assign))
 }
@@ -96,6 +224,7 @@ fn naive_lattice(h: &HierarchyGraph) -> Result<(Lattice, BTreeMap<String, String
 fn sinfer_lattice(
     h: &HierarchyGraph,
     iface: &BTreeSet<String>,
+    completer: &Completer<'_>,
 ) -> Result<(Lattice, BTreeMap<String, String>), LatticeError> {
     let is_iface = |n: &str| iface.contains(n);
     let mut assign: BTreeMap<String, String> = BTreeMap::new();
@@ -199,7 +328,7 @@ fn sinfer_lattice(
     ig.remove_redundant_edges();
 
     // --- 5.3.4: completion ----------------------------------------------
-    let completion = dedekind_macneille(&ig)?;
+    let completion = completer.complete(&ig)?;
     let mut lat = completion.lattice;
 
     // --- 5.3.5: local variable insertion ---------------------------------
@@ -420,7 +549,7 @@ mod tests {
         let mut h = HierarchyGraph::new();
         h.add_edge("a", "x1");
         h.add_edge("x1", "b");
-        let (lat, assign) = naive_lattice(&h).expect("acyclic");
+        let (lat, assign) = naive_lattice(&h, &Completer::Exact).expect("acyclic");
         assert_eq!(assign["x1"], "x1");
         assert!(lat.get("x1").is_some());
     }
@@ -435,7 +564,12 @@ mod tests {
         h.add_edge("b", "g");
         h.add_edge("f", "z");
         h.add_edge("g", "z");
-        let (lat, assign) = sinfer_lattice(&h, &iface_set(&["a", "b", "f", "g", "z"])).expect("ok");
+        let (lat, assign) = sinfer_lattice(
+            &h,
+            &iface_set(&["a", "b", "f", "g", "z"]),
+            &Completer::Exact,
+        )
+        .expect("ok");
         // One of f/g aliased to the other.
         assert!(
             assign.get("g") == Some(&"f".to_string()) || assign.get("f") == Some(&"g".to_string())
@@ -450,7 +584,8 @@ mod tests {
         let mut h = HierarchyGraph::new();
         h.add_edge("a", "t");
         h.add_edge("t", "b");
-        let (lat, assign) = sinfer_lattice(&h, &iface_set(&["a", "b"])).expect("ok");
+        let (lat, assign) =
+            sinfer_lattice(&h, &iface_set(&["a", "b"]), &Completer::Exact).expect("ok");
         let t_loc = &assign["t"];
         assert_ne!(t_loc, "t");
         let t_id = lat.get(t_loc).expect("assigned exists");
@@ -468,7 +603,8 @@ mod tests {
         h.add_edge("c", "t");
         h.add_edge("t", "f");
         h.add_edge("t", "g");
-        let (lat, assign) = sinfer_lattice(&h, &iface_set(&["b", "c", "f", "g"])).expect("ok");
+        let (lat, assign) =
+            sinfer_lattice(&h, &iface_set(&["b", "c", "f", "g"]), &Completer::Exact).expect("ok");
         let t_id = lat.get(&assign["t"]).expect("t assigned");
         let b = lat.get("b").expect("b");
         let c = lat.get("c").expect("c");
@@ -487,7 +623,8 @@ mod tests {
         h.add_edge("a", "s");
         h.add_edge("s", "b");
         h.set_shared("s");
-        let (lat, assign) = sinfer_lattice(&h, &iface_set(&["a", "b"])).expect("ok");
+        let (lat, assign) =
+            sinfer_lattice(&h, &iface_set(&["a", "b"]), &Completer::Exact).expect("ok");
         let id = lat.get(&assign["s"]).expect("assigned");
         assert!(lat.is_shared(id));
     }
@@ -499,7 +636,8 @@ mod tests {
         h.add_edge("a", "t2");
         h.add_edge("t1", "b");
         h.add_edge("t2", "b");
-        let (_, assign) = sinfer_lattice(&h, &iface_set(&["a", "b"])).expect("ok");
+        let (_, assign) =
+            sinfer_lattice(&h, &iface_set(&["a", "b"]), &Completer::Exact).expect("ok");
         assert_eq!(assign["t1"], assign["t2"], "same height ⇒ same node");
     }
 }

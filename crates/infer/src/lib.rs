@@ -34,20 +34,71 @@
 #![warn(missing_docs)]
 
 pub mod decompose;
+pub mod dense;
 pub mod emit;
 pub mod lattgen;
 pub mod metrics;
 pub mod vfg;
 
 use sjava_analysis::callgraph;
+use sjava_lattice::CompletionCache;
 use sjava_syntax::ast::Program;
 use sjava_syntax::diag::{Diag, Diagnostics};
 use std::time::{Duration, Instant};
 
 pub use decompose::{decompose as decompose_graphs, Decomposition};
-pub use lattgen::{GenLattices, Mode};
+pub use dense::{
+    build_dense_graphs, decompose_dense, DenseFlowGraph, DenseMethodGraph, TupleId, TupleTable,
+};
+pub use lattgen::{Completer, GenLattices, Mode};
 pub use metrics::{LatticeStat, Metrics};
 pub use vfg::{build_flow_graphs, FlowGraph, Tuple};
+
+/// Which inference pipeline to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The original string-tuple pipeline (`vfg` + `decompose`): one
+    /// thread, `BTreeSet<(Tuple, Tuple)>` graphs, per-node Dedekind–
+    /// MacNeille completions. Kept as the byte-exact oracle.
+    Legacy,
+    /// The interned pipeline (`dense`): `u32` tuple ids, BitSet
+    /// adjacency, Tarjan SCC condensation, wave-parallel graph
+    /// construction, memoized completions. Produces byte-identical
+    /// annotations and diagnostics.
+    Dense,
+}
+
+/// Per-phase wall-clock breakdown of one inference run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InferTimings {
+    /// Value-flow-graph construction (per-method, wave-parallel).
+    pub vfg: Duration,
+    /// Hierarchy decomposition (classification, relocation, merges).
+    pub decompose: Duration,
+    /// Lattice generation (Dedekind–MacNeille / SInfer simplification).
+    pub lattgen: Duration,
+    /// Annotation emission.
+    pub emit: Duration,
+    /// Worker threads available to the run.
+    pub threads: usize,
+}
+
+impl InferTimings {
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.vfg + self.decompose + self.lattgen + self.emit
+    }
+
+    /// `(name, duration)` pairs in pipeline order.
+    pub fn phases(&self) -> [(&'static str, Duration); 4] {
+        [
+            ("vfg", self.vfg),
+            ("decompose", self.decompose),
+            ("lattgen", self.lattgen),
+            ("emit", self.emit),
+        ]
+    }
+}
 
 /// Outcome of annotation inference.
 #[derive(Debug, Clone)]
@@ -60,23 +111,71 @@ pub struct InferenceResult {
     pub metrics: Metrics,
     /// Wall-clock inference time.
     pub elapsed: Duration,
+    /// Per-phase breakdown.
+    pub timings: InferTimings,
 }
 
-/// Infers SJava annotations for `program` in the given mode.
+/// Infers SJava annotations for `program` in the given mode, using the
+/// dense parallel engine.
 ///
 /// # Errors
 ///
 /// Returns diagnostics when the program has no event loop, is recursive,
 /// or exhibits flows that cannot be represented (§5.2.7).
 pub fn infer(program: &Program, mode: Mode) -> Result<InferenceResult, Diagnostics> {
+    infer_with(program, mode, Engine::Dense)
+}
+
+/// Infers SJava annotations with an explicit engine choice. Both engines
+/// produce byte-identical results; [`Engine::Dense`] is the fast path
+/// and [`Engine::Legacy`] the reference oracle.
+///
+/// # Errors
+///
+/// Same conditions as [`infer`].
+pub fn infer_with(
+    program: &Program,
+    mode: Mode,
+    engine: Engine,
+) -> Result<InferenceResult, Diagnostics> {
     let start = Instant::now();
+    let mut timings = InferTimings {
+        threads: match engine {
+            Engine::Legacy => 1,
+            Engine::Dense => sjava_par::num_threads(),
+        },
+        ..Default::default()
+    };
     let mut diags = Diagnostics::new();
     let Some(cg) = callgraph::build(program, &mut diags) else {
         return Err(diags);
     };
-    let graphs = vfg::build_flow_graphs(program, &cg);
-    let d = decompose::decompose(program, &cg, &graphs);
-    let gen = match lattgen::generate(&d, mode, program) {
+    let phase = Instant::now();
+    let d = match engine {
+        Engine::Legacy => {
+            let graphs = vfg::build_flow_graphs(program, &cg);
+            timings.vfg = phase.elapsed();
+            let phase = Instant::now();
+            let d = decompose::decompose(program, &cg, &graphs);
+            timings.decompose = phase.elapsed();
+            d
+        }
+        Engine::Dense => {
+            let graphs = dense::build_dense_graphs(program, &cg);
+            timings.vfg = phase.elapsed();
+            let phase = Instant::now();
+            let d = dense::decompose_dense(program, &cg, &graphs);
+            timings.decompose = phase.elapsed();
+            d
+        }
+    };
+    let phase = Instant::now();
+    let cache = CompletionCache::new();
+    let (completer, parallel) = match engine {
+        Engine::Legacy => (Completer::Exact, false),
+        Engine::Dense => (Completer::Cached(&cache), true),
+    };
+    let gen = match lattgen::generate_with(&d, mode, program, &completer, parallel) {
         Ok(g) => g,
         Err(e) => {
             diags.push(Diag::infer(
@@ -86,12 +185,16 @@ pub fn infer(program: &Program, mode: Mode) -> Result<InferenceResult, Diagnosti
             return Err(diags);
         }
     };
+    timings.lattgen = phase.elapsed();
     let metrics = Metrics::from_gen(&gen);
+    let phase = Instant::now();
     let annotated = emit::annotate(program, &cg, &d, &gen);
+    timings.emit = phase.elapsed();
     Ok(InferenceResult {
         annotated,
         lattices: gen,
         metrics,
         elapsed: start.elapsed(),
+        timings,
     })
 }

@@ -25,7 +25,8 @@ impl Tuple {
 
     /// Appends a field name.
     pub fn append(&self, field: &str) -> Tuple {
-        let mut v = self.0.clone();
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
         v.push(field.to_string());
         Tuple(v)
     }
@@ -37,7 +38,8 @@ impl Tuple {
 
     /// Replaces the root with another tuple (argument binding, `⊙`).
     pub fn rebase(&self, new_root: &Tuple) -> Tuple {
-        let mut v = new_root.0.clone();
+        let mut v = Vec::with_capacity(new_root.0.len() + self.0.len() - 1);
+        v.extend_from_slice(&new_root.0);
         v.extend(self.0.iter().skip(1).cloned());
         Tuple(v)
     }
@@ -369,9 +371,14 @@ impl<'p> Builder<'p> {
             // summary. Implicit context also flows into the callee.
             roots.insert(p.name.clone(), asrc);
         }
-        let summary = self.summaries.get(&key).cloned().unwrap_or_default();
+        // Borrow the callee summary out of the shared map (`self.summaries`
+        // is a `&'p` reference, so copying the reference out lets the loop
+        // body take `&mut self` without cloning every flow pair per call
+        // site).
+        let summaries = self.summaries;
+        let summary: &[(Tuple, Tuple)] = summaries.get(&key).map(Vec::as_slice).unwrap_or(&[]);
         let mut ret_sources = BTreeSet::new();
-        for (from, to) in &summary {
+        for (from, to) in summary {
             let from_caller = self.translate(from, &roots);
             if to.root_name() == RET {
                 ret_sources.extend(from_caller.clone());

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use sjava_core::check_program;
-use sjava_infer::{infer, Mode};
+use sjava_infer::{infer, infer_with, Engine, Mode};
 use sjava_syntax::pretty::print_program;
 
 /// Generates an event loop over `n` fields where field `i`'s new value
@@ -90,6 +90,51 @@ proptest! {
             // Metrics are consistent.
             prop_assert!(result.metrics.total_locations() >= 1);
             prop_assert!(result.metrics.total_paths() >= 1);
+        }
+    }
+
+    /// The dense interned pipeline is byte-identical to the legacy string
+    /// pipeline: same annotations, same lattices (names *and* orders, via
+    /// the structural fingerprint), same assignments, same diagnostics.
+    #[test]
+    fn dense_engine_matches_legacy(src in arb_program()) {
+        let program = sjava_syntax::parse(&src).expect("generated source parses");
+        for mode in [Mode::Naive, Mode::SInfer] {
+            let legacy = infer_with(&program, mode, Engine::Legacy);
+            let dense = infer_with(&program, mode, Engine::Dense);
+            match (legacy, dense) {
+                (Ok(l), Ok(d)) => {
+                    prop_assert_eq!(
+                        print_program(&l.annotated),
+                        print_program(&d.annotated),
+                        "{:?}: annotated output diverges on:\n{}",
+                        mode,
+                        src
+                    );
+                    let lm: Vec<_> = l.lattices.methods.iter()
+                        .map(|(k, lat)| (k.clone(), lat.fingerprint())).collect();
+                    let dm: Vec<_> = d.lattices.methods.iter()
+                        .map(|(k, lat)| (k.clone(), lat.fingerprint())).collect();
+                    prop_assert_eq!(lm, dm, "{:?}: method lattices diverge", mode);
+                    let lf: Vec<_> = l.lattices.fields.iter()
+                        .map(|(k, lat)| (k.clone(), lat.fingerprint())).collect();
+                    let df: Vec<_> = d.lattices.fields.iter()
+                        .map(|(k, lat)| (k.clone(), lat.fingerprint())).collect();
+                    prop_assert_eq!(lf, df, "{:?}: field lattices diverge", mode);
+                    prop_assert_eq!(&l.lattices.method_assign, &d.lattices.method_assign);
+                    prop_assert_eq!(&l.lattices.field_assign, &d.lattices.field_assign);
+                }
+                (Err(l), Err(d)) => {
+                    prop_assert_eq!(l.to_string(), d.to_string(),
+                        "{:?}: diagnostics diverge on:\n{}", mode, src);
+                }
+                (l, d) => {
+                    return Err(TestCaseError::fail(format!(
+                        "{mode:?}: engines disagree on success: legacy={} dense={}\n{src}",
+                        l.is_ok(), d.is_ok()
+                    )));
+                }
+            }
         }
     }
 }

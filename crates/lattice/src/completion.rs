@@ -7,9 +7,13 @@
 //! by the principal down-sets under intersection: the normal ideals
 //! `{Aˡ : A ⊆ P}` ordered by inclusion.
 
+use crate::fingerprint::Fnv64;
+use crate::fnv::FnvHashMap;
 use crate::hierarchy::HierarchyGraph;
 use crate::lattice::{Lattice, LatticeError};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Upper bound on completion size, guarding against the (theoretical)
 /// exponential blow-up of pathological orders.
@@ -170,6 +174,320 @@ pub fn dedekind_macneille(g: &HierarchyGraph) -> Result<Completion, LatticeError
     })
 }
 
+/// Dense Dedekind–MacNeille completion: the same closure-system
+/// construction as [`dedekind_macneille`], computed over interned node
+/// indices with FNV-keyed closed-set deduplication instead of
+/// `BTreeSet<BTreeSet<String>>`.
+///
+/// Nodes are indexed in their `BTreeSet` (sorted-name) order, so an
+/// ascending index sequence compares exactly like the corresponding
+/// `BTreeSet<String>`: the `(len, set)` sort, the `LOCn` naming counter,
+/// and the `ensure`/`add_order` call sequence are all reproduced, making
+/// the resulting lattice byte-identical to the string-based completion
+/// (pinned by the `dense_matches_legacy_*` tests below).
+///
+/// # Errors
+///
+/// Identical to [`dedekind_macneille`]: rejects cyclic graphs, and treats
+/// a closure blow-up past the size cap as a cycle-class failure (the
+/// closure family is order-independent, so the cap fires on exactly the
+/// same inputs).
+pub fn dedekind_macneille_dense(g: &HierarchyGraph) -> Result<Completion, LatticeError> {
+    if let Some(cycle) = g.find_cycle() {
+        return Err(LatticeError::Cycle {
+            at: cycle.into_iter().next().unwrap_or_default(),
+        });
+    }
+
+    // Index nodes in sorted-name order; index order == name order.
+    let nodes: Vec<String> = g.nodes().map(|s| s.to_string()).collect();
+    let n = nodes.len();
+    let index: FnvHashMap<&str, u32> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.as_str(), i as u32))
+        .collect();
+    let succ: Vec<Vec<u32>> = nodes
+        .iter()
+        .map(|x| g.below(x).map(|b| index[b]).collect())
+        .collect();
+
+    // Principal down-sets as ascending index vectors.
+    let mut down: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for x in 0..n {
+        let mut seen = vec![false; n];
+        let mut stack = vec![x as u32];
+        while let Some(v) = stack.pop() {
+            if std::mem::replace(&mut seen[v as usize], true) {
+                continue;
+            }
+            stack.extend(succ[v as usize].iter().copied());
+        }
+        down.push(
+            (0..n as u32)
+                .filter(|i| seen[*i as usize])
+                .collect::<Vec<u32>>(),
+        );
+    }
+
+    // Closure of the generators under pairwise intersection, deduplicated
+    // through an FNV-keyed family table (hash of the index vector, with
+    // full-vector confirmation on collision).
+    let hash_set = |s: &[u32]| -> u64 {
+        let mut h = Fnv64::new();
+        h.write_usize(s.len());
+        for v in s {
+            h.write_u64(*v as u64);
+        }
+        h.finish()
+    };
+    let mut sets: Vec<Vec<u32>> = Vec::new();
+    let mut table: FnvHashMap<u64, Vec<usize>> = FnvHashMap::default();
+    let insert = |sets: &mut Vec<Vec<u32>>,
+                  table: &mut FnvHashMap<u64, Vec<usize>>,
+                  s: Vec<u32>|
+     -> Option<usize> {
+        let h = hash_set(&s);
+        let bucket = table.entry(h).or_default();
+        if bucket.iter().any(|&i| sets[i] == s) {
+            return None;
+        }
+        let id = sets.len();
+        bucket.push(id);
+        sets.push(s);
+        Some(id)
+    };
+    let full: Vec<u32> = (0..n as u32).collect();
+    insert(&mut sets, &mut table, full);
+    let mut worklist: Vec<usize> = Vec::new();
+    for gset in &down {
+        if let Some(id) = insert(&mut sets, &mut table, gset.clone()) {
+            worklist.push(id);
+        }
+    }
+    while let Some(si) = worklist.pop() {
+        for gset in &down {
+            // Sorted-vector intersection.
+            let s = &sets[si];
+            let mut inter = Vec::with_capacity(s.len().min(gset.len()));
+            let (mut i, mut j) = (0, 0);
+            while i < s.len() && j < gset.len() {
+                match s[i].cmp(&gset[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        inter.push(s[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            if let Some(id) = insert(&mut sets, &mut table, inter) {
+                if sets.len() > MAX_ELEMENTS {
+                    return Err(LatticeError::Cycle {
+                        at: "<completion blow-up>".to_string(),
+                    });
+                }
+                worklist.push(id);
+            }
+        }
+    }
+    insert(&mut sets, &mut table, Vec::new());
+
+    // Same `(len, set)` order as the legacy sort: ascending index vectors
+    // compare like the sorted-name `BTreeSet`s they encode.
+    sets.sort_by(|a, b| (a.len(), a.as_slice()).cmp(&(b.len(), b.as_slice())));
+
+    // Down-sets are distinct on acyclic inputs, so principal naming is
+    // unambiguous.
+    let mut principal_of: FnvHashMap<u64, Vec<(usize, u32)>> = FnvHashMap::default();
+    for (x, d) in down.iter().enumerate() {
+        principal_of
+            .entry(hash_set(d))
+            .or_default()
+            .push((d.len(), x as u32));
+    }
+    let principal = |s: &[u32]| -> Option<u32> {
+        principal_of
+            .get(&hash_set(s))?
+            .iter()
+            .find(|(len, x)| *len == s.len() && down[*x as usize] == s)
+            .map(|(_, x)| *x)
+    };
+
+    let mut names: Vec<String> = Vec::with_capacity(sets.len());
+    let mut synthesized = Vec::new();
+    let mut counter = 0usize;
+    for s in &sets {
+        if s.is_empty() {
+            names.push(String::new()); // maps to ⊥
+            continue;
+        }
+        let name = if let Some(x) = principal(s) {
+            nodes[x as usize].clone()
+        } else {
+            let fresh = loop {
+                let candidate = format!("LOC{counter}");
+                counter += 1;
+                if !g.has_node(&candidate) {
+                    break candidate;
+                }
+            };
+            synthesized.push(fresh.clone());
+            fresh
+        };
+        names.push(name);
+    }
+
+    // Hasse diagram, in the identical ensure/add_order sequence.
+    let mut lattice = Lattice::new();
+    for name in &names {
+        if !name.is_empty() {
+            lattice.ensure(name);
+        }
+    }
+    let is_subset = |s: &[u32], t: &[u32]| -> bool {
+        let mut j = 0;
+        for v in s {
+            while j < t.len() && t[j] < *v {
+                j += 1;
+            }
+            if j >= t.len() || t[j] != *v {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    };
+    for (i, s) in sets.iter().enumerate() {
+        if s.is_empty() {
+            continue;
+        }
+        let supersets: Vec<usize> = (i + 1..sets.len())
+            .filter(|&t| sets[t].len() > s.len() && is_subset(s, &sets[t]))
+            .collect();
+        let minimal: Vec<usize> = supersets
+            .iter()
+            .filter(|&&t| {
+                !supersets
+                    .iter()
+                    .any(|&u| sets[u].len() < sets[t].len() && is_subset(&sets[u], &sets[t]))
+            })
+            .copied()
+            .collect();
+        let lo = lattice.ensure(&names[i]);
+        for t in minimal {
+            let hi = lattice.ensure(&names[t]);
+            lattice.add_order(lo, hi).map_err(|_| LatticeError::Cycle {
+                at: names[i].clone(),
+            })?;
+        }
+    }
+    lattice.recompute();
+
+    for s in g.shared_nodes() {
+        if let Some(id) = lattice.get(s) {
+            lattice.set_shared(id, true);
+        }
+    }
+
+    Ok(Completion {
+        lattice,
+        synthesized,
+    })
+}
+
+/// A memoized Dedekind–MacNeille completion, keyed on an FNV-64 hash of
+/// the hierarchy graph's canonical encoding (nodes, edges, and shared
+/// flags in sorted order) with full-key confirmation on collision — the
+/// same shape as `intern.rs`'s GLB cache.
+///
+/// Hierarchy graphs repeat heavily across an inference run (structurally
+/// identical methods and classes produce identical graphs, and naive mode
+/// completes every hierarchy as-is), so a cache hit replaces the whole
+/// closure computation with a clone of the finished [`Completion`].
+///
+/// The cache is `Sync`: lattice generation fans completions out across
+/// worker threads and shares one cache behind a mutex (completions are
+/// coarse enough that lock traffic is noise).
+#[derive(Default)]
+pub struct CompletionCache {
+    entries: Mutex<FnvHashMap<u64, Vec<(String, Completion)>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl CompletionCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Completes `g`, reusing a previously computed completion when an
+    /// identical hierarchy graph has been seen.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`dedekind_macneille`]; errors are not
+    /// cached.
+    pub fn complete(&self, g: &HierarchyGraph) -> Result<Completion, LatticeError> {
+        let key = canonical_key(g);
+        let mut h = Fnv64::new();
+        h.write_str(&key);
+        let hash = h.finish();
+        {
+            let entries = self.entries.lock().expect("completion cache poisoned");
+            if let Some(bucket) = entries.get(&hash) {
+                if let Some((_, c)) = bucket.iter().find(|(k, _)| *k == key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(c.clone());
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let completion = dedekind_macneille_dense(g)?;
+        let mut entries = self.entries.lock().expect("completion cache poisoned");
+        let bucket = entries.entry(hash).or_default();
+        if !bucket.iter().any(|(k, _)| *k == key) {
+            bucket.push((key, completion.clone()));
+        }
+        Ok(completion)
+    }
+
+    /// `(hits, misses)` counters for diagnostics and benchmarks.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A canonical, injective string encoding of a hierarchy graph (node,
+/// edge, and shared-flag sections separated by control characters that
+/// cannot appear in node names). Two graphs share a key iff they are
+/// equal, so the key is usable for any hierarchy-indexed memo table.
+pub fn canonical_key(g: &HierarchyGraph) -> String {
+    let mut key = String::new();
+    for n in g.nodes() {
+        key.push_str(n);
+        key.push('\u{1}');
+    }
+    key.push('\u{2}');
+    for (a, b) in g.edges() {
+        key.push_str(a);
+        key.push('\u{1}');
+        key.push_str(b);
+        key.push('\u{1}');
+    }
+    key.push('\u{2}');
+    for s in g.shared_nodes() {
+        key.push_str(s);
+        key.push('\u{1}');
+    }
+    key
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +564,84 @@ mod tests {
         g.add_edge("A", "B");
         g.add_edge("B", "A");
         assert!(dedekind_macneille(&g).is_err());
+        assert!(dedekind_macneille_dense(&g).is_err());
+        assert!(CompletionCache::new().complete(&g).is_err());
+    }
+
+    fn sample_graphs() -> Vec<HierarchyGraph> {
+        let mut out = Vec::new();
+        let mut g = HierarchyGraph::new();
+        g.add_edge("a", "x");
+        g.add_edge("a", "y");
+        g.add_edge("b", "y");
+        g.add_edge("b", "z");
+        g.set_shared("y");
+        out.push(g);
+        let mut g = HierarchyGraph::new();
+        g.add_edge("b", "f");
+        g.add_edge("b", "g");
+        g.add_edge("c", "f");
+        g.add_edge("c", "g");
+        out.push(g);
+        let mut g = HierarchyGraph::new();
+        g.add_node("only");
+        out.push(g);
+        out.push(HierarchyGraph::new());
+        let mut g = HierarchyGraph::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                if i < j && (i + j) % 3 != 0 {
+                    g.add_edge(format!("n{i}"), format!("n{j}"));
+                }
+            }
+        }
+        out.push(g);
+        out
+    }
+
+    #[test]
+    fn dense_matches_legacy_on_samples() {
+        for g in sample_graphs() {
+            let legacy = dedekind_macneille(&g).expect("legacy");
+            let dense = dedekind_macneille_dense(&g).expect("dense");
+            assert_eq!(
+                legacy.lattice.fingerprint(),
+                dense.lattice.fingerprint(),
+                "lattice mismatch on {g}"
+            );
+            assert_eq!(legacy.synthesized, dense.synthesized, "names on {g}");
+        }
+    }
+
+    #[test]
+    fn cache_hits_return_identical_completions() {
+        let cache = CompletionCache::new();
+        for g in sample_graphs() {
+            let first = cache.complete(&g).expect("first");
+            let again = cache.complete(&g).expect("again");
+            assert_eq!(first.lattice.fingerprint(), again.lattice.fingerprint());
+            assert_eq!(first.synthesized, again.synthesized);
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, sample_graphs().len());
+        assert_eq!(hits, sample_graphs().len());
+    }
+
+    #[test]
+    fn cache_distinguishes_shared_flags() {
+        // Same nodes and edges, different shared flags: must not collide.
+        let cache = CompletionCache::new();
+        let mut g1 = HierarchyGraph::new();
+        g1.add_edge("a", "b");
+        let mut g2 = HierarchyGraph::new();
+        g2.add_edge("a", "b");
+        g2.set_shared("b");
+        let c1 = cache.complete(&g1).expect("plain");
+        let c2 = cache.complete(&g2).expect("shared");
+        let b1 = c1.lattice.get("b").expect("b");
+        let b2 = c2.lattice.get("b").expect("b");
+        assert!(!c1.lattice.is_shared(b1));
+        assert!(c2.lattice.is_shared(b2));
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub mod intern;
 pub mod lattice;
 pub mod paths;
 
-pub use completion::{dedekind_macneille, Completion};
+pub use completion::{
+    canonical_key, dedekind_macneille, dedekind_macneille_dense, Completion, CompletionCache,
+};
 pub use composite::{
     compare, from_loc_id, glb, is_shared, may_flow, CompositeLoc, Elem, LatticeCtx, SimpleCtx,
     Space,

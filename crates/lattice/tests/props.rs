@@ -124,6 +124,33 @@ proptest! {
     }
 
     #[test]
+    fn dense_completion_matches_legacy(orders in arb_order(7), shared in prop::collection::vec(0usize..7, 0..4)) {
+        // The interned/FNV-keyed completion must be byte-identical to the
+        // string-based one on arbitrary acyclic hierarchies, including
+        // shared flags and synthesized LOCn naming.
+        let mut h = HierarchyGraph::new();
+        for i in 0..7 {
+            h.add_node(format!("N{i}"));
+        }
+        for (lo, hi) in &orders {
+            h.add_edge(hi.clone(), lo.clone());
+        }
+        for s in &shared {
+            h.set_shared(&format!("N{s}"));
+        }
+        let legacy = dedekind_macneille(&h).expect("acyclic by construction");
+        let dense = sjava_lattice::dedekind_macneille_dense(&h).expect("acyclic by construction");
+        prop_assert_eq!(legacy.lattice.fingerprint(), dense.lattice.fingerprint());
+        prop_assert_eq!(&legacy.synthesized, &dense.synthesized);
+        // And the memoized path returns the same completion on repeat.
+        let cache = sjava_lattice::CompletionCache::new();
+        let c1 = cache.complete(&h).expect("first");
+        let c2 = cache.complete(&h).expect("memoized");
+        prop_assert_eq!(c1.lattice.fingerprint(), legacy.lattice.fingerprint());
+        prop_assert_eq!(c2.lattice.fingerprint(), legacy.lattice.fingerprint());
+    }
+
+    #[test]
     fn glb_and_lub_are_associative_on_completions(orders in arb_order(5)) {
         // Associativity is NOT a law of the raw declared orders (they are
         // mere posets where glb/lub pick a canonical bound); it IS a law

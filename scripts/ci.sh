@@ -20,6 +20,11 @@
 #      deterministic across fan-out widths
 #   8. the benchmark harness in gate mode on the small stress preset,
 #      enforcing the parallel-speedup and small-app-tax floors
+#   9. the inference benchmark in gate mode on the small stress preset,
+#      enforcing the dense-vs-legacy speedup floor (≥1.5x at 1 worker)
+#      and, on machines with ≥4 cores, the parallel-scaling floor; the
+#      byte-identity oracle check (dense == legacy annotations at every
+#      width) runs first inside the binary
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -71,5 +76,15 @@ gate_bin=$PWD/target/release/bench_checker
 gate_dir=$(mktemp -d)
 (cd "$gate_dir" && SJAVA_STRESS_PRESET=small SJAVA_REPS=3 "$gate_bin" --gate)
 rm -rf "$gate_dir"
+
+echo "== inference bench gate (small stress preset, 5 reps) =="
+# Same pattern for the inference engine: dense must beat legacy by
+# ≥ SJAVA_GATE_INFER (default 1.5x) at 1 worker even on the small
+# preset, and annotations must be byte-identical across engines and
+# worker counts. bench_infer clamps reps to ≥5 for stable minima.
+infer_bin=$PWD/target/release/bench_infer
+infer_dir=$(mktemp -d)
+(cd "$infer_dir" && SJAVA_STRESS_PRESET=small SJAVA_REPS=5 "$infer_bin" --gate)
+rm -rf "$infer_dir"
 
 echo "CI green"

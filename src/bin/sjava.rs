@@ -4,12 +4,13 @@
 //! sjava check <file.sj> [--format=text|json|sarif] [--deny-warnings]
 //!                                       verify self-stabilization
 //! sjava check --explain SJ0xxx          describe a diagnostic code
-//! sjava infer <file.sj> [--naive]       infer annotations, print source
+//! sjava infer <file.sj> [--naive] [--timings]
+//!                                       infer annotations, print source
 //! sjava run <file.sj> <Class.method> N  run the event loop N iterations
 //! sjava lattice <file.sj>               print declared lattices as DOT
 //! sjava stress [--preset=small|large] [--classes=N] [--methods=N]
-//!              [--fields=N] [--depth=N] [--stmts=N] [--seed=N] [--check]
-//!                                       emit a synthetic stress program
+//!              [--fields=N] [--depth=N] [--stmts=N] [--seed=N]
+//!              [--check] [--infer]      emit a synthetic stress program
 //! ```
 //!
 //! Exit codes: `0` success, `1` the check (or another command) failed
@@ -28,10 +29,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
         Some("check") if args.len() >= 2 => cmd_check(&args[1..]),
-        Some("infer") if args.len() >= 2 => {
-            let naive = args.iter().any(|a| a == "--naive");
-            cmd_infer(&args[1], naive)
-        }
+        Some("infer") if args.len() >= 2 => cmd_infer(&args[1..]),
         Some("run") if args.len() >= 4 => cmd_run(&args[1], &args[2], &args[3]),
         Some("lattice") if args.len() >= 2 => cmd_lattice(&args[1]),
         Some("lifetimes") if args.len() >= 2 => cmd_lifetimes(&args[1]),
@@ -40,7 +38,7 @@ fn main() -> ExitCode {
         Some("stress") => cmd_stress(&args[1..]),
         _ => {
             eprintln!(
-                "usage:\n  sjava check <file.sj> [--format=text|json|sarif] [--deny-warnings]\n  sjava check --explain SJ0xxx\n  sjava infer <file.sj> [--naive]\n  sjava run <file.sj> <Class.method> <iterations>\n  sjava lattice <file.sj>\n  sjava lifetimes <file.sj>\n  sjava lint <file.sj>\n  sjava vfg <file.sj>\n  sjava stress [--preset=small|large] [--classes=N] [--methods=N] [--fields=N]\n               [--depth=N] [--stmts=N] [--seed=N] [--check]"
+                "usage:\n  sjava check <file.sj> [--format=text|json|sarif] [--deny-warnings]\n  sjava check --explain SJ0xxx\n  sjava infer <file.sj> [--naive] [--timings]\n  sjava run <file.sj> <Class.method> <iterations>\n  sjava lattice <file.sj>\n  sjava lifetimes <file.sj>\n  sjava lint <file.sj>\n  sjava vfg <file.sj>\n  sjava stress [--preset=small|large] [--classes=N] [--methods=N] [--fields=N]\n               [--depth=N] [--stmts=N] [--seed=N] [--check] [--infer]"
             );
             ExitCode::from(EXIT_USAGE)
         }
@@ -50,17 +48,21 @@ fn main() -> ExitCode {
 /// `sjava stress`: prints a deterministic synthetic stress program to
 /// stdout (the same generator the benchmark harness uses). With
 /// `--check`, runs the whole-program checker over it instead and reports
-/// pass/fail — handy for timing the checker on arbitrary scales:
+/// pass/fail — handy for timing the checker on arbitrary scales. With
+/// `--infer`, strips the generated annotations and runs the inference
+/// engine over the bare program instead:
 ///
 /// ```text
 /// sjava stress --classes=50 --methods=10 > big.sj
 /// sjava stress --preset=large --check
+/// sjava stress --preset=large --infer
 /// ```
 fn cmd_stress(args: &[String]) -> ExitCode {
     use sjava_bench::stressgen::StressConfig;
 
     let mut cfg = StressConfig::default();
     let mut check = false;
+    let mut infer = false;
     for a in args {
         let numeric = |v: &str| -> Result<usize, ExitCode> {
             v.parse().map_err(|_| {
@@ -109,6 +111,7 @@ fn cmd_stress(args: &[String]) -> ExitCode {
                 Err(c) => return c,
             },
             "--check" => check = true,
+            "--infer" => infer = true,
             other => {
                 eprintln!("error: unknown flag `{other}` for `sjava stress`");
                 return ExitCode::from(EXIT_USAGE);
@@ -117,6 +120,9 @@ fn cmd_stress(args: &[String]) -> ExitCode {
     }
 
     let src = sjava_bench::stressgen::generate(&cfg);
+    if infer {
+        return stress_infer(&cfg, &src);
+    }
     if !check {
         print!("{src}");
         eprintln!(
@@ -148,6 +154,55 @@ fn cmd_stress(args: &[String]) -> ExitCode {
             cfg.method_count()
         );
         ExitCode::SUCCESS
+    }
+}
+
+/// `sjava stress --infer`: strip the generated corpus's annotations and
+/// run the inference engine over the bare program, reporting per-phase
+/// timings — the inference analogue of `--check`.
+fn stress_infer(cfg: &sjava_bench::stressgen::StressConfig, src: &str) -> ExitCode {
+    let label = cfg.label();
+    let file = SourceFile::new(format!("<{label}>"), src.to_string());
+    let program = match sjava::parse(&file.text) {
+        Ok(p) => p,
+        Err(diags) => {
+            for d in diags.iter() {
+                eprintln!("{}", d.render(&file));
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    let stripped = sjava::syntax::strip::strip_location_annotations(&program);
+    match sjava::infer_annotations(&stripped, sjava::Mode::SInfer) {
+        Ok(result) => {
+            let t = &result.timings;
+            let phase_list: Vec<String> = t
+                .phases()
+                .iter()
+                .map(|(name, d)| format!("{name} {:.3} ms", d.as_secs_f64() * 1000.0))
+                .collect();
+            println!(
+                "{label}: inferred {} locations, {} paths over {} methods ✓ ({:.2?})",
+                result.metrics.total_locations(),
+                result.metrics.total_paths(),
+                cfg.method_count(),
+                result.elapsed
+            );
+            println!(
+                "phases: {} ({} worker thread{})",
+                phase_list.join(", "),
+                t.threads,
+                if t.threads == 1 { "" } else { "s" }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(diags) => {
+            for d in diags.iter() {
+                eprintln!("{}", d.render(&file));
+            }
+            println!("{label}: inference failed ✗");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -356,7 +411,25 @@ fn bad_format(s: &str) -> ExitCode {
     ExitCode::from(EXIT_USAGE)
 }
 
-fn cmd_infer(path: &str, naive: bool) -> ExitCode {
+fn cmd_infer(args: &[String]) -> ExitCode {
+    let mut naive = false;
+    let mut timings = false;
+    let mut path: Option<&str> = None;
+    for a in args {
+        match a.as_str() {
+            "--naive" => naive = true,
+            "--timings" => timings = true,
+            f if f.starts_with("--") => {
+                eprintln!("error: unknown flag `{f}` for `sjava infer`");
+                return ExitCode::from(EXIT_USAGE);
+            }
+            p => path = Some(p),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("error: `sjava infer` needs a file");
+        return ExitCode::from(EXIT_USAGE);
+    };
     let (file, program) = match load(path) {
         Ok(x) => x,
         Err(c) => return c,
@@ -376,6 +449,20 @@ fn cmd_infer(path: &str, naive: bool) -> ExitCode {
                 result.metrics.total_paths(),
                 result.elapsed
             );
+            if timings {
+                let t = &result.timings;
+                let phase_list: Vec<String> = t
+                    .phases()
+                    .iter()
+                    .map(|(name, d)| format!("{name} {:.3} ms", d.as_secs_f64() * 1000.0))
+                    .collect();
+                eprintln!(
+                    "// phases: {} ({} worker thread{})",
+                    phase_list.join(", "),
+                    t.threads,
+                    if t.threads == 1 { "" } else { "s" }
+                );
+            }
             ExitCode::SUCCESS
         }
         Err(diags) => {
