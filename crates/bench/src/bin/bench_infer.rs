@@ -23,7 +23,7 @@
 //! dense-vs-legacy stress speedup at one worker must reach
 //! `SJAVA_GATE_INFER` (default 1.5); with ≥4 workers available, dense
 //! must additionally not *lose* wall-clock when parallel
-//! (`SJAVA_GATE_INFER_PAR`, default 0.95, skipped on narrow machines).
+//! (`SJAVA_GATE_INFER_PAR`, default 1.0, skipped on narrow machines).
 //! Env overrides: `SJAVA_REPS`, `SJAVA_THREADS`, `SJAVA_STRESS_PRESET`
 //! plus `SJAVA_STRESS_{CLASSES,METHODS,FIELDS,DEPTH,STMTS,SEED}`.
 
@@ -310,8 +310,12 @@ fn main() {
         legacy_seq.phase_json()
     ));
     json.push_str(&format!(
-        "    \"phases_dense1_ms\": {{ {} }}\n",
+        "    \"phases_dense1_ms\": {{ {} }},\n",
         dense1.phase_json()
+    ));
+    json.push_str(&format!(
+        "    \"phases_densemax_ms\": {{ {} }}\n",
+        densen.phase_json()
     ));
     json.push_str("  }\n}\n");
 
@@ -320,7 +324,7 @@ fn main() {
 
     if gate {
         let infer_floor = env_f64("SJAVA_GATE_INFER", 1.5);
-        let par_floor = env_f64("SJAVA_GATE_INFER_PAR", 0.95);
+        let par_floor = env_f64("SJAVA_GATE_INFER_PAR", 1.0);
         let mut failed = false;
         if speedup1 < infer_floor {
             eprintln!(

@@ -229,4 +229,32 @@ fn diagnostics_identical_at_any_thread_count() {
             "trial outcomes changed between 1 and {threads} worker threads"
         );
     }
+
+    // Parallel front-end sweep (ISSUE 6): forcing the unit threshold to 0
+    // sends every multi-class source down the split-lex-parse path at any
+    // pool width >= 2 (the paper apps are far below the default
+    // threshold, so the sweeps above never reached it). Text diagnostics,
+    // the JSON/SARIF emitters, and the inferred annotations — whose SH_*
+    // shared-lattice names appear in the pretty-printed programs — must
+    // all match the sequential front-end byte for byte.
+    std::env::set_var(sjava_par::THRESHOLD_ENV, "0");
+    assert_eq!(sjava_par::par_threshold(), 0);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            baseline,
+            render_all(threads),
+            "parallel front-end changed diagnostics at {threads} threads"
+        );
+        assert_eq!(
+            emitted,
+            render_emitters(threads),
+            "parallel front-end changed JSON/SARIF at {threads} threads"
+        );
+        assert_eq!(
+            inferred,
+            render_infer(threads),
+            "parallel front-end changed inferred annotations at {threads} threads"
+        );
+    }
+    std::env::remove_var(sjava_par::THRESHOLD_ENV);
 }

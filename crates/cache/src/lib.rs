@@ -59,6 +59,28 @@ use fingerprints::{iface_hash, local_fp};
 /// `$SJAVA_CACHE_DIR/cache.bin` and writes them back after every check.
 pub const CACHE_DIR_ENV: &str = "SJAVA_CACHE_DIR";
 
+/// Environment variable overriding [`PERSIST_MIN_WEIGHT`].
+pub const PERSIST_MIN_ENV: &str = "SJAVA_CACHE_PERSIST_MIN";
+
+/// Minimum total statement weight of the fingerprinted method set before
+/// a directory-backed session rewrites its cache file after a check.
+/// Serializing the cache costs a fixed ~0.2–0.5 ms of encode + write; a
+/// paper-sized app re-checks from scratch faster than that, so
+/// persisting it makes every *warm* check slower than a cold one (the
+/// `windsensor` warm_speedup-0.72 regression). Below this weight the
+/// round-trip is skipped — the in-memory session still replays hits, and
+/// a future process can re-check the tiny program cheaply anyway.
+pub const PERSIST_MIN_WEIGHT: u64 = 256;
+
+/// The effective persistence threshold: [`PERSIST_MIN_WEIGHT`] unless
+/// overridden via [`PERSIST_MIN_ENV`] (`0` persists everything).
+fn persist_min_weight() -> u64 {
+    std::env::var(PERSIST_MIN_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(PERSIST_MIN_WEIGHT)
+}
+
 /// Every cached per-method result, keyed (in the session maps) by the
 /// method's content fingerprint.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -104,6 +126,7 @@ pub struct IncrementalChecker {
     lattice_cache: Option<LatticeEntry>,
     last_keys: BTreeMap<MethodRef, u64>,
     dir: Option<PathBuf>,
+    persist_min: u64,
 }
 
 impl Default for IncrementalChecker {
@@ -121,6 +144,7 @@ impl IncrementalChecker {
             lattice_cache: None,
             last_keys: BTreeMap::new(),
             dir: None,
+            persist_min: persist_min_weight(),
         }
     }
 
@@ -136,7 +160,15 @@ impl IncrementalChecker {
             lattice_cache: None,
             last_keys: BTreeMap::new(),
             dir: Some(dir),
+            persist_min: persist_min_weight(),
         }
+    }
+
+    /// Overrides the persistence weight threshold for this session (`0`
+    /// persists every program). Tests use this instead of mutating
+    /// [`PERSIST_MIN_ENV`], which would race across test threads.
+    pub fn set_persist_min(&mut self, weight: u64) {
+        self.persist_min = weight;
     }
 
     /// [`IncrementalChecker::with_dir`] when [`CACHE_DIR_ENV`] is set,
@@ -487,8 +519,19 @@ impl IncrementalChecker {
         self.last_keys = keys;
         if let Some(dir) = &self.dir {
             // Persistence is best-effort: an unwritable directory must not
-            // fail the check.
-            let _ = disk::save(dir, &self.entries, &self.callee_cache);
+            // fail the check. Tiny programs skip the round-trip entirely —
+            // below the weight threshold the encode+write costs more than
+            // the re-check it would save, turning warm checks slower than
+            // cold ones.
+            let weight: u64 = cg
+                .topo
+                .iter()
+                .filter_map(|mref| program.resolve_method(&mref.0, &mref.1))
+                .map(|(_, m)| checker::block_weight(&m.body))
+                .sum();
+            if weight >= self.persist_min {
+                let _ = disk::save(dir, &self.entries, &self.callee_cache);
+            }
         }
 
         // Same stable total order as `sjava_core::check_program`, so

@@ -135,8 +135,10 @@ fn corrupt_disk_cache_degrades_to_misses() {
     let _ = std::fs::remove_dir_all(&dir);
     let program = sjava_syntax::parse(sjava_apps::eyetrack::SOURCE).expect("parses");
 
-    // Populate the on-disk cache, then destroy its tail.
+    // Populate the on-disk cache, then destroy its tail. The paper app is
+    // below the persistence weight threshold, so force the write.
     let mut writer = IncrementalChecker::with_dir(&dir);
+    writer.set_persist_min(0);
     let cold = writer.check(&program);
     drop(writer);
     let path = sjava_cache::cache_file(&dir);
@@ -165,6 +167,7 @@ fn disk_round_trip_serves_warm_hits_across_sessions() {
     let program = sjava_syntax::parse(sjava_apps::sumobot::SOURCE).expect("parses");
 
     let mut first = IncrementalChecker::with_dir(&dir);
+    first.set_persist_min(0);
     let cold = first.check(&program);
     assert!(cold.cache.expect("stats").misses > 0);
     drop(first);
@@ -178,6 +181,28 @@ fn disk_round_trip_serves_warm_hits_across_sessions() {
         stats.misses, 0,
         "disk-loaded entries must serve all methods"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tiny_programs_skip_the_disk_round_trip() {
+    // A paper-sized app is cheaper to re-check than to deserialize, so a
+    // directory-backed session must not write a cache file for it — that
+    // write is exactly what made warm checks slower than cold ones.
+    let dir = std::env::temp_dir().join("sjava-cache-correctness-skip");
+    let _ = std::fs::remove_dir_all(&dir);
+    let program = sjava_syntax::parse(sjava_apps::windsensor::SOURCE).expect("parses");
+
+    let mut session = IncrementalChecker::with_dir(&dir);
+    let first = session.check(&program);
+    assert!(
+        !sjava_cache::cache_file(&dir).exists(),
+        "windsensor is below the persistence threshold; no file expected"
+    );
+    // The in-memory session still replays everything.
+    let warm = session.check(&program);
+    assert_eq!(digest(&first), digest(&warm));
+    assert_eq!(warm.cache.expect("stats").misses, 0);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

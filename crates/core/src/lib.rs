@@ -38,7 +38,7 @@ use sjava_syntax::ast::Program;
 use sjava_syntax::diag::Diagnostics;
 use std::time::{Duration, Instant};
 
-pub use checker::MethodChecker;
+pub use checker::{block_weight, MethodChecker};
 pub use model::{FieldInfo, Lattices, MethodInfo, ModelCtx};
 
 /// Wall-clock time spent in each phase of the checking pipeline.

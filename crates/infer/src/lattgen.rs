@@ -6,10 +6,9 @@ use crate::vfg::{PC, RET};
 use sjava_analysis::callgraph::MethodRef;
 use sjava_lattice::{
     canonical_key, dedekind_macneille, Completion, CompletionCache, HierarchyGraph, Lattice,
-    LatticeError, BOTTOM, TOP,
+    LatticeError, ShardedMemo, BOTTOM, TOP,
 };
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Mutex;
 
 /// How hierarchy graphs are turned into complete lattices.
 ///
@@ -101,7 +100,7 @@ pub fn generate_with(
     // exact lattice the miss path would have computed.
     let memo: Option<LatticeMemo> = match completer {
         Completer::Exact => None,
-        Completer::Cached(_) => Some(Mutex::new(sjava_lattice::FnvHashMap::default())),
+        Completer::Cached(_) => Some(ShardedMemo::new()),
     };
     let method_work: Hierarchies<'_, MethodRef> = d
         .methods
@@ -150,8 +149,11 @@ pub fn generate_with(
 type Converted = Result<(Lattice, BTreeMap<String, String>), LatticeError>;
 
 /// Whole-conversion memo: injective `(mode, hierarchy, iface)` key →
-/// the converted lattice and assignment. Errors are never cached.
-type LatticeMemo = Mutex<sjava_lattice::FnvHashMap<String, (Lattice, BTreeMap<String, String>)>>;
+/// the converted lattice and assignment. Lock-striped so parallel
+/// lattice generation doesn't serialize every hit on one mutex (on
+/// generated corpora nearly every conversion is a hit). Errors are
+/// never cached.
+type LatticeMemo = ShardedMemo<(Lattice, BTreeMap<String, String>)>;
 
 /// The injective memo key for one conversion unit.
 fn memo_key(mode: Mode, h: &HierarchyGraph, iface: &BTreeSet<String>) -> String {
@@ -183,7 +185,7 @@ where
     let convert = |(key, h, iface): &(&'a K, &'a HierarchyGraph, BTreeSet<String>)| {
         let mk = memo.map(|m| {
             let k = memo_key(mode, h, iface);
-            let hit = m.lock().expect("lattice memo poisoned").get(&k).cloned();
+            let hit = m.get(&k);
             (k, hit)
         });
         if let Some((_, Some(cached))) = &mk {
@@ -194,14 +196,15 @@ where
             Mode::SInfer => sinfer_lattice(h, iface, completer),
         };
         if let (Some((k, None)), Some(m), Ok(value)) = (&mk, memo, &result) {
-            m.lock()
-                .expect("lattice memo poisoned")
-                .insert(k.clone(), value.clone());
+            m.insert(k.clone(), value.clone());
         }
         (*key, result)
     };
     if parallel {
-        sjava_par::run_indexed(work.len(), |i| convert(&work[i]))
+        // Hierarchy size drives completion cost; the deal order lets
+        // work stealing absorb the (heavy) uncached conversions.
+        let cost: Vec<u64> = work.iter().map(|(_, h, _)| h.node_count() as u64).collect();
+        sjava_par::run_indexed_weighted(work.len(), &cost, |i| convert(&work[i]))
     } else {
         work.iter().map(convert).collect()
     }

@@ -31,6 +31,7 @@ pub mod hierarchy;
 pub mod intern;
 pub mod lattice;
 pub mod paths;
+pub mod shard;
 
 pub use completion::{
     canonical_key, dedekind_macneille, dedekind_macneille_dense, Completion, CompletionCache,
@@ -46,3 +47,4 @@ pub use hierarchy::HierarchyGraph;
 pub use intern::{LocInterner, LocRef};
 pub use lattice::{Lattice, LatticeError, LocId, BOTTOM, TOP};
 pub use paths::{count_paths, is_complex, COMPLEX_THRESHOLD};
+pub use shard::ShardedMemo;

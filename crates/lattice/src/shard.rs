@@ -1,0 +1,172 @@
+//! A lock-striped memo arena for parallel interning.
+//!
+//! The dense inference pipeline and the parallel front-end both funnel
+//! repeated keys (canonical hierarchy encodings, composite-location
+//! annotation strings, whole-conversion memo keys) through shared memo
+//! tables. A single `Mutex<HashMap>` serializes every worker on one
+//! cache line; [`ShardedMemo`] splits the table into [`SHARDS`]
+//! independently-locked stripes selected by the key's FNV-64 hash, so
+//! two workers only contend when their keys land in the same stripe
+//! (probability 1/16 under a uniform hash).
+//!
+//! Determinism: the memo is a pure function table — a hit returns a
+//! clone of exactly the value the miss path would have computed — so
+//! interleaving, stripe count, and thread count cannot change any
+//! observable result, only how often the computation is repeated.
+
+use crate::fingerprint::Fnv64;
+use crate::fnv::FnvHashMap;
+use std::sync::Mutex;
+
+/// Stripe count. A power of two so selection is a mask; 16 stripes keep
+/// the expected contention between any two workers at 1/16 while the
+/// whole arena stays small enough to sit in cache.
+pub const SHARDS: usize = 16;
+
+/// A lock-striped `key → value` memo. Values are cloned out on hit;
+/// entries are never evicted (inference runs are bounded and the tables
+/// are keyed on canonical strings that repeat heavily).
+pub struct ShardedMemo<V> {
+    stripes: Vec<Mutex<FnvHashMap<String, V>>>,
+}
+
+impl<V: Clone> Default for ShardedMemo<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone> ShardedMemo<V> {
+    /// An empty memo with [`SHARDS`] stripes.
+    pub fn new() -> Self {
+        Self {
+            stripes: (0..SHARDS)
+                .map(|_| Mutex::new(FnvHashMap::default()))
+                .collect(),
+        }
+    }
+
+    /// Stripe index for `key` (FNV-64 of the key bytes, masked).
+    fn stripe(&self, key: &str) -> &Mutex<FnvHashMap<String, V>> {
+        let mut h = Fnv64::new();
+        h.write_str(key);
+        &self.stripes[(h.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// Returns a clone of the memoized value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<V> {
+        self.stripe(key)
+            .lock()
+            .expect("memo stripe poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Inserts `value` under `key` unless an entry already exists (the
+    /// first finisher wins; racing workers computed identical values, so
+    /// which one lands is unobservable).
+    pub fn insert(&self, key: String, value: V) {
+        self.stripe(&key)
+            .lock()
+            .expect("memo stripe poisoned")
+            .entry(key)
+            .or_insert(value);
+    }
+
+    /// `get` or compute-and-insert: runs `make` outside any lock (so a
+    /// slow computation never blocks other stripes — or even other keys
+    /// of the same stripe), then publishes the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `make`'s error; errors are never cached.
+    pub fn get_or_try_insert<E>(
+        &self,
+        key: &str,
+        make: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        if let Some(v) = self.get(key) {
+            return Ok(v);
+        }
+        let v = make()?;
+        self.insert(key.to_string(), v.clone());
+        Ok(v)
+    }
+
+    /// Total entries across all stripes (diagnostics only).
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("memo stripe poisoned").len())
+            .sum()
+    }
+
+    /// True when no stripe holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn hit_returns_what_miss_computed() {
+        let memo: ShardedMemo<String> = ShardedMemo::new();
+        let computed = AtomicUsize::new(0);
+        let make = || -> Result<String, ()> {
+            computed.fetch_add(1, Ordering::Relaxed);
+            Ok("value".to_string())
+        };
+        assert_eq!(memo.get_or_try_insert("k", make).unwrap(), "value");
+        assert_eq!(memo.get_or_try_insert("k", make).unwrap(), "value");
+        assert_eq!(computed.load(Ordering::Relaxed), 1, "second call hits");
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let memo: ShardedMemo<u32> = ShardedMemo::new();
+        assert!(memo
+            .get_or_try_insert("k", || Err::<u32, _>("boom"))
+            .is_err());
+        assert!(memo.is_empty(), "failed computations leave no entry");
+        assert_eq!(memo.get_or_try_insert("k", || Ok::<_, ()>(7)).unwrap(), 7);
+    }
+
+    #[test]
+    fn keys_spread_across_stripes_and_stay_distinct() {
+        let memo: ShardedMemo<usize> = ShardedMemo::new();
+        for i in 0..200 {
+            memo.insert(format!("key-{i}"), i);
+        }
+        assert_eq!(memo.len(), 200);
+        for i in 0..200 {
+            assert_eq!(memo.get(&format!("key-{i}")), Some(i));
+        }
+        // First insert wins; a racing duplicate is ignored.
+        memo.insert("key-3".to_string(), 999);
+        assert_eq!(memo.get("key-3"), Some(3));
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let memo: ShardedMemo<usize> = ShardedMemo::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let memo = &memo;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        let v = memo
+                            .get_or_try_insert(&format!("key-{i}"), || Ok::<_, ()>(i))
+                            .unwrap();
+                        assert_eq!(v, i, "thread {t} saw a foreign value");
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.len(), 100);
+    }
+}

@@ -10,21 +10,33 @@ use crate::token::{Token, TokenKind};
 /// Unrecognized bytes produce an error diagnostic and are skipped, so the
 /// lexer never fails outright.
 pub fn lex(src: &str, diags: &mut Diagnostics) -> Vec<Token> {
-    Lexer::new(src).run(diags)
+    Lexer::new(src, 0).run(diags)
+}
+
+/// [`lex`] for a slice of a larger file: `base` is the byte offset of
+/// `src` within that file, and every produced span (token and
+/// diagnostic) is absolute — identical to what lexing the whole file
+/// would have assigned to the same bytes. This is what lets the
+/// parallel front-end lex compilation units independently and merge the
+/// streams byte-for-byte.
+pub(crate) fn lex_at(src: &str, base: u32, diags: &mut Diagnostics) -> Vec<Token> {
+    Lexer::new(src, base).run(diags)
 }
 
 struct Lexer<'a> {
     src: &'a str,
     bytes: &'a [u8],
     pos: usize,
+    base: u32,
 }
 
 impl<'a> Lexer<'a> {
-    fn new(src: &'a str) -> Self {
+    fn new(src: &'a str, base: u32) -> Self {
         Lexer {
             src,
             bytes: src.as_bytes(),
             pos: 0,
+            base,
         }
     }
 
@@ -87,7 +99,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn span_from(&self, start: usize) -> Span {
-        Span::new(start as u32, self.pos as u32)
+        Span::new(self.base + start as u32, self.base + self.pos as u32)
     }
 
     fn skip_trivia(&mut self, diags: &mut Diagnostics) {

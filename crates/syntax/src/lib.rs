@@ -31,6 +31,7 @@ pub mod codes;
 pub mod diag;
 pub mod emit;
 pub mod lexer;
+mod par_parse;
 pub mod parser;
 pub mod pretty;
 pub mod resolve;

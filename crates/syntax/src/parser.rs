@@ -13,6 +13,14 @@ use crate::token::{Token, TokenKind};
 /// recovers at member and statement boundaries so a best-effort AST is
 /// always produced.
 pub fn parse_program(src: &str, diags: &mut Diagnostics) -> Program {
+    // The parallel front-end (pre-scan + per-unit lex/parse on the
+    // worker pool) handles large multi-class files; it declines — and
+    // leaves `diags` untouched — whenever the sequential path might
+    // observe the input differently, so output stays byte-identical at
+    // any thread count.
+    if let Some(program) = crate::par_parse::try_parse_parallel(src) {
+        return program;
+    }
     let tokens = lex(src, diags);
     let mut p = Parser {
         tokens,
@@ -21,6 +29,19 @@ pub fn parse_program(src: &str, diags: &mut Diagnostics) -> Program {
     };
     let program = p.program();
     crate::resolve::resolve_statics(program)
+}
+
+/// Parses one compilation unit's token stream (a run of top-level class
+/// declarations ending in `Eof`) without the whole-program static
+/// resolution pass. The parallel front-end merges unit class lists in
+/// source order and resolves once over the merged program.
+pub(crate) fn parse_unit(tokens: Vec<Token>, diags: &mut Diagnostics) -> Vec<ClassDecl> {
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        diags,
+    };
+    p.program().classes
 }
 
 struct Parser<'a> {

@@ -1,0 +1,175 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The container has no network access, so the real criterion cannot be
+//! fetched; this stub reproduces the narrow API surface the workspace
+//! benches use (`Criterion::bench_function`, benchmark groups,
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros) over a small timed-iteration harness:
+//! every benchmark closure is warmed up once, then sampled a fixed
+//! number of times, and the median per-iteration time is printed in a
+//! `name ... time: [median]` line loosely matching criterion's output.
+//!
+//! It is **not** a statistics engine — no outlier analysis, no HTML
+//! reports — but it keeps `cargo bench` compiling, running, and useful
+//! for eyeballing relative cost.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark (each sample runs the closure
+/// enough times to cover ~5ms, so fast closures are still resolvable).
+const SAMPLES: usize = 11;
+
+/// Formats a duration the way criterion does (ns/µs/ms/s with 4
+/// significant digits).
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos() as f64;
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.3} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.3} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Per-benchmark timing loop handed to the user closure.
+pub struct Bencher {
+    /// Median per-iteration duration of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`: one warm-up call, then [`SAMPLES`] batched samples;
+    /// records the median per-iteration duration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up call, then size a batch to ~5ms with a quick probe so
+        // per-iteration timing of sub-microsecond closures stays above
+        // clock noise.
+        std::hint::black_box(f());
+        let probe = Instant::now();
+        std::hint::black_box(f());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        let mut samples: Vec<Duration> = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(start.elapsed() / batch);
+        }
+        samples.sort_unstable();
+        self.last = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Identifier for a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Parameter-only form (the group name provides the function part).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Top-level benchmark driver (the `c` in `fn bench(c: &mut Criterion)`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs and reports one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named group; member benchmarks report as `group/member`.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs and reports one member benchmark.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(&mut self, id: I, f: F) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), f);
+        self
+    }
+
+    /// Runs and reports one member benchmark with an explicit input.
+    pub fn bench_with_input<I: Display, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op here; criterion flushes reports).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher { last: None };
+    f(&mut b);
+    match b.last {
+        Some(t) => println!("{name:<40} time: [{}]", fmt_duration(t)),
+        None => println!("{name:<40} time: [no iter() call]"),
+    }
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
