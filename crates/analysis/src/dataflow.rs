@@ -9,12 +9,11 @@
 //! back to `BTreeSet`s, so callers observe exactly the facts the
 //! original string-keyed solver produced — a property the randomized
 //! oracle test at the bottom of this file checks against the legacy
-//! [`solve`] implementation, which is kept compiled under `cfg(test)`
-//! for that purpose.
+//! [`solve`] implementation, which is kept compiled unconditionally so
+//! the differential fuzz harness (`sjava fuzz --oracle=check`) can pit
+//! the two engines against each other on adversarial programs.
 
-#[cfg(test)]
-use crate::cfg::BasicBlock;
-use crate::cfg::{BlockId, Cfg, Instr};
+use crate::cfg::{BasicBlock, BlockId, Cfg, Instr};
 use crate::dense::{solve_gen_kill, BitSet, Interner, VarInterner};
 use sjava_syntax::ast::{Expr, LValue};
 use std::collections::BTreeSet;
@@ -244,7 +243,6 @@ pub fn reaching_defs(cfg: &Cfg) -> Solution<BTreeSet<DefSite>> {
 // ---------------------------------------------------------------------
 
 /// Analysis direction of the legacy generic solver.
-#[cfg(test)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Direction {
     /// Facts flow along control-flow edges.
@@ -254,7 +252,6 @@ pub enum Direction {
 }
 
 /// A dataflow problem over per-block facts (legacy oracle interface).
-#[cfg(test)]
 pub trait Problem {
     /// The lattice of facts (sets with union meet here).
     type Fact: Clone + PartialEq + Default;
@@ -271,7 +268,6 @@ pub trait Problem {
 
 /// Runs the legacy worklist algorithm to a fixed point. Retained as the
 /// executable specification the dense engine is property-tested against.
-#[cfg(test)]
 pub fn solve<P: Problem>(cfg: &Cfg, problem: &P) -> Solution<P::Fact> {
     use std::collections::VecDeque;
     let n = cfg.len();
@@ -305,11 +301,9 @@ pub fn solve<P: Problem>(cfg: &Cfg, problem: &P) -> Solution<P::Fact> {
 }
 
 /// Backward liveness of local variable names (legacy oracle).
-#[cfg(test)]
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LiveVariables;
 
-#[cfg(test)]
 impl Problem for LiveVariables {
     type Fact = BTreeSet<String>;
 
@@ -339,14 +333,12 @@ impl Problem for LiveVariables {
 }
 
 /// Forward reaching-definitions over local variables (legacy oracle).
-#[cfg(test)]
 #[derive(Debug, Clone, Default)]
 pub struct ReachingDefs {
     /// All definition sites per variable (precomputed).
     pub defs_of: std::collections::BTreeMap<String, BTreeSet<DefSite>>,
 }
 
-#[cfg(test)]
 impl ReachingDefs {
     /// Precomputes definition sites from a CFG.
     pub fn prepare(cfg: &Cfg) -> Self {
@@ -365,7 +357,6 @@ impl ReachingDefs {
     }
 }
 
-#[cfg(test)]
 impl Problem for ReachingDefs {
     type Fact = BTreeSet<DefSite>;
 

@@ -1,0 +1,174 @@
+//! Delta-debugging minimizer for oracle witnesses.
+//!
+//! Classic ddmin over source lines: repeatedly try removing complements
+//! of line chunks (halving the chunk size down to single lines) and
+//! keep any candidate on which the failure predicate still fires, then
+//! finish with a per-annotation removal pass. The predicate is caller
+//! supplied — "this oracle still mismatches" for fuzz findings, "the
+//! checker still reports an error" when crafting near-miss fixtures —
+//! so the same engine serves both.
+
+/// Number of statement-looking lines (trimmed line ends with `;`) —
+/// the size metric quoted in reports and asserted by the harness tests.
+pub fn statement_count(src: &str) -> usize {
+    src.lines()
+        .filter(|l| l.trim_end().ends_with(';') && !l.trim_start().starts_with("//"))
+        .count()
+}
+
+/// Shrinks `src` to a smaller program on which `fails` still returns
+/// `true`. `fails(src)` must hold on entry; the result is 1-minimal at
+/// line granularity (no single remaining line can be removed) unless
+/// the evaluation budget runs out first.
+pub fn minimize(src: &str, fails: &mut dyn FnMut(&str) -> bool) -> String {
+    debug_assert!(fails(src), "minimize called on a passing input");
+    // Budget on predicate evaluations: each one can run every oracle
+    // engine, so cap the total rather than loop to a perfect fixpoint
+    // on pathological inputs.
+    let mut budget = 400usize;
+    let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+    let mut chunk = lines.len().div_ceil(2).max(1);
+    loop {
+        let mut shrunk = false;
+        let mut start = 0;
+        while start < lines.len() {
+            let end = (start + chunk).min(lines.len());
+            let candidate: Vec<String> = lines[..start]
+                .iter()
+                .chain(&lines[end..])
+                .cloned()
+                .collect();
+            if candidate.is_empty() || budget == 0 {
+                start = end;
+                continue;
+            }
+            budget -= 1;
+            if fails(&render(&candidate)) {
+                lines = candidate;
+                shrunk = true;
+                // Re-test the same offset: the next chunk slid into it.
+            } else {
+                start = end;
+            }
+        }
+        if !shrunk {
+            if chunk == 1 {
+                break;
+            }
+            chunk = chunk.div_ceil(2).max(1);
+        }
+        if budget == 0 {
+            break;
+        }
+    }
+    let mut out = render(&lines);
+    // Annotation pass: lines rarely split annotations from their
+    // declarations, so strip individually removable `@WORD("…")`s.
+    loop {
+        let mut removed = false;
+        for span in annotation_spans(&out) {
+            if budget == 0 {
+                break;
+            }
+            let mut candidate = String::with_capacity(out.len());
+            candidate.push_str(&out[..span.start]);
+            let rest = &out[span.end..];
+            candidate.push_str(rest.strip_prefix(' ').unwrap_or(rest));
+            budget -= 1;
+            if fails(&candidate) {
+                out = candidate;
+                removed = true;
+                break; // spans are stale now — rescan
+            }
+        }
+        if !removed || budget == 0 {
+            break;
+        }
+    }
+    out
+}
+
+fn render(lines: &[String]) -> String {
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// Byte ranges of every `@WORD(…)` annotation (same scan as the
+/// mutator's, kept local so the passes stay independently tweakable).
+fn annotation_spans(src: &str) -> Vec<std::ops::Range<usize>> {
+    let b = src.as_bytes();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] != b'@' {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + 1;
+        while j < b.len() && (b[j].is_ascii_uppercase() || b[j] == b'_') {
+            j += 1;
+        }
+        if j == i + 1 || j >= b.len() || b[j] != b'(' {
+            i += 1;
+            continue;
+        }
+        let mut k = j + 1;
+        let mut in_str = false;
+        while k < b.len() {
+            match b[k] {
+                b'"' => in_str = !in_str,
+                b')' if !in_str => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= b.len() {
+            break;
+        }
+        spans.push(start..k + 1);
+        i = k + 1;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_single_guilty_line() {
+        let src: String = (0..40)
+            .map(|i| {
+                if i == 23 {
+                    "int guilty = 1;\n".to_string()
+                } else {
+                    format!("int ok{i} = 0;\n")
+                }
+            })
+            .collect();
+        let out = minimize(&src, &mut |cand| cand.contains("guilty"));
+        assert_eq!(out, "int guilty = 1;\n");
+        assert_eq!(statement_count(&out), 1);
+    }
+
+    #[test]
+    fn annotation_pass_strips_irrelevant_annotations() {
+        let src = "@LATTICE(\"A<B\") class C { @LOC(\"A\") int a; @LOC(\"B\") int guilty; }\n";
+        let out = minimize(src, &mut |cand| cand.contains("guilty"));
+        assert!(out.contains("guilty"));
+        assert!(
+            !out.contains("@LOC(\"A\")"),
+            "irrelevant annotation kept: {out}"
+        );
+    }
+
+    #[test]
+    fn statement_count_ignores_comments() {
+        assert_eq!(
+            statement_count("int a = 1;\n// not a stmt;\nint b = 2;\n"),
+            2
+        );
+    }
+}

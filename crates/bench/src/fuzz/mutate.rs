@@ -1,0 +1,297 @@
+//! Mutation operators over SJava source text.
+//!
+//! All operators are deterministic functions of `(source, rng)` and
+//! purely textual, working on lines and annotation spans so most
+//! mutants stay parseable: swapping `@LOC` payloads or deleting a
+//! statement yields near-miss flow/eviction violations, inserting
+//! comment or block noise perturbs every downstream span, and the brace
+//! breaker produces outright parse errors — the diagnostic path is an
+//! oracle surface too. An operator with no applicable site returns the
+//! source unchanged (the caller treats mutation as best-effort).
+
+use crate::stressgen::Mix;
+
+/// Applies one randomly chosen operator.
+pub fn mutate(src: &str, rng: &mut Mix) -> String {
+    match rng.next() % 8 {
+        0 => swap_loc_payloads(src, rng),
+        1 => drop_annotation(src, rng),
+        2 => drop_statement(src, rng),
+        3 => duplicate_statement(src, rng),
+        4 => insert_comment_noise(src, rng),
+        5 => insert_block(src, rng),
+        6 => flip_assignment(src, rng),
+        7 => break_brace(src, rng),
+        _ => unreachable!(),
+    }
+}
+
+/// Byte ranges of every `@WORD("…")` annotation, in source order.
+fn annotation_spans(src: &str) -> Vec<std::ops::Range<usize>> {
+    let b = src.as_bytes();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] != b'@' {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + 1;
+        while j < b.len() && (b[j].is_ascii_uppercase() || b[j] == b'_') {
+            j += 1;
+        }
+        if j == i + 1 || j >= b.len() || b[j] != b'(' {
+            i += 1;
+            continue;
+        }
+        // Scan to the closing paren of the quoted payload; annotation
+        // payloads never contain escaped quotes.
+        let mut k = j + 1;
+        let mut in_str = false;
+        while k < b.len() {
+            match b[k] {
+                b'"' => in_str = !in_str,
+                b')' if !in_str => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= b.len() {
+            break;
+        }
+        spans.push(start..k + 1);
+        i = k + 1;
+    }
+    spans
+}
+
+/// Byte ranges of the quoted payloads of `@LOC("…")` annotations only.
+fn loc_payload_spans(src: &str) -> Vec<std::ops::Range<usize>> {
+    annotation_spans(src)
+        .into_iter()
+        .filter(|r| src[r.clone()].starts_with("@LOC("))
+        .filter_map(|r| {
+            let open = src[r.clone()].find('"')? + r.start;
+            let close = src[open + 1..r.end].find('"')? + open + 1;
+            Some(open + 1..close)
+        })
+        .collect()
+}
+
+/// Indices of lines that look like simple statements (end in `;`).
+fn statement_lines(src: &str) -> Vec<usize> {
+    src.lines()
+        .enumerate()
+        .filter(|(_, l)| l.trim_end().ends_with(';') && !l.trim_start().starts_with("//"))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn rebuild(lines: &[&str]) -> String {
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// Swaps the payloads of two `@LOC` annotations — the canonical
+/// near-miss generator: the program still parses and the lattice still
+/// builds, but a flow that was downhill may now run uphill.
+fn swap_loc_payloads(src: &str, rng: &mut Mix) -> String {
+    let payloads = loc_payload_spans(src);
+    if payloads.len() < 2 {
+        return src.to_string();
+    }
+    let a = rng.next() as usize % payloads.len();
+    let b = rng.next() as usize % payloads.len();
+    let (a, b) = (a.min(b), a.max(b));
+    if a == b {
+        return src.to_string();
+    }
+    let (ra, rb) = (payloads[a].clone(), payloads[b].clone());
+    let mut out = String::with_capacity(src.len());
+    out.push_str(&src[..ra.start]);
+    out.push_str(&src[rb.clone()]);
+    out.push_str(&src[ra.end..rb.start]);
+    out.push_str(&src[ra.clone()]);
+    out.push_str(&src[rb.end..]);
+    out
+}
+
+/// Deletes one annotation (`@LOC`, `@LATTICE`, `@THISLOC`, …) outright:
+/// missing-annotation diagnostics are a first-class oracle surface.
+fn drop_annotation(src: &str, rng: &mut Mix) -> String {
+    let spans = annotation_spans(src);
+    if spans.is_empty() {
+        return src.to_string();
+    }
+    let r = spans[rng.next() as usize % spans.len()].clone();
+    // Also eat one trailing space so `@LOC("X") int x` stays tidy.
+    let end = if src[r.end..].starts_with(' ') {
+        r.end + 1
+    } else {
+        r.end
+    };
+    format!("{}{}", &src[..r.start], &src[end..])
+}
+
+/// Deletes one statement line — truncating bodies breaks
+/// definitely-written coverage (eviction near-misses) while keeping the
+/// braces balanced.
+fn drop_statement(src: &str, rng: &mut Mix) -> String {
+    let stmts = statement_lines(src);
+    if stmts.is_empty() {
+        return src.to_string();
+    }
+    let victim = stmts[rng.next() as usize % stmts.len()];
+    let lines: Vec<&str> = src
+        .lines()
+        .enumerate()
+        .filter(|(i, _)| *i != victim)
+        .map(|(_, l)| l)
+        .collect();
+    rebuild(&lines)
+}
+
+/// Duplicates one statement line — double writes probe the aliasing and
+/// shared-location rules, and duplicated declarations probe the parser.
+fn duplicate_statement(src: &str, rng: &mut Mix) -> String {
+    let stmts = statement_lines(src);
+    if stmts.is_empty() {
+        return src.to_string();
+    }
+    let chosen = stmts[rng.next() as usize % stmts.len()];
+    let mut lines: Vec<&str> = src.lines().collect();
+    lines.insert(chosen, lines[chosen]);
+    rebuild(&lines)
+}
+
+/// Inserts a pathological comment line: every span below it shifts, and
+/// the braces and quotes inside must stay invisible to the parallel
+/// front-end's pre-scan.
+fn insert_comment_noise(src: &str, rng: &mut Mix) -> String {
+    const NOISE: &[&str] = &[
+        "/* { } \" unbalanced-looking */",
+        "// trailing brace torture } } {",
+        "/* @LOC(\"FAKE\") */",
+    ];
+    let mut lines: Vec<&str> = src.lines().collect();
+    if lines.is_empty() {
+        return src.to_string();
+    }
+    let at = rng.next() as usize % lines.len();
+    let noise = NOISE[rng.next() as usize % NOISE.len()];
+    lines.insert(at, noise);
+    rebuild(&lines)
+}
+
+/// Wraps a nested block around a fresh local after a statement line —
+/// legal deep nesting that stresses the pre-scan and the CFG builder.
+fn insert_block(src: &str, rng: &mut Mix) -> String {
+    let stmts = statement_lines(src);
+    if stmts.is_empty() {
+        return src.to_string();
+    }
+    let after = stmts[rng.next() as usize % stmts.len()];
+    let depth = 1 + rng.next() % 3;
+    let mut block = String::new();
+    for _ in 0..depth {
+        block.push_str("{ ");
+    }
+    block.push_str(&format!("int fz{} = {};", rng.next() % 100, rng.lit(9)));
+    for _ in 0..depth {
+        block.push_str(" }");
+    }
+    let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+    let indent: String = lines[after]
+        .chars()
+        .take_while(|c| c.is_whitespace())
+        .collect();
+    lines.insert(after + 1, format!("{indent}{block}"));
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// Reverses a simple `x = y;` assignment — the textbook flow-up
+/// violation when the two locations were ordered.
+fn flip_assignment(src: &str, rng: &mut Mix) -> String {
+    let candidates: Vec<usize> = src
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| {
+            let t = l.trim();
+            let Some((lhs, rhs)) = t.strip_suffix(';').and_then(|t| t.split_once(" = ")) else {
+                return false;
+            };
+            let ident =
+                |s: &str| !s.is_empty() && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+            ident(lhs) && ident(rhs)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        return src.to_string();
+    }
+    let chosen = candidates[rng.next() as usize % candidates.len()];
+    let mut lines: Vec<String> = src.lines().map(str::to_string).collect();
+    let t = lines[chosen].trim().to_string();
+    let indent: String = lines[chosen]
+        .chars()
+        .take_while(|c| c.is_whitespace())
+        .collect();
+    let (lhs, rhs) = t
+        .strip_suffix(';')
+        .and_then(|t| t.split_once(" = "))
+        .expect("candidate matched above");
+    lines[chosen] = format!("{indent}{rhs} = {lhs};");
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// Deletes or inserts a single brace: the front-end disagreement
+/// surface (pre-scan refusal, error recovery, merged diagnostics) is an
+/// oracle too.
+fn break_brace(src: &str, rng: &mut Mix) -> String {
+    let braces: Vec<usize> = src
+        .bytes()
+        .enumerate()
+        .filter(|(_, b)| *b == b'{' || *b == b'}')
+        .map(|(i, _)| i)
+        .collect();
+    if braces.is_empty() {
+        return src.to_string();
+    }
+    let at = braces[rng.next() as usize % braces.len()];
+    if rng.next().is_multiple_of(2) {
+        format!("{}{}", &src[..at], &src[at + 1..])
+    } else {
+        format!("{}}}{}", &src[..at], &src[at..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operators_are_deterministic() {
+        let src = crate::stressgen::generate(&crate::stressgen::StressConfig::small());
+        for op in 0..8u64 {
+            let a = mutate(&src, &mut Mix(op << 32));
+            let b = mutate(&src, &mut Mix(op << 32));
+            assert_eq!(a, b, "operator {op} is not deterministic");
+        }
+    }
+
+    #[test]
+    fn swap_changes_payloads_only() {
+        let src = "@LOC(\"A\") int a;\n@LOC(\"B\") int b;\n";
+        let out = swap_loc_payloads(src, &mut Mix(1));
+        if out != src {
+            assert!(out.contains("@LOC(\"A\")") && out.contains("@LOC(\"B\")"));
+            assert_eq!(out.len(), src.len());
+        }
+    }
+}

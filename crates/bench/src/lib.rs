@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fuzz;
 pub mod stressgen;
 
 use rand::rngs::StdRng;

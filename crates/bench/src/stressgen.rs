@@ -26,6 +26,29 @@
 //! reads fields back (heap reads covered by the §4.2.1 conditions),
 //! accumulates through `loop_depth` nested provably-terminating loops,
 //! and branches on its parameter (exercising flow-state merges).
+//!
+//! ## Adversarial knobs
+//!
+//! Three extra knobs (all zero in the classic presets, so their output
+//! is byte-identical to before the knobs existed) append shapes the
+//! well-behaved workers never produce, still checking cleanly so every
+//! phase runs at full depth:
+//!
+//! - [`StressConfig::delta_depth`]: a `DeltaProbe` class whose method
+//!   descends a chain of `@DELTA(DELTA(…))` locals — each hop is a legal
+//!   infinitesimal flow-down, and the chain exit crosses back into a
+//!   named element (delta counts only order *equal* paths, Eq. 3.1).
+//! - [`StressConfig::degenerate`]: a `Degenerate` class whose lattice is
+//!   a maximal chain feeding a maximal antichain — the two shapes that
+//!   bound lattice height and width — walked end to end every event-loop
+//!   iteration.
+//! - [`StressConfig::cyclic_delegates`]: `Relay0 → … → Relay{k-1} →
+//!   Relay0`, a type-level reference ring whose methods relay ownership
+//!   through `@DELEGATE` parameters. The wrap-around *call* edge is
+//!   deliberately omitted: a reachable call cycle would be recursion,
+//!   and the checker stops at the call-graph phase for those (reachable
+//!   call cycles are the fuzz generator's territory, where masking the
+//!   later phases is the point).
 
 use std::fmt::Write as _;
 
@@ -44,6 +67,15 @@ pub struct StressConfig {
     pub stmts: usize,
     /// Seed perturbing literal constants and field-read choices.
     pub seed: u64,
+    /// Depth of the `@DELTA(DELTA(…))` local chain in the `DeltaProbe`
+    /// class (0 omits the class entirely).
+    pub delta_depth: usize,
+    /// Height of the `Degenerate` class's lattice chain and width of the
+    /// antichain hanging off its bottom (0 omits the class).
+    pub degenerate: usize,
+    /// Number of classes in the `@DELEGATE` ownership relay ring
+    /// (0 omits the ring; effective minimum 2 — a ring needs two nodes).
+    pub cyclic_delegates: usize,
 }
 
 impl Default for StressConfig {
@@ -55,6 +87,9 @@ impl Default for StressConfig {
             loop_depth: 2,
             stmts: 4,
             seed: 0x5353_4157, // "SSAW"
+            delta_depth: 0,
+            degenerate: 0,
+            cyclic_delegates: 0,
         }
     }
 }
@@ -69,6 +104,7 @@ impl StressConfig {
             loop_depth: 2,
             stmts: 2,
             seed: 7,
+            ..StressConfig::default()
         }
     }
 
@@ -81,28 +117,69 @@ impl StressConfig {
             loop_depth: 3,
             stmts: 8,
             seed: 7,
+            ..StressConfig::default()
         }
     }
 
-    /// Total reachable methods (`classes × methods` plus the entry).
+    /// The adversarial preset: a compact worker corpus with all three
+    /// hostile knobs turned well past app-like values — a 12-deep delta
+    /// chain, a 12×12 chain-plus-antichain lattice, and a 5-class
+    /// delegation ring.
+    pub fn adversarial() -> Self {
+        StressConfig {
+            classes: 4,
+            methods: 3,
+            fields: 3,
+            loop_depth: 2,
+            stmts: 3,
+            seed: 0x41_4456, // "ADV"
+            delta_depth: 12,
+            degenerate: 12,
+            cyclic_delegates: 5,
+        }
+    }
+
+    /// Total reachable methods (workers, adversarial probes, the entry).
     pub fn method_count(&self) -> usize {
-        self.classes * self.methods + 1
+        self.classes * self.methods
+            + 1
+            + usize::from(self.delta_depth > 0)
+            + usize::from(self.degenerate > 0)
+            + if self.cyclic_delegates > 0 {
+                self.cyclic_delegates.max(2)
+            } else {
+                0
+            }
+    }
+
+    /// Whether any adversarial knob is active.
+    pub fn is_adversarial(&self) -> bool {
+        self.delta_depth > 0 || self.degenerate > 0 || self.cyclic_delegates > 0
     }
 
     /// A short self-describing name, used in benchmark rows.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "stress_c{}m{}f{}d{}s{}",
             self.classes, self.methods, self.fields, self.loop_depth, self.stmts
-        )
+        );
+        if self.is_adversarial() {
+            label.push_str(&format!(
+                "_advD{}G{}R{}",
+                self.delta_depth, self.degenerate, self.cyclic_delegates
+            ));
+        }
+        label
     }
 }
 
 /// Deterministic splitmix64 stream (no process state, no wall clock).
-struct Mix(u64);
+/// Shared with the fuzz harness (`crate::fuzz`), whose byte-reproducible
+/// case generation leans on the same guarantees.
+pub(crate) struct Mix(pub(crate) u64);
 
 impl Mix {
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
@@ -111,7 +188,7 @@ impl Mix {
     }
 
     /// A small positive literal in `1..=bound`.
-    fn lit(&mut self, bound: u64) -> u64 {
+    pub(crate) fn lit(&mut self, bound: u64) -> u64 {
         self.next() % bound + 1
     }
 }
@@ -136,7 +213,19 @@ pub fn generate(cfg: &StressConfig) -> String {
     for ci in 0..c {
         gen_worker(&mut out, ci, m, f, d, s, &mut rng);
     }
-    gen_main(&mut out, c, &mut rng);
+    // Adversarial probe classes. Each consumes the splitmix stream only
+    // when enabled, so all-zero knobs reproduce the historical corpus
+    // byte for byte (the golden fixtures depend on that).
+    if cfg.delta_depth > 0 {
+        gen_delta_probe(&mut out, cfg.delta_depth, &mut rng);
+    }
+    if cfg.degenerate > 0 {
+        gen_degenerate(&mut out, cfg.degenerate.max(2), &mut rng);
+    }
+    if cfg.cyclic_delegates > 0 {
+        gen_delegate_ring(&mut out, cfg.cyclic_delegates.max(2));
+    }
+    gen_main(&mut out, c, cfg, &mut rng);
     out
 }
 
@@ -248,31 +337,198 @@ fn gen_method(out: &mut String, mj: usize, m: usize, f: usize, d: usize, s: usiz
     writeln!(out, "    }}").unwrap();
 }
 
-fn gen_main(out: &mut String, c: usize, rng: &mut Mix) {
-    let chain: Vec<String> = (1..c).map(|i| format!("W{i}<W{}", i - 1)).collect();
-    if chain.is_empty() {
+/// The deep-delta probe: a chain of locals `v0 → v1 → … → v{n}` where
+/// `v{k}` sits at `delta^k(V)`. Each hop lowers the location by one
+/// infinitesimal (legal flow-down), and the exit assignment into `R`
+/// crosses back out of the delta tower — delta counts only order equal
+/// paths, so `R < V` alone decides it.
+fn gen_delta_probe(out: &mut String, depth: usize, rng: &mut Mix) {
+    writeln!(out, "@LATTICE(\"DLO<DHI\")").unwrap();
+    writeln!(out, "class DeltaProbe {{").unwrap();
+    writeln!(out, "    @LOC(\"DHI\") int hi;").unwrap();
+    writeln!(out, "    @LOC(\"DLO\") int lo;").unwrap();
+    writeln!(
+        out,
+        "    @LATTICE(\"R<V,V<OBJ,OBJ<T,T<IN\") @THISLOC(\"OBJ\") @RETURNLOC(\"R\")"
+    )
+    .unwrap();
+    writeln!(out, "    int descend(@LOC(\"IN\") int p) {{").unwrap();
+    writeln!(
+        out,
+        "        @LOC(\"T\") int t = p * {} + {};",
+        rng.lit(7),
+        rng.lit(89)
+    )
+    .unwrap();
+    writeln!(out, "        hi = t;").unwrap();
+    writeln!(out, "        lo = hi;").unwrap();
+    writeln!(out, "        @LOC(\"V\") int v0 = t + {};", rng.lit(11)).unwrap();
+    for k in 1..=depth {
+        // delta^k(V): k-1 textual DELTA(...) wrappers inside the payload
+        // plus the @DELTA annotation itself.
+        let mut payload = String::from("V");
+        for _ in 1..k {
+            payload = format!("DELTA({payload})");
+        }
+        let op = if k % 2 == 0 { '+' } else { '-' };
+        writeln!(
+            out,
+            "        @DELTA(\"{payload}\") int v{k} = v{} {op} {};",
+            k - 1,
+            rng.lit(5)
+        )
+        .unwrap();
+    }
+    writeln!(out, "        @LOC(\"R\") int r = v{depth} + lo;").unwrap();
+    writeln!(out, "        return r;").unwrap();
+    writeln!(out, "    }}").unwrap();
+    writeln!(out, "}}").unwrap();
+}
+
+/// The degenerate-lattice probe: a maximal chain `C{w-1} < … < C0`
+/// feeding a maximal antichain `X0 … X{w-1}` hanging off its bottom —
+/// the two shapes that bound lattice height and width. `walk` pours the
+/// input down the full chain and fans it out across the antichain, so
+/// every element carries a definite write before its read.
+fn gen_degenerate(out: &mut String, w: usize, rng: &mut Mix) {
+    let mut rel: Vec<String> = (1..w).map(|j| format!("C{j}<C{}", j - 1)).collect();
+    rel.extend((0..w).map(|j| format!("X{j}<C{}", w - 1)));
+    writeln!(out, "@LATTICE(\"{}\")", rel.join(",")).unwrap();
+    writeln!(out, "class Degenerate {{").unwrap();
+    for j in 0..w {
+        writeln!(out, "    @LOC(\"C{j}\") int c{j};").unwrap();
+    }
+    for j in 0..w {
+        writeln!(out, "    @LOC(\"X{j}\") int x{j};").unwrap();
+    }
+    writeln!(
+        out,
+        "    @LATTICE(\"B<OBJ,OBJ<IN\") @THISLOC(\"OBJ\") @RETURNLOC(\"B\")"
+    )
+    .unwrap();
+    writeln!(out, "    int walk(@LOC(\"IN\") int p) {{").unwrap();
+    writeln!(out, "        c0 = p;").unwrap();
+    for j in 1..w {
+        writeln!(out, "        c{j} = c{};", j - 1).unwrap();
+    }
+    for j in 0..w {
+        writeln!(out, "        x{j} = c{};", w - 1).unwrap();
+    }
+    writeln!(
+        out,
+        "        @LOC(\"B\") int b = x0 + x{} + c{} + {};",
+        w - 1,
+        w / 2,
+        rng.lit(17)
+    )
+    .unwrap();
+    writeln!(out, "        return b;").unwrap();
+    writeln!(out, "    }}").unwrap();
+    writeln!(out, "}}").unwrap();
+}
+
+/// The delegation ring: `Relay{i}.pass` owns its `@DELEGATE` parameter
+/// (type `Relay{i+1}`), allocates a fresh `Relay{i+2}` and relays
+/// ownership onward — a type-level reference ring with an ownership
+/// relay chain through every node. The wrap-around *call* edge is
+/// omitted (the terminal node's body is empty): a reachable call cycle
+/// is recursion, and the checker would stop at the call-graph phase
+/// instead of running the later phases over the whole corpus.
+fn gen_delegate_ring(out: &mut String, k: usize) {
+    for i in 0..k {
+        let next = (i + 1) % k;
+        writeln!(out, "class Relay{i} {{").unwrap();
+        // The delegated parameter sits *below* @THISLOC: the callee-side
+        // ordering P < OBJ mirrors onto call sites as "argument ⊑
+        // receiver" (§4.1.5 pairwise rule), which is exactly the
+        // direction an ownership relay flows — each fresh node is placed
+        // below the node that forwards it.
+        writeln!(out, "    @LATTICE(\"L<P,P<OBJ\") @THISLOC(\"OBJ\")").unwrap();
+        writeln!(out, "    void pass(@DELEGATE @LOC(\"P\") Relay{next} r) {{").unwrap();
+        if i + 1 < k {
+            let fresh = (i + 2) % k;
+            writeln!(
+                out,
+                "        @LOC(\"L\") Relay{fresh} q = new Relay{fresh}();"
+            )
+            .unwrap();
+            writeln!(out, "        r.pass(q);").unwrap();
+        }
+        writeln!(out, "    }}").unwrap();
+        writeln!(out, "}}").unwrap();
+    }
+}
+
+fn gen_main(out: &mut String, c: usize, cfg: &StressConfig, rng: &mut Mix) {
+    let mut rel: Vec<String> = (1..c).map(|i| format!("W{i}<W{}", i - 1)).collect();
+    // Probe fields extend the worker chain downward, one hop per enabled
+    // knob, so every reference field keeps a distinct location.
+    let mut anchor = format!("W{}", c - 1);
+    let mut probes: Vec<(&str, String, String)> = Vec::new(); // (loc, type, field)
+    if cfg.delta_depth > 0 {
+        probes.push(("DP", "DeltaProbe".into(), "dp".into()));
+    }
+    if cfg.degenerate > 0 {
+        probes.push(("DG", "Degenerate".into(), "dg".into()));
+    }
+    if cfg.cyclic_delegates > 0 {
+        probes.push(("RL", "Relay0".into(), "rl".into()));
+    }
+    for (loc, _, _) in &probes {
+        rel.push(format!("{loc}<{anchor}"));
+        anchor = (*loc).to_string();
+    }
+    if rel.is_empty() {
         writeln!(out, "@LATTICE(\"W0\")").unwrap();
     } else {
-        writeln!(out, "@LATTICE(\"{}\")", chain.join(",")).unwrap();
+        writeln!(out, "@LATTICE(\"{}\")", rel.join(",")).unwrap();
     }
     writeln!(out, "class StressMain {{").unwrap();
     for i in 0..c {
         writeln!(out, "    @LOC(\"W{i}\") W{i} w{i};").unwrap();
     }
-    writeln!(
-        out,
-        "    @LATTICE(\"RES<OBJ,OBJ<IN,RES*\") @THISLOC(\"OBJ\")"
-    )
-    .unwrap();
+    for (loc, ty, field) in &probes {
+        writeln!(out, "    @LOC(\"{loc}\") {ty} {field};").unwrap();
+    }
+    // The relay seed local needs a slot strictly below OBJ so its
+    // location compares under the receiver field's ⟨OBJ,RL⟩ path.
+    let run_lattice = if cfg.cyclic_delegates > 0 {
+        "SEED<RES,RES<OBJ,OBJ<IN,RES*"
+    } else {
+        "RES<OBJ,OBJ<IN,RES*"
+    };
+    writeln!(out, "    @LATTICE(\"{run_lattice}\") @THISLOC(\"OBJ\")").unwrap();
     writeln!(out, "    void run() {{").unwrap();
     for i in 0..c {
         writeln!(out, "        w{i} = new W{i}();").unwrap();
+    }
+    for (_, ty, field) in &probes {
+        writeln!(out, "        {field} = new {ty}();").unwrap();
     }
     writeln!(out, "        SSJAVA: while (true) {{").unwrap();
     writeln!(out, "            @LOC(\"IN\") int x = Device.read();").unwrap();
     writeln!(out, "            @LOC(\"RES\") int res = 0;").unwrap();
     for i in 0..c {
         writeln!(out, "            res = res + w{i}.m0(x + {});", rng.lit(13)).unwrap();
+    }
+    if cfg.delta_depth > 0 {
+        writeln!(
+            out,
+            "            res = res + dp.descend(x + {});",
+            rng.lit(13)
+        )
+        .unwrap();
+    }
+    if cfg.degenerate > 0 {
+        writeln!(out, "            res = res + dg.walk(x + {});", rng.lit(13)).unwrap();
+    }
+    if cfg.cyclic_delegates > 0 {
+        writeln!(
+            out,
+            "            @LOC(\"SEED\") Relay1 seed = new Relay1();"
+        )
+        .unwrap();
+        writeln!(out, "            rl.pass(seed);").unwrap();
     }
     writeln!(out, "            Out.emit(res);").unwrap();
     writeln!(out, "        }}").unwrap();
@@ -321,6 +577,33 @@ mod tests {
             let report = sjava_core::check_source(&generate(&cfg)).expect("parses");
             assert!(report.is_ok(), "seed {seed}: {}", report.diagnostics);
         }
+    }
+
+    #[test]
+    fn adversarial_preset_checks_cleanly() {
+        let src = generate(&StressConfig::adversarial());
+        let report = sjava_core::check_source(&src).expect("parses");
+        assert!(report.is_ok(), "{}", report.diagnostics);
+    }
+
+    #[test]
+    fn adversarial_probes_are_reachable() {
+        // Every probe method must sit on the event-loop call graph, or
+        // the later phases would silently skip the adversarial shapes.
+        let cfg = StressConfig::adversarial();
+        let p = sjava_syntax::parse(&generate(&cfg)).expect("parses");
+        let mut d = sjava_syntax::diag::Diagnostics::new();
+        let cg = sjava_analysis::callgraph::build(&p, &mut d).expect("call graph");
+        assert_eq!(cg.topo.len(), cfg.method_count());
+    }
+
+    #[test]
+    fn adversarial_knobs_extend_the_label() {
+        assert_eq!(StressConfig::small().label(), "stress_c3m4f3d2s2");
+        assert_eq!(
+            StressConfig::adversarial().label(),
+            "stress_c4m3f3d2s3_advD12G12R5"
+        );
     }
 
     #[test]

@@ -21,6 +21,11 @@ fn apps() -> Vec<(&'static str, String)> {
     let stress = sjava_bench::stressgen::generate(&sjava_bench::stressgen::StressConfig::default());
     let broken = stress.replacen("@LOC(\"F0\") ", "", 1);
     assert_ne!(stress, broken, "strip must remove an annotation");
+    // The adversarial preset adds the shapes the workers never produce:
+    // a deep @DELTA chain, a chain-plus-antichain degenerate lattice,
+    // and a @DELEGATE ownership relay ring.
+    let adversarial =
+        sjava_bench::stressgen::generate(&sjava_bench::stressgen::StressConfig::adversarial());
     vec![
         ("windsensor", sjava_apps::windsensor::SOURCE.to_string()),
         ("eyetrack", sjava_apps::eyetrack::SOURCE.to_string()),
@@ -29,6 +34,7 @@ fn apps() -> Vec<(&'static str, String)> {
         ("weather", sjava_apps::weather::SOURCE.to_string()),
         ("stress_default", stress),
         ("stress_missing_loc", broken),
+        ("stress_adversarial", adversarial),
     ]
 }
 
@@ -121,12 +127,15 @@ fn render_infer(threads: usize) -> String {
     std::env::set_var(sjava_par::THREADS_ENV, threads.to_string());
     assert_eq!(sjava_par::num_threads(), threads);
     let stress = sjava_bench::stressgen::generate(&sjava_bench::stressgen::StressConfig::small());
+    let adversarial =
+        sjava_bench::stressgen::generate(&sjava_bench::stressgen::StressConfig::adversarial());
     let sources = [
         ("windsensor", sjava_apps::windsensor::SOURCE),
         ("eyetrack", sjava_apps::eyetrack::SOURCE),
         ("sumobot", sjava_apps::sumobot::SOURCE),
         ("mp3dec", sjava_apps::mp3dec::source()),
         ("stress_small", &stress),
+        ("stress_adversarial", &adversarial),
     ];
     let mut out = String::new();
     for (name, source) in sources {
@@ -186,6 +195,7 @@ fn diagnostics_identical_at_any_thread_count() {
     assert!(baseline.contains("weather"));
     assert!(baseline.contains("== stress_default: ok=true =="));
     assert!(baseline.contains("== stress_missing_loc: ok=false =="));
+    assert!(baseline.contains("== stress_adversarial: ok=true =="));
     for threads in [2, 4, 8] {
         let wide = render_all(threads);
         assert_eq!(

@@ -1,0 +1,100 @@
+//! End-to-end tests of the differential fuzzing harness itself:
+//! a clean sweep over the default stream, byte-level reproducibility,
+//! and — via the test-only fault hook — proof that a genuinely broken
+//! oracle is caught, delta-debugged to a tiny witness, and written out
+//! as a fixture.
+//!
+//! Single `#[test]` by design: the check oracle sweeps `SJAVA_THREADS`
+//! (saving and restoring it), so nothing else in this binary may race
+//! the environment — the same convention the determinism suite uses.
+
+use sjava_bench::fuzz::{self, minimize, Fault, FuzzConfig, Oracle};
+
+#[test]
+fn harness_is_clean_reproducible_and_catches_injected_faults() {
+    // A healthy engine pair set must survive the adversarial stream:
+    // valid, near-miss, and unparseable cases alike produce zero
+    // findings across all five oracles.
+    let cfg = FuzzConfig {
+        cases: 40,
+        ..FuzzConfig::default()
+    };
+    let first = fuzz::run(&cfg);
+    assert!(
+        first.findings.is_empty(),
+        "oracle mismatches on the default stream:\n{}",
+        first.render()
+    );
+    assert_eq!(first.cases, 40);
+
+    // Same config ⇒ the same report, structurally and rendered: the
+    // harness is a pure function of (seed, cases, oracles).
+    let second = fuzz::run(&cfg);
+    assert_eq!(first, second, "fuzz run is not reproducible");
+    assert_eq!(first.render(), second.render());
+
+    // Sabotage the check oracle so it "disagrees" on any program
+    // containing the event-loop marker — which every generated case
+    // has. The harness must catch it on every case, shrink each witness
+    // below ten statements while keeping the trigger, and write the
+    // fixture it promised.
+    let dir = std::env::temp_dir().join(format!("sjava-fuzz-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sabotaged = FuzzConfig {
+        cases: 2,
+        oracles: vec![Oracle::Check],
+        minimize: true,
+        fixtures_dir: Some(dir.clone()),
+        fault: Some(Fault {
+            oracle: Oracle::Check,
+            needle: "SSJAVA:".to_string(),
+        }),
+        ..FuzzConfig::default()
+    };
+    let report = fuzz::run(&sabotaged);
+    assert_eq!(
+        report.findings.len(),
+        2,
+        "a broken oracle must be caught on every case:\n{}",
+        report.render()
+    );
+    for f in &report.findings {
+        assert_eq!(f.oracle, Oracle::Check);
+        assert!(f.detail.contains("injected fault"), "detail: {}", f.detail);
+        assert!(f.source.contains("SSJAVA:"));
+        let min = f.minimized.as_ref().expect("minimization was requested");
+        assert!(
+            min.contains("SSJAVA:"),
+            "minimization lost the failure trigger:\n{min}"
+        );
+        assert!(
+            minimize::statement_count(min) <= 10,
+            "witness not minimal: {} statements\n{min}",
+            minimize::statement_count(min)
+        );
+        assert!(
+            min.len() < f.source.len(),
+            "minimization never shrank the witness"
+        );
+        let fixture = f.fixture.as_ref().expect("fixture dir was set");
+        let on_disk = std::fs::read_to_string(fixture).expect("fixture written");
+        assert_eq!(&on_disk, min, "fixture bytes differ from the witness");
+    }
+    let rendered = report.render();
+    assert!(rendered.contains("2 finding(s)"), "render: {rendered}");
+    assert!(rendered.contains("[check]"), "render: {rendered}");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The same sabotage keyed to a needle no case contains stays
+    // silent: the fault hook itself cannot produce false positives.
+    let quiet = fuzz::run(&FuzzConfig {
+        cases: 2,
+        oracles: vec![Oracle::Check],
+        fault: Some(Fault {
+            oracle: Oracle::Check,
+            needle: "no generated program contains this".to_string(),
+        }),
+        ..FuzzConfig::default()
+    });
+    assert!(quiet.findings.is_empty(), "{}", quiet.render());
+}

@@ -270,6 +270,27 @@ fn stress_small_matches_golden() {
 }
 
 #[test]
+fn stress_adversarial_matches_golden() {
+    // The adversarial preset: deep @DELTA chain, chain-plus-antichain
+    // degenerate lattice, and a @DELEGATE ownership relay ring — all
+    // reachable from the event loop, all checking cleanly, pinned fresh
+    // and through the cold/warm incremental cache.
+    let src =
+        sjava_bench::stressgen::generate(&sjava_bench::stressgen::StressConfig::adversarial());
+    golden("stress_adversarial", &src);
+}
+
+#[test]
+fn infer_stress_adversarial_matches_golden() {
+    // Annotations stripped and re-inferred over the adversarial shapes:
+    // pins how both engines re-annotate reference-typed @DELEGATE relay
+    // parameters and the degenerate lattice's chain/antichain fields.
+    let src =
+        sjava_bench::stressgen::generate(&sjava_bench::stressgen::StressConfig::adversarial());
+    golden_infer("stress_adversarial", &src);
+}
+
+#[test]
 fn infer_windsensor_matches_golden() {
     golden_infer("windsensor", sjava_apps::windsensor::SOURCE);
 }

@@ -1,0 +1,23 @@
+// fuzz near-miss: seed=11 case=26 codes=["CallSite", "FlowUp"]
+class W0 {
+    @LATTICE("R<A,A<K1,K1<TL,TL<OBJ,OBJ<TH,TH<P,A*,K1*") @THISLOC("OBJ") @RETURNLOC("R")
+    int m0(@LOC("P") int p) {
+    }
+}
+class DeltaProbe {
+    int descend(int p) {
+    }
+    void pass(@DELEGATE Relay1 r) {
+    }
+}
+class StressMain {
+    @LOC("W0") W0 w0;
+    @THISLOC("OBJ")
+    void run() {
+        SSJAVA: while (true) {
+            @LOC("DHI") int x = Device.read();
+            @LOC("RES") int res = 0;
+            res = res + w0.m0(x + 4);
+        }
+    }
+}

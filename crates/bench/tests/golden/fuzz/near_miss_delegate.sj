@@ -1,0 +1,42 @@
+// fuzz near-miss: seed=11 case=16 codes=["Delegate"]
+class W0 {
+    int m0(int p) {
+        for (int k1 = 0; k1 < 6; k1++) {
+            for (int k2 = 0; k2 < 5; k2++) {
+            }
+        }
+    }
+    int m0(int p) {
+        for (int k1 = 0; k1 < 4; k1++) {
+        }
+        for (int k1 = 0; k1 < 7; k1++) {
+            for (int k2 = 0; k2 < 7; k2++) {
+            }
+        }
+    }
+    int descend(int p) {
+    }
+}
+class Degenerate {
+    int walk(int p) {
+    }
+}
+class Relay0 {
+    void pass(@DELEGATE @LOC("P") Relay1 r) {
+    }
+}
+class Relay1 {
+    void pass(@DELEGATE Relay0 r) {
+    }
+}
+class StressMain {
+    @LOC("RL") Relay0 rl;
+    @THISLOC("OBJ")
+    void run() {
+        SSJAVA: while (true) {
+            @LOC("SEED") Relay1 seed = new Relay1();
+            rl.pass(seed);
+            rl.pass(seed);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+// fuzz near-miss: seed=11 case=3 codes=["FlowUp"]
+class W0 {
+    int m0(@LOC("P") int p) {
+        for (@LOC("K1") int k1 = 0; k1 < 5; k1++) {
+        }
+    }
+}
+class DeltaProbe {
+    @LOC("DHI") int hi;
+    @LATTICE("R<V,V<OBJ,OBJ<T,T<IN") @THISLOC("OBJ") @RETURNLOC("R")
+    int descend(@LOC("IN") int p) {
+        @LOC("R") int t = p * 3 + 85;
+        hi = t;
+    }
+}
+class Degenerate {
+    int walk(@LOC("IN") int p) {
+    }
+}
+class Relay1 {
+    void pass(@DELEGATE @LOC("P") Relay2 r) {
+    }
+    void pass(@DELEGATE @LOC("P") Relay3 r) {
+    }
+}
+class StressMain {
+    @LOC("DP") DeltaProbe dp;
+    @LATTICE("SEED<RES,RES<OBJ,OBJ<IN,RES*") @THISLOC("OBJ")
+    void run() {
+        SSJAVA: while (true) {
+            @LOC("IN") int x = Device.read();
+            @LOC("RES") int res = 0;
+            res = res + dp.descend(x + 12);
+        }
+    }
+}

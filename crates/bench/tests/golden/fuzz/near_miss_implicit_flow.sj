@@ -1,0 +1,88 @@
+// fuzz near-miss: seed=11 case=10 codes=["FlowUp", "ImplicitFlow"]
+class W0 {
+    @LOC("F0") int f0;
+    @LOC("F1") int f1;
+    @LATTICE("R<A,A<K1,K1<TL,TL<OBJ,OBJ<TH,TH<P,A*,K1*") @THISLOC("OBJ") @RETURNLOC("R")
+    int m0(@LOC("P") int p) {
+        @LOC("TH") int th = p * 4 + 21;
+        @LOC("TL") int tl = f1 + f0;
+        @LOC("DLO") int s = 0;
+        for (@LOC("K1") int k1 = 0; k1 < 6; k1++) {
+            s = s + th * 3 + k1 + tl - 2;
+        }
+        @LOC("R") int r = s * 2 + 1;
+    }
+    int m1(@LOC("P") int p) {
+    }
+    int m2(@LOC("P") int p) {
+    }
+}
+class W1 {
+    @LOC("F0") int f0;
+    @LOC("F1") int f1;
+    @LATTICE("R<A,A<K1,K1<TL,TL<OBJ,OBJ<TH,TH<P,A*,K1*") @THISLOC("OBJ") @RETURNLOC("R")
+    int m0(@LOC("P") int p) {
+        @LOC("TH") int th = p * 6 + 89;
+        f1 = f0;
+        f0 = th;
+        @LOC("TL") int tl = f0 + f1;
+        @LOC("A") int s = 0;
+        for (@LOC("K1") int k1 = 0; k1 < 7; k1++) {
+            s = s + th * 4 + k1 + tl - 6;
+        }
+    }
+    @LATTICE("R<A,A<K1,K1<TL,TL<OBJ,OBJ<TH,TH<P,A*,K1*") @THISLOC("OBJ") @RETURNLOC("R")
+    int m1(@LOC("P") int p) {
+        @LOC("TH") int th = p * 5 + 49;
+        for (@LOC("K1") int k1 = 0; k1 < 4; k1++) {
+            s = s + th * 2 + k1 + tl - 8;
+        }
+        if (p > 15) { f0 = th + 3; } else { f0 = th - 2; }
+        return r;
+    }
+    @LATTICE("R<A,A<K1,K1<TL,TL<OBJ,OBJ<TH,TH<P,A*,K1*") @THISLOC("OBJ") @RETURNLOC("R")
+    int m2(@LOC("P") int p) {
+        @LOC("A") int s = 0;
+        for (@LOC("K1") int k1 = 0; k1 < 5; k1++) {
+            s = s + th * 5 + k1 + tl - 3;
+        }
+        return r;
+    }
+}
+@LATTICE("DLO<DHI")
+class DeltaProbe {
+    @LOC("DHI") int hi;
+    int descend(@LOC("IN") int p) {
+        @LOC("T") int t = p * 5 + 30;
+    }
+}
+@LATTICE("C1<C0,C2<C1,X0<C2,X1<C2,X2<C2")
+class Degenerate {
+    @LATTICE("B<OBJ,OBJ<IN") @THISLOC("OBJ") @RETURNLOC("B")
+    int walk(@LOC("IN") int p) {
+    }
+}
+class Relay0 {
+    @LATTICE("L<P,P<OBJ") @THISLOC("OBJ")
+    void pass(@DELEGATE @LOC("P") Relay1 r) {
+        @LOC("L") Relay0 q = new Relay0();
+    }
+}
+@LATTICE("W1<W0,DP<W1,DG<DP,RL<DG")
+class StressMain {
+    @LOC("W0") W0 w0;
+    @LOC("W1") W1 w1;
+    @LOC("RL") Relay0 rl;
+    @LATTICE("SEED<RES,RES<OBJ,OBJ<IN,RES*") @THISLOC("OBJ")
+    void run() {
+        w0 = new W0();
+        rl = new Relay0();
+        SSJAVA: while (true) {
+            @LOC("IN") int x = Device.read();
+            @LOC("RES") int res = 0;
+            res = res + w0.m0(x + 10);
+            res = res + w1.m0(x + 11);
+            Out.emit(res);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+// fuzz near-miss: seed=11 case=34 codes=["MissingAnnot"]
+class W0 {
+    @LOC("F0") int f0;
+    @LOC("F1") int f1;
+    @LATTICE("R<A,A<K2,K2<K1,K1<TL,TL<OBJ,OBJ<TH,TH<P,A*,K1*,K2*") @THISLOC("OBJ") @RETURNLOC("R")
+    int m0(@LOC("P") int p) {
+        @LOC("TH") int th = p * 3 + 38;
+        @LOC("TL") int tl = f0 + f1;
+        @LOC("A") int s = 0;
+        for (@LOC("K1") int k1 = 0; k1 < 6; k1++) {
+            for (@LOC("K2") int k2 = 0; k2 < 5; k2++) {
+            s = s + k1;
+            }
+        }
+        if (p > 6) { f0 = th + 4; } else { f0 = th - 5; }
+        s = s + m1(th);
+        @LOC("R") int r = s * 2 + 1;
+        return r;
+    }
+    @LATTICE("R<A,A<K2,K2<K1,K1<TL,TL<OBJ,OBJ<TH,TH<P,A*,K1*,K2*") @THISLOC("OBJ") @RETURNLOC("R")
+    int m1(@LOC("P") int p) {
+    }
+}
+@LATTICE("F1<F0")
+class W1 {
+    @LOC("F0") int f0;
+    @LOC("F1") int f1;
+    @LATTICE("R<A,A<K2,K2<K1,K1<TL,TL<OBJ,OBJ<TH,TH<P,A*,K1*,K2*") @THISLOC("OBJ") @RETURNLOC("R")
+    int m0(@LOC("P") int p) {
+        @LOC("TH") int th = p * 6 + 47;
+        f1 = f0;
+        f0 = th;
+        @LOC("TL") int tl = f0 + f1;
+        @LOC("A") int s = 0;
+        for (@LOC("K1") int k1 = 0; k1 < 7; k1++) {
+            for (@LOC("K2") int k2 = 0; k2 < 6; k2++) {
+                s = s + th * 4 + k2 + tl - 8;
+            { int fz64 = 5; }
+            }
+        }
+        if (p > 18) { f0 = th + 3; } else { f0 = th - 2; }
+        s = s + m1(th);
+        @LOC("R") int r = s * 2 + 1;
+        return r;
+    }
+    @LATTICE("R<A,A<K2,K2<K1,K1<TL,TL<OBJ,OBJ<TH,TH<P,A*,K1*,K2*") @THISLOC("OBJ") @RETURNLOC("R")
+    int m1(@LOC("P") int p) {
+        @LOC("TH") int th = p * 7 + 87;
+        f1 = f0;
+        f0 = th;
+        @LOC("TL") int tl = f0 + f1;
+        @LOC("A") int s = 0;
+        for (@LOC("K1") int k1 = 0; k1 < 4; k1++) {
+            for (@LOC("K2") int k2 = 0; k2 < 7; k2++) {
+                s = s + th * 3 + k2 + tl - 1;
+            }
+        }
+    }
+    @LATTICE("R<A,A<K2,K2<K1,K1<TL,TL<OBJ,OBJ<TH,TH<P,A*,K1*,K2*") @THISLOC("OBJ") @RETURNLOC("R")
+    int m2(@LOC("P") int p) {
+        @LOC("TH") int th = p * 1 + 70;
+        for (@LOC("K1") int k1 = 0; k1 < 8; k1++) {
+            for (@LOC("K2") int k2 = 0; k2 < 4; k2++) {
+            s = s + k1;
+            }
+        }
+        if (p > 18) { f0 = th + 2; } else { f0 = th - 4; }
+    }
+}
+@LATTICE("F1<F0")
+class W2 {
+    @LATTICE("R<A,A<K2,K2<K1,K1<TL,TL<OBJ,OBJ<TH,TH<P,A*,K1*,K2*") @THISLOC("OBJ") @RETURNLOC("R")
+    int m0(@LOC("P") int p) {
+    }
+}
+@LATTICE("C1<C0,C2<C1,X0<C2,X1<C2,X2<C2")
+class Degenerate {
+    @LATTICE("B<OBJ,OBJ<IN") @THISLOC("OBJ") @RETURNLOC("B")
+    int walk(@LOC("IN") int p) {
+    }
+}
+@LATTICE("W1<W0,W2<W1,DG<W2")
+class StressMain {
+    @LOC("W0") W0 w0;
+    @LOC("W1") W1 w1;
+    @LOC("W2") W2 w2;
+    @LOC("DG") Degenerate dg;
+    @LATTICE("RES<OBJ,OBJ<IN,RES*") @THISLOC("OBJ")
+    void run() {
+        SSJAVA: while (true) {
+            @LOC("IN") int x = Device.read();
+            @LOC("RES") int res = 0;
+            res = res + w0.m0(x + 8);
+            res = res + w1.m0(x + 13);
+            res = res + w2.m0(x + 11);
+        }
+    }
+}
+class FzDeepNest { void d() { { { { { int z = 1; } } } } } }

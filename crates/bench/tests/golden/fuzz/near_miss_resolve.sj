@@ -1,0 +1,26 @@
+// fuzz near-miss: seed=11 case=30 codes=["Resolve"]
+class W0 {
+    int m0(int p) {
+        for (int k1 = 0; k1 < 4; k1++) {
+        }
+    }
+}
+class DeltaProbe {
+    int descend(int p) {
+    }
+}
+class Degenerate {
+    int walk(int p) {
+    }
+}
+class Relay1 {
+    void pass(@DELEGATE Relay0 r) {
+    }
+}
+class StressMain {
+    void run() {
+        SSJAVA: while (true) {
+            rl.pass(seed);
+        }
+    }
+}

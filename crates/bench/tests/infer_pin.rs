@@ -31,6 +31,7 @@ fn sweep() -> Vec<(&'static str, StressConfig)> {
                 loop_depth: 1,
                 stmts: 2,
                 seed: 7,
+                ..StressConfig::default()
             },
         ),
         (
@@ -42,6 +43,7 @@ fn sweep() -> Vec<(&'static str, StressConfig)> {
                 loop_depth: 2,
                 stmts: 3,
                 seed: 11,
+                ..StressConfig::default()
             },
         ),
         (
@@ -53,8 +55,10 @@ fn sweep() -> Vec<(&'static str, StressConfig)> {
                 loop_depth: 4,
                 stmts: 2,
                 seed: 23,
+                ..StressConfig::default()
             },
         ),
+        ("adversarial", StressConfig::adversarial()),
     ]
 }
 

@@ -1,12 +1,18 @@
 //! Versioned on-disk persistence for cache entries.
 //!
-//! The format is a single `cache.bin` file: a magic string plus a `u32`
-//! version, then length-prefixed, deterministic (key-sorted) encodings of
-//! the per-method entry map and the callee-set map. Decoding is strictly
-//! bounds-checked: a wrong magic, a version mismatch, a truncated buffer,
-//! an out-of-range tag, or an implausible length (see [`MAX_ITEMS`])
-//! aborts the load and keeps only the entries already decoded — a corrupt
-//! file degrades to cache misses, never to an error or a wrong result.
+//! The format is a single `cache.bin` file: a magic string, a `u32`
+//! version, an FNV-64 checksum of the payload, then length-prefixed,
+//! deterministic (key-sorted) encodings of the per-method entry map and
+//! the callee-set map. Decoding is strictly bounds-checked **and**
+//! checksum-gated: a wrong magic, a version mismatch, a truncated
+//! buffer, a flipped payload bit, an out-of-range tag, or an implausible
+//! length (see [`MAX_ITEMS`]) aborts the load with zero entries — a
+//! corrupt file degrades to cache misses, never to an error or (the
+//! checksum's job) to replaying a plausibly-decodable-but-wrong
+//! diagnostic. Diagnostics are content the checker trusts verbatim, so
+//! "mostly intact" is not good enough: without the checksum a single
+//! flipped byte inside a cached message string would decode cleanly and
+//! be replayed as a wrong diagnostic under a still-matching fingerprint.
 //!
 //! `last_fps` is deliberately **not** persisted: invalidation counts are a
 //! per-session statistic, while entries are content-addressed and valid
@@ -28,8 +34,9 @@ use std::path::{Path, PathBuf};
 const MAGIC: &[u8; 10] = b"SJAVACACHE";
 /// Format version; bump on any layout change. Version 2 added the
 /// structured diagnostic fields (code, file, labels, suggestion);
-/// version-1 files fail the version check and degrade to misses.
-const VERSION: u32 = 2;
+/// version 3 added the payload checksum. Version-1 and version-2 files
+/// fail the version check and degrade to misses.
+const VERSION: u32 = 3;
 /// Cache file name inside the cache directory.
 const FILE_NAME: &str = "cache.bin";
 /// Upper bound on any decoded count or string length. Real programs stay
@@ -53,38 +60,52 @@ pub fn save(
     entries: &HashMap<u64, MethodEntry>,
     callees: &HashMap<u64, BTreeSet<MethodRef>>,
 ) -> std::io::Result<()> {
-    let mut buf: Vec<u8> = Vec::new();
-    buf.extend_from_slice(MAGIC);
-    put_u32(&mut buf, VERSION);
+    let mut payload: Vec<u8> = Vec::new();
 
     let mut keys: Vec<u64> = entries.keys().copied().collect();
     keys.sort_unstable();
-    put_u64(&mut buf, keys.len() as u64);
+    put_u64(&mut payload, keys.len() as u64);
     for fp in keys {
-        put_u64(&mut buf, fp);
-        put_entry(&mut buf, &entries[&fp]);
+        put_u64(&mut payload, fp);
+        put_entry(&mut payload, &entries[&fp]);
     }
 
     let mut keys: Vec<u64> = callees.keys().copied().collect();
     keys.sort_unstable();
-    put_u64(&mut buf, keys.len() as u64);
+    put_u64(&mut payload, keys.len() as u64);
     for key in keys {
-        put_u64(&mut buf, key);
+        put_u64(&mut payload, key);
         let set = &callees[&key];
-        put_u64(&mut buf, set.len() as u64);
+        put_u64(&mut payload, set.len() as u64);
         for mref in set {
-            put_str(&mut buf, &mref.0);
-            put_str(&mut buf, &mref.1);
+            put_str(&mut payload, &mref.0);
+            put_str(&mut payload, &mref.1);
         }
     }
+
+    let mut buf: Vec<u8> = Vec::with_capacity(payload.len() + MAGIC.len() + 12);
+    buf.extend_from_slice(MAGIC);
+    put_u32(&mut buf, VERSION);
+    put_u64(&mut buf, checksum(&payload));
+    buf.extend_from_slice(&payload);
 
     std::fs::create_dir_all(dir)?;
     std::fs::write(cache_file(dir), buf)
 }
 
-/// Loads whatever validly-encoded prefix `dir/cache.bin` holds. A missing
-/// file, foreign magic, version mismatch, or corruption mid-stream all
-/// degrade to fewer (possibly zero) entries — never an error.
+/// FNV-64 digest of the payload bytes, stored in the header and verified
+/// before any decoding happens.
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h = sjava_lattice::Fnv64::new();
+    h.write(payload);
+    h.finish()
+}
+
+/// Loads the entries of `dir/cache.bin`. A missing file, foreign magic,
+/// version mismatch, checksum mismatch (truncation or any flipped
+/// payload bit), or corruption mid-stream all degrade to zero entries —
+/// never an error, and never a partially-trusted payload: the checksum
+/// is verified over the full payload before anything is decoded.
 pub fn load(dir: &Path) -> (HashMap<u64, MethodEntry>, HashMap<u64, BTreeSet<MethodRef>>) {
     let mut entries = HashMap::new();
     let mut callees = HashMap::new();
@@ -92,11 +113,16 @@ pub fn load(dir: &Path) -> (HashMap<u64, MethodEntry>, HashMap<u64, BTreeSet<Met
         return (entries, callees);
     };
     let mut r = Reader { buf: &buf, pos: 0 };
-    // On any decode failure the closure bails with `None`: fully-decoded
-    // entries are kept, the one that failed mid-decode (and everything
-    // after it) is simply missing.
-    let _ = (|| -> Option<()> {
+    // On any decode failure the closure bails with `None`; the maps it
+    // was filling are discarded wholesale below, so a file the checksum
+    // somehow vouched for but that still fails a bounds check cannot
+    // leak a half-decoded state.
+    let complete = (|| -> Option<()> {
         if r.bytes(MAGIC.len())? != MAGIC || r.u32()? != VERSION {
+            return None;
+        }
+        let expected = r.u64()?;
+        if checksum(&buf[r.pos..]) != expected {
             return None;
         }
         let n = r.count()?;
@@ -116,7 +142,12 @@ pub fn load(dir: &Path) -> (HashMap<u64, MethodEntry>, HashMap<u64, BTreeSet<Met
             callees.insert(key, set);
         }
         Some(())
-    })();
+    })()
+    .is_some();
+    if !complete {
+        entries.clear();
+        callees.clear();
+    }
     (entries, callees)
 }
 
@@ -413,19 +444,46 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_tail_keeps_decoded_prefix() {
+    fn corrupt_tail_degrades_to_misses() {
         let dir = std::env::temp_dir().join("sjava-cache-disk-corrupt");
         let _ = std::fs::remove_dir_all(&dir);
         let mut entries = HashMap::new();
         entries.insert(1u64, sample_entry());
         save(&dir, &entries, &HashMap::new()).expect("save");
-        // Truncate the file mid-entry: the loader must degrade to a miss.
+        // Truncate the file mid-entry: the checksum no longer matches,
+        // so the loader must degrade to zero entries.
         let path = cache_file(&dir);
         let bytes = std::fs::read(&path).expect("read");
         std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
         let (e2, c2) = load(&dir);
         assert!(e2.is_empty(), "truncated entry must not be resurrected");
         assert!(c2.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_payload_bit_degrades_to_misses() {
+        // A flipped bit inside a cached diagnostic message would decode
+        // cleanly under the pre-checksum format and be replayed as a
+        // *wrong* diagnostic; the checksum must reject every such file.
+        let dir = std::env::temp_dir().join("sjava-cache-disk-bitflip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut entries = HashMap::new();
+        entries.insert(1u64, sample_entry());
+        save(&dir, &entries, &HashMap::new()).expect("save");
+        let path = cache_file(&dir);
+        let clean = std::fs::read(&path).expect("read");
+        let header = MAGIC.len() + 4 + 8;
+        for pos in header..clean.len() {
+            let mut corrupt = clean.clone();
+            corrupt[pos] ^= 0x10;
+            std::fs::write(&path, &corrupt).expect("write");
+            let (e, c) = load(&dir);
+            assert!(
+                e.is_empty() && c.is_empty(),
+                "flipped byte at {pos} must invalidate the whole file"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -444,13 +502,15 @@ mod tests {
         std::fs::write(cache_file(&dir), buf).expect("write");
         let (e, c) = load(&dir);
         assert!(e.is_empty() && c.is_empty());
-        // A pre-structured-diagnostics version-1 file degrades to misses.
-        let mut buf = MAGIC.to_vec();
-        buf.extend_from_slice(&1u32.to_le_bytes());
-        buf.extend_from_slice(&0u64.to_le_bytes());
-        std::fs::write(cache_file(&dir), buf).expect("write");
-        let (e, c) = load(&dir);
-        assert!(e.is_empty() && c.is_empty());
+        // Pre-checksum version-1 and version-2 files degrade to misses.
+        for old in [1u32, 2] {
+            let mut buf = MAGIC.to_vec();
+            buf.extend_from_slice(&old.to_le_bytes());
+            buf.extend_from_slice(&0u64.to_le_bytes());
+            std::fs::write(cache_file(&dir), buf).expect("write");
+            let (e, c) = load(&dir);
+            assert!(e.is_empty() && c.is_empty(), "version {old} must miss");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

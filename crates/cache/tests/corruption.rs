@@ -1,0 +1,197 @@
+//! On-disk cache corruption tolerance: every mangled `cache.bin` —
+//! truncated at any length, written by an older format version, or with
+//! arbitrary payload bits flipped — must degrade to cache *misses*. A
+//! corrupt file may never panic the loader, and (the reason the format
+//! carries a checksum) may never be decoded into plausible-but-wrong
+//! entries that a later check would replay as wrong diagnostics under a
+//! still-matching fingerprint.
+//!
+//! The probe program fails the checker on purpose: wrong replay of its
+//! error list would be visible in the diagnostic bytes, so "diagnostics
+//! byte-identical to a cache-less check" proves both halves (no panic,
+//! no wrong replay) at once.
+
+use sjava_cache::{cache_file, IncrementalChecker};
+use std::path::{Path, PathBuf};
+
+/// A deliberately failing program (one `@LOC` stripped from a clean
+/// synthetic corpus would also do, but a hand-rolled probe keeps this
+/// crate's dev-dependencies flat): flow-up plus an unprovable loop, so
+/// the cached entries carry several error diagnostics with labels.
+const PROBE: &str = r#"@LATTICE("LO<HI") @METHODDEFAULT("V<IN") @THISLOC("V")
+class A {
+    @LOC("HI") int hi; @LOC("LO") int lo;
+    void main() {
+        SSJAVA: while (true) {
+            @LOC("IN") int x = Device.read();
+            hi = x;
+            lo = hi;
+            hi = lo;
+            while (x != 0) { x = Device.read(); }
+            Out.emit(lo);
+        }
+    }
+    @LATTICE("S<P") @THISLOC("S") @RETURNLOC("S")
+    int helper(@LOC("P") int p) {
+        @LOC("S") int r = p + 1;
+        return r;
+    }
+}"#;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sjava-cache-corruption-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Renders the probe's diagnostics through a fresh directory-backed
+/// session, asserting it does not panic whatever `cache.bin` holds.
+fn render_via_dir(dir: &Path) -> String {
+    let mut session = IncrementalChecker::with_dir(dir);
+    session.set_persist_min(0);
+    let report = session.check_source(PROBE).expect("probe parses");
+    format!("{}", report.diagnostics)
+}
+
+/// Writes a populated cache file for the probe and returns its bytes.
+fn seeded_cache(dir: &Path) -> Vec<u8> {
+    let mut session = IncrementalChecker::with_dir(dir);
+    session.set_persist_min(0);
+    let report = session.check_source(PROBE).expect("probe parses");
+    assert!(
+        report.diagnostics.has_errors(),
+        "probe must fail so wrong replay would be visible"
+    );
+    std::fs::read(cache_file(dir)).expect("cache file written")
+}
+
+fn fresh_rendering() -> String {
+    let report = sjava_core::check_source(PROBE).expect("probe parses");
+    format!("{}", report.diagnostics)
+}
+
+#[test]
+fn truncated_files_degrade_to_misses() {
+    let dir = scratch_dir("truncate");
+    let clean = seeded_cache(&dir);
+    let expected = fresh_rendering();
+    let path = cache_file(&dir);
+    // Every truncation length in a coarse sweep plus the interesting
+    // boundaries (empty file, inside magic, inside version, inside
+    // checksum, one byte short).
+    let mut cuts: Vec<usize> = (0..clean.len()).step_by(61).collect();
+    cuts.extend([0, 5, 12, 17, 21, clean.len().saturating_sub(1)]);
+    for cut in cuts {
+        std::fs::write(&path, &clean[..cut]).expect("truncate");
+        assert_eq!(
+            render_via_dir(&dir),
+            expected,
+            "truncation at {cut} changed the diagnostics"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn old_format_versions_degrade_to_misses() {
+    let dir = scratch_dir("versions");
+    let clean = seeded_cache(&dir);
+    let expected = fresh_rendering();
+    let path = cache_file(&dir);
+    for version in [0u32, 1, 2, 4, u32::MAX] {
+        // Same payload, forged version field: must be ignored wholesale.
+        let mut forged = clean.clone();
+        forged[10..14].copy_from_slice(&version.to_le_bytes());
+        std::fs::write(&path, &forged).expect("write forged version");
+        let mut session = IncrementalChecker::with_dir(&dir);
+        session.set_persist_min(0);
+        assert!(session.is_empty(), "version {version} must load nothing");
+        let report = session.check_source(PROBE).expect("probe parses");
+        assert_eq!(
+            format!("{}", report.diagnostics),
+            expected,
+            "version {version} changed the diagnostics"
+        );
+        assert_eq!(
+            report.cache.expect("incremental").hits,
+            0,
+            "version {version} must produce only misses"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flipped_payloads_degrade_to_misses() {
+    let dir = scratch_dir("bitflip");
+    let clean = seeded_cache(&dir);
+    let expected = fresh_rendering();
+    let path = cache_file(&dir);
+    let header = 10 + 4 + 8; // magic + version + checksum
+                             // Flip one bit at a stride of positions across the payload (and a
+                             // few inside the checksum itself): the loader must reject the file
+                             // and the session must re-analyze from scratch, byte-identically.
+    let mut positions: Vec<usize> = (header..clean.len()).step_by(23).collect();
+    positions.extend(10 + 4..header); // corrupt the stored checksum too
+    for (i, pos) in positions.into_iter().enumerate() {
+        let mut corrupt = clean.clone();
+        corrupt[pos] ^= 1 << (i % 8);
+        std::fs::write(&path, &corrupt).expect("write corrupt");
+        let mut session = IncrementalChecker::with_dir(&dir);
+        session.set_persist_min(0);
+        assert!(
+            session.is_empty(),
+            "flipped bit at byte {pos} must load nothing"
+        );
+        let report = session.check_source(PROBE).expect("probe parses");
+        assert_eq!(
+            format!("{}", report.diagnostics),
+            expected,
+            "flipped bit at byte {pos} changed the diagnostics"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_and_oversized_counts_never_panic() {
+    let dir = scratch_dir("garbage");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let expected = fresh_rendering();
+    let path = cache_file(&dir);
+    // Assorted hostile files: random-ish noise, a giant count directly
+    // after a forged (matching-checksum) header, and an empty file.
+    let noise: Vec<u8> = (0..4096u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+        .collect();
+    let mut forged = b"SJAVACACHE".to_vec();
+    forged.extend_from_slice(&3u32.to_le_bytes());
+    let payload = u64::MAX.to_le_bytes(); // entry count ~1.8e19
+    let mut h = {
+        // Recompute the real checksum so decoding genuinely begins and
+        // the MAX_ITEMS bound is what stops it.
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in &payload {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+    .to_le_bytes()
+    .to_vec();
+    forged.append(&mut h);
+    forged.extend_from_slice(&payload);
+    for (tag, bytes) in [
+        ("noise", noise.as_slice()),
+        ("forged-count", forged.as_slice()),
+        ("empty", &[][..]),
+    ] {
+        std::fs::write(&path, bytes).expect("write");
+        assert_eq!(
+            render_via_dir(&dir),
+            expected,
+            "{tag} file changed the diagnostics"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

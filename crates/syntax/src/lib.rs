@@ -65,3 +65,41 @@ pub fn parse(src: &str) -> Result<Program, Diagnostics> {
         Ok(program)
     }
 }
+
+/// Parses with the **sequential** front-end only, never attempting the
+/// parallel split-lex-parse path regardless of `SJAVA_THREADS` /
+/// `SJAVA_PAR_THRESHOLD`. Differential-testing surface: the fuzz harness
+/// and the brace pre-scan property tests compare this against
+/// [`parse_parallel_forced`] without mutating process-global environment
+/// variables (which would race across test threads).
+///
+/// # Errors
+///
+/// Same conditions as [`parse`].
+pub fn parse_sequential(src: &str) -> Result<Program, Diagnostics> {
+    let mut diags = Diagnostics::new();
+    let tokens = lexer::lex(src, &mut diags);
+    let classes = parser::parse_unit(tokens, &mut diags);
+    let program = resolve::resolve_statics(Program::new(classes));
+    if diags.has_errors() {
+        diags.sort_stable();
+        Err(diags)
+    } else {
+        Ok(program)
+    }
+}
+
+/// Forces the **parallel** front-end at an explicit worker width,
+/// bypassing the adaptive unit threshold (any source that splits into
+/// ≥2 top-level units takes the parallel path). Returns `None` when the
+/// pre-scan declines the input or any unit produces a diagnostic — the
+/// cases where production parsing falls back to the sequential path.
+///
+/// This is a differential-testing surface: whenever it returns
+/// `Some(program)`, the result must be byte-identical (AST and all
+/// downstream rendering) to [`parse_sequential`] on the same source,
+/// and the adversarial property suite plus the `sjava fuzz` parse
+/// oracle hold it to that.
+pub fn parse_parallel_forced(src: &str, threads: usize) -> Option<Program> {
+    par_parse::parse_parallel_with(src, threads, 2)
+}

@@ -136,12 +136,27 @@ pub(crate) fn try_parse_parallel(src: &str) -> Option<Program> {
     if sjava_par::num_threads() <= 1 {
         return None;
     }
-    let units = split_units(src)?;
     // The same adaptive threshold as every other fan-out: paper-sized
     // files parse in well under the worker-spawn cost. (The minimum of
     // 2 keeps SJAVA_PAR_THRESHOLD=0 meaning "force parallel", not
     // "parallelize a single unit".)
-    if units.len() < sjava_par::par_threshold().max(2) {
+    parse_parallel_with(
+        src,
+        sjava_par::num_threads(),
+        sjava_par::par_threshold().max(2),
+    )
+}
+
+/// The parallel front-end with an explicit worker width and unit floor,
+/// bypassing `SJAVA_THREADS`/`SJAVA_PAR_THRESHOLD`. This is the
+/// differential-testing surface (exported as
+/// [`crate::parse_parallel_forced`]): property tests and the fuzz
+/// harness force the split-lex-parse path at any width without mutating
+/// process-global environment variables, which would race across test
+/// threads.
+pub(crate) fn parse_parallel_with(src: &str, threads: usize, min_units: usize) -> Option<Program> {
+    let units = split_units(src)?;
+    if units.len() < min_units.max(2) {
         return None;
     }
     // Unit byte length is the cost proxy: lex + parse time is linear-ish
@@ -149,7 +164,7 @@ pub(crate) fn try_parse_parallel(src: &str) -> Option<Program> {
     // 2k-line decoder is exactly what steal-half absorbs.
     let cost: Vec<u64> = units.iter().map(|r| (r.end - r.start) as u64).collect();
     let parsed: Vec<(Vec<crate::ast::ClassDecl>, Diagnostics)> =
-        sjava_par::run_indexed_weighted(units.len(), &cost, |i| {
+        sjava_par::run_indexed_weighted_with(units.len(), threads, &cost, |i| {
             let r = units[i].clone();
             let mut unit_diags = Diagnostics::new();
             let tokens = lex_at(&src[r.clone()], r.start as u32, &mut unit_diags);

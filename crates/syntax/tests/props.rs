@@ -208,6 +208,40 @@ fn arb_program() -> impl Strategy<Value = String> {
     })
 }
 
+/// Top-level fragments chosen to confuse a brace pre-scan: braces
+/// hiding inside string literals, line and block comments, and
+/// annotation payloads; unterminated strings and comments; stray and
+/// unbalanced braces; units that split fine but fail to parse; and
+/// plain trivia with no unit to attach to. Any concatenation of these
+/// must leave the parallel front-end either declining or byte-agreeing
+/// with the sequential parser.
+fn arb_prescan_fragment() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        // Clean units the splitter should handle.
+        "class A { int x; void f() { x = 1; } }".to_string(),
+        "@LATTICE(\"H<L\")\nclass B { @LOC(\"H\") int h; }".to_string(),
+        "@DELTA(\"DELTA(V)\") class J { }".to_string(),
+        "class K { void d() { { { { int z; } } } } }".to_string(),
+        // Braces that are text, not structure.
+        "class C { void s() { Out.log(\"}{\"); } }".to_string(),
+        "class D { /* } { */ void g() { int y = 0; } }".to_string(),
+        "// stray } and { in a line comment\nclass E { }".to_string(),
+        "class F { void h() { Out.log(\"\\\"}\"); } }".to_string(),
+        // Inputs the pre-scan must refuse outright.
+        "class G {".to_string(),
+        "}".to_string(),
+        "/* unterminated".to_string(),
+        "class H { Out.log(\"unterminated\n); }".to_string(),
+        // Splits fine, then fails to lex or parse: the parallel attempt
+        // must be discarded so the sequential parser owns the wording.
+        "class I { int = ; }".to_string(),
+        // Top-level trivia with no unit of its own.
+        "int orphan;".to_string(),
+        "// just a comment".to_string(),
+        String::new(),
+    ])
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -235,4 +269,62 @@ proptest! {
         let mut d = Diagnostics::new();
         let _ = sjava_syntax::parser::parse_program(&input, &mut d);
     }
+
+    /// ISSUE 7 satellite: the parallel front-end's brace pre-scan on
+    /// adversarial inputs. Whenever the forced-parallel path accepts a
+    /// source, its program (spans included — the per-unit lexer works at
+    /// absolute offsets) must equal the sequential parser's; whenever
+    /// the source is hostile enough that anything diagnoses, the
+    /// parallel path must decline so the sequential wording wins.
+    #[test]
+    fn parallel_prescan_agrees_with_sequential(
+        frags in prop::collection::vec(arb_prescan_fragment(), 0..6),
+    ) {
+        let src = frags.join("\n");
+        for threads in [2usize, 4, 8] {
+            // Declining (None) is always safe.
+            if let Some(par) = sjava_syntax::parse_parallel_forced(&src, threads) {
+                let seq = sjava_syntax::parse_sequential(&src);
+                prop_assert!(
+                    seq.is_ok(),
+                    "parallel({threads}) parsed but sequential diagnosed:\n{src}"
+                );
+                prop_assert_eq!(
+                    par,
+                    seq.unwrap(),
+                    "parallel({}) AST diverged from sequential:\n{}",
+                    threads,
+                    &src
+                );
+            }
+        }
+    }
+
+    /// Arbitrary printable soup must never panic either front-end, and
+    /// the same agreement holds when the pre-scan happens to accept.
+    #[test]
+    fn parallel_prescan_never_panics_on_soup(
+        input in "[a-zA-Z0-9_(){};<>=+\\-*/@\"\\\\,.!/* \n]{0,200}",
+    ) {
+        if let Some(par) = sjava_syntax::parse_parallel_forced(&input, 4) {
+            let seq = sjava_syntax::parse_sequential(&input);
+            prop_assert!(seq.is_ok(), "parallel parsed but sequential diagnosed:\n{input}");
+            prop_assert_eq!(par, seq.unwrap());
+        }
+    }
+}
+
+/// The Some-branch of the property above must actually be reachable:
+/// hostile-but-valid sources (braces in strings, comments, deep
+/// nesting) take the forced-parallel path and agree byte for byte.
+#[test]
+fn hostile_but_valid_sources_take_the_parallel_path() {
+    let src = "class A { void f() { /* } { */ Out.log(\"}{\"); } } // }\n\
+               @LATTICE(\"H<L\")\nclass B { @LOC(\"H\") int h; }\n\
+               class K { void d() { { { int z = 1; } } } }\n";
+    let par = sjava_syntax::parse_parallel_forced(src, 4)
+        .expect("pre-scan must accept braces hidden in strings and comments");
+    let seq = sjava_syntax::parse_sequential(src).expect("valid source");
+    assert_eq!(par, seq);
+    assert_eq!(par.classes.len(), 3);
 }

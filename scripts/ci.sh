@@ -33,6 +33,9 @@
 #      directory: a warm re-check must never be slower than a cold
 #      check on any benchmark (min-of-reps), which pins the fix for
 #      the small-app persistence regression
+#  11. a fixed-seed differential fuzz smoke: 500 generated cases
+#      (adversarial stress shapes + mutations) through all five
+#      engine-pair oracles; any mismatch fails the build
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -54,17 +57,18 @@ cargo test --release -q -p sjava-bench --test determinism
 echo "== golden diagnostics (apps + violation probes, cold and cached) =="
 cargo test --release -q -p sjava-bench --test golden
 
-echo "== golden fixtures are fresh (regenerate + diff) =="
+echo "== golden fixtures are fresh (regenerate + diff, incl. fuzz near-miss corpus) =="
 golden_dir=crates/bench/tests/golden
 backup_dir=$(mktemp -d)
-cp "$golden_dir"/*.txt "$backup_dir"/
+cp -r "$golden_dir"/. "$backup_dir"/
 SJAVA_REGEN_GOLDEN=1 cargo test --release -q -p sjava-bench --test golden
+SJAVA_REGEN_GOLDEN=1 cargo test --release -q -p sjava-bench --test fuzz_fixtures
 if ! diff -ru "$backup_dir" "$golden_dir" >/dev/null; then
     diff -ru "$backup_dir" "$golden_dir" || true
-    cp "$backup_dir"/*.txt "$golden_dir"/
+    cp -r "$backup_dir"/. "$golden_dir"/
     rm -rf "$backup_dir"
     echo "golden fixtures are stale: regenerating them produced different bytes." >&2
-    echo "Run SJAVA_REGEN_GOLDEN=1 cargo test -p sjava-bench --test golden and commit the diff." >&2
+    echo "Run SJAVA_REGEN_GOLDEN=1 cargo test -p sjava-bench --test golden --test fuzz_fixtures and commit the diff." >&2
     exit 1
 fi
 rm -rf "$backup_dir"
@@ -103,5 +107,12 @@ inc_bin=$PWD/target/release/bench_incremental
 inc_dir=$(mktemp -d)
 (cd "$inc_dir" && SJAVA_CACHE_DIR="$inc_dir/cache" SJAVA_REPS=10 "$inc_bin" --gate)
 rm -rf "$inc_dir"
+
+echo "== differential fuzz smoke (seed 1, 500 cases, all oracles) =="
+# Byte-reproducible: the same seed and case count generate the same
+# stream on every machine, so a failure here is a real engine-pair
+# disagreement, not flakiness. Re-run a failing case interactively with
+#   target/release/sjava fuzz --seed=1 --cases=500 --minimize --fixtures-dir=findings/
+target/release/sjava fuzz --seed=1 --cases=500
 
 echo "CI green"

@@ -8,9 +8,14 @@
 //!                                       infer annotations, print source
 //! sjava run <file.sj> <Class.method> N  run the event loop N iterations
 //! sjava lattice <file.sj>               print declared lattices as DOT
-//! sjava stress [--preset=small|large] [--classes=N] [--methods=N]
-//!              [--fields=N] [--depth=N] [--stmts=N] [--seed=N]
+//! sjava stress [--preset=small|large|adversarial] [--classes=N]
+//!              [--methods=N] [--fields=N] [--depth=N] [--stmts=N]
+//!              [--seed=N] [--delta-depth=N] [--degenerate=N]
+//!              [--cyclic-delegates=N]
 //!              [--check] [--infer]      emit a synthetic stress program
+//! sjava fuzz [--seed=N] [--cases=N] [--oracle=all|check|infer|cache|parse|emit]
+//!            [--minimize] [--fixtures-dir=DIR]
+//!                                       differential-fuzz the engine pairs
 //! ```
 //!
 //! Exit codes: `0` success, `1` the check (or another command) failed
@@ -36,9 +41,10 @@ fn main() -> ExitCode {
         Some("lint") if args.len() >= 2 => cmd_lint(&args[1]),
         Some("vfg") if args.len() >= 2 => cmd_vfg(&args[1]),
         Some("stress") => cmd_stress(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         _ => {
             eprintln!(
-                "usage:\n  sjava check <file.sj> [--format=text|json|sarif] [--deny-warnings]\n  sjava check --explain SJ0xxx\n  sjava infer <file.sj> [--naive] [--timings]\n  sjava run <file.sj> <Class.method> <iterations>\n  sjava lattice <file.sj>\n  sjava lifetimes <file.sj>\n  sjava lint <file.sj>\n  sjava vfg <file.sj>\n  sjava stress [--preset=small|large] [--classes=N] [--methods=N] [--fields=N]\n               [--depth=N] [--stmts=N] [--seed=N] [--check] [--infer]"
+                "usage:\n  sjava check <file.sj> [--format=text|json|sarif] [--deny-warnings]\n  sjava check --explain SJ0xxx\n  sjava infer <file.sj> [--naive] [--timings]\n  sjava run <file.sj> <Class.method> <iterations>\n  sjava lattice <file.sj>\n  sjava lifetimes <file.sj>\n  sjava lint <file.sj>\n  sjava vfg <file.sj>\n  sjava stress [--preset=small|large|adversarial] [--classes=N] [--methods=N]\n               [--fields=N] [--depth=N] [--stmts=N] [--seed=N] [--delta-depth=N]\n               [--degenerate=N] [--cyclic-delegates=N] [--check] [--infer]\n  sjava fuzz [--seed=N] [--cases=N] [--oracle=all|check|infer|cache|parse|emit]\n             [--minimize] [--fixtures-dir=DIR]"
             );
             ExitCode::from(EXIT_USAGE)
         }
@@ -79,9 +85,10 @@ fn cmd_stress(args: &[String]) -> ExitCode {
                 "small" => cfg = StressConfig::small(),
                 "large" => cfg = StressConfig::large(),
                 "default" => cfg = StressConfig::default(),
+                "adversarial" => cfg = StressConfig::adversarial(),
                 other => {
                     eprintln!(
-                        "error: unknown preset `{other}` (expected small, default, or large)"
+                        "error: unknown preset `{other}` (expected small, default, large, or adversarial)"
                     );
                     return ExitCode::from(EXIT_USAGE);
                 }
@@ -108,6 +115,18 @@ fn cmd_stress(args: &[String]) -> ExitCode {
             },
             "--seed" => match numeric(value) {
                 Ok(n) => cfg.seed = n as u64,
+                Err(c) => return c,
+            },
+            "--delta-depth" => match numeric(value) {
+                Ok(n) => cfg.delta_depth = n,
+                Err(c) => return c,
+            },
+            "--degenerate" => match numeric(value) {
+                Ok(n) => cfg.degenerate = n,
+                Err(c) => return c,
+            },
+            "--cyclic-delegates" => match numeric(value) {
+                Ok(n) => cfg.cyclic_delegates = n,
                 Err(c) => return c,
             },
             "--check" => check = true,
@@ -154,6 +173,75 @@ fn cmd_stress(args: &[String]) -> ExitCode {
             cfg.method_count()
         );
         ExitCode::SUCCESS
+    }
+}
+
+/// `sjava fuzz`: runs the differential fuzzing harness — seeded
+/// adversarial case generation through the five engine-pair oracles,
+/// with optional delta-debugging minimization and fixture emission:
+///
+/// ```text
+/// sjava fuzz --seed=7 --cases=500
+/// sjava fuzz --oracle=infer --cases=50 --minimize
+/// sjava fuzz --minimize --fixtures-dir=findings/
+/// ```
+///
+/// Exit code `0` when every case agreed, `1` when any oracle found a
+/// mismatch. The run is byte-reproducible per `(seed, cases)`.
+fn cmd_fuzz(args: &[String]) -> ExitCode {
+    use sjava_bench::fuzz::{self, FuzzConfig, Oracle};
+
+    let mut cfg = FuzzConfig::default();
+    for a in args {
+        let (flag, value) = match a.split_once('=') {
+            Some((f, v)) => (f, v),
+            None => (a.as_str(), ""),
+        };
+        let numeric = |v: &str| -> Result<u64, ExitCode> {
+            v.parse().map_err(|_| {
+                eprintln!("error: `{a}` needs a non-negative integer value");
+                ExitCode::from(EXIT_USAGE)
+            })
+        };
+        match flag {
+            "--seed" => match numeric(value) {
+                Ok(n) => cfg.seed = n,
+                Err(c) => return c,
+            },
+            "--cases" => match numeric(value) {
+                Ok(n) => cfg.cases = n as usize,
+                Err(c) => return c,
+            },
+            "--oracle" => match Oracle::parse_set(value) {
+                Some(set) => cfg.oracles = set,
+                None => {
+                    eprintln!(
+                        "error: unknown oracle `{value}` (expected all, check, infer, cache, parse, or emit)"
+                    );
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            },
+            "--minimize" => cfg.minimize = true,
+            "--fixtures-dir" => {
+                if value.is_empty() {
+                    eprintln!("error: `--fixtures-dir` needs a directory path");
+                    return ExitCode::from(EXIT_USAGE);
+                }
+                cfg.fixtures_dir = Some(value.into());
+            }
+            other => {
+                eprintln!("error: unknown flag `{other}` for `sjava fuzz`");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    }
+
+    let report = fuzz::run(&cfg);
+    print!("{}", report.render());
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
