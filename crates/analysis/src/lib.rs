@@ -35,6 +35,7 @@ pub mod heappath;
 pub mod jtype;
 pub mod lifetime;
 pub mod lint;
+pub mod shard;
 pub mod termination;
 pub mod written;
 
@@ -46,4 +47,5 @@ pub use heappath::HeapPath;
 pub use jtype::TypeEnv;
 pub use lifetime::{analyze_lifetimes, AllocationSite, Escape};
 pub use lint::lint_program;
+pub use shard::{InterfaceSummary, ShardInput};
 pub use written::{analyze as analyze_eviction, EvictionResult, MethodSummary};

@@ -8,19 +8,24 @@
 //! label (§4.3.2). Recursion is rejected by the call-graph builder.
 
 use crate::callgraph::{CallGraph, MethodRef};
+use crate::shard::ShardInput;
 use sjava_syntax::ast::*;
 use sjava_syntax::diag::{Diag, Diagnostics};
 use sjava_syntax::span::Span;
 use std::collections::BTreeSet;
 
-/// Checks termination of every inner loop reachable from the event loop.
-/// Returns the number of loops that failed (also reported into `diags`).
-pub fn check(program: &Program, cg: &CallGraph, diags: &mut Diagnostics) -> usize {
+/// Checks termination of every inner loop reachable from the event loop
+/// that the shard owns (the unsharded pipeline passes
+/// [`ShardInput::whole`]). Returns the number of loops that failed (also
+/// reported into `diags`).
+pub fn check(shard: &ShardInput<'_>, cg: &CallGraph, diags: &mut Diagnostics) -> usize {
     let mut failures = 0;
     for mref in &cg.topo {
-        let (n, d) = check_method(program, mref);
-        failures += n;
-        diags.extend(d);
+        if shard.owns(mref) {
+            let (n, d) = check_method(shard, mref);
+            failures += n;
+            diags.extend(d);
+        }
     }
     failures
 }
@@ -29,9 +34,9 @@ pub fn check(program: &Program, cg: &CallGraph, diags: &mut Diagnostics) -> usiz
 /// diagnostics it contributed, in source order. Trusted or unresolvable
 /// methods yield `(0, empty)`. The verdict depends only on the method
 /// body, so the incremental layer caches it per method fingerprint.
-pub fn check_method(program: &Program, mref: &MethodRef) -> (usize, Diagnostics) {
+pub fn check_method(shard: &ShardInput<'_>, mref: &MethodRef) -> (usize, Diagnostics) {
     let mut diags = Diagnostics::new();
-    let Some((decl_class, method)) = program.resolve_method(&mref.0, &mref.1) else {
+    let Some((decl_class, method)) = shard.program().resolve_method(&mref.0, &mref.1) else {
         return (0, diags);
     };
     if method.annots.trusted || decl_class.annots.trusted {
@@ -337,7 +342,7 @@ mod tests {
         let p = parse(src).expect("parses");
         let mut d = Diagnostics::new();
         let cg = callgraph::build(&p, &mut d).expect("cg");
-        let n = check(&p, &cg, &mut d);
+        let n = check(&ShardInput::whole(&p), &cg, &mut d);
         (n, d)
     }
 

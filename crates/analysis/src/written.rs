@@ -15,6 +15,7 @@ use crate::callgraph::{CallGraph, MethodRef};
 use crate::dense::{BitSet, PathId, PathInterner, VarId, VarInterner};
 use crate::heappath::{HeapPath, ELEMENT};
 use crate::jtype::TypeEnv;
+use crate::shard::ShardInput;
 use sjava_lattice::FnvHashMap;
 use sjava_syntax::ast::*;
 use sjava_syntax::diag::{Diag, Diagnostics};
@@ -60,6 +61,11 @@ impl EvictionResult {
 /// Runs the eviction analysis over all methods reachable from the event
 /// loop and checks the loop body; failures are also reported into `diags`.
 pub fn analyze(program: &Program, cg: &CallGraph, diags: &mut Diagnostics) -> EvictionResult {
+    // Summaries are *inputs* to every other per-method judgment, so they
+    // are always computed for the whole program — a shard worker runs
+    // this pass over the full source too (deterministically recomputing
+    // what a distributed build would fetch from the artifact store).
+    let shard = ShardInput::whole(program);
     let mut summaries: BTreeMap<MethodRef, MethodSummary> = BTreeMap::new();
     // Bottom-up over the acyclic call graph, one reverse-topo wave at a
     // time: a wave's methods only call into earlier waves, so they are
@@ -69,7 +75,7 @@ pub fn analyze(program: &Program, cg: &CallGraph, diags: &mut Diagnostics) -> Ev
     // any thread count.
     for wave in cg.levels() {
         let wave_summaries =
-            sjava_par::run_indexed(wave.len(), |i| summarize(program, &wave[i], &summaries));
+            sjava_par::run_indexed(wave.len(), |i| summarize(&shard, &wave[i], &summaries));
         for (mref, summary) in wave.iter().zip(wave_summaries) {
             if let Some(s) = summary {
                 summaries.insert(mref.clone(), s);
@@ -91,10 +97,11 @@ pub fn analyze(program: &Program, cg: &CallGraph, diags: &mut Diagnostics) -> Ev
 /// methods get an empty (effect-free) summary; unresolvable references
 /// get `None`. This is the per-method unit the incremental layer caches.
 pub fn summarize(
-    program: &Program,
+    shard: &ShardInput<'_>,
     mref: &MethodRef,
     summaries: &BTreeMap<MethodRef, MethodSummary>,
 ) -> Option<MethodSummary> {
+    let program = shard.program();
     let (decl_class, method) = program.resolve_method(&mref.0, &mref.1)?;
     if method.annots.trusted || decl_class.annots.trusted {
         return Some(MethodSummary::default());

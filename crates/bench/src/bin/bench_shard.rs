@@ -1,0 +1,211 @@
+//! Sharded-checking benchmark and equivalence gate: partitions the
+//! stress corpus into 1, 2, and 4 shards, proves every sharded report
+//! byte-identical to the unsharded checker, measures the per-shard cold
+//! times, and measures the cross-process warm-hit rate of the
+//! content-addressed artifact store (one session publishes, a fresh
+//! session over the same directory must replay everything). Emits
+//! `results/BENCH_shard.json`.
+//!
+//! With `--gate`:
+//! - the byte-identity assertions must hold (always);
+//! - the store warm-hit rate must be ≥ 0.95 (always);
+//! - the 4-shard multi-process wall time must beat the 1-shard one by
+//!   ≥ 1.1x — skipped on hosts with fewer than 4 cores, where spawning
+//!   four workers cannot pay for itself, and when the `sjava` binary is
+//!   not next to this one (the multi-process run needs it).
+//!
+//! Usage: `cargo run --release -p sjava-bench --bin bench_shard [--gate]`
+//! Env overrides: `SJAVA_STRESS_PRESET` (small|default|large|adversarial),
+//! `SJAVA_REPS` (timed repetitions, default 5).
+
+use std::time::{Duration, Instant};
+
+use sjava_bench::{env_usize, stressgen, write_result};
+use sjava_cache::{shard, IncrementalChecker};
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1000.0
+}
+
+/// Fastest-of-`reps` wall time of `f`.
+fn min_time(reps: usize, mut f: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed());
+    }
+    best
+}
+
+fn main() {
+    let gate = std::env::args().any(|a| a == "--gate");
+    let reps = env_usize("SJAVA_REPS", 5).max(1);
+    let preset = std::env::var("SJAVA_STRESS_PRESET").unwrap_or_else(|_| "default".into());
+    let cfg = match preset.as_str() {
+        "small" => stressgen::StressConfig::small(),
+        "large" => stressgen::StressConfig::large(),
+        "adversarial" => stressgen::StressConfig::adversarial(),
+        _ => stressgen::StressConfig::default(),
+    };
+    let source = stressgen::generate(&cfg);
+    let program = sjava_syntax::parse(&source).expect("stress corpus parses");
+    let threads = sjava_par::num_threads();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "BENCH_shard — sharded checking on {} ({} methods)",
+        cfg.label(),
+        cfg.method_count()
+    );
+    println!("{reps} reps; pool width {threads}; {cores} cores");
+
+    // Reference: the plain whole-program checker.
+    let reference = sjava_core::check_program(&program);
+    let ref_bytes = format!("{}", reference.diagnostics);
+    let unsharded = min_time(reps, || {
+        sjava_core::check_program(&program);
+    });
+
+    // Shard equivalence + cold per-shard-count times (workers in-process:
+    // this isolates the partition/reduction/merge overhead from process
+    // spawning, which the multi-process section measures separately).
+    let shard_counts = [1usize, 2, 4];
+    let mut shard_ms = Vec::new();
+    for &n in &shard_counts {
+        let report = shard::check_sharded(&program, n, |_, _| None);
+        assert_eq!(
+            format!("{}", report.diagnostics),
+            ref_bytes,
+            "equivalence gate: --shards={n} diverged from the unsharded checker"
+        );
+        assert_eq!(report.termination_failures, reference.termination_failures);
+        let d = min_time(reps, || {
+            shard::check_sharded(&program, n, |_, _| None);
+        });
+        shard_ms.push((n, ms(d)));
+        println!("  shards={n}: cold {:8.3} ms (in-process workers)", ms(d));
+    }
+
+    // Cross-process warm-hit rate: one store-backed session publishes
+    // every artifact; a *fresh* session over the same directory (a new
+    // process would behave identically — the store is the only shared
+    // state) must replay every per-method result.
+    let dir = std::env::temp_dir().join(format!("sjava-bench-shard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut writer = IncrementalChecker::with_dir(&dir);
+    writer.set_persist_min(0);
+    let cold = writer.check(&program);
+    assert_eq!(format!("{}", cold.diagnostics), ref_bytes);
+    drop(writer);
+    let mut reader = IncrementalChecker::with_dir(&dir);
+    reader.set_persist_min(0);
+    let warm = reader.check(&program);
+    assert_eq!(format!("{}", warm.diagnostics), ref_bytes);
+    let stats = warm.cache.expect("incremental report carries stats");
+    let hit_rate = stats.hit_rate();
+    println!(
+        "  store warm-hit rate across sessions: {:.3} ({} hits / {} misses)",
+        hit_rate, stats.hits, stats.misses
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Multi-process: drive the real `sjava check --shards=N` CLI, which
+    // spawns one OS process per shard. Requires the sibling binary and
+    // enough cores for process parallelism to be measurable.
+    let sjava_bin = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("sjava")))
+        .filter(|p| p.exists());
+    let mut multi: Option<(f64, f64, f64)> = None;
+    if let Some(bin) = &sjava_bin {
+        let file =
+            std::env::temp_dir().join(format!("sjava-bench-shard-{}.sj", std::process::id()));
+        std::fs::write(&file, &source).expect("write corpus");
+        let run = |n: usize| {
+            min_time(reps, || {
+                let out = std::process::Command::new(bin)
+                    .arg("check")
+                    .arg(&file)
+                    .arg(format!("--shards={n}"))
+                    .output()
+                    .expect("sjava runs");
+                // Exit 0 = clean, 1 = diagnostics (the corpus may fail
+                // the check on purpose); only 2 (usage/I/O) is a harness
+                // failure.
+                assert!(
+                    out.status.code().is_some_and(|c| c <= 1),
+                    "sjava check --shards={n} errored: {}",
+                    String::from_utf8_lossy(&out.stderr)
+                );
+            })
+        };
+        let one = run(1);
+        let four = run(4);
+        let speedup = ms(one) / ms(four).max(1e-9);
+        println!(
+            "  multi-process: 1 shard {:8.3} ms | 4 shards {:8.3} ms | {speedup:.2}x",
+            ms(one),
+            ms(four)
+        );
+        multi = Some((ms(one), ms(four), speedup));
+        let _ = std::fs::remove_file(&file);
+    } else {
+        println!("  multi-process: skipped (sjava binary not found next to bench_shard)");
+    }
+
+    if gate {
+        assert!(
+            hit_rate >= 0.95,
+            "gate: cross-session store warm-hit rate {hit_rate:.3} below the 0.95 floor"
+        );
+        match (multi, cores >= 4) {
+            (Some((_, _, speedup)), true) => {
+                assert!(
+                    speedup >= 1.1,
+                    "gate: 4-shard multi-process run only {speedup:.2}x over 1 shard (floor 1.1x)"
+                );
+                println!("gate ok: equivalence, warm-hit rate {hit_rate:.2}, multi-process {speedup:.2}x");
+            }
+            _ => {
+                println!(
+                    "gate ok: equivalence and warm-hit rate {hit_rate:.2} \
+                     (multi-process floor skipped: {} cores, binary {})",
+                    cores,
+                    if sjava_bin.is_some() {
+                        "found"
+                    } else {
+                        "missing"
+                    }
+                );
+            }
+        }
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"preset\": \"{}\",\n", cfg.label()));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"unsharded_ms\": {:.4},\n", ms(unsharded)));
+    json.push_str("  \"shards\": [\n");
+    for (i, (n, t)) in shard_ms.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"shards\": {n}, \"cold_ms\": {t:.4} }}{}\n",
+            if i + 1 < shard_ms.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"store\": {{ \"warm_hit_rate\": {:.4}, \"hits\": {}, \"misses\": {} }},\n",
+        hit_rate, stats.hits, stats.misses
+    ));
+    match multi {
+        Some((one, four, speedup)) => json.push_str(&format!(
+            "  \"multiprocess\": {{ \"measured\": true, \"shard1_ms\": {one:.4}, \"shard4_ms\": {four:.4}, \"speedup\": {speedup:.2} }}\n"
+        )),
+        None => json.push_str("  \"multiprocess\": { \"measured\": false }\n"),
+    }
+    json.push_str("}\n");
+    let path = write_result("BENCH_shard.json", &json);
+    println!("written to {}", path.display());
+}

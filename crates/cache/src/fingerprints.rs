@@ -30,37 +30,28 @@ use sjava_syntax::ast::{Block, Expr, LValue, MethodDecl, Program, Stmt};
 use sjava_syntax::span::Span;
 use std::collections::{BTreeMap, HashMap};
 
-/// Digest of every class interface in declaration order. Keys the cached
-/// lattice model, and seeds every per-method fingerprint so interface
-/// changes invalidate all method entries.
+/// Digest of every class interface in declaration order, folded from the
+/// per-class [`sjava_analysis::shard::class_interface_hash`] summaries —
+/// the same content addresses shard workers publish, so "the interface
+/// summaries agree" and "the cache key matches" are one judgment. Keys
+/// the cached lattice model, and seeds every per-method fingerprint so
+/// interface changes invalidate all method entries.
 pub fn iface_hash(program: &Program) -> u64 {
     let mut h = Fnv64::new();
     h.write_usize(program.classes.len());
     for class in &program.classes {
-        h.write_str(&class.name);
-        match &class.superclass {
-            Some(s) => {
-                h.write_u64(1);
-                h.write_str(s);
-            }
-            None => h.write_u64(0),
-        }
-        h.write_u64(hash_debug(&class.annots));
-        h.write_u64(span_bits(class.span));
-        h.write_usize(class.fields.len());
-        for f in &class.fields {
-            h.write_u64(hash_debug(f));
-        }
-        h.write_usize(class.methods.len());
-        for m in &class.methods {
-            h.write_str(&m.name);
-            h.write_u64(m.is_static as u64);
-            h.write_u64(hash_debug(&m.annots));
-            h.write_u64(hash_debug(&m.ret));
-            h.write_u64(hash_debug(&m.params));
-            h.write_u64(span_bits(m.span));
-        }
+        h.write_u64(sjava_analysis::shard::class_interface_hash(class));
     }
+    h.finish()
+}
+
+/// Position-independent digest of a method's *name*: the key for
+/// persisted per-method check-time measurements, which must survive body
+/// and interface edits (a renamed method simply starts a fresh series).
+pub fn name_hash(mref: &MethodRef) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(&mref.0);
+    h.write_str(&mref.1);
     h.finish()
 }
 

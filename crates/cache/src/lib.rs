@@ -5,11 +5,11 @@
 //! analysis result — flow diagnostics, eviction summaries, aliasing
 //! diagnostics, shared-location summaries, and termination verdicts —
 //! keyed on a stable 64-bit fingerprint of the method's body, the class
-//! interfaces (lattices included), and its callees' fingerprints (see
-//! [`fingerprints`]). A re-check after an edit re-analyzes only the
-//! dirtied call-graph cone and replays cached results for everything
-//! else, merged in the same topological order as the full pipeline, so
-//! the diagnostics are **byte-identical** to a cold
+//! interface summaries (lattices included), and its callees' summary
+//! hashes (see [`fingerprints`]). A re-check after an edit re-analyzes
+//! only the dirtied call-graph cone and replays cached results for
+//! everything else, merged in the same topological order as the full
+//! pipeline, so the diagnostics are **byte-identical** to a cold
 //! [`sjava_core::check_program`] run at any thread count.
 //!
 //! What is never cached: lattice construction is keyed separately on the
@@ -17,9 +17,15 @@
 //! and the shared-location event-loop check are always recomputed (they
 //! read global state and are cheap relative to per-method analysis).
 //!
-//! Setting `SJAVA_CACHE_DIR` (see [`CACHE_DIR_ENV`]) persists entries to
-//! disk with a versioned header; a corrupt or mismatched file degrades
-//! to cache misses, never to an error or a stale result.
+//! Setting `SJAVA_CACHE_DIR` (see [`CACHE_DIR_ENV`]) backs the session
+//! with the concurrent content-addressed [`store::ArtifactStore`]:
+//! per-method results publish as individual objects with atomic renames,
+//! so any number of processes — shard workers, parallel CI jobs — can
+//! share one store directory. Corrupt or foreign-format objects (and
+//! old monolithic `cache.bin` files from format v3 and earlier) degrade
+//! to cache misses, never to an error or a stale result. An unwritable
+//! cache directory or a malformed environment value warns once on stderr
+//! and degrades to an uncached session.
 //!
 //! ```
 //! let program = sjava_syntax::parse(
@@ -34,11 +40,13 @@
 
 #![warn(missing_docs)]
 
-mod disk;
 pub mod edit;
 pub mod fingerprints;
+pub mod shard;
+pub mod store;
 
 use sjava_analysis::callgraph::{self, MethodRef};
+use sjava_analysis::shard::ShardInput;
 use sjava_analysis::termination;
 use sjava_analysis::written::{self, EvictionResult, MethodSummary};
 use sjava_core::shared::SharedMember;
@@ -49,40 +57,93 @@ use sjava_lattice::{hash_debug, mix, Fnv64};
 use sjava_syntax::ast::Program;
 use sjava_syntax::diag::{Diagnostic, Diagnostics};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-use fingerprints::{iface_hash, local_fp};
+use fingerprints::{iface_hash, local_fp, name_hash};
+pub use store::ArtifactStore;
 
 /// Environment variable naming the on-disk cache directory. When set,
-/// [`IncrementalChecker::from_env`] loads persisted entries from
-/// `$SJAVA_CACHE_DIR/cache.bin` and writes them back after every check.
+/// [`IncrementalChecker::from_env`] opens the content-addressed artifact
+/// store under it and serves cross-process warm hits from it. An
+/// unwritable directory warns once on stderr and degrades to an uncached
+/// session.
 pub const CACHE_DIR_ENV: &str = "SJAVA_CACHE_DIR";
 
-/// Environment variable overriding [`PERSIST_MIN_WEIGHT`].
+/// Environment variable overriding [`PERSIST_MIN_WEIGHT`]. A malformed
+/// value warns once on stderr and falls back to the default rather than
+/// being silently swallowed.
 pub const PERSIST_MIN_ENV: &str = "SJAVA_CACHE_PERSIST_MIN";
 
 /// Minimum total statement weight of the fingerprinted method set before
-/// a directory-backed session rewrites its cache file after a check.
-/// Serializing the cache costs a fixed ~0.2–0.5 ms of encode + write; a
-/// paper-sized app re-checks from scratch faster than that, so
-/// persisting it makes every *warm* check slower than a cold one (the
-/// `windsensor` warm_speedup-0.72 regression). Below this weight the
-/// round-trip is skipped — the in-memory session still replays hits, and
-/// a future process can re-check the tiny program cheaply anyway.
+/// a store-backed session publishes artifacts after a check.
+/// Persisting costs a fixed encode + write per fresh entry; a paper-sized
+/// app re-checks from scratch faster than that, so persisting it makes
+/// every *warm* check slower than a cold one (the `windsensor`
+/// warm_speedup-0.72 regression). Below this weight the publish is
+/// skipped — the in-memory session still replays hits, and a future
+/// process can re-check the tiny program cheaply anyway.
 pub const PERSIST_MIN_WEIGHT: u64 = 256;
 
-/// The effective persistence threshold: [`PERSIST_MIN_WEIGHT`] unless
-/// overridden via [`PERSIST_MIN_ENV`] (`0` persists everything).
-fn persist_min_weight() -> u64 {
-    std::env::var(PERSIST_MIN_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<u64>().ok())
-        .unwrap_or(PERSIST_MIN_WEIGHT)
+/// One-time warning latches for environment misconfiguration (one per
+/// concern, so a bad cache dir does not mask a bad threshold).
+static WARNED_PERSIST_MIN: AtomicBool = AtomicBool::new(false);
+static WARNED_CACHE_DIR: AtomicBool = AtomicBool::new(false);
+static WARNED_MAX_BYTES: AtomicBool = AtomicBool::new(false);
+
+/// Parses an environment override as a non-negative decimal integer;
+/// `None` means "malformed" (empty is malformed, padding is trimmed).
+fn parse_env_u64(raw: &str) -> Option<u64> {
+    raw.trim().parse::<u64>().ok()
 }
 
-/// Every cached per-method result, keyed (in the session maps) by the
-/// method's content fingerprint.
+/// The effective persistence threshold: [`PERSIST_MIN_WEIGHT`] unless
+/// overridden via [`PERSIST_MIN_ENV`]. `0` persists everything; a
+/// malformed value warns once and keeps the default.
+fn persist_min_weight() -> u64 {
+    match std::env::var(PERSIST_MIN_ENV) {
+        Ok(raw) => match parse_env_u64(&raw) {
+            Some(v) => v,
+            None => {
+                if !WARNED_PERSIST_MIN.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "sjava-cache: warning: ignoring malformed {PERSIST_MIN_ENV}={raw:?} \
+                         (expected a non-negative integer); using the default \
+                         ({PERSIST_MIN_WEIGHT})"
+                    );
+                }
+                PERSIST_MIN_WEIGHT
+            }
+        },
+        Err(_) => PERSIST_MIN_WEIGHT,
+    }
+}
+
+/// The store byte budget from `SJAVA_CACHE_MAX_BYTES`: `None` when unset
+/// (unbounded); a malformed value warns once and leaves the store
+/// unbounded.
+fn max_bytes_budget() -> Option<u64> {
+    match std::env::var(store::MAX_BYTES_ENV) {
+        Ok(raw) => match parse_env_u64(&raw) {
+            Some(v) => Some(v),
+            None => {
+                if !WARNED_MAX_BYTES.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "sjava-cache: warning: ignoring malformed {}={raw:?} \
+                         (expected a non-negative integer); store stays unbounded",
+                        store::MAX_BYTES_ENV
+                    );
+                }
+                None
+            }
+        },
+        Err(_) => None,
+    }
+}
+
+/// Every cached per-method result, keyed (in the session maps and the
+/// artifact store) by the method's content fingerprint.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub(crate) struct MethodEntry {
     /// Eviction read/write summary (`written::summarize`).
@@ -120,12 +181,22 @@ struct LatticeEntry {
 /// [`CheckReport::cache`] describing how much was replayed. Entries are
 /// content-addressed, so a session can serve any number of programs (and
 /// survives edits being reverted — the old fingerprints hit again).
+///
+/// A store-backed session ([`IncrementalChecker::with_dir`] /
+/// [`IncrementalChecker::from_env`]) additionally probes the shared
+/// artifact store for every fingerprint it has not seen in memory, so
+/// warm hits flow across processes — shard workers and CI jobs sharing
+/// one `SJAVA_CACHE_DIR` replay each other's results.
 pub struct IncrementalChecker {
     entries: HashMap<u64, MethodEntry>,
     callee_cache: HashMap<u64, BTreeSet<MethodRef>>,
     lattice_cache: Option<LatticeEntry>,
     last_keys: BTreeMap<MethodRef, u64>,
-    dir: Option<PathBuf>,
+    /// Measured flow-check nanoseconds per method-name hash; preferred
+    /// over the static statement-weight estimate when scheduling warm
+    /// fan-outs (scheduling only — results never depend on timings).
+    times: HashMap<u64, u64>,
+    store: Option<ArtifactStore>,
     persist_min: u64,
 }
 
@@ -143,23 +214,40 @@ impl IncrementalChecker {
             callee_cache: HashMap::new(),
             lattice_cache: None,
             last_keys: BTreeMap::new(),
-            dir: None,
+            times: HashMap::new(),
+            store: None,
             persist_min: persist_min_weight(),
         }
     }
 
-    /// A session backed by an on-disk cache under `dir`: existing entries
-    /// are loaded (corrupt or version-mismatched data is silently treated
-    /// as missing) and the cache file is rewritten after every check.
+    /// A session backed by the content-addressed artifact store under
+    /// `dir`: fingerprints missing from memory are probed in the store
+    /// during each check (lazily, per key — no up-front bulk load), and
+    /// fresh results publish back after the check. An unwritable
+    /// directory warns once on stderr and degrades to an uncached
+    /// session; corrupt or old-format store contents degrade to misses.
     pub fn with_dir(dir: impl Into<PathBuf>) -> Self {
         let dir = dir.into();
-        let (entries, callee_cache) = disk::load(&dir);
+        let store = match ArtifactStore::open(&dir) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                if !WARNED_CACHE_DIR.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "sjava-cache: warning: cache directory {} is unusable ({e}); \
+                         running without a cache",
+                        dir.display()
+                    );
+                }
+                None
+            }
+        };
         IncrementalChecker {
-            entries,
-            callee_cache,
+            entries: HashMap::new(),
+            callee_cache: HashMap::new(),
             lattice_cache: None,
             last_keys: BTreeMap::new(),
-            dir: Some(dir),
+            times: HashMap::new(),
+            store,
             persist_min: persist_min_weight(),
         }
     }
@@ -180,23 +268,30 @@ impl IncrementalChecker {
         }
     }
 
-    /// Number of cached per-method entries.
+    /// The artifact store backing this session, if any.
+    pub fn store(&self) -> Option<&ArtifactStore> {
+        self.store.as_ref()
+    }
+
+    /// Number of per-method entries held **in memory** (store objects are
+    /// probed lazily and are not counted until replayed or computed).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Whether the session holds no cached entries.
+    /// Whether the session holds no in-memory entries.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
-    /// Drops every cached entry (the disk file, if any, is overwritten on
-    /// the next check).
+    /// Drops every in-memory entry. Store objects are untouched — they
+    /// are content-addressed and remain valid for any future session.
     pub fn clear(&mut self) {
         self.entries.clear();
         self.callee_cache.clear();
         self.lattice_cache = None;
         self.last_keys.clear();
+        self.times.clear();
     }
 
     /// Parses and checks source text incrementally, charging parse time
@@ -230,11 +325,37 @@ impl IncrementalChecker {
     }
 
     /// Checks `program`, replaying cached per-method results wherever the
-    /// content fingerprint matches and re-analyzing only the dirtied
-    /// call-graph cone. Diagnostics are byte-identical to
-    /// [`sjava_core::check_program`] on the same program.
+    /// content fingerprint matches (in memory first, then the artifact
+    /// store) and re-analyzing only the dirtied call-graph cone.
+    /// Diagnostics are byte-identical to [`sjava_core::check_program`] on
+    /// the same program.
     pub fn check(&mut self, program: &Program) -> CheckReport {
+        self.check_inner(program, None)
+    }
+
+    /// The full incremental pipeline, optionally restricted to a shard.
+    ///
+    /// With `owned: None` this is [`IncrementalChecker::check`]. With
+    /// `owned: Some(set)` the session acts as a **shard worker**: the
+    /// global phases (lattice construction, call-graph assembly, eviction
+    /// summaries, fingerprint keys) still run whole-program — they are
+    /// *inputs* — but their diagnostics are discarded (the merging driver
+    /// emits them exactly once), the global event-loop checks are skipped
+    /// entirely, and the per-method passes run against a *reduced*
+    /// [`ShardInput`] view in which only owned bodies survive. The
+    /// returned report carries only the owned methods' flow, aliasing,
+    /// and termination diagnostics, and cache stats counted over the
+    /// owned set.
+    pub(crate) fn check_inner(
+        &mut self,
+        program: &Program,
+        owned: Option<&BTreeSet<MethodRef>>,
+    ) -> CheckReport {
+        let sharded = owned.is_some();
         let mut diags = Diagnostics::new();
+        // Global-phase diagnostics: merged into the report in driver
+        // mode, dropped in shard mode (the driver emits them).
+        let mut global = Diagnostics::new();
         let mut stats = CacheStats::default();
         let mut timings = PhaseTimings {
             threads: sjava_par::num_threads(),
@@ -248,7 +369,7 @@ impl IncrementalChecker {
         let lattices = match &self.lattice_cache {
             Some(e) if e.iface == iface => {
                 for d in &e.diags {
-                    diags.push(d.clone());
+                    global.push(d.clone());
                 }
                 e.lattices.clone()
             }
@@ -257,7 +378,7 @@ impl IncrementalChecker {
                 let lattices = Lattices::build(program, &mut ld);
                 let cached: Vec<Diagnostic> = ld.iter().cloned().collect();
                 for d in &cached {
-                    diags.push(d.clone());
+                    global.push(d.clone());
                 }
                 self.lattice_cache = Some(LatticeEntry {
                     iface,
@@ -270,25 +391,34 @@ impl IncrementalChecker {
         timings.lattice_build = t.elapsed();
 
         // Call graph: assembly is recomputed, per-method callee sets are
-        // served from the cache keyed on (iface, local body) — the set
-        // does not depend on callees, so the local fingerprint suffices.
-        // Local fingerprints are memoized for the whole check: hashing a
-        // method body is the dominant fixed cost of a warm check, so it
-        // must happen at most once per method.
+        // served from the session (or the store) keyed on (iface, local
+        // body) — the set does not depend on callees, so the local
+        // fingerprint suffices. Local fingerprints are memoized for the
+        // whole check: hashing a method body is the dominant fixed cost
+        // of a warm check, so it must happen at most once per method.
         let t = Instant::now();
         let mut local_fps: HashMap<MethodRef, u64> = HashMap::new();
         let callee_cache = &mut self.callee_cache;
-        let cg = callgraph::build_with(program, &mut diags, |mref| {
+        let store = self.store.as_ref();
+        let cg = callgraph::build_with(program, &mut global, |mref| {
             let lfp = *local_fps
                 .entry(mref.clone())
                 .or_insert_with(|| local_fp(program, mref));
+            let ckey = mix(iface, lfp);
             callee_cache
-                .entry(mix(iface, lfp))
-                .or_insert_with(|| callgraph::method_callees(program, mref))
+                .entry(ckey)
+                .or_insert_with(|| {
+                    store
+                        .and_then(|s| s.get_callees(ckey))
+                        .unwrap_or_else(|| callgraph::method_callees(program, mref))
+                })
                 .clone()
         });
         timings.callgraph = t.elapsed();
         let Some(cg) = cg else {
+            if !sharded {
+                diags.extend(global);
+            }
             diags.sort_stable();
             return CheckReport {
                 diagnostics: diags,
@@ -300,15 +430,18 @@ impl IncrementalChecker {
             };
         };
 
-        // Entry keys and summaries, bottom-up by wave. A method's key
-        // folds the interface hash, its own body fingerprint, and the
-        // *summary hashes* of its direct callees — the eviction and
+        // Entry keys and summaries, bottom-up by wave — always
+        // whole-program, even in shard mode: summaries are the interface
+        // inputs every shard checks against. A method's key folds the
+        // interface hash, its own body fingerprint, and the *summary
+        // hashes* of its direct callees — the eviction and
         // shared-location summary values, NOT the callee bodies. This is
         // the early-cutoff property: flow, aliasing, and termination
         // diagnostics depend only on a method's own body, the class
         // interfaces, and its callees' summaries, so an edit that leaves
         // every callee summary unchanged by value lets all callers
         // replay their cached results.
+        let whole = ShardInput::whole(program);
         let t = Instant::now();
         let members = shared::shared_members(program, &lattices);
         let mut keys: BTreeMap<MethodRef, u64> = BTreeMap::new();
@@ -323,6 +456,7 @@ impl IncrementalChecker {
                 u64,
                 Option<MethodSummary>,
                 Option<(BTreeSet<SharedMember>, BTreeSet<SharedMember>)>,
+                Option<MethodEntry>,
             );
             let results: Vec<WaveResult> = sjava_par::run_indexed(wave.len(), |i| {
                 let mref = &wave[i];
@@ -340,32 +474,46 @@ impl IncrementalChecker {
                     }
                 }
                 let key = h.finish();
-                match self.entries.get(&key) {
-                    Some(e) => (
+                if let Some(e) = self.entries.get(&key) {
+                    return (
                         key,
                         Some(e.summary.clone()),
                         e.shared_present
                             .then(|| (e.shared_clears.clone(), e.shared_reads.clone())),
-                    ),
-                    None => (
-                        key,
-                        written::summarize(program, mref, &summaries),
-                        if members.is_empty() {
-                            None
-                        } else {
-                            shared::method_shared_summary(
-                                program,
-                                &lattices,
-                                mref,
-                                &members,
-                                &shared_clears,
-                                &shared_reads,
-                            )
-                        },
-                    ),
+                        None,
+                    );
                 }
+                // Cross-process warm path: another session (a shard
+                // worker, an earlier CI job) may have published this
+                // fingerprint; one lock-free store read replays it.
+                if let Some(e) = self.store.as_ref().and_then(|s| s.get_entry(key)) {
+                    let sh = e
+                        .shared_present
+                        .then(|| (e.shared_clears.clone(), e.shared_reads.clone()));
+                    return (key, Some(e.summary.clone()), sh, Some(e));
+                }
+                (
+                    key,
+                    written::summarize(&whole, mref, &summaries),
+                    if members.is_empty() {
+                        None
+                    } else {
+                        shared::method_shared_summary(
+                            &whole,
+                            &lattices,
+                            mref,
+                            &members,
+                            &shared_clears,
+                            &shared_reads,
+                        )
+                    },
+                    None,
+                )
             });
-            for (mref, (key, summary, sh)) in wave.iter().zip(results) {
+            for (mref, (key, summary, sh, fetched)) in wave.iter().zip(results) {
+                if let Some(e) = fetched {
+                    self.entries.insert(key, e);
+                }
                 let mut h = Fnv64::new();
                 match summary {
                     Some(s) => {
@@ -394,33 +542,154 @@ impl IncrementalChecker {
             .iter()
             .filter(|(m, key)| keys.get(*m).is_some_and(|now| now != *key))
             .count();
-        let missing: Vec<usize> = (0..cg.topo.len())
+        // The per-method passes cover only the owned cone in shard mode;
+        // hit/miss statistics count the same set.
+        let relevant: Vec<usize> = (0..cg.topo.len())
+            .filter(|&i| owned.is_none_or(|o| o.contains(&cg.topo[i])))
+            .collect();
+        let missing: Vec<usize> = relevant
+            .iter()
+            .copied()
             .filter(|&i| !self.entries.contains_key(&keys[&cg.topo[i]]))
             .collect();
         stats.misses = missing.len();
-        stats.hits = cg.topo.len() - missing.len();
+        stats.hits = relevant.len() - missing.len();
 
         // Eviction event-loop check: always recomputed (it reads every
-        // summary at once and is cheap relative to per-method analysis).
-        let (stale_paths, stale_locals) = written::check_loop(program, &cg, &summaries);
-        written::report(&stale_paths, &stale_locals, &mut diags);
-        timings.eviction = t.elapsed();
-        let eviction = EvictionResult {
-            summaries,
-            stale_paths,
-            stale_locals,
+        // summary at once and is cheap relative to per-method analysis);
+        // driver-side only in sharded mode.
+        if !sharded {
+            let (stale_paths, stale_locals) = written::check_loop(program, &cg, &summaries);
+            written::report(&stale_paths, &stale_locals, &mut global);
+            timings.eviction = t.elapsed();
+            let eviction = EvictionResult {
+                summaries,
+                stale_paths,
+                stale_locals,
+            };
+            self.finish_check(
+                program,
+                owned,
+                diags,
+                global,
+                stats,
+                timings,
+                lattices,
+                cg,
+                eviction,
+                members,
+                keys,
+                shared_clears,
+                shared_reads,
+                missing,
+                relevant,
+            )
+        } else {
+            timings.eviction = t.elapsed();
+            let eviction = EvictionResult {
+                summaries,
+                stale_paths: Vec::new(),
+                stale_locals: Vec::new(),
+            };
+            self.finish_check(
+                program,
+                owned,
+                diags,
+                global,
+                stats,
+                timings,
+                lattices,
+                cg,
+                eviction,
+                members,
+                keys,
+                shared_clears,
+                shared_reads,
+                missing,
+                relevant,
+            )
+        }
+    }
+
+    /// Second half of [`IncrementalChecker::check_inner`]: the per-method
+    /// fan-outs, replay merges, cache admission, and store publication.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_check(
+        &mut self,
+        program: &Program,
+        owned: Option<&BTreeSet<MethodRef>>,
+        mut diags: Diagnostics,
+        global: Diagnostics,
+        stats: CacheStats,
+        mut timings: PhaseTimings,
+        lattices: Lattices,
+        cg: callgraph::CallGraph,
+        eviction: EvictionResult,
+        members: BTreeSet<SharedMember>,
+        keys: BTreeMap<MethodRef, u64>,
+        shared_clears: BTreeMap<MethodRef, BTreeSet<SharedMember>>,
+        shared_reads: BTreeMap<MethodRef, BTreeSet<SharedMember>>,
+        missing: Vec<usize>,
+        relevant: Vec<usize>,
+    ) -> CheckReport {
+        let sharded = owned.is_some();
+        // The per-method passes run against the shard view: the whole
+        // program in driver mode, a reduced interface-summaries-plus-own-
+        // bodies view in shard mode. Reducing (rather than borrowing the
+        // full program) is what enforces the contract that per-method
+        // checking never reads a foreign body.
+        let reduced_view: Program;
+        let view = match owned {
+            None => ShardInput::whole(program),
+            Some(o) => {
+                reduced_view = sjava_analysis::shard::reduce(program, o);
+                ShardInput::new(&reduced_view, o.clone())
+            }
         };
 
         // Flow check: fan out over the dirty indices only, then merge
         // cached and fresh buffers in topological order — the same order
-        // the full pipeline merges, so output bytes match.
+        // the full pipeline merges, so output bytes match. Scheduling
+        // prefers each method's *measured* duration from a prior run
+        // (session- or store-recorded) over the static statement-weight
+        // estimate; timings only order the work queue, never the output.
         let t = Instant::now();
-        let fresh_flow: BTreeMap<usize, Diagnostics> = sjava_par::run_sparse(&missing, |i| {
-            checker::check_method_flows(program, &lattices, &cg.topo[i], &eviction.summaries)
-        })
-        .into_iter()
-        .collect();
-        for i in 0..cg.topo.len() {
+        let mut cost: Vec<u64> = Vec::with_capacity(missing.len());
+        for &i in &missing {
+            let nh = name_hash(&cg.topo[i]);
+            let measured = match self.times.get(&nh) {
+                Some(&ns) => Some(ns),
+                None => {
+                    let fetched = self.store.as_ref().and_then(|s| s.get_time(nh));
+                    if let Some(ns) = fetched {
+                        self.times.insert(nh, ns);
+                    }
+                    fetched
+                }
+            };
+            cost.push(match measured {
+                Some(ns) => ns.max(1),
+                None => checker::method_cost(&view, &lattices, &cg.topo[i]),
+            });
+        }
+        let mut flow_nanos: Vec<(u64, u64)> = Vec::with_capacity(missing.len());
+        let fresh_flow: BTreeMap<usize, Diagnostics> =
+            sjava_par::run_sparse_weighted(&missing, &cost, |i| {
+                let t0 = Instant::now();
+                let d =
+                    checker::check_method_flows(&view, &lattices, &cg.topo[i], &eviction.summaries);
+                (d, t0.elapsed().as_nanos() as u64)
+            })
+            .into_iter()
+            .map(|(i, (d, ns))| {
+                flow_nanos.push((name_hash(&cg.topo[i]), ns));
+                (i, d)
+            })
+            .collect();
+        for &(nh, ns) in &flow_nanos {
+            self.times.insert(nh, ns);
+        }
+        for &i in &relevant {
             match fresh_flow.get(&i) {
                 Some(d) => diags.extend(d.clone()),
                 None => {
@@ -435,11 +704,11 @@ impl IncrementalChecker {
         // Aliasing: same dirty-cone fan-out and topo-order merge.
         let t = Instant::now();
         let fresh_alias: BTreeMap<usize, Diagnostics> = sjava_par::run_sparse(&missing, |i| {
-            linear::check_method_aliasing(program, &lattices, &cg.topo[i])
+            linear::check_method_aliasing(&view, &lattices, &cg.topo[i])
         })
         .into_iter()
         .collect();
-        for i in 0..cg.topo.len() {
+        for &i in &relevant {
             match fresh_alias.get(&i) {
                 Some(d) => diags.extend(d.clone()),
                 None => {
@@ -453,9 +722,10 @@ impl IncrementalChecker {
 
         // Shared-location event-loop check: the per-method clears/reads
         // summaries were already assembled (replayed or recomputed)
-        // alongside the keys; only the global loop walk runs here.
+        // alongside the keys; only the global loop walk runs here, and
+        // only driver-side — it emits whole-program diagnostics.
         let t = Instant::now();
-        if !members.is_empty() {
+        if !sharded && !members.is_empty() {
             shared::check_shared_loop(
                 program,
                 &lattices,
@@ -473,7 +743,8 @@ impl IncrementalChecker {
         let t = Instant::now();
         let mut termination_failures = 0usize;
         let mut fresh_term: BTreeMap<usize, (usize, Diagnostics)> = BTreeMap::new();
-        for (i, mref) in cg.topo.iter().enumerate() {
+        for &i in &relevant {
+            let mref = &cg.topo[i];
             match self.entries.get(&keys[mref]) {
                 Some(e) => {
                     termination_failures += e.term_failures;
@@ -482,7 +753,7 @@ impl IncrementalChecker {
                     }
                 }
                 None => {
-                    let (n, d) = termination::check_method(program, mref);
+                    let (n, d) = termination::check_method(&view, mref);
                     termination_failures += n;
                     diags.extend(d.clone());
                     fresh_term.insert(i, (n, d));
@@ -491,7 +762,9 @@ impl IncrementalChecker {
         }
         timings.termination = t.elapsed();
 
-        // Admit the freshly-computed results into the cache.
+        // Admit the freshly-computed results into the cache. In shard
+        // mode only the owned cone was fully analyzed, and `missing`
+        // already covers exactly that.
         for &i in &missing {
             let mref = &cg.topo[i];
             let (term_failures, term) = fresh_term
@@ -516,9 +789,9 @@ impl IncrementalChecker {
             };
             self.entries.insert(keys[mref], entry);
         }
-        self.last_keys = keys;
-        if let Some(dir) = &self.dir {
-            // Persistence is best-effort: an unwritable directory must not
+        self.last_keys = keys.clone();
+        if let Some(store) = &self.store {
+            // Publication is best-effort: an unwritable store must not
             // fail the check. Tiny programs skip the round-trip entirely —
             // below the weight threshold the encode+write costs more than
             // the re-check it would save, turning warm checks slower than
@@ -530,10 +803,25 @@ impl IncrementalChecker {
                 .map(|(_, m)| checker::block_weight(&m.body))
                 .sum();
             if weight >= self.persist_min {
-                let _ = disk::save(dir, &self.entries, &self.callee_cache);
+                for &i in &missing {
+                    let key = keys[&cg.topo[i]];
+                    let _ = store.put_entry(key, &self.entries[&key]);
+                }
+                for (ckey, set) in &self.callee_cache {
+                    let _ = store.put_callees(*ckey, set);
+                }
+                for &(nh, ns) in &flow_nanos {
+                    let _ = store.put_time(nh, ns);
+                }
+                if let Some(max) = max_bytes_budget() {
+                    store.evict_to(max);
+                }
             }
         }
 
+        if !sharded {
+            diags.extend(global);
+        }
         // Same stable total order as `sjava_core::check_program`, so
         // replayed and freshly-computed reports stay byte-identical.
         diags.sort_stable();
@@ -548,7 +836,73 @@ impl IncrementalChecker {
     }
 }
 
-/// The on-disk cache file a directory-backed session reads and writes.
-pub fn cache_file(dir: &Path) -> PathBuf {
-    disk::cache_file(dir)
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parse_rejects_malformed_values() {
+        // The pure parser behind every env read: valid decimals parse,
+        // padding is trimmed, anything else is rejected (not silently
+        // zeroed) so the callers can warn and fall back.
+        assert_eq!(parse_env_u64("256"), Some(256));
+        assert_eq!(parse_env_u64("  0  "), Some(0));
+        assert_eq!(parse_env_u64(""), None);
+        assert_eq!(parse_env_u64("lots"), None);
+        assert_eq!(parse_env_u64("-1"), None);
+        assert_eq!(parse_env_u64("4k"), None);
+        assert_eq!(parse_env_u64("1.5"), None);
+    }
+
+    #[test]
+    fn unwritable_cache_dir_degrades_to_uncached_session() {
+        // A path that cannot possibly become a directory: a component of
+        // it is a regular file. `with_dir` must warn (once) and hand back
+        // a working, uncached session instead of failing the check.
+        let base = std::env::temp_dir().join("sjava-cache-unwritable");
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).expect("mkdir");
+        let file = base.join("not-a-dir");
+        std::fs::write(&file, b"x").expect("file");
+        let mut session = IncrementalChecker::with_dir(file.join("cache"));
+        assert!(session.store().is_none(), "store must be degraded away");
+        let program = sjava_syntax::parse(
+            "class A { void main() { SSJAVA: while (true) { Out.emit(1); } } }",
+        )
+        .expect("parses");
+        let report = session.check(&program);
+        assert!(report.is_ok(), "{}", report.diagnostics);
+        assert_eq!(
+            format!("{}", report.diagnostics),
+            format!("{}", sjava_core::check_program(&program).diagnostics),
+        );
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn malformed_persist_min_env_falls_back_to_default() {
+        // The latch only suppresses the warning, never the fallback. This
+        // test owns PERSIST_MIN_ENV (no other test in this crate mutates
+        // it), so the mutation cannot race.
+        std::env::set_var(PERSIST_MIN_ENV, "not-a-number");
+        assert_eq!(persist_min_weight(), PERSIST_MIN_WEIGHT);
+        assert!(WARNED_PERSIST_MIN.load(Ordering::Relaxed));
+        assert_eq!(persist_min_weight(), PERSIST_MIN_WEIGHT);
+        std::env::set_var(PERSIST_MIN_ENV, "512");
+        assert_eq!(persist_min_weight(), 512);
+        std::env::remove_var(PERSIST_MIN_ENV);
+        assert_eq!(persist_min_weight(), PERSIST_MIN_WEIGHT);
+    }
+
+    #[test]
+    fn malformed_max_bytes_env_leaves_store_unbounded() {
+        // This test owns MAX_BYTES_ENV; see above.
+        std::env::set_var(store::MAX_BYTES_ENV, "a-lot");
+        assert_eq!(max_bytes_budget(), None);
+        assert!(WARNED_MAX_BYTES.load(Ordering::Relaxed));
+        std::env::set_var(store::MAX_BYTES_ENV, "1048576");
+        assert_eq!(max_bytes_budget(), Some(1 << 20));
+        std::env::remove_var(store::MAX_BYTES_ENV);
+        assert_eq!(max_bytes_budget(), None);
+    }
 }

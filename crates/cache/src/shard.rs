@@ -1,0 +1,337 @@
+//! Sharded whole-program checking: the `sjava check --shards=N` driver
+//! and the `--shard=i/N` worker protocol.
+//!
+//! The pipeline splits along the diagnostic ownership line that
+//! [`crate::IncrementalChecker::check_inner`] already draws:
+//!
+//! - **Global phases** — lattice construction, call-graph assembly, the
+//!   eviction event-loop check, and the shared-location event-loop
+//!   check — read whole-program state and run exactly once, in the
+//!   driver ([`check_sharded`]).
+//! - **Per-method phases** — flow-down typing, aliasing, and
+//!   termination — depend only on a method's own body, the class
+//!   interface summaries, and its callees' effect summaries, so they
+//!   partition. Each worker ([`check_shard`]) checks its owned methods
+//!   against a *reduced* [`sjava_analysis::shard::ShardInput`] view and
+//!   ships the diagnostics back in an outcome file ([`write_outcome`]).
+//!
+//! Workers never receive the partition over a wire: the driver and every
+//! worker recompute [`plan`] from the same source, and the plan uses only
+//! **static** costs (statement weight × lattice height), so all processes
+//! agree on ownership without coordination. (Store-recorded timings do
+//! feed the intra-process scheduler, but scheduling cannot change which
+//! diagnostics exist — only the order work was done in, which the stable
+//! sort erases.) The driver merges worker diagnostics with its own global
+//! ones and applies the same `(file, span, code)` stable total order as
+//! `sjava_core::check_program`, making `--shards=N` byte-identical to the
+//! unsharded run for every N.
+
+use crate::IncrementalChecker;
+use sjava_analysis::callgraph::{self, MethodRef};
+use sjava_core::{checker, shared, CacheStats, CheckReport, Lattices, PhaseTimings};
+use sjava_lattice::Fnv64;
+use sjava_syntax::ast::Program;
+use sjava_syntax::diag::{Diagnostic, Diagnostics};
+use sjava_syntax::wire::{self, Reader};
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::time::Instant;
+
+/// Outcome-file magic; distinguishes shard outcomes from store objects.
+const MAGIC: &[u8; 10] = b"SJAVASHARD";
+/// Outcome-file format version.
+const VERSION: u32 = 1;
+
+/// What one shard worker reports back to the merging driver: the
+/// per-method diagnostics of its owned cone, its termination-failure
+/// count, and its cache counters (merged into the driver's stats so
+/// `--explain`-style output still describes the whole run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardOutcome {
+    /// Flow, aliasing, and termination diagnostics of the owned methods.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Loops in owned methods the termination analysis could not verify.
+    pub termination_failures: usize,
+    /// Cache counters over the owned method set.
+    pub cache: CacheStats,
+}
+
+/// Computes the shard partition: SCC-condense the call graph, then cut
+/// the condensation into `n` balanced shards by greedy
+/// longest-processing-time assignment. Costs are the **static** estimate
+/// ([`checker::method_cost`]: statement weight × lattice height) — never
+/// measured timings — because every worker recomputes this plan
+/// independently and all processes must produce the same partition.
+pub fn plan(
+    program: &Program,
+    cg: &callgraph::CallGraph,
+    lattices: &Lattices,
+    n: usize,
+) -> Vec<BTreeSet<MethodRef>> {
+    let whole = sjava_analysis::shard::ShardInput::whole(program);
+    cg.cut_shards(n, |mref| checker::method_cost(&whole, lattices, mref))
+}
+
+/// Runs one shard worker in-process: recompute the partition, take shard
+/// `index` of `n`, and check exactly those methods through `session`
+/// (replaying store hits and publishing fresh results when the session is
+/// store-backed). Programs without a resolvable event loop yield an empty
+/// outcome — the driver's own call-graph pass reports the error.
+pub fn check_shard(
+    session: &mut IncrementalChecker,
+    program: &Program,
+    index: usize,
+    n: usize,
+) -> ShardOutcome {
+    let mut scratch = Diagnostics::new();
+    let lattices = Lattices::build(program, &mut scratch);
+    let mut scratch = Diagnostics::new();
+    let Some(cg) = callgraph::build(program, &mut scratch) else {
+        return ShardOutcome {
+            diagnostics: Vec::new(),
+            termination_failures: 0,
+            cache: CacheStats::default(),
+        };
+    };
+    let owned = plan(program, &cg, &lattices, n)
+        .into_iter()
+        .nth(index)
+        .unwrap_or_default();
+    let report = session.check_inner(program, Some(&owned));
+    ShardOutcome {
+        diagnostics: report.diagnostics.iter().cloned().collect(),
+        termination_failures: report.termination_failures,
+        cache: report.cache.unwrap_or_default(),
+    }
+}
+
+/// Serializes an outcome for `--out=PATH`: magic, version, FNV-64
+/// payload checksum, then counters and diagnostics in wire format.
+///
+/// # Errors
+///
+/// Propagates I/O failures — the driver treats an unwritable outcome as
+/// a failed worker and falls back to checking the shard in-process.
+pub fn write_outcome(path: &Path, outcome: &ShardOutcome) -> std::io::Result<()> {
+    let mut payload = Vec::new();
+    wire::put_u64(&mut payload, outcome.cache.hits as u64);
+    wire::put_u64(&mut payload, outcome.cache.misses as u64);
+    wire::put_u64(&mut payload, outcome.cache.invalidations as u64);
+    wire::put_u64(&mut payload, outcome.termination_failures as u64);
+    wire::put_diags(&mut payload, &outcome.diagnostics);
+    let mut buf = Vec::with_capacity(MAGIC.len() + 12 + payload.len());
+    buf.extend_from_slice(MAGIC);
+    wire::put_u32(&mut buf, VERSION);
+    let mut h = Fnv64::new();
+    h.write(&payload);
+    wire::put_u64(&mut buf, h.finish());
+    buf.extend_from_slice(&payload);
+    std::fs::write(path, buf)
+}
+
+/// Reads an outcome file back; `None` on any truncation, corruption, or
+/// format mismatch (the driver then re-checks that shard in-process
+/// rather than merging a partial result).
+pub fn read_outcome(path: &Path) -> Option<ShardOutcome> {
+    let buf = std::fs::read(path).ok()?;
+    let mut r = Reader::new(&buf);
+    if r.bytes(MAGIC.len())? != MAGIC || r.u32()? != VERSION {
+        return None;
+    }
+    let expected = r.u64()?;
+    let payload = r.rest();
+    let mut h = Fnv64::new();
+    h.write(payload);
+    if h.finish() != expected {
+        return None;
+    }
+    let mut r = Reader::new(payload);
+    let hits = r.u64()? as usize;
+    let misses = r.u64()? as usize;
+    let invalidations = r.u64()? as usize;
+    let termination_failures = r.u64()? as usize;
+    let diagnostics = r.diags()?;
+    r.is_exhausted().then_some(ShardOutcome {
+        diagnostics,
+        termination_failures,
+        cache: CacheStats {
+            hits,
+            misses,
+            invalidations,
+        },
+    })
+}
+
+/// The sharded driver: runs the global phases once, obtains each shard's
+/// outcome through `run_shard` (the CLI spawns a `--shard=i/N` worker
+/// process; returning `None` falls back to checking that shard
+/// in-process through a fresh [`IncrementalChecker::from_env`] session),
+/// merges everything, and applies the same stable `(file, span, code)`
+/// total order as `sjava_core::check_program` — the merged report is
+/// byte-identical to the unsharded one for any shard count.
+pub fn check_sharded(
+    program: &Program,
+    shards: usize,
+    mut run_shard: impl FnMut(usize, usize) -> Option<ShardOutcome>,
+) -> CheckReport {
+    let shards = shards.max(1);
+    let mut diags = Diagnostics::new();
+    let mut timings = PhaseTimings {
+        threads: sjava_par::num_threads(),
+        ..PhaseTimings::default()
+    };
+    let t = Instant::now();
+    let lattices = Lattices::build(program, &mut diags);
+    timings.lattice_build = t.elapsed();
+    let t = Instant::now();
+    let cg = callgraph::build(program, &mut diags);
+    timings.callgraph = t.elapsed();
+    let Some(cg) = cg else {
+        diags.sort_stable();
+        return CheckReport {
+            diagnostics: diags,
+            lattices,
+            eviction: None,
+            termination_failures: 0,
+            timings,
+            cache: None,
+        };
+    };
+    let t = Instant::now();
+    let eviction = sjava_analysis::written::analyze(program, &cg, &mut diags);
+    timings.eviction = t.elapsed();
+    let t = Instant::now();
+    let whole = sjava_analysis::shard::ShardInput::whole(program);
+    shared::check_shared(&whole, &lattices, &cg, &mut diags);
+    timings.shared = t.elapsed();
+
+    // Per-method phases: one outcome per shard, merged in shard order
+    // (the stable sort below erases the arrival order anyway).
+    let t = Instant::now();
+    let mut termination_failures = 0usize;
+    let mut stats = CacheStats::default();
+    for index in 0..shards {
+        let outcome = run_shard(index, shards).unwrap_or_else(|| {
+            let mut session = IncrementalChecker::from_env();
+            check_shard(&mut session, program, index, shards)
+        });
+        for d in outcome.diagnostics {
+            diags.push(d);
+        }
+        termination_failures += outcome.termination_failures;
+        stats.hits += outcome.cache.hits;
+        stats.misses += outcome.cache.misses;
+        stats.invalidations += outcome.cache.invalidations;
+    }
+    timings.flow_check = t.elapsed();
+
+    diags.sort_stable();
+    CheckReport {
+        diagnostics: diags,
+        lattices,
+        eviction: Some(eviction),
+        termination_failures,
+        timings,
+        cache: Some(stats),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjava_syntax::parse;
+
+    /// A failing program exercising every per-method diagnostic family:
+    /// a flow-up assignment plus an unprovable loop.
+    const FAILING: &str = r#"@LATTICE("LO<HI") @METHODDEFAULT("V<IN") @THISLOC("V")
+        class A {
+            @LOC("HI") int hi; @LOC("LO") int lo;
+            void main() {
+                SSJAVA: while (true) {
+                    @LOC("IN") int x = Device.read();
+                    hi = x;
+                    lo = hi;
+                    hi = lo;
+                    step(x);
+                    while (x != 0) { x = Device.read(); }
+                    Out.emit(lo);
+                }
+            }
+            @LATTICE("S<P") @THISLOC("S")
+            void step(@LOC("P") int p) { @LOC("S") int y = p; Out.emit(y); }
+        }"#;
+
+    #[test]
+    fn plan_partitions_every_reachable_method_exactly_once() {
+        let p = parse(FAILING).expect("parses");
+        let mut d = Diagnostics::new();
+        let lattices = Lattices::build(&p, &mut d);
+        let cg = callgraph::build(&p, &mut Diagnostics::new()).expect("event loop");
+        for n in 1..=4 {
+            let shards = plan(&p, &cg, &lattices, n);
+            assert_eq!(shards.len(), n);
+            let mut seen = BTreeSet::new();
+            for shard in &shards {
+                for m in shard {
+                    assert!(seen.insert(m.clone()), "{m:?} owned twice");
+                }
+            }
+            let reachable: BTreeSet<_> = cg.topo.iter().cloned().collect();
+            assert_eq!(seen, reachable, "partition must cover exactly topo");
+        }
+    }
+
+    #[test]
+    fn sharded_report_is_byte_identical_to_unsharded() {
+        let p = parse(FAILING).expect("parses");
+        let reference = format!("{}", sjava_core::check_program(&p).diagnostics);
+        for n in [1usize, 2, 3, 4, 7] {
+            let report = check_sharded(&p, n, |_, _| None);
+            assert_eq!(
+                format!("{}", report.diagnostics),
+                reference,
+                "--shards={n} must not change output"
+            );
+            assert_eq!(
+                report.termination_failures,
+                sjava_core::check_program(&p).termination_failures
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_files_round_trip_and_reject_corruption() {
+        let p = parse(FAILING).expect("parses");
+        let mut session = IncrementalChecker::new();
+        let outcome = check_shard(&mut session, &p, 0, 1);
+        assert!(!outcome.diagnostics.is_empty());
+        let dir = std::env::temp_dir().join("sjava-shard-outcome");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("outcome.bin");
+        write_outcome(&path, &outcome).expect("write");
+        assert_eq!(read_outcome(&path).expect("read"), outcome);
+        let clean = std::fs::read(&path).expect("bytes");
+        for cut in 0..clean.len() {
+            std::fs::write(&path, &clean[..cut]).expect("truncate");
+            assert_eq!(read_outcome(&path), None, "truncation at {cut}");
+        }
+        let mut flipped = clean.clone();
+        flipped[clean.len() / 2] ^= 0x40;
+        std::fs::write(&path, &flipped).expect("flip");
+        assert_eq!(read_outcome(&path), None, "bit flip must be rejected");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn driver_falls_back_when_a_worker_fails() {
+        let p = parse(FAILING).expect("parses");
+        let reference = format!("{}", sjava_core::check_program(&p).diagnostics);
+        // Worker 0 "succeeds", worker 1 "fails" → in-process fallback.
+        let mut session = IncrementalChecker::new();
+        let report = check_sharded(&p, 2, |i, n| {
+            (i == 0).then(|| check_shard(&mut session, &p, i, n))
+        });
+        assert_eq!(format!("{}", report.diagnostics), reference);
+    }
+}

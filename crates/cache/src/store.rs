@@ -1,0 +1,625 @@
+//! Concurrent content-addressed artifact store — the disk layer behind
+//! directory-backed [`crate::IncrementalChecker`] sessions and sharded
+//! `sjava check --shards=N` workers.
+//!
+//! ## Layout (format v4)
+//!
+//! Earlier formats serialized the whole session into one monolithic
+//! `cache.bin` rewritten after every check — a design that cannot be
+//! shared by concurrent processes (last writer wins, droppings half of
+//! each worker's entries) and that forces a full decode up front. Version
+//! 4 stores **one object per artifact** under a fan-out directory:
+//!
+//! ```text
+//! <dir>/v4/objects/<hh>/<16-hex-key>.<kind>
+//! ```
+//!
+//! where `<hh>` is the first byte of the key in hex (256-way fan-out) and
+//! `<kind>` is one of:
+//!
+//! - `entry` — a per-method analysis result ([`crate::MethodEntry`]),
+//!   keyed by the method's content fingerprint;
+//! - `callees` — a method's direct-callee set, keyed on
+//!   `mix(iface_hash, local_fp)`;
+//! - `time` — the method's last measured flow-check duration in
+//!   nanoseconds, keyed by the *name* hash (stable across edits), feeding
+//!   the fan-out cost model on warm runs.
+//!
+//! Each object file is `MAGIC ‖ version ‖ FNV-64(payload) ‖ payload`.
+//!
+//! ## Concurrency contract
+//!
+//! - **Publishes are atomic**: writers encode into a unique temp file
+//!   (pid + per-process counter) in the final directory, then `rename`
+//!   it over the destination — readers never observe a partially-written
+//!   object, even across processes racing on the same key.
+//! - **Reads are lock-free**: a read is one `read()` of a complete file
+//!   plus a checksum verification; no lock file, no header locks.
+//! - **Corruption is tolerated**: a torn, truncated, bit-flipped, or
+//!   foreign-format object fails the checksum/bounds checks, is
+//!   best-effort deleted, and reads as a miss. The store never replays a
+//!   plausibly-decodable-but-wrong artifact: diagnostics are content the
+//!   checker trusts verbatim, so "mostly intact" is not good enough.
+//! - **Size-bounded**: [`ArtifactStore::evict_to`] deletes
+//!   oldest-modified objects first until the store fits a byte budget
+//!   (`SJAVA_CACHE_MAX_BYTES` wires this to every persisting check).
+//!
+//! Entries are content-addressed and valid forever, so eviction is purely
+//! a disk-space policy, never a correctness event. A v3 (or older)
+//! `cache.bin` in the same directory is ignored wholesale — old formats
+//! degrade to clean misses.
+
+use crate::MethodEntry;
+use sjava_analysis::callgraph::MethodRef;
+use sjava_analysis::heappath::HeapPath;
+use sjava_analysis::written::MethodSummary;
+use sjava_core::shared::SharedMember;
+use sjava_syntax::wire::{self, Reader};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Object-file magic; anything else is ignored wholesale.
+const MAGIC: &[u8; 10] = b"SJAVACACHE";
+/// Store format version. Versions 1–3 were the monolithic `cache.bin`
+/// formats; version 4 is the per-object content-addressed store. Old
+/// `cache.bin` files live at a different path entirely and are never
+/// read — a v4 store opened over a v3 directory starts from clean misses.
+const VERSION: u32 = 4;
+
+/// Environment variable bounding the store's total size in bytes. When
+/// set, every persisting check evicts oldest-modified objects until the
+/// store fits. Malformed values warn once on stderr and leave the store
+/// unbounded.
+pub const MAX_BYTES_ENV: &str = "SJAVA_CACHE_MAX_BYTES";
+
+/// Distinguishes the artifact kinds sharing one store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Per-method analysis result, keyed by content fingerprint.
+    Entry,
+    /// Direct-callee set, keyed by `mix(iface, local_fp)`.
+    Callees,
+    /// Measured flow-check nanoseconds, keyed by method-name hash.
+    Time,
+}
+
+impl Kind {
+    fn ext(self) -> &'static str {
+        match self {
+            Kind::Entry => "entry",
+            Kind::Callees => "callees",
+            Kind::Time => "time",
+        }
+    }
+}
+
+/// Monotone per-process counter making temp-file names unique even when
+/// several threads publish concurrently.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A handle on one on-disk artifact store rooted at a cache directory.
+/// Cloning is cheap; handles in different processes pointed at the same
+/// directory share the store safely.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (and creates, if needed) the store under `dir`, verifying
+    /// the object tree is writable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the directory cannot be created —
+    /// callers degrade to a no-cache session (see
+    /// [`crate::IncrementalChecker::from_env`]).
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<ArtifactStore> {
+        let root = dir.into().join(format!("v{VERSION}")).join("objects");
+        std::fs::create_dir_all(&root)?;
+        // `create_dir_all` succeeds on an existing but read-only tree;
+        // probe writability explicitly so misconfiguration surfaces at
+        // open time, not as silent per-object failures mid-check.
+        let probe = root.join(format!(
+            ".probe-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&probe, b"")?;
+        let _ = std::fs::remove_file(&probe);
+        Ok(ArtifactStore { root })
+    }
+
+    /// The object-tree root (`<dir>/v4/objects`), exposed for tests and
+    /// maintenance tooling.
+    pub fn objects_root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Path of the object holding `kind`/`key`.
+    pub fn object_path(&self, kind: Kind, key: u64) -> PathBuf {
+        let hex = format!("{key:016x}");
+        self.root
+            .join(&hex[..2])
+            .join(format!("{hex}.{}", kind.ext()))
+    }
+
+    /// Reads and verifies an object's payload. A missing, torn,
+    /// truncated, bit-flipped, or foreign-format file reads as `None`;
+    /// verifiably corrupt files are best-effort deleted so the next
+    /// writer republishes them.
+    pub fn get(&self, kind: Kind, key: u64) -> Option<Vec<u8>> {
+        let path = self.object_path(kind, key);
+        let buf = std::fs::read(&path).ok()?;
+        match decode_object(&buf) {
+            Some(payload) => Some(payload.to_vec()),
+            None => {
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Publishes `payload` under `kind`/`key` atomically (temp file +
+    /// rename). With `replace: false` an existing object is left
+    /// untouched — entries are content-addressed, so the bytes on disk
+    /// are already the right ones and skipping the write is the fast
+    /// path. `replace: true` overwrites (used for `time` objects, whose
+    /// measurements refresh on every run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; callers treat persistence as best-effort.
+    pub fn put(&self, kind: Kind, key: u64, payload: &[u8], replace: bool) -> std::io::Result<()> {
+        let path = self.object_path(kind, key);
+        if !replace && path.exists() {
+            return Ok(());
+        }
+        let dir = path.parent().expect("object path has a fan-out parent");
+        std::fs::create_dir_all(dir)?;
+        let mut buf = Vec::with_capacity(MAGIC.len() + 12 + payload.len());
+        buf.extend_from_slice(MAGIC);
+        wire::put_u32(&mut buf, VERSION);
+        wire::put_u64(&mut buf, checksum(payload));
+        buf.extend_from_slice(payload);
+        // The temp file lives in the destination directory so the final
+        // `rename` never crosses a filesystem boundary (which would turn
+        // the atomic publish into a copy).
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, &buf)?;
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Total bytes currently held by the store's objects.
+    pub fn size_bytes(&self) -> u64 {
+        self.walk().iter().map(|(_, len, _)| len).sum()
+    }
+
+    /// Number of objects currently in the store (any kind).
+    pub fn object_count(&self) -> usize {
+        self.walk().len()
+    }
+
+    /// Deletes oldest-modified objects until the store holds at most
+    /// `max_bytes`, returning the number of objects evicted. Eviction is
+    /// approximate LRU: publish time stands in for use time, which is
+    /// exact for `time` objects (rewritten each run) and conservative for
+    /// content-addressed entries (old-but-hot entries may be evicted and
+    /// will simply be recomputed and republished — a disk-space policy,
+    /// never a correctness event).
+    pub fn evict_to(&self, max_bytes: u64) -> usize {
+        let mut objects = self.walk();
+        let mut total: u64 = objects.iter().map(|(_, len, _)| len).sum();
+        if total <= max_bytes {
+            return 0;
+        }
+        // Oldest first; path tiebreak keeps the order total so racing
+        // evictors delete the same prefix.
+        objects.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.2.cmp(&b.2)));
+        let mut evicted = 0;
+        for (_, len, path) in objects {
+            if total <= max_bytes {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Every object as `(mtime, len, path)`. Temp files and foreign names
+    /// are skipped; a concurrently-deleted file is silently dropped.
+    fn walk(&self) -> Vec<(std::time::SystemTime, u64, PathBuf)> {
+        let mut out = Vec::new();
+        let Ok(fanout) = std::fs::read_dir(&self.root) else {
+            return out;
+        };
+        for sub in fanout.flatten() {
+            let Ok(entries) = std::fs::read_dir(sub.path()) else {
+                continue;
+            };
+            for f in entries.flatten() {
+                let name = f.file_name();
+                if name.to_string_lossy().starts_with('.') {
+                    continue; // temp or probe file
+                }
+                if let Ok(meta) = f.metadata() {
+                    if meta.is_file() {
+                        let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                        out.push((mtime, meta.len(), f.path()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    // ---- typed helpers over the raw object API -------------------------
+
+    /// Fetches and decodes a per-method entry.
+    pub(crate) fn get_entry(&self, key: u64) -> Option<MethodEntry> {
+        decode_entry(&self.get(Kind::Entry, key)?)
+    }
+
+    /// Publishes a per-method entry (skip-if-exists).
+    pub(crate) fn put_entry(&self, key: u64, entry: &MethodEntry) -> std::io::Result<()> {
+        self.put(Kind::Entry, key, &encode_entry(entry), false)
+    }
+
+    /// Fetches and decodes a callee set.
+    pub(crate) fn get_callees(&self, key: u64) -> Option<BTreeSet<MethodRef>> {
+        decode_callees(&self.get(Kind::Callees, key)?)
+    }
+
+    /// Publishes a callee set (skip-if-exists).
+    pub(crate) fn put_callees(&self, key: u64, set: &BTreeSet<MethodRef>) -> std::io::Result<()> {
+        self.put(Kind::Callees, key, &encode_callees(set), false)
+    }
+
+    /// Fetches a recorded flow-check duration in nanoseconds.
+    pub(crate) fn get_time(&self, key: u64) -> Option<u64> {
+        let payload = self.get(Kind::Time, key)?;
+        Reader::new(&payload).u64()
+    }
+
+    /// Publishes a flow-check duration (always replaces — measurements
+    /// refresh every run).
+    pub(crate) fn put_time(&self, key: u64, nanos: u64) -> std::io::Result<()> {
+        let mut payload = Vec::with_capacity(8);
+        wire::put_u64(&mut payload, nanos);
+        self.put(Kind::Time, key, &payload, true)
+    }
+}
+
+/// FNV-64 digest of the payload bytes, stored in the object header and
+/// verified before any decoding happens.
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h = sjava_lattice::Fnv64::new();
+    h.write(payload);
+    h.finish()
+}
+
+/// Validates an object file's header and checksum, returning the payload.
+fn decode_object(buf: &[u8]) -> Option<&[u8]> {
+    let mut r = Reader::new(buf);
+    if r.bytes(MAGIC.len())? != MAGIC || r.u32()? != VERSION {
+        return None;
+    }
+    let expected = r.u64()?;
+    let payload = r.rest();
+    (checksum(payload) == expected).then_some(payload)
+}
+
+// ---- payload codecs ----------------------------------------------------
+
+fn put_paths(buf: &mut Vec<u8>, paths: &BTreeSet<HeapPath>) {
+    wire::put_u64(buf, paths.len() as u64);
+    for p in paths {
+        wire::put_u64(buf, p.0.len() as u64);
+        for seg in &p.0 {
+            wire::put_str(buf, seg);
+        }
+    }
+}
+
+fn put_members(buf: &mut Vec<u8>, members: &BTreeSet<SharedMember>) {
+    wire::put_u64(buf, members.len() as u64);
+    for (class, field) in members {
+        wire::put_str(buf, class);
+        wire::put_str(buf, field);
+    }
+}
+
+/// Deterministic encoding of one per-method entry (equal entries produce
+/// equal bytes — all sets are ordered).
+pub(crate) fn encode_entry(e: &MethodEntry) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_paths(&mut buf, &e.summary.reads);
+    put_paths(&mut buf, &e.summary.may_writes);
+    put_paths(&mut buf, &e.summary.must_writes);
+    wire::put_diags(&mut buf, &e.flow);
+    wire::put_diags(&mut buf, &e.alias);
+    buf.push(e.shared_present as u8);
+    put_members(&mut buf, &e.shared_clears);
+    put_members(&mut buf, &e.shared_reads);
+    wire::put_u64(&mut buf, e.term_failures as u64);
+    wire::put_diags(&mut buf, &e.term);
+    buf
+}
+
+fn paths(r: &mut Reader<'_>) -> Option<BTreeSet<HeapPath>> {
+    let n = r.count()?;
+    let mut out = BTreeSet::new();
+    for _ in 0..n {
+        let segs = r.count()?;
+        let mut path = Vec::new();
+        for _ in 0..segs {
+            path.push(r.string()?);
+        }
+        out.insert(HeapPath(path));
+    }
+    Some(out)
+}
+
+fn members(r: &mut Reader<'_>) -> Option<BTreeSet<SharedMember>> {
+    let n = r.count()?;
+    let mut out = BTreeSet::new();
+    for _ in 0..n {
+        out.insert((r.string()?, r.string()?));
+    }
+    Some(out)
+}
+
+/// Decodes one per-method entry; `None` on any truncation, bad tag, or
+/// trailing garbage.
+pub(crate) fn decode_entry(payload: &[u8]) -> Option<MethodEntry> {
+    let mut r = Reader::new(payload);
+    let entry = MethodEntry {
+        summary: MethodSummary {
+            reads: paths(&mut r)?,
+            may_writes: paths(&mut r)?,
+            must_writes: paths(&mut r)?,
+        },
+        flow: r.diags()?,
+        alias: r.diags()?,
+        shared_present: match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        },
+        shared_clears: members(&mut r)?,
+        shared_reads: members(&mut r)?,
+        term_failures: r.u64()? as usize,
+        term: r.diags()?,
+    };
+    r.is_exhausted().then_some(entry)
+}
+
+/// Deterministic encoding of a direct-callee set.
+pub(crate) fn encode_callees(set: &BTreeSet<MethodRef>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    wire::put_u64(&mut buf, set.len() as u64);
+    for mref in set {
+        wire::put_str(&mut buf, &mref.0);
+        wire::put_str(&mut buf, &mref.1);
+    }
+    buf
+}
+
+/// Decodes a direct-callee set.
+pub(crate) fn decode_callees(payload: &[u8]) -> Option<BTreeSet<MethodRef>> {
+    let mut r = Reader::new(payload);
+    let n = r.count()?;
+    let mut out = BTreeSet::new();
+    for _ in 0..n {
+        out.insert((r.string()?, r.string()?));
+    }
+    r.is_exhausted().then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sjava_syntax::span::Span;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sjava-store-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_entry() -> MethodEntry {
+        MethodEntry {
+            summary: MethodSummary {
+                reads: [HeapPath(vec!["a".into(), "b".into()])].into(),
+                may_writes: [HeapPath::root("x")].into(),
+                must_writes: BTreeSet::new(),
+            },
+            flow: vec![
+                sjava_syntax::diag::Diag::flow_up("flow violation", Span::new(3, 9))
+                    .with_note("note")
+                    .with_label(Span::new(0, 2), "lattice declared here")
+                    .with_suggestion(Span::new(3, 3), "fix ", "insert fix"),
+            ],
+            alias: vec![],
+            shared_present: true,
+            shared_clears: [("C".to_string(), "f".to_string())].into(),
+            shared_reads: BTreeSet::new(),
+            term_failures: 2,
+            term: vec![sjava_syntax::diag::Diag::unprovable_loop(
+                "loop may not terminate",
+                Span::new(10, 20),
+            )],
+        }
+    }
+
+    #[test]
+    fn objects_round_trip() {
+        let dir = scratch("roundtrip");
+        let store = ArtifactStore::open(&dir).expect("open");
+        let entry = sample_entry();
+        store.put_entry(42, &entry).expect("put entry");
+        assert_eq!(store.get_entry(42).expect("hit"), entry);
+        assert_eq!(store.get_entry(43), None, "unrelated key misses");
+
+        let callees: BTreeSet<MethodRef> = [("A".to_string(), "f".to_string())].into();
+        store.put_callees(9, &callees).expect("put callees");
+        assert_eq!(store.get_callees(9).expect("hit"), callees);
+
+        store.put_time(7, 123_456).expect("put time");
+        assert_eq!(store.get_time(7), Some(123_456));
+        store.put_time(7, 999).expect("replace time");
+        assert_eq!(store.get_time(7), Some(999), "time objects replace");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_flipped_bit_reads_as_a_miss() {
+        let dir = scratch("bitflip");
+        let store = ArtifactStore::open(&dir).expect("open");
+        store.put_entry(1, &sample_entry()).expect("put");
+        let path = store.object_path(Kind::Entry, 1);
+        let clean = std::fs::read(&path).expect("read");
+        for pos in 0..clean.len() {
+            let mut corrupt = clean.clone();
+            corrupt[pos] ^= 0x10;
+            std::fs::write(&path, &corrupt).expect("write");
+            assert_eq!(
+                store.get_entry(1),
+                None,
+                "flipped byte at {pos} must invalidate the object"
+            );
+            // The corrupt object was deleted so a writer can republish.
+            assert!(!path.exists(), "corrupt object at {pos} must be removed");
+            std::fs::write(&path, &clean).expect("restore");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncations_and_foreign_files_read_as_misses() {
+        let dir = scratch("truncate");
+        let store = ArtifactStore::open(&dir).expect("open");
+        store.put_entry(5, &sample_entry()).expect("put");
+        let path = store.object_path(Kind::Entry, 5);
+        let clean = std::fs::read(&path).expect("read");
+        for cut in 0..clean.len() {
+            std::fs::write(&path, &clean[..cut]).expect("truncate");
+            assert_eq!(store.get_entry(5), None, "truncation at {cut} must miss");
+        }
+        std::fs::write(&path, b"NOTANOBJECT").expect("foreign");
+        assert_eq!(store.get_entry(5), None);
+        // Old monolithic formats (a `cache.bin` beside the v4 tree) are
+        // ignored wholesale — the store never even opens them.
+        std::fs::write(dir.join("cache.bin"), b"SJAVACACHE old format").expect("v3 file");
+        assert_eq!(store.get_entry(5), None);
+        assert_eq!(store.get_entry(6), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn skip_if_exists_does_not_rewrite() {
+        let dir = scratch("skip");
+        let store = ArtifactStore::open(&dir).expect("open");
+        store.put_entry(3, &sample_entry()).expect("put");
+        let path = store.object_path(Kind::Entry, 3);
+        let before = std::fs::metadata(&path).expect("meta").modified().ok();
+        // Overwrite the bytes out-of-band, then re-put: skip-if-exists
+        // must leave the file alone (content addressing guarantees the
+        // existing bytes are already correct in real use).
+        let marker = std::fs::read(&path).expect("read");
+        store.put_entry(3, &sample_entry()).expect("re-put");
+        assert_eq!(std::fs::read(&path).expect("read"), marker);
+        assert_eq!(
+            std::fs::metadata(&path).expect("meta").modified().ok(),
+            before
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_is_oldest_first_and_bounded() {
+        let dir = scratch("evict");
+        let store = ArtifactStore::open(&dir).expect("open");
+        // Three objects with strictly increasing mtimes.
+        for key in 0..3u64 {
+            store.put_time(key, key).expect("put");
+            let path = store.object_path(Kind::Time, key);
+            // Space the mtimes out explicitly — filesystem timestamp
+            // granularity can be coarse.
+            let t = std::time::SystemTime::UNIX_EPOCH
+                + std::time::Duration::from_secs(1_000_000 + key * 1000);
+            let f = std::fs::File::options()
+                .append(true)
+                .open(&path)
+                .expect("open");
+            f.set_modified(t).expect("set mtime");
+        }
+        let total = store.size_bytes();
+        let per_object = total / 3;
+        // Budget for two objects: the oldest (key 0) must go.
+        let evicted = store.evict_to(per_object * 2);
+        assert_eq!(evicted, 1);
+        assert_eq!(store.get_time(0), None, "oldest object evicted");
+        assert_eq!(store.get_time(1), Some(1));
+        assert_eq!(store.get_time(2), Some(2));
+        // Already under budget: no-op.
+        assert_eq!(store.evict_to(u64::MAX), 0);
+        // Zero budget clears everything.
+        store.evict_to(0);
+        assert_eq!(store.object_count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_on_one_key_never_tear_a_read() {
+        // N writers race publishing the same key while readers poll: every
+        // successful read must be one of the complete payloads, never a
+        // torn mixture. (In real use content addressing makes all writers
+        // agree on the payload; racing distinct payloads is strictly
+        // harsher than production.)
+        let dir = scratch("torn");
+        let store = ArtifactStore::open(&dir).expect("open");
+        let payloads: Vec<Vec<u8>> = (0..4u8)
+            .map(|w| {
+                // Large enough that a torn write would be observable.
+                (0..64 * 1024).map(|i| w.wrapping_add(i as u8)).collect()
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for p in &payloads {
+                let store = &store;
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        store.put(Kind::Entry, 77, p, true).expect("put");
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let store = &store;
+                let payloads = &payloads;
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        if let Some(got) = store.get(Kind::Entry, 77) {
+                            assert!(payloads.contains(&got), "read returned a torn object");
+                        }
+                    }
+                });
+            }
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -135,20 +135,31 @@ fn corrupt_disk_cache_degrades_to_misses() {
     let _ = std::fs::remove_dir_all(&dir);
     let program = sjava_syntax::parse(sjava_apps::eyetrack::SOURCE).expect("parses");
 
-    // Populate the on-disk cache, then destroy its tail. The paper app is
-    // below the persistence weight threshold, so force the write.
+    // Populate the artifact store, then destroy the tail of every
+    // object. The paper app is below the persistence weight threshold,
+    // so force the write.
     let mut writer = IncrementalChecker::with_dir(&dir);
     writer.set_persist_min(0);
     let cold = writer.check(&program);
+    let root = writer
+        .store()
+        .expect("store opened")
+        .objects_root()
+        .to_path_buf();
     drop(writer);
-    let path = sjava_cache::cache_file(&dir);
-    let mut bytes = std::fs::read(&path).expect("cache written");
-    let keep = bytes.len() / 3;
-    bytes.truncate(keep.max(16));
-    std::fs::write(&path, &bytes).expect("corrupt");
+    let mut mangled = 0usize;
+    for fanout in std::fs::read_dir(&root).expect("objects root").flatten() {
+        for f in std::fs::read_dir(fanout.path()).expect("fanout").flatten() {
+            let mut bytes = std::fs::read(f.path()).expect("object");
+            bytes.truncate((bytes.len() / 3).max(16));
+            std::fs::write(f.path(), &bytes).expect("corrupt");
+            mangled += 1;
+        }
+    }
+    assert!(mangled > 0, "the check must have persisted objects");
 
-    // A fresh session over the corrupt file must still produce the exact
-    // cold-check output; corrupt entries are silent misses.
+    // A fresh session over the corrupt store must still produce the
+    // exact cold-check output; corrupt objects are silent misses.
     let mut reader = IncrementalChecker::with_dir(&dir);
     let warm = reader.check(&program);
     assert_eq!(digest(&cold), digest(&warm), "corrupt cache changed output");
@@ -172,32 +183,36 @@ fn disk_round_trip_serves_warm_hits_across_sessions() {
     assert!(cold.cache.expect("stats").misses > 0);
     drop(first);
 
+    // Store objects are probed lazily — the fresh session holds nothing
+    // in memory until the check fetches per-fingerprint artifacts.
     let mut second = IncrementalChecker::with_dir(&dir);
-    assert!(!second.is_empty(), "entries must load from disk");
+    assert!(second.is_empty(), "store probing is lazy, not a bulk load");
     let warm = second.check(&program);
     assert_eq!(digest(&cold), digest(&warm));
     let stats = warm.cache.expect("stats");
     assert_eq!(
         stats.misses, 0,
-        "disk-loaded entries must serve all methods"
+        "store-backed entries must serve all methods"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
 fn tiny_programs_skip_the_disk_round_trip() {
-    // A paper-sized app is cheaper to re-check than to deserialize, so a
-    // directory-backed session must not write a cache file for it — that
-    // write is exactly what made warm checks slower than cold ones.
+    // A paper-sized app is cheaper to re-check than to round-trip through
+    // the store, so a directory-backed session must not publish objects
+    // for it — those writes are exactly what made warm checks slower than
+    // cold ones.
     let dir = std::env::temp_dir().join("sjava-cache-correctness-skip");
     let _ = std::fs::remove_dir_all(&dir);
     let program = sjava_syntax::parse(sjava_apps::windsensor::SOURCE).expect("parses");
 
     let mut session = IncrementalChecker::with_dir(&dir);
     let first = session.check(&program);
-    assert!(
-        !sjava_cache::cache_file(&dir).exists(),
-        "windsensor is below the persistence threshold; no file expected"
+    assert_eq!(
+        session.store().expect("store opened").object_count(),
+        0,
+        "windsensor is below the persistence threshold; no objects expected"
     );
     // The in-memory session still replays everything.
     let warm = session.check(&program);

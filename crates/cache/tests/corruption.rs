@@ -1,17 +1,19 @@
-//! On-disk cache corruption tolerance: every mangled `cache.bin` —
-//! truncated at any length, written by an older format version, or with
-//! arbitrary payload bits flipped — must degrade to cache *misses*. A
-//! corrupt file may never panic the loader, and (the reason the format
-//! carries a checksum) may never be decoded into plausible-but-wrong
-//! entries that a later check would replay as wrong diagnostics under a
-//! still-matching fingerprint.
+//! Artifact-store corruption tolerance: every mangled object file —
+//! truncated at any length, written by a different format version, or
+//! with arbitrary payload bits flipped — must degrade to cache *misses*.
+//! A corrupt object may never panic the loader, and (the reason every
+//! object carries a checksum) may never be decoded into
+//! plausible-but-wrong entries that a later check would replay as wrong
+//! diagnostics under a still-matching fingerprint. Old monolithic
+//! `cache.bin` files (store formats v3 and earlier) must likewise degrade
+//! to clean misses, untouched.
 //!
 //! The probe program fails the checker on purpose: wrong replay of its
 //! error list would be visible in the diagnostic bytes, so "diagnostics
 //! byte-identical to a cache-less check" proves both halves (no panic,
 //! no wrong replay) at once.
 
-use sjava_cache::{cache_file, IncrementalChecker};
+use sjava_cache::IncrementalChecker;
 use std::path::{Path, PathBuf};
 
 /// A deliberately failing program (one `@LOC` stripped from a clean
@@ -45,7 +47,7 @@ fn scratch_dir(tag: &str) -> PathBuf {
 }
 
 /// Renders the probe's diagnostics through a fresh directory-backed
-/// session, asserting it does not panic whatever `cache.bin` holds.
+/// session, asserting it does not panic whatever the store holds.
 fn render_via_dir(dir: &Path) -> String {
     let mut session = IncrementalChecker::with_dir(dir);
     session.set_persist_min(0);
@@ -53,8 +55,9 @@ fn render_via_dir(dir: &Path) -> String {
     format!("{}", report.diagnostics)
 }
 
-/// Writes a populated cache file for the probe and returns its bytes.
-fn seeded_cache(dir: &Path) -> Vec<u8> {
+/// Populates the store with the probe's artifacts and returns every
+/// `.entry` object path (the payloads a wrong replay would surface from).
+fn seeded_entries(dir: &Path) -> Vec<PathBuf> {
     let mut session = IncrementalChecker::with_dir(dir);
     session.set_persist_min(0);
     let report = session.check_source(PROBE).expect("probe parses");
@@ -62,7 +65,25 @@ fn seeded_cache(dir: &Path) -> Vec<u8> {
         report.diagnostics.has_errors(),
         "probe must fail so wrong replay would be visible"
     );
-    std::fs::read(cache_file(dir)).expect("cache file written")
+    let root = session
+        .store()
+        .expect("store opened")
+        .objects_root()
+        .to_path_buf();
+    let mut entries = Vec::new();
+    for fanout in std::fs::read_dir(root).expect("objects root").flatten() {
+        for f in std::fs::read_dir(fanout.path())
+            .expect("fanout dir")
+            .flatten()
+        {
+            if f.path().extension().is_some_and(|e| e == "entry") {
+                entries.push(f.path());
+            }
+        }
+    }
+    entries.sort();
+    assert!(!entries.is_empty(), "probe must persist entry objects");
+    entries
 }
 
 fn fresh_rendering() -> String {
@@ -71,41 +92,48 @@ fn fresh_rendering() -> String {
 }
 
 #[test]
-fn truncated_files_degrade_to_misses() {
+fn truncated_objects_degrade_to_misses() {
     let dir = scratch_dir("truncate");
-    let clean = seeded_cache(&dir);
+    let entries = seeded_entries(&dir);
     let expected = fresh_rendering();
-    let path = cache_file(&dir);
+    let path = &entries[0];
+    let clean = std::fs::read(path).expect("object bytes");
     // Every truncation length in a coarse sweep plus the interesting
     // boundaries (empty file, inside magic, inside version, inside
     // checksum, one byte short).
-    let mut cuts: Vec<usize> = (0..clean.len()).step_by(61).collect();
+    let mut cuts: Vec<usize> = (0..clean.len()).step_by(13).collect();
     cuts.extend([0, 5, 12, 17, 21, clean.len().saturating_sub(1)]);
     for cut in cuts {
-        std::fs::write(&path, &clean[..cut]).expect("truncate");
+        std::fs::write(path, &clean[..cut]).expect("truncate");
         assert_eq!(
             render_via_dir(&dir),
             expected,
             "truncation at {cut} changed the diagnostics"
         );
+        // The session deletes verifiably-corrupt objects and republishes;
+        // restore the truncated state from scratch for the next cut.
+        std::fs::write(path, &clean).expect("restore");
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
-fn old_format_versions_degrade_to_misses() {
+fn foreign_format_versions_degrade_to_misses() {
     let dir = scratch_dir("versions");
-    let clean = seeded_cache(&dir);
+    let entries = seeded_entries(&dir);
     let expected = fresh_rendering();
-    let path = cache_file(&dir);
-    for version in [0u32, 1, 2, 4, u32::MAX] {
-        // Same payload, forged version field: must be ignored wholesale.
-        let mut forged = clean.clone();
-        forged[10..14].copy_from_slice(&version.to_le_bytes());
-        std::fs::write(&path, &forged).expect("write forged version");
+    for version in [0u32, 1, 2, 3, 5, u32::MAX] {
+        // Same payloads, forged version fields: every object must be
+        // ignored wholesale.
+        for path in &entries {
+            let mut forged = std::fs::read(path).unwrap_or_default();
+            if forged.len() >= 14 {
+                forged[10..14].copy_from_slice(&version.to_le_bytes());
+            }
+            std::fs::write(path, &forged).expect("write forged version");
+        }
         let mut session = IncrementalChecker::with_dir(&dir);
         session.set_persist_min(0);
-        assert!(session.is_empty(), "version {version} must load nothing");
         let report = session.check_source(PROBE).expect("probe parses");
         assert_eq!(
             format!("{}", report.diagnostics),
@@ -124,31 +152,26 @@ fn old_format_versions_degrade_to_misses() {
 #[test]
 fn bit_flipped_payloads_degrade_to_misses() {
     let dir = scratch_dir("bitflip");
-    let clean = seeded_cache(&dir);
+    let entries = seeded_entries(&dir);
     let expected = fresh_rendering();
-    let path = cache_file(&dir);
+    let path = &entries[entries.len() / 2];
+    let clean = std::fs::read(path).expect("object bytes");
     let header = 10 + 4 + 8; // magic + version + checksum
                              // Flip one bit at a stride of positions across the payload (and a
-                             // few inside the checksum itself): the loader must reject the file
-                             // and the session must re-analyze from scratch, byte-identically.
-    let mut positions: Vec<usize> = (header..clean.len()).step_by(23).collect();
+                             // few inside the checksum itself): the loader must reject the object
+                             // and the session must re-analyze that method, byte-identically.
+    let mut positions: Vec<usize> = (header..clean.len()).step_by(7).collect();
     positions.extend(10 + 4..header); // corrupt the stored checksum too
     for (i, pos) in positions.into_iter().enumerate() {
         let mut corrupt = clean.clone();
         corrupt[pos] ^= 1 << (i % 8);
-        std::fs::write(&path, &corrupt).expect("write corrupt");
-        let mut session = IncrementalChecker::with_dir(&dir);
-        session.set_persist_min(0);
-        assert!(
-            session.is_empty(),
-            "flipped bit at byte {pos} must load nothing"
-        );
-        let report = session.check_source(PROBE).expect("probe parses");
+        std::fs::write(path, &corrupt).expect("write corrupt");
         assert_eq!(
-            format!("{}", report.diagnostics),
+            render_via_dir(&dir),
             expected,
             "flipped bit at byte {pos} changed the diagnostics"
         );
+        std::fs::write(path, &clean).expect("restore");
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -156,17 +179,17 @@ fn bit_flipped_payloads_degrade_to_misses() {
 #[test]
 fn garbage_and_oversized_counts_never_panic() {
     let dir = scratch_dir("garbage");
-    std::fs::create_dir_all(&dir).expect("mkdir");
+    let entries = seeded_entries(&dir);
     let expected = fresh_rendering();
-    let path = cache_file(&dir);
-    // Assorted hostile files: random-ish noise, a giant count directly
-    // after a forged (matching-checksum) header, and an empty file.
+    let path = &entries[0];
+    // Assorted hostile objects: random-ish noise, a giant count directly
+    // after a forged (matching-checksum) v4 header, and an empty file.
     let noise: Vec<u8> = (0..4096u32)
         .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
         .collect();
     let mut forged = b"SJAVACACHE".to_vec();
-    forged.extend_from_slice(&3u32.to_le_bytes());
-    let payload = u64::MAX.to_le_bytes(); // entry count ~1.8e19
+    forged.extend_from_slice(&4u32.to_le_bytes());
+    let payload = u64::MAX.to_le_bytes(); // heap-path count ~1.8e19
     let mut h = {
         // Recompute the real checksum so decoding genuinely begins and
         // the MAX_ITEMS bound is what stops it.
@@ -186,12 +209,50 @@ fn garbage_and_oversized_counts_never_panic() {
         ("forged-count", forged.as_slice()),
         ("empty", &[][..]),
     ] {
-        std::fs::write(&path, bytes).expect("write");
+        std::fs::write(path, bytes).expect("write");
         assert_eq!(
             render_via_dir(&dir),
             expected,
-            "{tag} file changed the diagnostics"
+            "{tag} object changed the diagnostics"
         );
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn v3_monolithic_cache_degrades_to_clean_misses() {
+    // The explicit downgrade path: a cache directory populated by the old
+    // monolithic format (v3 and earlier serialized the whole session into
+    // one `cache.bin`). The v4 store lives under `v4/objects/` and never
+    // opens the old file, so the session starts from clean misses — no
+    // error, no wrong replay — and leaves the old bytes alone.
+    let dir = scratch_dir("v3-downgrade");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let old = dir.join("cache.bin");
+    let mut v3 = b"SJAVACACHE".to_vec();
+    v3.extend_from_slice(&3u32.to_le_bytes());
+    v3.extend_from_slice(&[0x5a; 256]); // checksum + stale v3 entries
+    std::fs::write(&old, &v3).expect("write v3 file");
+
+    let mut session = IncrementalChecker::with_dir(&dir);
+    session.set_persist_min(0);
+    let report = session.check_source(PROBE).expect("probe parses");
+    assert_eq!(format!("{}", report.diagnostics), fresh_rendering());
+    let stats = report.cache.expect("incremental");
+    assert_eq!(stats.hits, 0, "v3 contents must never be read");
+    assert!(stats.misses > 0);
+    assert_eq!(
+        std::fs::read(&old).expect("still present"),
+        v3,
+        "the old-format file must be left untouched"
+    );
+
+    // And the store it *did* open works: a second session over the same
+    // directory serves everything warm.
+    let mut second = IncrementalChecker::with_dir(&dir);
+    second.set_persist_min(0);
+    let warm = second.check_source(PROBE).expect("probe parses");
+    assert_eq!(format!("{}", warm.diagnostics), fresh_rendering());
+    assert_eq!(warm.cache.expect("incremental").misses, 0);
     let _ = std::fs::remove_dir_all(&dir);
 }

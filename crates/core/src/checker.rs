@@ -16,6 +16,7 @@
 use crate::model::{resolve_annot_with, Lattices, MethodInfo, ModelCtx};
 use sjava_analysis::callgraph::{CallGraph, MethodRef};
 use sjava_analysis::jtype::TypeEnv;
+use sjava_analysis::shard::ShardInput;
 use sjava_analysis::written::MethodSummary;
 use sjava_lattice::{compare, CompositeLoc, Elem, FnvHashMap, LocInterner, LocRef};
 use sjava_syntax::ast::*;
@@ -26,9 +27,11 @@ use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
-/// Checks every reachable method's flows; diagnostics go to `diags`.
-/// `summaries` (from the eviction analysis) supply each callee's write
-/// effects for the implicit-flow call rule.
+/// Checks every reachable method the shard owns; diagnostics go to
+/// `diags`. `summaries` (from the eviction analysis) supply each callee's
+/// write effects for the implicit-flow call rule. The unsharded pipeline
+/// passes [`ShardInput::whole`]; a shard worker passes its reduced view
+/// and only its owned methods are checked.
 ///
 /// Methods are independent of each other once the eviction summaries are
 /// in hand, so they are fanned out across `sjava_par` workers. Each
@@ -36,7 +39,7 @@ use std::rc::Rc;
 /// merged back in call-graph topological order, which makes the output
 /// byte-for-byte identical at any thread count (`SJAVA_THREADS=1` vs N).
 pub fn check_flows(
-    program: &Program,
+    shard: &ShardInput<'_>,
     lattices: &Lattices,
     cg: &CallGraph,
     summaries: &BTreeMap<MethodRef, MethodSummary>,
@@ -47,15 +50,17 @@ pub fn check_flows(
     // loops, and dealing the heavy methods out first (descending cost)
     // is what lets N workers finish in ~1/N the wall clock instead of
     // all waiting on whichever worker drew the decoder.
-    let cost: Vec<u64> = cg
-        .topo
-        .iter()
-        .map(|mref| method_cost(program, lattices, mref))
+    let owned: Vec<usize> = (0..cg.topo.len())
+        .filter(|&i| shard.owns(&cg.topo[i]))
         .collect();
-    let per_method = sjava_par::run_indexed_weighted(cg.topo.len(), &cost, |i| {
-        check_method_flows(program, lattices, &cg.topo[i], summaries)
+    let cost: Vec<u64> = owned
+        .iter()
+        .map(|&i| method_cost(shard, lattices, &cg.topo[i]))
+        .collect();
+    let per_method = sjava_par::run_sparse_weighted(&owned, &cost, |i| {
+        check_method_flows(shard, lattices, &cg.topo[i], summaries)
     });
-    for d in per_method {
+    for (_, d) in per_method {
         diags.extend(d);
     }
 }
@@ -65,9 +70,10 @@ pub fn check_flows(
 /// the method lattice, whose comparison cost grows with its depth —
 /// the product tracks measured per-method phase timings well enough to
 /// order the work queue (only the ordering matters; see
-/// `sjava_par::run_indexed_weighted`).
-fn method_cost(program: &Program, lattices: &Lattices, mref: &MethodRef) -> u64 {
-    let Some((decl_class, method)) = program.resolve_method(&mref.0, &mref.1) else {
+/// `sjava_par::run_indexed_weighted`). Public so shard planning can
+/// balance shards with the same estimate the scheduler uses.
+pub fn method_cost(shard: &ShardInput<'_>, lattices: &Lattices, mref: &MethodRef) -> u64 {
+    let Some((decl_class, method)) = shard.program().resolve_method(&mref.0, &mref.1) else {
         return 1;
     };
     let stmts = block_weight(&method.body);
@@ -110,13 +116,13 @@ fn stmt_weight(s: &Stmt) -> u64 {
 /// replay cached buffers for the rest. Trusted or unresolvable methods
 /// produce an empty buffer.
 pub fn check_method_flows(
-    program: &Program,
+    shard: &ShardInput<'_>,
     lattices: &Lattices,
     mref: &MethodRef,
     summaries: &BTreeMap<MethodRef, MethodSummary>,
 ) -> Diagnostics {
     let mut local = Diagnostics::new();
-    let Some((decl_class, method)) = program.resolve_method(&mref.0, &mref.1) else {
+    let Some((decl_class, method)) = shard.program().resolve_method(&mref.0, &mref.1) else {
         return local;
     };
     let Some(info) = lattices.method_info(&decl_class.name, &method.name) else {
@@ -125,7 +131,7 @@ pub fn check_method_flows(
     if info.trusted {
         return local;
     }
-    let mut checker = MethodChecker::new(program, lattices, &decl_class.name, method, info)
+    let mut checker = MethodChecker::new(shard, lattices, &decl_class.name, method, info)
         .with_summaries(summaries);
     checker.run(&mut local);
     local
@@ -133,14 +139,16 @@ pub fn check_method_flows(
 
 /// Collects the static variable→location environment of a method: the
 /// parameters' `@LOC`s plus every local declaration's `@LOC` (annotations
-/// are flow-insensitive, so the environment is fixed).
+/// are flow-insensitive, so the environment is fixed). Resolving an
+/// annotation only reads class interfaces, so any shard view suffices.
 pub fn collect_var_locs(
-    program: &Program,
+    shard: &ShardInput<'_>,
     class: &str,
     method: &MethodDecl,
     info: &MethodInfo,
     diags: &mut Diagnostics,
 ) -> HashMap<String, CompositeLoc> {
+    let program = shard.program();
     let mut env = HashMap::new();
     for p in &method.params {
         if let Some(annot) = &p.annots.loc {
@@ -319,14 +327,16 @@ pub struct MethodChecker<'p> {
 }
 
 impl<'p> MethodChecker<'p> {
-    /// Creates a checker for `method` of `class`.
+    /// Creates a checker for `method` of `class`, resolving everything it
+    /// references through the shard's program view.
     pub fn new(
-        program: &'p Program,
+        shard: &ShardInput<'p>,
         lattices: &'p Lattices,
         class: &str,
         method: &'p MethodDecl,
         info: &'p MethodInfo,
     ) -> Self {
+        let program = shard.program();
         let mut tenv = TypeEnv::for_method(program, class, method);
         tenv.bind_block(&method.body);
         let cache = LocInterner::new();
@@ -395,7 +405,10 @@ impl<'p> MethodChecker<'p> {
 
     /// Runs all flow checks on the method body.
     pub fn run(&mut self, diags: &mut Diagnostics) {
-        let env = collect_var_locs(self.program, &self.class, self.method, self.info, diags);
+        // The environment depends only on interfaces reachable from this
+        // view, so re-wrapping the view preserves shard semantics.
+        let view = ShardInput::whole(self.program);
+        let env = collect_var_locs(&view, &self.class, self.method, self.info, diags);
         self.env = env
             .into_iter()
             .map(|(name, loc)| {

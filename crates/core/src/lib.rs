@@ -33,6 +33,7 @@ pub mod model;
 pub mod shared;
 
 use sjava_analysis::callgraph;
+use sjava_analysis::shard::ShardInput;
 use sjava_analysis::written::{self, EvictionResult};
 use sjava_syntax::ast::Program;
 use sjava_syntax::diag::Diagnostics;
@@ -179,17 +180,20 @@ pub fn check_program(program: &Program) -> CheckReport {
     let t = Instant::now();
     let eviction = written::analyze(program, &cg, &mut diags);
     timings.eviction = t.elapsed();
+    // The per-method passes run against a shard view that owns every
+    // method; sharded drivers substitute a reduced view + owned set.
+    let shard = ShardInput::whole(program);
     let t = Instant::now();
-    checker::check_flows(program, &lattices, &cg, &eviction.summaries, &mut diags);
+    checker::check_flows(&shard, &lattices, &cg, &eviction.summaries, &mut diags);
     timings.flow_check = t.elapsed();
     let t = Instant::now();
-    linear::check_aliasing(program, &lattices, &cg, &mut diags);
+    linear::check_aliasing(&shard, &lattices, &cg, &mut diags);
     timings.aliasing = t.elapsed();
     let t = Instant::now();
-    shared::check_shared(program, &lattices, &cg, &mut diags);
+    shared::check_shared(&shard, &lattices, &cg, &mut diags);
     timings.shared = t.elapsed();
     let t = Instant::now();
-    let termination_failures = sjava_analysis::termination::check(program, &cg, &mut diags);
+    let termination_failures = sjava_analysis::termination::check(&shard, &cg, &mut diags);
     timings.termination = t.elapsed();
     // The merged report is presented in the stable total order on
     // (file, span, code) regardless of phase or thread interleaving.

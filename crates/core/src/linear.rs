@@ -19,6 +19,7 @@ use crate::checker::collect_var_locs;
 use crate::model::{Lattices, MethodInfo};
 use sjava_analysis::callgraph::{CallGraph, MethodRef};
 use sjava_analysis::jtype::TypeEnv;
+use sjava_analysis::shard::ShardInput;
 use sjava_lattice::CompositeLoc;
 use sjava_syntax::ast::*;
 use sjava_syntax::diag::{Diag, Diagnostics};
@@ -32,15 +33,18 @@ enum Own {
     Dead,
 }
 
-/// Runs the alias/ownership check on every reachable method.
+/// Runs the alias/ownership check on every reachable method the shard
+/// owns (the unsharded pipeline passes [`ShardInput::whole`]).
 pub fn check_aliasing(
-    program: &Program,
+    shard: &ShardInput<'_>,
     lattices: &Lattices,
     cg: &CallGraph,
     diags: &mut Diagnostics,
 ) {
     for mref in &cg.topo {
-        diags.extend(check_method_aliasing(program, lattices, mref));
+        if shard.owns(mref) {
+            diags.extend(check_method_aliasing(shard, lattices, mref));
+        }
     }
 }
 
@@ -48,12 +52,12 @@ pub fn check_aliasing(
 /// the per-method unit the incremental layer caches and replays. Trusted
 /// or unresolvable methods produce an empty buffer.
 pub fn check_method_aliasing(
-    program: &Program,
+    shard: &ShardInput<'_>,
     lattices: &Lattices,
     mref: &MethodRef,
 ) -> Diagnostics {
     let mut diags = Diagnostics::new();
-    let Some((decl_class, method)) = program.resolve_method(&mref.0, &mref.1) else {
+    let Some((decl_class, method)) = shard.program().resolve_method(&mref.0, &mref.1) else {
         return diags;
     };
     let Some(info) = lattices.method_info(&decl_class.name, &method.name) else {
@@ -62,31 +66,25 @@ pub fn check_method_aliasing(
     if info.trusted {
         return diags;
     }
-    check_method(
-        program,
-        lattices,
-        &decl_class.name,
-        method,
-        info,
-        &mut diags,
-    );
+    check_method(shard, lattices, &decl_class.name, method, info, &mut diags);
     diags
 }
 
 fn check_method(
-    program: &Program,
+    shard: &ShardInput<'_>,
     _lattices: &Lattices,
     class: &str,
     method: &MethodDecl,
     info: &MethodInfo,
     diags: &mut Diagnostics,
 ) {
+    let program = shard.program();
     let mut tenv = TypeEnv::for_method(program, class, method);
     tenv.bind_block(&method.body);
     // Location environment for the same-location alias rule; errors were
     // already reported by the checker, so swallow them here.
     let mut scratch = Diagnostics::new();
-    let env = collect_var_locs(program, class, method, info, &mut scratch);
+    let env = collect_var_locs(shard, class, method, info, &mut scratch);
     let mut st: HashMap<String, Own> = HashMap::new();
     for p in &method.params {
         if p.ty.is_reference() {

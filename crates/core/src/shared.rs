@@ -12,6 +12,7 @@ use crate::checker::MethodChecker;
 use crate::model::Lattices;
 use sjava_analysis::callgraph::{CallGraph, MethodRef};
 use sjava_analysis::jtype::TypeEnv;
+use sjava_analysis::shard::ShardInput;
 use sjava_lattice::{compare, is_shared};
 use sjava_syntax::ast::*;
 use sjava_syntax::diag::{Diag, Diagnostics};
@@ -23,12 +24,19 @@ use std::collections::{BTreeMap, BTreeSet};
 pub type SharedMember = (String, String);
 
 /// Checks the shared-location clearing condition over the event loop.
+///
+/// Whole-program by construction: the per-method clears/reads summaries
+/// feed each other bottom-up and the final verdict reads them all at the
+/// loop, so callers hand it [`ShardInput::whole`]. In the sharded driver
+/// this pass runs driver-side only — it emits no per-method diagnostics,
+/// so the shard workers have nothing to contribute.
 pub fn check_shared(
-    program: &Program,
+    shard: &ShardInput<'_>,
     lattices: &Lattices,
     cg: &CallGraph,
     diags: &mut Diagnostics,
 ) {
+    let program = shard.program();
     let members = shared_members(program, lattices);
     if members.is_empty() {
         return;
@@ -39,7 +47,7 @@ pub fn check_shared(
     let mut reads: BTreeMap<MethodRef, BTreeSet<SharedMember>> = BTreeMap::new();
     for mref in &cg.topo {
         if let Some((c, r)) =
-            method_shared_summary(program, lattices, mref, &members, &clears, &reads)
+            method_shared_summary(shard, lattices, mref, &members, &clears, &reads)
         {
             clears.insert(mref.clone(), c);
             reads.insert(mref.clone(), r);
@@ -79,19 +87,20 @@ pub fn shared_members(program: &Program, lattices: &Lattices) -> BTreeSet<Shared
 /// Trusted methods yield empty sets; unresolvable references yield
 /// `None`. This is the per-method unit the incremental layer caches.
 pub fn method_shared_summary(
-    program: &Program,
+    shard: &ShardInput<'_>,
     lattices: &Lattices,
     mref: &MethodRef,
     members: &BTreeSet<SharedMember>,
     clears: &BTreeMap<MethodRef, BTreeSet<SharedMember>>,
     reads: &BTreeMap<MethodRef, BTreeSet<SharedMember>>,
 ) -> Option<(BTreeSet<SharedMember>, BTreeSet<SharedMember>)> {
+    let program = shard.program();
     let (decl_class, method) = program.resolve_method(&mref.0, &mref.1)?;
     let info = lattices.method_info(&decl_class.name, &method.name)?;
     if info.trusted {
         return Some((BTreeSet::new(), BTreeSet::new()));
     }
-    let mut checker = MethodChecker::new(program, lattices, &decl_class.name, method, info);
+    let mut checker = MethodChecker::new(shard, lattices, &decl_class.name, method, info);
     let mut scratch = Diagnostics::new();
     checker.run(&mut scratch); // populate env; flow errors already reported elsewhere
     let mut tenv = TypeEnv::for_method(program, &decl_class.name, method);
@@ -131,7 +140,10 @@ pub fn check_shared_loop(
     let Some(loop_body) = find_event_loop_body(&entry_method.body) else {
         return;
     };
-    let mut checker = MethodChecker::new(program, lattices, &cg.entry.0, entry_method, info);
+    // The loop walk checks only the entry method's body; a whole view
+    // over the driver's program is exactly its shard input.
+    let view = ShardInput::whole(program);
+    let mut checker = MethodChecker::new(&view, lattices, &cg.entry.0, entry_method, info);
     let mut scratch = Diagnostics::new();
     checker.run(&mut scratch);
     let mut tenv = TypeEnv::for_method(program, &cg.entry.0, entry_method);

@@ -316,6 +316,22 @@ where
     pairs
 }
 
+/// [`run_sparse`] with a per-index cost estimate: `cost[j]` estimates how
+/// long `f(indices[j])` will take (slot-aligned with `indices`, not with
+/// the index values). Heavy tasks are dealt first via the same LPT order
+/// as [`run_indexed_weighted`]; the returned pairs are still sorted by
+/// index, so merges stay byte-identical to the sequential loop.
+pub fn run_sparse_weighted<T, F>(indices: &[usize], cost: &[u64], f: F) -> Vec<(usize, T)>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let results = run_indexed_weighted(indices.len(), cost, |slot| f(indices[slot]));
+    let mut pairs: Vec<(usize, T)> = indices.iter().copied().zip(results).collect();
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    pairs
+}
+
 /// Partitions `0..n` into contiguous chunks, one per worker, and runs
 /// `f(chunk_range)` on each; chunk results are concatenated in order.
 /// Useful when per-index closures are too fine-grained to amortize.
@@ -374,6 +390,22 @@ mod tests {
         let out = run_sparse(&indices, |i| i * 10);
         assert_eq!(out, vec![(0, 0), (2, 20), (5, 50), (9, 90)]);
         assert_eq!(run_sparse(&[], |i: usize| i), Vec::<(usize, usize)>::new());
+    }
+
+    #[test]
+    fn sparse_weighted_matches_sparse() {
+        let indices: Vec<usize> = (0..200).map(|i| i * 3 + 1).rev().collect();
+        let cost: Vec<u64> = (0..200).map(|i| ((i * 13) % 29) as u64).collect();
+        let plain = run_sparse(&indices, |i| i * 2);
+        let weighted = run_sparse_weighted(&indices, &cost, |i| i * 2);
+        assert_eq!(plain, weighted);
+        // Cost vectors shorter than the index list must not drop tasks.
+        let short = run_sparse_weighted(&indices, &cost[..5], |i| i + 1);
+        assert_eq!(short.len(), indices.len());
+        assert_eq!(
+            run_sparse_weighted(&[], &[], |i: usize| i),
+            Vec::<(usize, usize)>::new()
+        );
     }
 
     #[test]

@@ -36,6 +36,12 @@
 #  11. a fixed-seed differential fuzz smoke: 500 generated cases
 #      (adversarial stress shapes + mutations) through all five
 #      engine-pair oracles; any mismatch fails the build
+#  12. the shard-equivalence gate: the process-level byte-identity
+#      sweep (every format × shard count × pool width must match the
+#      unsharded run exactly, plus cross-process store sharing), then
+#      bench_shard in gate mode enforcing the ≥0.95 cross-session
+#      warm-hit-rate floor; the multi-process speedup floor only
+#      applies on machines with ≥4 cores
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -114,5 +120,17 @@ echo "== differential fuzz smoke (seed 1, 500 cases, all oracles) =="
 # disagreement, not flakiness. Re-run a failing case interactively with
 #   target/release/sjava fuzz --seed=1 --cases=500 --minimize --fixtures-dir=findings/
 target/release/sjava fuzz --seed=1 --cases=500
+
+echo "== shard equivalence (byte-identity sweep + store gate) =="
+# The sweep drives the real `sjava check --shards=N` CLI: worker
+# processes, outcome files, merged diagnostics — all three formats must
+# be byte-identical to the unsharded run at every shard count and pool
+# width. bench_shard then re-proves equivalence in-process and enforces
+# the cross-session warm-hit-rate floor on the artifact store.
+cargo test --release -q --test shard
+shard_bin=$PWD/target/release/bench_shard
+shard_dir=$(mktemp -d)
+(cd "$shard_dir" && SJAVA_STRESS_PRESET=small SJAVA_REPS=3 "$shard_bin" --gate)
+rm -rf "$shard_dir"
 
 echo "CI green"

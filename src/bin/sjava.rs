@@ -2,7 +2,13 @@
 //!
 //! ```text
 //! sjava check <file.sj> [--format=text|json|sarif] [--deny-warnings]
-//!                                       verify self-stabilization
+//!             [--shards=N]              verify self-stabilization
+//!                                       (--shards=N checks N balanced
+//!                                       shards in separate processes;
+//!                                       output is byte-identical)
+//! sjava check <file.sj> --shard=i/N --out=PATH
+//!                                       internal worker mode: check one
+//!                                       shard, serialize the outcome
 //! sjava check --explain SJ0xxx          describe a diagnostic code
 //! sjava infer <file.sj> [--naive] [--timings]
 //!                                       infer annotations, print source
@@ -44,7 +50,7 @@ fn main() -> ExitCode {
         Some("fuzz") => cmd_fuzz(&args[1..]),
         _ => {
             eprintln!(
-                "usage:\n  sjava check <file.sj> [--format=text|json|sarif] [--deny-warnings]\n  sjava check --explain SJ0xxx\n  sjava infer <file.sj> [--naive] [--timings]\n  sjava run <file.sj> <Class.method> <iterations>\n  sjava lattice <file.sj>\n  sjava lifetimes <file.sj>\n  sjava lint <file.sj>\n  sjava vfg <file.sj>\n  sjava stress [--preset=small|large|adversarial] [--classes=N] [--methods=N]\n               [--fields=N] [--depth=N] [--stmts=N] [--seed=N] [--delta-depth=N]\n               [--degenerate=N] [--cyclic-delegates=N] [--check] [--infer]\n  sjava fuzz [--seed=N] [--cases=N] [--oracle=all|check|infer|cache|parse|emit]\n             [--minimize] [--fixtures-dir=DIR]"
+                "usage:\n  sjava check <file.sj> [--format=text|json|sarif] [--deny-warnings] [--shards=N]\n  sjava check --explain SJ0xxx\n  sjava infer <file.sj> [--naive] [--timings]\n  sjava run <file.sj> <Class.method> <iterations>\n  sjava lattice <file.sj>\n  sjava lifetimes <file.sj>\n  sjava lint <file.sj>\n  sjava vfg <file.sj>\n  sjava stress [--preset=small|large|adversarial] [--classes=N] [--methods=N]\n               [--fields=N] [--depth=N] [--stmts=N] [--seed=N] [--delta-depth=N]\n               [--degenerate=N] [--cyclic-delegates=N] [--check] [--infer]\n  sjava fuzz [--seed=N] [--cases=N] [--oracle=all|check|infer|cache|parse|emit]\n             [--minimize] [--fixtures-dir=DIR]"
             );
             ExitCode::from(EXIT_USAGE)
         }
@@ -414,6 +420,9 @@ fn cmd_check(args: &[String]) -> ExitCode {
 
     let mut format = Format::Text;
     let mut deny_warnings = false;
+    let mut shards: Option<usize> = None;
+    let mut shard: Option<(usize, usize)> = None;
+    let mut out: Option<String> = None;
     let mut path: Option<&str> = None;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -436,6 +445,34 @@ fn cmd_check(args: &[String]) -> ExitCode {
                     None => return bad_format(v),
                 }
             }
+            f if f.starts_with("--shards=") => {
+                let v = &f["--shards=".len()..];
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => shards = Some(n),
+                    _ => {
+                        eprintln!("error: --shards needs a positive integer, e.g. `--shards=4`");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            f if f.starts_with("--shard=") => {
+                let v = &f["--shard=".len()..];
+                let parsed = v.split_once('/').and_then(|(i, n)| {
+                    let i = i.parse::<usize>().ok()?;
+                    let n = n.parse::<usize>().ok()?;
+                    (n >= 1 && i < n).then_some((i, n))
+                });
+                match parsed {
+                    Some(pair) => shard = Some(pair),
+                    None => {
+                        eprintln!(
+                            "error: --shard needs the form `i/N` with i < N, e.g. `--shard=0/4`"
+                        );
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+            f if f.starts_with("--out=") => out = Some(f["--out=".len()..].to_string()),
             f if f.starts_with("--") => {
                 eprintln!("error: unknown flag `{f}`");
                 return ExitCode::from(EXIT_USAGE);
@@ -447,6 +484,14 @@ fn cmd_check(args: &[String]) -> ExitCode {
         eprintln!("error: `sjava check` needs a file");
         return ExitCode::from(EXIT_USAGE);
     };
+    if shard.is_some() && shards.is_some() {
+        eprintln!("error: --shard (worker) and --shards (driver) are mutually exclusive");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    if out.is_some() && shard.is_none() {
+        eprintln!("error: --out only applies to `--shard=i/N` worker mode");
+        return ExitCode::from(EXIT_USAGE);
+    }
 
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -456,8 +501,74 @@ fn cmd_check(args: &[String]) -> ExitCode {
         }
     };
     let file = SourceFile::new(path, text);
+
+    // Worker mode: check one shard of the partition, serialize the
+    // outcome for the merging driver, and exit. Diagnostics don't decide
+    // the worker's exit code — the driver renders the merged report.
+    if let Some((index, n)) = shard {
+        let Some(out) = out else {
+            eprintln!("error: `--shard=i/N` needs `--out=PATH` for the outcome file");
+            return ExitCode::from(EXIT_USAGE);
+        };
+        let program = match sjava::parse(&file.text) {
+            Ok(p) => p,
+            Err(diags) => {
+                for d in diags.iter() {
+                    eprintln!("{}", d.render(&file));
+                }
+                return ExitCode::from(EXIT_USAGE);
+            }
+        };
+        let mut session = sjava::cache::IncrementalChecker::from_env();
+        let outcome = sjava::cache::shard::check_shard(&mut session, &program, index, n);
+        if let Err(e) = sjava::cache::shard::write_outcome(std::path::Path::new(&out), &outcome) {
+            eprintln!("error: cannot write outcome `{out}`: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let diagnostics = match sjava::parse(&file.text) {
-        Ok(program) => sjava::check(&program).diagnostics,
+        Ok(program) => match shards {
+            // Driver mode: global phases in-process, one worker process
+            // per shard (falling back to in-process checking when a
+            // worker fails), merged into the stable total order — byte-
+            // identical to the unsharded run.
+            Some(n) => {
+                sjava::cache::shard::check_sharded(&program, n, |i, n| {
+                    let exe = std::env::current_exe().ok()?;
+                    let outfile = std::env::temp_dir()
+                        .join(format!("sjava-shard-{}-{i}.bin", std::process::id()));
+                    let status = std::process::Command::new(exe)
+                        .arg("check")
+                        .arg(path)
+                        .arg(format!("--shard={i}/{n}"))
+                        .arg(format!("--out={}", outfile.display()))
+                        .status()
+                        .ok()?;
+                    let outcome = if status.success() {
+                        sjava::cache::shard::read_outcome(&outfile)
+                    } else {
+                        None
+                    };
+                    let _ = std::fs::remove_file(&outfile);
+                    outcome
+                })
+                .diagnostics
+            }
+            None => {
+                // Plain checks still go through the artifact store when
+                // `SJAVA_CACHE_DIR` is set, sharing warm hits with shard
+                // workers and other processes.
+                if std::env::var(sjava::cache::CACHE_DIR_ENV).is_ok_and(|v| !v.trim().is_empty()) {
+                    sjava::cache::IncrementalChecker::from_env()
+                        .check(&program)
+                        .diagnostics
+                } else {
+                    sjava::check(&program).diagnostics
+                }
+            }
+        },
         Err(diags) => diags,
     };
 

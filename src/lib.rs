@@ -43,6 +43,7 @@
 
 pub use sjava_analysis as analysis;
 pub use sjava_apps as apps;
+pub use sjava_cache as cache;
 pub use sjava_core as core;
 pub use sjava_infer as infer;
 pub use sjava_lattice as lattice;

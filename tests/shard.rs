@@ -1,0 +1,163 @@
+//! Sharded checking determinism, at the process level: `sjava check
+//! --shards=N` spawns real worker processes and merges their outcome
+//! files, and the merged output — stdout and stderr, in every emission
+//! format — must be byte-identical to the unsharded run for every shard
+//! count and worker-pool width. This is the end-to-end acceptance gate
+//! for the shard driver; the in-process halves are unit-tested in
+//! `sjava-cache`.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("sjava-shard-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write");
+    path
+}
+
+/// Runs `sjava check` with the given extra args and worker-pool width,
+/// returning `(status_ok, stdout, stderr)`.
+fn check(path: &PathBuf, extra: &[String], threads: usize) -> (bool, Vec<u8>, Vec<u8>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_sjava"))
+        .arg("check")
+        .arg(path)
+        .args(extra)
+        .env("SJAVA_THREADS", threads.to_string())
+        .output()
+        .expect("binary runs");
+    (out.status.success(), out.stdout, out.stderr)
+}
+
+/// A probe that fails every per-method phase: flow-up (explicit and via
+/// a call), an unprovable loop, and an aliasing violation — so the merge
+/// order of worker diagnostics is actually observable in the bytes.
+const FAILING: &str = r#"@LATTICE("LO<HI") @METHODDEFAULT("V<IN") @THISLOC("V")
+class A {
+    @LOC("HI") int hi; @LOC("LO") int lo;
+    void main() {
+        SSJAVA: while (true) {
+            @LOC("IN") int x = Device.read();
+            hi = x;
+            lo = hi;
+            hi = lo;
+            step(x);
+            while (x != 0) { x = Device.read(); }
+            Out.emit(lo);
+        }
+    }
+    @LATTICE("S<P") @THISLOC("S")
+    void step(@LOC("P") int p) { @LOC("S") int y = p; Out.emit(y); }
+}"#;
+
+/// The sweep: every format × shard count × pool width must reproduce the
+/// unsharded single-threaded bytes exactly.
+fn assert_shard_invariant(name: &str, source: &str, formats: &[&str]) {
+    let path = write_temp(&format!("{name}.sj"), source);
+    for format in formats {
+        let fmt_args = vec![format!("--format={format}")];
+        let (ref_ok, ref_out, ref_err) = check(&path, &fmt_args, 1);
+        for shards in [1usize, 2, 4] {
+            for threads in [1usize, 4] {
+                let mut args = fmt_args.clone();
+                args.push(format!("--shards={shards}"));
+                let (ok, out, err) = check(&path, &args, threads);
+                assert_eq!(
+                    ok, ref_ok,
+                    "{name} --format={format} --shards={shards} threads={threads}: exit differs"
+                );
+                assert_eq!(
+                    out, ref_out,
+                    "{name} --format={format} --shards={shards} threads={threads}: stdout differs\nref:\n{}\ngot:\n{}",
+                    String::from_utf8_lossy(&ref_out),
+                    String::from_utf8_lossy(&out),
+                );
+                assert_eq!(
+                    err, ref_err,
+                    "{name} --format={format} --shards={shards} threads={threads}: stderr differs\nref:\n{}\ngot:\n{}",
+                    String::from_utf8_lossy(&ref_err),
+                    String::from_utf8_lossy(&err),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn failing_probe_is_byte_identical_in_every_format() {
+    // The diagnostics-dense probe sweeps all three emission formats —
+    // JSON and SARIF serialize spans and codes, so any merge-order or
+    // content drift shows up in the bytes.
+    assert_shard_invariant("probe", FAILING, &["text", "json", "sarif"]);
+}
+
+#[test]
+fn paper_apps_are_byte_identical_under_sharding() {
+    for (name, source) in [
+        ("windsensor", sjava::apps::windsensor::SOURCE.to_string()),
+        ("eyetrack", sjava::apps::eyetrack::SOURCE.to_string()),
+        ("sumobot", sjava::apps::sumobot::SOURCE.to_string()),
+        ("mp3dec", sjava::apps::mp3dec::source().to_string()),
+    ] {
+        assert_shard_invariant(name, &source, &["text"]);
+    }
+}
+
+#[test]
+fn adversarial_stress_is_byte_identical_under_sharding() {
+    // The adversarial generator produces deep lattices, degenerate
+    // @DELTA chains, and wide call fans — the shapes most likely to
+    // expose a partition- or merge-order dependency.
+    let cfg = sjava_bench::stressgen::StressConfig::adversarial();
+    let source = sjava_bench::stressgen::generate(&cfg);
+    assert_shard_invariant("adversarial", &source, &["text", "json", "sarif"]);
+}
+
+#[test]
+fn sharded_workers_share_a_store_across_processes() {
+    // Cross-process warm hits: a sharded run with SJAVA_CACHE_DIR
+    // populates the store from N worker processes; a plain run in a new
+    // process over the same directory must then serve every per-method
+    // result from the store and still produce identical bytes.
+    let path = write_temp("store-shared.sj", FAILING);
+    let dir = std::env::temp_dir().join("sjava-shard-tests-store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = |args: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_sjava"))
+            .arg("check")
+            .arg(&path)
+            .args(args)
+            .env("SJAVA_CACHE_DIR", &dir)
+            .env("SJAVA_CACHE_PERSIST_MIN", "0")
+            .output()
+            .expect("binary runs");
+        (out.stdout, out.stderr)
+    };
+    let (cold_out, cold_err) = run(&["--shards=2"]);
+    let objects = walk_count(&dir);
+    assert!(objects > 0, "worker processes must publish store objects");
+    let (warm_out, warm_err) = run(&[]);
+    assert_eq!(warm_out, cold_out, "store-warm stdout differs");
+    assert_eq!(warm_err, cold_err, "store-warm stderr differs");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn walk_count(dir: &Path) -> usize {
+    let mut n = 0;
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(rd) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for e in rd.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else {
+                n += 1;
+            }
+        }
+    }
+    n
+}
