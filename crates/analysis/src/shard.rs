@@ -161,8 +161,12 @@ impl<'p> ShardInput<'p> {
         })
     }
 
-    /// The interface summary hash of one class, if declared.
+    /// The interface summary hash of one class, if declared. This is a
+    /// tracked read: inside a [`sjava_syntax::track::ReadScope`] it
+    /// records a whole-interface dependency on `class`, since the summary
+    /// hash covers every interface fact of the class.
     pub fn summary_hash(&self, class: &str) -> Option<u64> {
+        sjava_syntax::track::record_iface(class);
         self.summary_hashes().get(class).copied()
     }
 }

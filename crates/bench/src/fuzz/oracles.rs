@@ -176,6 +176,86 @@ pub fn cache(src: &str, scratch: &Path) -> Option<String> {
     if replay != fresh {
         return Some("reloaded on-disk cache replay diverges from fresh check".into());
     }
+    edit_sequence(src, &mut session)
+}
+
+/// The edit-sequence leg of the cache oracle: applies 1–3 deterministic
+/// `sjava_cache::edit` mutations to the parsed program (which mutation
+/// and where is derived from the source bytes, so a fuzz case replays
+/// byte-identically) and re-checks the mutated AST through the warmed
+/// incremental `session` after each one. Every step must render exactly
+/// like a fresh whole-program check of the same AST — this is red-green
+/// revalidation under fire, since each edit moves a different slice of
+/// the recorded fact space (body content, header spans, field sets).
+fn edit_sequence(src: &str, session: &mut sjava_cache::IncrementalChecker) -> Option<String> {
+    use sjava_cache::edit::{add_unused_field, mutate_first_literal, shift_method_span};
+
+    let Ok(mut program) = sjava_syntax::parse(src) else {
+        return None; // unparsable cases were already compared above
+    };
+    let targets: Vec<(String, String)> = program
+        .classes
+        .iter()
+        .flat_map(|c| c.methods.iter().map(|m| (c.name.clone(), m.name.clone())))
+        .collect();
+    if targets.is_empty() {
+        return None;
+    }
+    // A cheap deterministic stream seeded from the source bytes.
+    let mut state = src
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        })
+        .max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let steps = 1 + (next() % 3) as usize;
+    for step in 0..steps {
+        // Try each edit shape starting from a pseudo-random one; a
+        // program may lack literals or fields, so fall through until one
+        // applies. A program where none applies still re-checks below.
+        let (class, method) = &targets[next() as usize % targets.len()];
+        let mut applied = false;
+        for shape in 0..3u64 {
+            applied = match (next() + shape) % 3 {
+                0 => mutate_first_literal(&mut program, class, method),
+                1 => shift_method_span(&mut program, class, method),
+                _ => add_unused_field(&mut program, class),
+            };
+            if applied {
+                break;
+            }
+        }
+        let incremental = {
+            let report = session.check(&program);
+            format!(
+                "ok={} termination_failures={}\n{}",
+                report.is_ok(),
+                report.termination_failures,
+                report.diagnostics
+            )
+        };
+        let full = {
+            let report = sjava_core::check_program(&program);
+            format!(
+                "ok={} termination_failures={}\n{}",
+                report.is_ok(),
+                report.termination_failures,
+                report.diagnostics
+            )
+        };
+        if incremental != full {
+            return Some(format!(
+                "incremental re-check diverges from fresh check after edit {} of {steps} (applied={applied})",
+                step + 1
+            ));
+        }
+    }
     None
 }
 

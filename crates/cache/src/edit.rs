@@ -20,6 +20,11 @@ use sjava_syntax::ast::{Block, Expr, LValue, Program, Stmt};
 /// bumped, `false` if the method is missing or contains no integer
 /// literal. Spans are left untouched, so a re-parse is not required and
 /// sibling methods keep identical fingerprints.
+///
+/// A `false` return means the program was **not** edited — benchmarks
+/// and oracles that ignore it would silently measure a no-op run, so the
+/// result must be checked.
+#[must_use = "a false return means no edit was applied"]
 pub fn bump_first_int_literal(program: &mut Program, class: &str, method: &str) -> bool {
     mutate_method(program, class, method, &mut |e| match e {
         Expr::IntLit { value, .. } => {
@@ -33,7 +38,9 @@ pub fn bump_first_int_literal(program: &mut Program, class: &str, method: &str) 
 /// Mutates the first literal of any kind (int, float, bool, string) in
 /// the body of `class::method`: integers and floats are incremented,
 /// booleans flipped, strings extended. Returns `false` if the method is
-/// missing or literal-free.
+/// missing or literal-free. Like [`bump_first_int_literal`], a `false`
+/// return means nothing was edited and must not be ignored.
+#[must_use = "a false return means no edit was applied"]
 pub fn mutate_first_literal(program: &mut Program, class: &str, method: &str) -> bool {
     mutate_method(program, class, method, &mut |e| match e {
         Expr::IntLit { value, .. } => {
@@ -54,6 +61,49 @@ pub fn mutate_first_literal(program: &mut Program, class: &str, method: &str) ->
         }
         _ => false,
     })
+}
+
+/// The smallest *interface* edit: widens the header span of
+/// `class::method` by one byte, as if the developer renamed a parameter
+/// or adjusted whitespace inside the signature. The method's own content
+/// fingerprint moves (header spans are part of it) and the recorded
+/// `Resolve` fact of every direct caller goes red — but no other fact in
+/// the dependency map changes, so red-green revalidation rechecks
+/// exactly the edited method plus its direct callers. Under the old
+/// whole-interface cutoff this same edit invalidated every cached method
+/// in the program.
+#[must_use = "a false return means no edit was applied"]
+pub fn shift_method_span(program: &mut Program, class: &str, method: &str) -> bool {
+    let Some(c) = program.classes.iter_mut().find(|c| c.name == class) else {
+        return false;
+    };
+    let Some(m) = c.methods.iter_mut().find(|m| m.name == method) else {
+        return false;
+    };
+    m.span.end += 1;
+    true
+}
+
+/// An interface edit with an **empty** true-dependent set: appends a
+/// fresh, never-referenced field to `class`, cloning the annotations and
+/// type of its last declared field so the class still lattice-checks
+/// identically. The class's whole-interface hash moves (field count
+/// changed), but no method recorded a fact about a field that did not
+/// exist, so red-green revalidation rechecks zero methods. Returns
+/// `false` when the class is missing or has no field to clone.
+#[must_use = "a false return means no edit was applied"]
+pub fn add_unused_field(program: &mut Program, class: &str) -> bool {
+    let Some(c) = program.classes.iter_mut().find(|c| c.name == class) else {
+        return false;
+    };
+    let Some(template) = c.fields.last() else {
+        return false;
+    };
+    let mut field = template.clone();
+    field.name = format!("unusedPad{}", c.fields.len());
+    field.init = None;
+    c.fields.push(field);
+    true
 }
 
 /// The shared walker: applies `mutate` to expressions in statement order
@@ -167,6 +217,39 @@ mod tests {
         assert!(!bump_first_int_literal(&mut p, "A", "nope"));
         assert!(!bump_first_int_literal(&mut p, "B", "f"));
         assert!(!bump_first_int_literal(&mut p, "A", "f"));
+    }
+
+    #[test]
+    fn span_shift_touches_only_the_named_header() {
+        let src = "class A { void f() { } void g() { } }";
+        let mut p = parse(src).expect("parses");
+        let before = parse(src).expect("parses");
+        assert!(shift_method_span(&mut p, "A", "f"));
+        assert!(!shift_method_span(&mut p, "A", "nope"));
+        assert!(!shift_method_span(&mut p, "B", "f"));
+        let (f0, g0) = (
+            before.classes[0].methods[0].span,
+            before.classes[0].methods[1].span,
+        );
+        let (f1, g1) = (p.classes[0].methods[0].span, p.classes[0].methods[1].span);
+        assert_eq!(f1.end, f0.end + 1, "f's header widened by one byte");
+        assert_eq!(g1, g0, "g's header untouched");
+    }
+
+    #[test]
+    fn unused_field_clones_the_last_declared_one() {
+        let mut p =
+            parse(r#"@LATTICE("L<H") class A { @LOC("L") int x; void f() { } }"#).expect("parses");
+        assert!(add_unused_field(&mut p, "A"));
+        assert!(!add_unused_field(&mut p, "Missing"));
+        let fields = &p.classes[0].fields;
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[1].name, "unusedPad1");
+        assert_eq!(fields[1].annots, fields[0].annots, "annotations cloned");
+        assert_eq!(fields[1].init, None, "no initializer to re-check");
+        // A field-free class has nothing to clone.
+        let mut bare = parse("class B { void f() { } }").expect("parses");
+        assert!(!add_unused_field(&mut bare, "B"));
     }
 
     #[test]

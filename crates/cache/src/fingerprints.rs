@@ -6,9 +6,12 @@
 //! - [`iface_hash`] digests every class *interface* — name, superclass,
 //!   class annotations (including `@LATTICE` declarations), all fields,
 //!   and every method's signature (annotations, staticness, return type,
-//!   parameters, span). Bodies are excluded. Any lattice or signature
-//!   edit perturbs it, which invalidates the whole program — a superset
-//!   of whole-class invalidation, deliberately conservative.
+//!   parameters, span). Bodies are excluded. It keys the cached lattice
+//!   model. Per-method entries no longer fold it: interface edits are
+//!   handled by red-green revalidation of each entry's recorded
+//!   dependency facts ([`crate::deps`]), so a signature edit invalidates
+//!   exactly the methods that *read* the changed declaration instead of
+//!   the whole program.
 //! - [`local_fp`] digests one method's resolved declaration, spans
 //!   included. Spans matter because cached
 //!   [`sjava_syntax::diag::Diagnostic`]s embed them: a method whose text
@@ -18,8 +21,11 @@
 //!   magnitude slower on large unrolled methods and fingerprinting runs
 //!   on *every* check, cached or not.
 //! - [`method_fps`] folds, bottom-up over the call graph, each method's
-//!   local fingerprint with the fingerprints of its (sorted) callees —
-//!   so a dirty method transitively dirties exactly its caller cone.
+//!   local fingerprint with `iface_hash` and the fingerprints of its
+//!   (sorted) callees — the *coarse* dirty-cone judgment of the previous
+//!   invalidation scheme. The cache no longer keys on it; it survives as
+//!   the soundness oracle: the property suite asserts the fine-grained
+//!   re-check set is always a subset of this coarse dirty set.
 //!
 //! All hashing is FNV-1a via [`sjava_lattice::fingerprint`]: stable
 //! across processes and platforms, no randomness, no clocks.
@@ -105,7 +111,7 @@ pub fn method_fps(
     fps
 }
 
-fn span_bits(s: Span) -> u64 {
+pub(crate) fn span_bits(s: Span) -> u64 {
     ((s.start as u64) << 32) | s.end as u64
 }
 

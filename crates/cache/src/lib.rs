@@ -4,13 +4,31 @@
 //! checker. An [`IncrementalChecker`] session memoizes every per-method
 //! analysis result — flow diagnostics, eviction summaries, aliasing
 //! diagnostics, shared-location summaries, and termination verdicts —
-//! keyed on a stable 64-bit fingerprint of the method's body, the class
-//! interface summaries (lattices included), and its callees' summary
-//! hashes (see [`fingerprints`]). A re-check after an edit re-analyzes
-//! only the dirtied call-graph cone and replays cached results for
-//! everything else, merged in the same topological order as the full
-//! pipeline, so the diagnostics are **byte-identical** to a cold
-//! [`sjava_core::check_program`] run at any thread count.
+//! keyed on a stable 64-bit fingerprint of the method's body and its
+//! callees' summary hashes (see [`fingerprints`]). A re-check after an
+//! edit re-analyzes only the dirtied call-graph cone and replays cached
+//! results for everything else, merged in the same topological order as
+//! the full pipeline, so the diagnostics are **byte-identical** to a
+//! cold [`sjava_core::check_program`] run at any thread count.
+//!
+//! ## Dependency-tracked invalidation (red-green revalidation)
+//!
+//! Interface facts — class interface summaries, field `@LOC`
+//! declarations, lattice/completion facts, shared-membership probes —
+//! are deliberately **not** folded into the entry key. Instead, every
+//! fresh per-method computation runs inside a
+//! [`sjava_syntax::track::ReadScope`], which records the exact set of
+//! interface facts the analyses consulted (as
+//! [`sjava_syntax::track::DepKey`]s). The read-set is fingerprinted
+//! (`deps` module) and stored alongside the entry — in memory and, for
+//! store-backed sessions, as a checksummed `.deps` object published with
+//! the same atomic-rename discipline as entries. On the next check, an
+//! entry whose key matches is **green** (replayed) iff every recorded
+//! fact re-fingerprints byte-identically on the new program, and **red**
+//! (rechecked) otherwise. An interface edit therefore re-analyzes only
+//! the methods that truly read the changed fact — O(true dependents)
+//! instead of the previous whole-program `iface_hash` cutoff's
+//! O(program).
 //!
 //! What is never cached: lattice construction is keyed separately on the
 //! interface hash; call-graph assembly, the eviction event-loop check,
@@ -40,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+mod deps;
 pub mod edit;
 pub mod fingerprints;
 pub mod shard;
@@ -56,6 +75,7 @@ use sjava_core::{
 use sjava_lattice::{hash_debug, mix, Fnv64};
 use sjava_syntax::ast::Program;
 use sjava_syntax::diag::{Diagnostic, Diagnostics};
+use sjava_syntax::track::{DepKey, ReadScope};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -189,9 +209,18 @@ struct LatticeEntry {
 /// one `SJAVA_CACHE_DIR` replay each other's results.
 pub struct IncrementalChecker {
     entries: HashMap<u64, MethodEntry>,
+    /// The recorded read-set of each entry, as `(fact, fingerprint)`
+    /// pairs evaluated on the program the entry was computed against.
+    /// An entry replays only while every pair re-evaluates identically.
+    dep_records: HashMap<u64, Vec<(DepKey, u64)>>,
     callee_cache: HashMap<u64, BTreeSet<MethodRef>>,
     lattice_cache: Option<LatticeEntry>,
     last_keys: BTreeMap<MethodRef, u64>,
+    /// The methods the most recent check actually re-analyzed (the miss
+    /// set, in topological order). Observability only — results never
+    /// depend on it; tests use it to prove the re-check set is a subset
+    /// of the coarse fingerprint-dirty cone.
+    last_rechecked: Vec<MethodRef>,
     /// Measured flow-check nanoseconds per method-name hash; preferred
     /// over the static statement-weight estimate when scheduling warm
     /// fan-outs (scheduling only — results never depend on timings).
@@ -211,9 +240,11 @@ impl IncrementalChecker {
     pub fn new() -> Self {
         IncrementalChecker {
             entries: HashMap::new(),
+            dep_records: HashMap::new(),
             callee_cache: HashMap::new(),
             lattice_cache: None,
             last_keys: BTreeMap::new(),
+            last_rechecked: Vec::new(),
             times: HashMap::new(),
             store: None,
             persist_min: persist_min_weight(),
@@ -243,9 +274,11 @@ impl IncrementalChecker {
         };
         IncrementalChecker {
             entries: HashMap::new(),
+            dep_records: HashMap::new(),
             callee_cache: HashMap::new(),
             lattice_cache: None,
             last_keys: BTreeMap::new(),
+            last_rechecked: Vec::new(),
             times: HashMap::new(),
             store,
             persist_min: persist_min_weight(),
@@ -273,6 +306,14 @@ impl IncrementalChecker {
         self.store.as_ref()
     }
 
+    /// The methods the most recent check re-analyzed (its miss set, in
+    /// topological order): the red entries plus the plain misses, i.e.
+    /// everything that was *not* replayed. Observability for tests and
+    /// tooling — results never depend on it.
+    pub fn last_rechecked(&self) -> &[MethodRef] {
+        &self.last_rechecked
+    }
+
     /// Number of per-method entries held **in memory** (store objects are
     /// probed lazily and are not counted until replayed or computed).
     pub fn len(&self) -> usize {
@@ -288,9 +329,11 @@ impl IncrementalChecker {
     /// are content-addressed and remain valid for any future session.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.dep_records.clear();
         self.callee_cache.clear();
         self.lattice_cache = None;
         self.last_keys.clear();
+        self.last_rechecked.clear();
         self.times.clear();
     }
 
@@ -432,23 +475,43 @@ impl IncrementalChecker {
 
         // Entry keys and summaries, bottom-up by wave — always
         // whole-program, even in shard mode: summaries are the interface
-        // inputs every shard checks against. A method's key folds the
-        // interface hash, its own body fingerprint, and the *summary
-        // hashes* of its direct callees — the eviction and
-        // shared-location summary values, NOT the callee bodies. This is
-        // the early-cutoff property: flow, aliasing, and termination
-        // diagnostics depend only on a method's own body, the class
-        // interfaces, and its callees' summaries, so an edit that leaves
-        // every callee summary unchanged by value lets all callers
-        // replay their cached results.
+        // inputs every shard checks against. A method's key folds its own
+        // body fingerprint and the *summary hashes* of its direct
+        // callees — the eviction and shared-location summary values, NOT
+        // the callee bodies. Interface facts are deliberately absent from
+        // the key: they live in the entry's recorded read-set, which is
+        // revalidated fact-by-fact (red-green) so an interface edit
+        // invalidates only the methods that actually read the changed
+        // fact. This is the early-cutoff property twice over: flow,
+        // aliasing, and termination diagnostics depend only on a method's
+        // own body, the interface facts it reads, and its callees'
+        // summaries by value.
         let whole = ShardInput::whole(program);
         let t = Instant::now();
         let members = shared::shared_members(program, &lattices);
+        // Fact fingerprints are evaluated lazily, memoized across every
+        // revalidation in this check.
+        let factdb = deps::FactDb::new(program, &lattices, &members);
         let mut keys: BTreeMap<MethodRef, u64> = BTreeMap::new();
         let mut shashes: BTreeMap<MethodRef, u64> = BTreeMap::new();
         let mut summaries: BTreeMap<MethodRef, MethodSummary> = BTreeMap::new();
         let mut shared_clears: BTreeMap<MethodRef, BTreeSet<SharedMember>> = BTreeMap::new();
         let mut shared_reads: BTreeMap<MethodRef, BTreeSet<SharedMember>> = BTreeMap::new();
+        // Read-sets of freshly-computed wave results, awaiting the union
+        // with the per-method pass read-sets at admission time.
+        let mut wave_deps: BTreeMap<MethodRef, Vec<DepKey>> = BTreeMap::new();
+        /// How one wave slot resolved against the cache.
+        enum Outcome {
+            /// In-memory entry, read-set verified green: replay.
+            MemGreen,
+            /// Store entry + paired read-set verified green: adopt and
+            /// replay. Boxed: an entry is ~200 bytes and this variant is
+            /// rare relative to the green/fresh ones sized per wave slot.
+            StoreGreen(Box<MethodEntry>, Vec<(DepKey, u64)>),
+            /// Computed fresh; `red` distinguishes "had an entry whose
+            /// read-set went stale" from a plain miss.
+            Fresh { red: bool, deps: Vec<DepKey> },
+        }
         for wave in cg.levels() {
             // Waves order callees strictly before callers, so every
             // callee's summary hash is final when its callers key.
@@ -456,12 +519,11 @@ impl IncrementalChecker {
                 u64,
                 Option<MethodSummary>,
                 Option<(BTreeSet<SharedMember>, BTreeSet<SharedMember>)>,
-                Option<MethodEntry>,
+                Outcome,
             );
             let results: Vec<WaveResult> = sjava_par::run_indexed(wave.len(), |i| {
                 let mref = &wave[i];
                 let mut h = Fnv64::new();
-                h.write_u64(iface);
                 let lfp = local_fps
                     .get(mref)
                     .copied()
@@ -474,28 +536,18 @@ impl IncrementalChecker {
                     }
                 }
                 let key = h.finish();
-                if let Some(e) = self.entries.get(&key) {
-                    return (
-                        key,
-                        Some(e.summary.clone()),
-                        e.shared_present
-                            .then(|| (e.shared_clears.clone(), e.shared_reads.clone())),
-                        None,
-                    );
-                }
-                // Cross-process warm path: another session (a shard
-                // worker, an earlier CI job) may have published this
-                // fingerprint; one lock-free store read replays it.
-                if let Some(e) = self.store.as_ref().and_then(|s| s.get_entry(key)) {
-                    let sh = e
-                        .shared_present
-                        .then(|| (e.shared_clears.clone(), e.shared_reads.clone()));
-                    return (key, Some(e.summary.clone()), sh, Some(e));
-                }
-                (
-                    key,
-                    written::summarize(&whole, mref, &summaries),
-                    if members.is_empty() {
+                // The fresh path, shared by misses and red entries: the
+                // whole computation runs inside a recording scope so the
+                // exact interface read-set lands in the entry's deps.
+                let fresh = || {
+                    let scope = ReadScope::begin();
+                    // The has-any-shared-members gate is read here, before
+                    // the branch it decides — it must be part of every
+                    // entry's read-set or a program gaining its first
+                    // shared member could replay a gate-skipped result.
+                    sjava_syntax::track::record_shared_gate();
+                    let summary = written::summarize(&whole, mref, &summaries);
+                    let sh = if members.is_empty() {
                         None
                     } else {
                         shared::method_shared_summary(
@@ -506,13 +558,84 @@ impl IncrementalChecker {
                             &shared_clears,
                             &shared_reads,
                         )
-                    },
-                    None,
-                )
+                    };
+                    (summary, sh, scope.finish())
+                };
+                if let Some(e) = self.entries.get(&key) {
+                    // Red-green revalidation: replay only while every
+                    // recorded fact fingerprint is byte-unchanged.
+                    let green = self
+                        .dep_records
+                        .get(&key)
+                        .is_some_and(|deps| factdb.deps_green(deps));
+                    if green {
+                        return (
+                            key,
+                            Some(e.summary.clone()),
+                            e.shared_present
+                                .then(|| (e.shared_clears.clone(), e.shared_reads.clone())),
+                            Outcome::MemGreen,
+                        );
+                    }
+                    let (summary, sh, deps) = fresh();
+                    return (key, summary, sh, Outcome::Fresh { red: true, deps });
+                }
+                // Cross-process warm path: another session (a shard
+                // worker, an earlier CI job) may have published this
+                // fingerprint; one lock-free store read replays it — but
+                // only with its paired read-set (entry checksums must
+                // match, so a torn entry/deps update can never combine)
+                // and only after that read-set verifies green.
+                if let Some((e, efp)) = self.store.as_ref().and_then(|s| s.get_entry_with_fp(key)) {
+                    if let Some((deps, rec_efp)) = self.store.as_ref().and_then(|s| s.get_deps(key))
+                    {
+                        if rec_efp == efp && factdb.deps_green(&deps) {
+                            let sh = e
+                                .shared_present
+                                .then(|| (e.shared_clears.clone(), e.shared_reads.clone()));
+                            return (
+                                key,
+                                Some(e.summary.clone()),
+                                sh,
+                                Outcome::StoreGreen(Box::new(e), deps),
+                            );
+                        }
+                    }
+                    // Unverifiable or stale: fall through to a plain miss —
+                    // the store is never trusted without its deps.
+                }
+                let (summary, sh, deps) = fresh();
+                (key, summary, sh, Outcome::Fresh { red: false, deps })
             });
-            for (mref, (key, summary, sh, fetched)) in wave.iter().zip(results) {
-                if let Some(e) = fetched {
-                    self.entries.insert(key, e);
+            for (mref, (key, summary, sh, outcome)) in wave.iter().zip(results) {
+                let counted = owned.is_none_or(|o| o.contains(mref));
+                match outcome {
+                    Outcome::MemGreen => {
+                        if counted {
+                            stats.green += 1;
+                        }
+                    }
+                    Outcome::StoreGreen(e, deps) => {
+                        self.entries.insert(key, *e);
+                        self.dep_records.insert(key, deps);
+                        if counted {
+                            stats.green += 1;
+                        }
+                    }
+                    Outcome::Fresh { red, deps } => {
+                        if red {
+                            // The stale entry must go before the miss set
+                            // is computed below, so the method re-enters
+                            // the per-method passes and is re-admitted
+                            // with its new read-set.
+                            self.entries.remove(&key);
+                            self.dep_records.remove(&key);
+                            if counted {
+                                stats.red += 1;
+                            }
+                        }
+                        wave_deps.insert(mref.clone(), deps);
+                    }
                 }
                 let mut h = Fnv64::new();
                 match summary {
@@ -537,6 +660,7 @@ impl IncrementalChecker {
                 keys.insert(mref.clone(), key);
             }
         }
+        stats.revalidated = stats.green + stats.red;
         stats.invalidations = self
             .last_keys
             .iter()
@@ -554,6 +678,7 @@ impl IncrementalChecker {
             .collect();
         stats.misses = missing.len();
         stats.hits = relevant.len() - missing.len();
+        self.last_rechecked = missing.iter().map(|&i| cg.topo[i].clone()).collect();
 
         // Eviction event-loop check: always recomputed (it reads every
         // summary at once and is cheap relative to per-method analysis);
@@ -583,6 +708,7 @@ impl IncrementalChecker {
                 shared_reads,
                 missing,
                 relevant,
+                wave_deps,
             )
         } else {
             timings.eviction = t.elapsed();
@@ -607,6 +733,7 @@ impl IncrementalChecker {
                 shared_reads,
                 missing,
                 relevant,
+                wave_deps,
             )
         }
     }
@@ -631,6 +758,7 @@ impl IncrementalChecker {
         shared_reads: BTreeMap<MethodRef, BTreeSet<SharedMember>>,
         missing: Vec<usize>,
         relevant: Vec<usize>,
+        mut wave_deps: BTreeMap<MethodRef, Vec<DepKey>>,
     ) -> CheckReport {
         let sharded = owned.is_some();
         // The per-method passes run against the shard view: the whole
@@ -673,16 +801,19 @@ impl IncrementalChecker {
             });
         }
         let mut flow_nanos: Vec<(u64, u64)> = Vec::with_capacity(missing.len());
+        let mut flow_deps: BTreeMap<usize, Vec<DepKey>> = BTreeMap::new();
         let fresh_flow: BTreeMap<usize, Diagnostics> =
             sjava_par::run_sparse_weighted(&missing, &cost, |i| {
+                let scope = ReadScope::begin();
                 let t0 = Instant::now();
                 let d =
                     checker::check_method_flows(&view, &lattices, &cg.topo[i], &eviction.summaries);
-                (d, t0.elapsed().as_nanos() as u64)
+                (d, t0.elapsed().as_nanos() as u64, scope.finish())
             })
             .into_iter()
-            .map(|(i, (d, ns))| {
+            .map(|(i, (d, ns, deps))| {
                 flow_nanos.push((name_hash(&cg.topo[i]), ns));
+                flow_deps.insert(i, deps);
                 (i, d)
             })
             .collect();
@@ -703,10 +834,17 @@ impl IncrementalChecker {
 
         // Aliasing: same dirty-cone fan-out and topo-order merge.
         let t = Instant::now();
+        let mut alias_deps: BTreeMap<usize, Vec<DepKey>> = BTreeMap::new();
         let fresh_alias: BTreeMap<usize, Diagnostics> = sjava_par::run_sparse(&missing, |i| {
-            linear::check_method_aliasing(&view, &lattices, &cg.topo[i])
+            let scope = ReadScope::begin();
+            let d = linear::check_method_aliasing(&view, &lattices, &cg.topo[i]);
+            (d, scope.finish())
         })
         .into_iter()
+        .map(|(i, (d, deps))| {
+            alias_deps.insert(i, deps);
+            (i, d)
+        })
         .collect();
         for &i in &relevant {
             match fresh_alias.get(&i) {
@@ -743,6 +881,7 @@ impl IncrementalChecker {
         let t = Instant::now();
         let mut termination_failures = 0usize;
         let mut fresh_term: BTreeMap<usize, (usize, Diagnostics)> = BTreeMap::new();
+        let mut term_deps: BTreeMap<usize, Vec<DepKey>> = BTreeMap::new();
         for &i in &relevant {
             let mref = &cg.topo[i];
             match self.entries.get(&keys[mref]) {
@@ -753,7 +892,9 @@ impl IncrementalChecker {
                     }
                 }
                 None => {
+                    let scope = ReadScope::begin();
                     let (n, d) = termination::check_method(&view, mref);
+                    term_deps.insert(i, scope.finish());
                     termination_failures += n;
                     diags.extend(d.clone());
                     fresh_term.insert(i, (n, d));
@@ -762,9 +903,13 @@ impl IncrementalChecker {
         }
         timings.termination = t.elapsed();
 
-        // Admit the freshly-computed results into the cache. In shard
-        // mode only the owned cone was fully analyzed, and `missing`
-        // already covers exactly that.
+        // Admit the freshly-computed results into the cache, each paired
+        // with the union of every read-set its phases recorded (wave
+        // summary + shared, flow, aliasing, termination), fingerprinted
+        // against *this* program — the admission side of red-green. In
+        // shard mode only the owned cone was fully analyzed, and
+        // `missing` already covers exactly that.
+        let admit_db = deps::FactDb::new(program, &lattices, &members);
         for &i in &missing {
             let mref = &cg.topo[i];
             let (term_failures, term) = fresh_term
@@ -787,8 +932,18 @@ impl IncrementalChecker {
                 term_failures,
                 term,
             };
+            // BTreeSet union: deterministic read-set order regardless of
+            // which phase recorded a fact first or on which thread.
+            let mut read_set: BTreeSet<DepKey> = BTreeSet::new();
+            read_set.extend(wave_deps.remove(mref).unwrap_or_default());
+            read_set.extend(flow_deps.remove(&i).unwrap_or_default());
+            read_set.extend(alias_deps.remove(&i).unwrap_or_default());
+            read_set.extend(term_deps.remove(&i).unwrap_or_default());
+            self.dep_records
+                .insert(keys[mref], admit_db.fingerprint(read_set));
             self.entries.insert(keys[mref], entry);
         }
+        drop(admit_db);
         self.last_keys = keys.clone();
         if let Some(store) = &self.store {
             // Publication is best-effort: an unwritable store must not
@@ -805,7 +960,14 @@ impl IncrementalChecker {
             if weight >= self.persist_min {
                 for &i in &missing {
                     let key = keys[&cg.topo[i]];
-                    let _ = store.put_entry(key, &self.entries[&key]);
+                    // The deps object embeds the entry payload's checksum,
+                    // pairing the two publishes: a reader that observes
+                    // mismatched halves treats the key as a miss.
+                    if let Ok(efp) = store.put_entry(key, &self.entries[&key]) {
+                        if let Some(deps) = self.dep_records.get(&key) {
+                            let _ = store.put_deps(key, deps, efp);
+                        }
+                    }
                 }
                 for (ckey, set) in &self.callee_cache {
                     let _ = store.put_callees(*ckey, set);

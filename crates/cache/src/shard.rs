@@ -39,8 +39,10 @@ use std::time::Instant;
 
 /// Outcome-file magic; distinguishes shard outcomes from store objects.
 const MAGIC: &[u8; 10] = b"SJAVASHARD";
-/// Outcome-file format version.
-const VERSION: u32 = 1;
+/// Outcome-file format version. Version 2 added the red-green
+/// revalidation counters (`green`/`red`/`revalidated`) to the cache
+/// stats block.
+const VERSION: u32 = 2;
 
 /// What one shard worker reports back to the merging driver: the
 /// per-method diagnostics of its owned cone, its termination-failure
@@ -70,6 +72,46 @@ pub fn plan(
 ) -> Vec<BTreeSet<MethodRef>> {
     let whole = sjava_analysis::shard::ShardInput::whole(program);
     cg.cut_shards(n, |mref| checker::method_cost(&whole, lattices, mref))
+}
+
+/// Target per-shard budget for [`auto_shards`]: enough measured work to
+/// amortize a worker process's startup (parse + lattice build + plan)
+/// many times over, so `--shards=auto` never splits a program that a
+/// single process finishes in tens of milliseconds.
+const TARGET_SHARD_NANOS: u64 = 50_000_000;
+
+/// Picks a shard count from **persisted measured timings**: sums the
+/// store-recorded per-method check times ([`ArtifactStore`] `time`
+/// objects, keyed by [`crate::fingerprints::name_hash`]) over every
+/// declared method, then divides by [`TARGET_SHARD_NANOS`] and clamps to
+/// the machine's core count. Methods without a recorded timing
+/// contribute zero — and when *no* method has one (cold store, or no
+/// store at all), returns 1: with nothing measured there is no evidence
+/// that sharding pays for its process overhead.
+///
+/// This is deliberately *not* part of [`plan`]: the partition must be
+/// recomputable by every worker from static costs alone, but the shard
+/// *count* is chosen once by the driver, so it can consult measurements.
+pub fn auto_shards(program: &Program, store: Option<&crate::ArtifactStore>) -> usize {
+    let Some(store) = store else { return 1 };
+    let mut total: u64 = 0;
+    let mut measured = 0usize;
+    for class in &program.classes {
+        for method in &class.methods {
+            let mref: MethodRef = (class.name.clone(), method.name.clone());
+            if let Some(ns) = store.get_time(crate::fingerprints::name_hash(&mref)) {
+                total = total.saturating_add(ns);
+                measured += 1;
+            }
+        }
+    }
+    if measured == 0 {
+        return 1;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1);
+    (total.div_ceil(TARGET_SHARD_NANOS) as usize).clamp(1, cores)
 }
 
 /// Runs one shard worker in-process: recompute the partition, take shard
@@ -117,6 +159,9 @@ pub fn write_outcome(path: &Path, outcome: &ShardOutcome) -> std::io::Result<()>
     wire::put_u64(&mut payload, outcome.cache.hits as u64);
     wire::put_u64(&mut payload, outcome.cache.misses as u64);
     wire::put_u64(&mut payload, outcome.cache.invalidations as u64);
+    wire::put_u64(&mut payload, outcome.cache.green as u64);
+    wire::put_u64(&mut payload, outcome.cache.red as u64);
+    wire::put_u64(&mut payload, outcome.cache.revalidated as u64);
     wire::put_u64(&mut payload, outcome.termination_failures as u64);
     wire::put_diags(&mut payload, &outcome.diagnostics);
     let mut buf = Vec::with_capacity(MAGIC.len() + 12 + payload.len());
@@ -149,6 +194,9 @@ pub fn read_outcome(path: &Path) -> Option<ShardOutcome> {
     let hits = r.u64()? as usize;
     let misses = r.u64()? as usize;
     let invalidations = r.u64()? as usize;
+    let green = r.u64()? as usize;
+    let red = r.u64()? as usize;
+    let revalidated = r.u64()? as usize;
     let termination_failures = r.u64()? as usize;
     let diagnostics = r.diags()?;
     r.is_exhausted().then_some(ShardOutcome {
@@ -158,6 +206,9 @@ pub fn read_outcome(path: &Path) -> Option<ShardOutcome> {
             hits,
             misses,
             invalidations,
+            green,
+            red,
+            revalidated,
         },
     })
 }
@@ -222,6 +273,9 @@ pub fn check_sharded(
         stats.hits += outcome.cache.hits;
         stats.misses += outcome.cache.misses;
         stats.invalidations += outcome.cache.invalidations;
+        stats.green += outcome.cache.green;
+        stats.red += outcome.cache.red;
+        stats.revalidated += outcome.cache.revalidated;
     }
     timings.flow_check = t.elapsed();
 

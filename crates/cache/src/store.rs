@@ -2,23 +2,31 @@
 //! directory-backed [`crate::IncrementalChecker`] sessions and sharded
 //! `sjava check --shards=N` workers.
 //!
-//! ## Layout (format v4)
+//! ## Layout (format v5)
 //!
 //! Earlier formats serialized the whole session into one monolithic
 //! `cache.bin` rewritten after every check — a design that cannot be
 //! shared by concurrent processes (last writer wins, droppings half of
 //! each worker's entries) and that forces a full decode up front. Version
-//! 4 stores **one object per artifact** under a fan-out directory:
+//! 4 introduced **one object per artifact** under a fan-out directory;
+//! version 5 re-keys entries for dependency-tracked revalidation (the
+//! key no longer folds the whole-program interface hash) and pairs each
+//! entry with a recorded read-set:
 //!
 //! ```text
-//! <dir>/v4/objects/<hh>/<16-hex-key>.<kind>
+//! <dir>/v5/objects/<hh>/<16-hex-key>.<kind>
 //! ```
 //!
 //! where `<hh>` is the first byte of the key in hex (256-way fan-out) and
 //! `<kind>` is one of:
 //!
 //! - `entry` — a per-method analysis result ([`crate::MethodEntry`]),
-//!   keyed by the method's content fingerprint;
+//!   keyed by the method's content fingerprint (body + callee
+//!   summaries; interface facts live in the paired `deps` object);
+//! - `deps` — the read-set recorded while that entry was computed:
+//!   `(DepKey, fingerprint)` pairs plus the checksum of the entry
+//!   payload they were recorded for, so readers never combine an entry
+//!   and a read-set from different publishes;
 //! - `callees` — a method's direct-callee set, keyed on
 //!   `mix(iface_hash, local_fp)`;
 //! - `time` — the method's last measured flow-check duration in
@@ -62,10 +70,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Object-file magic; anything else is ignored wholesale.
 const MAGIC: &[u8; 10] = b"SJAVACACHE";
 /// Store format version. Versions 1–3 were the monolithic `cache.bin`
-/// formats; version 4 is the per-object content-addressed store. Old
-/// `cache.bin` files live at a different path entirely and are never
-/// read — a v4 store opened over a v3 directory starts from clean misses.
-const VERSION: u32 = 4;
+/// formats; version 4 introduced the per-object content-addressed store;
+/// version 5 re-keys entries for dependency-tracked revalidation and
+/// adds the `deps` object kind. Old formats live at different paths
+/// entirely and are never read — a v5 store opened over an older
+/// directory starts from clean misses.
+const VERSION: u32 = 5;
 
 /// Environment variable bounding the store's total size in bytes. When
 /// set, every persisting check evicts oldest-modified objects until the
@@ -78,6 +88,8 @@ pub const MAX_BYTES_ENV: &str = "SJAVA_CACHE_MAX_BYTES";
 pub enum Kind {
     /// Per-method analysis result, keyed by content fingerprint.
     Entry,
+    /// Recorded read-set of an entry, under the same key as the entry.
+    Deps,
     /// Direct-callee set, keyed by `mix(iface, local_fp)`.
     Callees,
     /// Measured flow-check nanoseconds, keyed by method-name hash.
@@ -88,6 +100,7 @@ impl Kind {
     fn ext(self) -> &'static str {
         match self {
             Kind::Entry => "entry",
+            Kind::Deps => "deps",
             Kind::Callees => "callees",
             Kind::Time => "time",
         }
@@ -131,7 +144,7 @@ impl ArtifactStore {
         Ok(ArtifactStore { root })
     }
 
-    /// The object-tree root (`<dir>/v4/objects`), exposed for tests and
+    /// The object-tree root (`<dir>/v5/objects`), exposed for tests and
     /// maintenance tooling.
     pub fn objects_root(&self) -> &Path {
         &self.root
@@ -269,14 +282,49 @@ impl ArtifactStore {
 
     // ---- typed helpers over the raw object API -------------------------
 
-    /// Fetches and decodes a per-method entry.
-    pub(crate) fn get_entry(&self, key: u64) -> Option<MethodEntry> {
-        decode_entry(&self.get(Kind::Entry, key)?)
+    /// Fetches and decodes a per-method entry together with the checksum
+    /// of its raw payload — the handle that pairs it with a `deps`
+    /// object published for the same bytes.
+    pub(crate) fn get_entry_with_fp(&self, key: u64) -> Option<(MethodEntry, u64)> {
+        let payload = self.get(Kind::Entry, key)?;
+        Some((decode_entry(&payload)?, checksum(&payload)))
     }
 
-    /// Publishes a per-method entry (skip-if-exists).
-    pub(crate) fn put_entry(&self, key: u64, entry: &MethodEntry) -> std::io::Result<()> {
-        self.put(Kind::Entry, key, &encode_entry(entry), false)
+    /// Publishes a per-method entry, returning the payload checksum to
+    /// pair with its read-set. Always replaces: since the key no longer
+    /// folds interface facts, the same key can legitimately hold a
+    /// different result after an interface edit (the paired `deps`
+    /// object is what distinguishes them).
+    pub(crate) fn put_entry(&self, key: u64, entry: &MethodEntry) -> std::io::Result<u64> {
+        let payload = encode_entry(entry);
+        let fp = checksum(&payload);
+        self.put(Kind::Entry, key, &payload, true)?;
+        Ok(fp)
+    }
+
+    /// Fetches and decodes an entry's recorded read-set, returning the
+    /// dep list and the entry-payload checksum it was recorded for.
+    pub(crate) fn get_deps(
+        &self,
+        key: u64,
+    ) -> Option<(Vec<(sjava_syntax::track::DepKey, u64)>, u64)> {
+        crate::deps::decode_deps(&self.get(Kind::Deps, key)?)
+    }
+
+    /// Publishes an entry's recorded read-set, paired (via `entry_fp`)
+    /// with the entry payload it was recorded alongside.
+    pub(crate) fn put_deps(
+        &self,
+        key: u64,
+        deps: &[(sjava_syntax::track::DepKey, u64)],
+        entry_fp: u64,
+    ) -> std::io::Result<()> {
+        self.put(
+            Kind::Deps,
+            key,
+            &crate::deps::encode_deps(deps, entry_fp),
+            true,
+        )
     }
 
     /// Fetches and decodes a callee set.
@@ -471,9 +519,16 @@ mod tests {
         let dir = scratch("roundtrip");
         let store = ArtifactStore::open(&dir).expect("open");
         let entry = sample_entry();
-        store.put_entry(42, &entry).expect("put entry");
-        assert_eq!(store.get_entry(42).expect("hit"), entry);
-        assert_eq!(store.get_entry(43), None, "unrelated key misses");
+        let efp = store.put_entry(42, &entry).expect("put entry");
+        assert_eq!(store.get_entry_with_fp(42).expect("hit"), (entry, efp));
+        assert_eq!(store.get_entry_with_fp(43), None, "unrelated key misses");
+
+        let deps = vec![
+            (sjava_syntax::track::DepKey::Iface("A".into()), 11u64),
+            (sjava_syntax::track::DepKey::SharedGate, 22u64),
+        ];
+        store.put_deps(42, &deps, efp).expect("put deps");
+        assert_eq!(store.get_deps(42).expect("hit"), (deps, efp));
 
         let callees: BTreeSet<MethodRef> = [("A".to_string(), "f".to_string())].into();
         store.put_callees(9, &callees).expect("put callees");
@@ -483,6 +538,22 @@ mod tests {
         assert_eq!(store.get_time(7), Some(123_456));
         store.put_time(7, 999).expect("replace time");
         assert_eq!(store.get_time(7), Some(999), "time objects replace");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_replace_repairs_the_pairing_checksum() {
+        // The same key can hold a different result after an interface
+        // edit; re-publishing must both rewrite the bytes and hand back
+        // the new checksum so the paired deps object follows.
+        let dir = scratch("replace");
+        let store = ArtifactStore::open(&dir).expect("open");
+        let fp1 = store.put_entry(3, &sample_entry()).expect("put");
+        let mut other = sample_entry();
+        other.term_failures = 9;
+        let fp2 = store.put_entry(3, &other).expect("re-put");
+        assert_ne!(fp1, fp2);
+        assert_eq!(store.get_entry_with_fp(3).expect("hit"), (other, fp2));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -498,7 +569,7 @@ mod tests {
             corrupt[pos] ^= 0x10;
             std::fs::write(&path, &corrupt).expect("write");
             assert_eq!(
-                store.get_entry(1),
+                store.get_entry_with_fp(1),
                 None,
                 "flipped byte at {pos} must invalidate the object"
             );
@@ -518,15 +589,19 @@ mod tests {
         let clean = std::fs::read(&path).expect("read");
         for cut in 0..clean.len() {
             std::fs::write(&path, &clean[..cut]).expect("truncate");
-            assert_eq!(store.get_entry(5), None, "truncation at {cut} must miss");
+            assert_eq!(
+                store.get_entry_with_fp(5),
+                None,
+                "truncation at {cut} must miss"
+            );
         }
         std::fs::write(&path, b"NOTANOBJECT").expect("foreign");
-        assert_eq!(store.get_entry(5), None);
-        // Old monolithic formats (a `cache.bin` beside the v4 tree) are
-        // ignored wholesale — the store never even opens them.
+        assert_eq!(store.get_entry_with_fp(5), None);
+        // Old monolithic formats (a `cache.bin` beside the object tree)
+        // are ignored wholesale — the store never even opens them.
         std::fs::write(dir.join("cache.bin"), b"SJAVACACHE old format").expect("v3 file");
-        assert_eq!(store.get_entry(5), None);
-        assert_eq!(store.get_entry(6), None);
+        assert_eq!(store.get_entry_with_fp(5), None);
+        assert_eq!(store.get_entry_with_fp(6), None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -534,14 +609,14 @@ mod tests {
     fn skip_if_exists_does_not_rewrite() {
         let dir = scratch("skip");
         let store = ArtifactStore::open(&dir).expect("open");
-        store.put_entry(3, &sample_entry()).expect("put");
-        let path = store.object_path(Kind::Entry, 3);
+        // Callee sets stay content-addressed (their key folds the
+        // interface hash), so they keep the skip-if-exists fast path.
+        let callees: BTreeSet<MethodRef> = [("A".to_string(), "f".to_string())].into();
+        store.put_callees(3, &callees).expect("put");
+        let path = store.object_path(Kind::Callees, 3);
         let before = std::fs::metadata(&path).expect("meta").modified().ok();
-        // Overwrite the bytes out-of-band, then re-put: skip-if-exists
-        // must leave the file alone (content addressing guarantees the
-        // existing bytes are already correct in real use).
         let marker = std::fs::read(&path).expect("read");
-        store.put_entry(3, &sample_entry()).expect("re-put");
+        store.put_callees(3, &callees).expect("re-put");
         assert_eq!(std::fs::read(&path).expect("read"), marker);
         assert_eq!(
             std::fs::metadata(&path).expect("meta").modified().ok(),

@@ -112,6 +112,15 @@ pub struct CacheStats {
     /// Previously-cached methods whose fingerprint changed since the
     /// session's last check — the dirtied call-graph cone.
     pub invalidations: usize,
+    /// Entries that went through dependency revalidation and replayed:
+    /// every fact in the recorded read-set re-fingerprinted identically.
+    pub green: usize,
+    /// Entries that went through dependency revalidation and were
+    /// rechecked: at least one recorded fact changed since admission.
+    pub red: usize,
+    /// Entries that went through dependency revalidation at all
+    /// (`green + red`).
+    pub revalidated: usize,
 }
 
 impl CacheStats {

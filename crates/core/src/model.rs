@@ -96,14 +96,23 @@ impl Lattices {
         self.fields.get(class)
     }
 
-    /// The method info for `(class, method)`.
+    /// The method info for `(class, method)`. Records a `MethodFacts`
+    /// dependency: the info is derived from the method's effective
+    /// annotations, the class-level trust flag, and the resolved
+    /// return/pc locations, which is exactly what the fact fingerprint
+    /// covers.
     pub fn method_info(&self, class: &str, method: &str) -> Option<&MethodInfo> {
+        sjava_syntax::track::record_method_facts(class, method);
         self.methods.get(&(class.to_string(), method.to_string()))
     }
 
     /// Resolves a field's location info, searching the inheritance chain.
+    /// Records a `Field` dependency (the resolved declaration determines
+    /// every field of the returned info), so the walk itself uses
+    /// untracked class lookups.
     pub fn field_info(&self, program: &Program, class: &str, field: &str) -> Option<FieldInfo> {
-        let mut cur = program.class(class);
+        sjava_syntax::track::record_field(class, field);
+        let mut cur = program.class_untracked(class);
         while let Some(c) = cur {
             if let Some(f) = c.fields.iter().find(|f| f.name == field) {
                 let loc_name = f
@@ -118,7 +127,10 @@ impl Lattices {
                     is_reference: f.ty.is_reference(),
                 });
             }
-            cur = c.superclass.as_deref().and_then(|s| program.class(s));
+            cur = c
+                .superclass
+                .as_deref()
+                .and_then(|s| program.class_untracked(s));
         }
         None
     }
@@ -259,6 +271,11 @@ pub fn resolve_annot_with(
 }
 
 fn find_field_loc_class(program: &Program, current: &str, loc_name: &str) -> Option<String> {
+    // The outcome depends on the current class's @LATTICE and on the set
+    // of classes declaring `loc_name` anywhere — record both facts rather
+    // than a whole-interface dependency per visited class.
+    sjava_syntax::track::record_class_lattice(current);
+    sjava_syntax::track::record_loc_owner(loc_name);
     let declares = |c: &ClassDecl| -> bool {
         c.annots
             .lattice
@@ -266,7 +283,7 @@ fn find_field_loc_class(program: &Program, current: &str, loc_name: &str) -> Opt
             .map(|l| l.names().iter().any(|n| n == loc_name))
             .unwrap_or(false)
     };
-    if let Some(c) = program.class(current) {
+    if let Some(c) = program.class_untracked(current) {
         if declares(c) {
             return Some(current.to_string());
         }
@@ -293,6 +310,7 @@ impl LatticeCtx for ModelCtx<'_> {
     }
 
     fn field_lattice(&self, class: &str) -> Option<&Lattice> {
+        sjava_syntax::track::record_class_lattice(class);
         self.fields.get(class)
     }
 }

@@ -272,6 +272,11 @@ impl Walker<'_, '_> {
 
     fn member_field(&self, class: &str, field: &str) -> Option<SharedMember> {
         let fi = self.lattices.field_info(self.program, class, field)?;
+        // The membership probe is a separate fact from the field
+        // resolution: the set of shared members can change without the
+        // field's declaration changing (e.g. another class's @LATTICE
+        // gains `shared` on this location).
+        sjava_syntax::track::record_shared_member(&fi.declaring_class, field);
         let key = (fi.declaring_class.clone(), field.to_string());
         if self.members.contains(&key) {
             Some(key)

@@ -434,6 +434,14 @@ impl CompletionCache {
     /// cached.
     pub fn complete(&self, g: &HierarchyGraph) -> Result<Completion, LatticeError> {
         let key = canonical_key(g);
+        {
+            // Completion is a pure function of the graph, so the tracked
+            // fact can never go stale; recording it documents the read for
+            // the dependency-tracked revalidation layer.
+            let mut h = Fnv64::new();
+            h.write_str(&key);
+            sjava_syntax::track::record_completion(h.finish());
+        }
         if let Some(c) = self.entries.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(c);

@@ -53,7 +53,21 @@ impl Program {
 
     /// Looks up a class by name. O(1) after the first lookup; on duplicate
     /// class names the first declaration wins, matching a linear scan.
+    ///
+    /// Inside a [`crate::track::ReadScope`] this records a whole-interface
+    /// dependency on the class; callers that consult only a slice of the
+    /// class and record a finer-grained key themselves should use
+    /// [`Program::class_untracked`].
     pub fn class(&self, name: &str) -> Option<&ClassDecl> {
+        crate::track::record_iface(name);
+        self.class_untracked(name)
+    }
+
+    /// [`Program::class`] without dependency recording, for callers that
+    /// read only part of the class and record a finer-grained
+    /// [`crate::track::DepKey`] of their own (field/method resolution,
+    /// lattice-declaration reads).
+    pub fn class_untracked(&self, name: &str) -> Option<&ClassDecl> {
         let idx = self.class_index.get_or_init(|| {
             let mut m = HashMap::with_capacity(self.classes.len());
             for (i, c) in self.classes.iter().enumerate() {
@@ -64,32 +78,49 @@ impl Program {
         idx.get(name).map(|&i| &self.classes[i])
     }
 
-    /// Looks up a method by `(class, method)` name pair.
+    /// Looks up a method by `(class, method)` name pair. Records a
+    /// `Resolve` dependency: any change to the resolution's outcome also
+    /// changes the chain-walk fingerprint, since the walk visits `class`
+    /// first.
     pub fn method(&self, class: &str, method: &str) -> Option<&MethodDecl> {
-        self.class(class)?.methods.iter().find(|m| m.name == method)
+        crate::track::record_resolve(class, method);
+        self.class_untracked(class)?
+            .methods
+            .iter()
+            .find(|m| m.name == method)
     }
 
-    /// Looks up a field, searching the inheritance chain.
+    /// Looks up a field, searching the inheritance chain. Records a
+    /// `Field` dependency covering the whole resolution.
     pub fn field(&self, class: &str, field: &str) -> Option<&FieldDecl> {
-        let mut cur = self.class(class);
+        crate::track::record_field(class, field);
+        let mut cur = self.class_untracked(class);
         while let Some(c) = cur {
             if let Some(f) = c.fields.iter().find(|f| f.name == field) {
                 return Some(f);
             }
-            cur = c.superclass.as_deref().and_then(|s| self.class(s));
+            cur = c
+                .superclass
+                .as_deref()
+                .and_then(|s| self.class_untracked(s));
         }
         None
     }
 
     /// Resolves a method including inherited ones; returns the class that
-    /// declares it together with the declaration.
+    /// declares it together with the declaration. Records a `Resolve`
+    /// dependency covering the whole resolution.
     pub fn resolve_method(&self, class: &str, method: &str) -> Option<(&ClassDecl, &MethodDecl)> {
-        let mut cur = self.class(class);
+        crate::track::record_resolve(class, method);
+        let mut cur = self.class_untracked(class);
         while let Some(c) = cur {
             if let Some(m) = c.methods.iter().find(|m| m.name == method) {
                 return Some((c, m));
             }
-            cur = c.superclass.as_deref().and_then(|s| self.class(s));
+            cur = c
+                .superclass
+                .as_deref()
+                .and_then(|s| self.class_untracked(s));
         }
         None
     }

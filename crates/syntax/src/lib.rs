@@ -38,6 +38,7 @@ pub mod resolve;
 pub mod span;
 pub mod strip;
 pub mod token;
+pub mod track;
 pub mod wire;
 
 pub use annot::{ClassAnnots, CompositeLocAnnot, LatticeDecl, LocElem, MethodAnnots, VarAnnots};

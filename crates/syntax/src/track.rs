@@ -1,0 +1,324 @@
+//! Dependency-tracked fact reads: the `DepKey` vocabulary and the
+//! thread-local [`ReadScope`] recorder behind salsa-style red-green
+//! revalidation in `sjava-cache`.
+//!
+//! Every fact a *per-method* check can consult — a class interface, a
+//! field declaration resolved through the inheritance chain, a method
+//! resolution, the lattice model's per-method facts, a shared-membership
+//! probe, a completion-cache lookup — is named by a [`DepKey`]. The
+//! accessors that serve those facts ([`crate::ast::Program::field`],
+//! `Lattices::method_info`, and friends) call [`record`] (or one of the
+//! typed `record_*` helpers) on every read. When no scope is active the
+//! call is a thread-local load and a branch — the plain batch pipeline
+//! pays essentially nothing. When the incremental layer has installed a
+//! [`ReadScope`] on the current thread, the key is deduplicated and
+//! collected; [`ReadScope::finish`] hands back the exact read-set of
+//! whatever ran inside the scope.
+//!
+//! The recorder stores **keys only**, never fingerprints: the cache layer
+//! fingerprints each recorded fact *after* the fact (once against the
+//! program the check ran on, again at revalidation time against the
+//! edited program) with a single shared fingerprint function, so record
+//! sites stay one-liners and the two sides can never disagree about what
+//! a fact's fingerprint covers.
+//!
+//! Scopes are per-thread and re-entrant: beginning a scope while another
+//! is active shelves the outer one and restores it on `finish` (or on
+//! drop, if a panic unwinds through the scope). Each `sjava-par` task
+//! runs wholly on one worker thread, so a scope installed around a
+//! per-method closure observes exactly that method's reads.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+
+/// Names one trackable fact a per-method check can read. Variants carry
+/// the *identity* of the fact (class/field/method names), never its
+/// value — values are fingerprinted by the cache layer on both sides of
+/// an edit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DepKey {
+    /// The whole interface summary of one class (name, superclass,
+    /// annotations, fields, method signatures). Recorded by the public
+    /// class lookup and by tracked `ShardInput` summary-hash reads; the
+    /// finer-grained accessors below record themselves instead, so this
+    /// coarse key stays rare.
+    Iface(String),
+    /// Resolution of `(class, method)` through the inheritance chain:
+    /// which class declares it, with what signature and class-level
+    /// annotations.
+    Resolve(String, String),
+    /// Resolution of `(class, field)` through the inheritance chain:
+    /// which class declares it, with what declaration (type, `@LOC`,
+    /// modifiers, initializer).
+    Field(String, String),
+    /// The lattice model's per-method facts for `(class, method)`:
+    /// effective annotations, trust, resolved return/pc locations.
+    MethodFacts(String, String),
+    /// One class's `@LATTICE` declaration (the source of its field
+    /// lattice).
+    ClassLattice(String),
+    /// Which classes declare a location name in their `@LATTICE` — the
+    /// global scan behind unqualified composite-location elements.
+    LocOwner(String),
+    /// Whether `(class, field)` is a shared-location member.
+    SharedMember(String, String),
+    /// Whether the program has *any* shared-location member (the gate
+    /// deciding if shared summaries are computed at all).
+    SharedGate,
+    /// A Dedekind–MacNeille completion-cache lookup, keyed by the hash
+    /// of the hierarchy graph's canonical key. Completion is pure, so
+    /// this fact can never go stale; recording it documents the read.
+    Completion(u64),
+}
+
+/// Collected state of the innermost active scope.
+#[derive(Default)]
+struct ScopeState {
+    /// Pre-hashes of already-recorded keys, so hot accessors skip the
+    /// `DepKey` allocation on every read after the first.
+    seen: HashSet<u64>,
+    keys: Vec<DepKey>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ScopeState>> = const { RefCell::new(None) };
+}
+
+/// FNV-1a over the key's discriminant and name parts — the dedup
+/// pre-hash. Local to this module so `sjava-syntax` stays the bottom of
+/// the crate graph.
+fn prehash(tag: u64, a: &str, b: &str, n: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &byte in bytes {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&tag.to_le_bytes());
+    eat(a.as_bytes());
+    eat(&[0xff]);
+    eat(b.as_bytes());
+    eat(&[0xfe]);
+    eat(&n.to_le_bytes());
+    h
+}
+
+/// Records a key in the innermost active scope; a no-op (one TLS load)
+/// when no scope is active. `make` is called only the first time this
+/// key is seen in the scope, so hot read paths never allocate twice.
+fn record_parts(tag: u64, a: &str, b: &str, n: u64, make: impl FnOnce() -> DepKey) {
+    ACTIVE.with(|active| {
+        let mut slot = active.borrow_mut();
+        let Some(state) = slot.as_mut() else {
+            return;
+        };
+        if state.seen.insert(prehash(tag, a, b, n)) {
+            state.keys.push(make());
+        }
+    });
+}
+
+/// Records an arbitrary key (slow path: allocates before dedup). The
+/// typed helpers below are preferred on hot accessors.
+pub fn record(key: DepKey) {
+    ACTIVE.with(|active| {
+        let mut slot = active.borrow_mut();
+        let Some(state) = slot.as_mut() else {
+            return;
+        };
+        let h = match &key {
+            DepKey::Iface(c) => prehash(1, c, "", 0),
+            DepKey::Resolve(c, m) => prehash(2, c, m, 0),
+            DepKey::Field(c, f) => prehash(3, c, f, 0),
+            DepKey::MethodFacts(c, m) => prehash(4, c, m, 0),
+            DepKey::ClassLattice(c) => prehash(5, c, "", 0),
+            DepKey::LocOwner(n) => prehash(6, n, "", 0),
+            DepKey::SharedMember(c, f) => prehash(7, c, f, 0),
+            DepKey::SharedGate => prehash(8, "", "", 0),
+            DepKey::Completion(k) => prehash(9, "", "", *k),
+        };
+        if state.seen.insert(h) {
+            state.keys.push(key);
+        }
+    });
+}
+
+/// Records a whole-interface read of `class`.
+pub fn record_iface(class: &str) {
+    record_parts(1, class, "", 0, || DepKey::Iface(class.to_string()));
+}
+
+/// Records a method resolution of `(class, method)`.
+pub fn record_resolve(class: &str, method: &str) {
+    record_parts(2, class, method, 0, || {
+        DepKey::Resolve(class.to_string(), method.to_string())
+    });
+}
+
+/// Records a field resolution of `(class, field)`.
+pub fn record_field(class: &str, field: &str) {
+    record_parts(3, class, field, 0, || {
+        DepKey::Field(class.to_string(), field.to_string())
+    });
+}
+
+/// Records a lattice-model method-facts read for `(class, method)`.
+pub fn record_method_facts(class: &str, method: &str) {
+    record_parts(4, class, method, 0, || {
+        DepKey::MethodFacts(class.to_string(), method.to_string())
+    });
+}
+
+/// Records a read of one class's `@LATTICE` declaration.
+pub fn record_class_lattice(class: &str) {
+    record_parts(5, class, "", 0, || DepKey::ClassLattice(class.to_string()));
+}
+
+/// Records the global owner scan for an unqualified location name.
+pub fn record_loc_owner(name: &str) {
+    record_parts(6, name, "", 0, || DepKey::LocOwner(name.to_string()));
+}
+
+/// Records a shared-membership probe of `(class, field)`.
+pub fn record_shared_member(class: &str, field: &str) {
+    record_parts(7, class, field, 0, || {
+        DepKey::SharedMember(class.to_string(), field.to_string())
+    });
+}
+
+/// Records the has-any-shared-members gate read.
+pub fn record_shared_gate() {
+    record_parts(8, "", "", 0, || DepKey::SharedGate);
+}
+
+/// Records a completion-cache lookup keyed by `graph_key`.
+pub fn record_completion(graph_key: u64) {
+    record_parts(9, "", "", graph_key, || DepKey::Completion(graph_key));
+}
+
+/// An active dependency-recording scope on the current thread. Created
+/// with [`ReadScope::begin`]; every tracked read between `begin` and
+/// [`ReadScope::finish`] lands in the returned read-set. Dropping an
+/// unfinished scope (panic unwinding) restores the shelved outer scope
+/// without surfacing its keys.
+#[must_use = "an unfinished scope records nothing: call finish()"]
+pub struct ReadScope {
+    /// The scope that was active when this one began, restored on exit.
+    prev: Option<ScopeState>,
+    finished: bool,
+}
+
+impl ReadScope {
+    /// Starts recording on the current thread, shelving any outer scope.
+    pub fn begin() -> ReadScope {
+        let prev = ACTIVE.with(|active| active.borrow_mut().replace(ScopeState::default()));
+        ReadScope {
+            prev,
+            finished: false,
+        }
+    }
+
+    /// Stops recording, restores the shelved outer scope, and returns
+    /// the deduplicated keys in first-read order.
+    pub fn finish(mut self) -> Vec<DepKey> {
+        self.finished = true;
+        ACTIVE.with(|active| {
+            let mut slot = active.borrow_mut();
+            let state = slot.take();
+            *slot = self.prev.take();
+            state.map(|s| s.keys).unwrap_or_default()
+        })
+    }
+}
+
+impl Drop for ReadScope {
+    fn drop(&mut self) {
+        if !self.finished {
+            ACTIVE.with(|active| {
+                let mut slot = active.borrow_mut();
+                *slot = self.prev.take();
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_only_inside_a_scope_and_dedups() {
+        record_iface("Ghost"); // no scope: must not leak anywhere
+        let scope = ReadScope::begin();
+        record_iface("A");
+        record_field("A", "x");
+        record_field("A", "x"); // duplicate
+        record_resolve("A", "m");
+        record_shared_gate();
+        record_completion(42);
+        let keys = scope.finish();
+        assert_eq!(
+            keys,
+            vec![
+                DepKey::Iface("A".into()),
+                DepKey::Field("A".into(), "x".into()),
+                DepKey::Resolve("A".into(), "m".into()),
+                DepKey::SharedGate,
+                DepKey::Completion(42),
+            ]
+        );
+        // The scope is closed: nothing records anymore.
+        record_iface("B");
+        let scope = ReadScope::begin();
+        assert_eq!(scope.finish(), Vec::new());
+    }
+
+    #[test]
+    fn scopes_nest_and_restore_the_outer_one() {
+        let outer = ReadScope::begin();
+        record_iface("Outer");
+        {
+            let inner = ReadScope::begin();
+            record_iface("Inner");
+            assert_eq!(inner.finish(), vec![DepKey::Iface("Inner".into())]);
+        }
+        record_field("Outer", "f");
+        assert_eq!(
+            outer.finish(),
+            vec![
+                DepKey::Iface("Outer".into()),
+                DepKey::Field("Outer".into(), "f".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn dropping_an_unfinished_scope_restores_the_outer_one() {
+        let outer = ReadScope::begin();
+        record_iface("Outer");
+        {
+            let _inner = ReadScope::begin();
+            record_iface("Lost");
+            // dropped without finish — e.g. a panic unwinding
+        }
+        record_iface("After");
+        let keys = outer.finish();
+        assert_eq!(
+            keys,
+            vec![DepKey::Iface("Outer".into()), DepKey::Iface("After".into())],
+            "inner keys are discarded, outer scope keeps recording"
+        );
+    }
+
+    #[test]
+    fn same_name_different_kind_records_both() {
+        let scope = ReadScope::begin();
+        record_iface("A");
+        record_class_lattice("A");
+        record_loc_owner("A");
+        assert_eq!(scope.finish().len(), 3);
+    }
+}

@@ -42,6 +42,13 @@
 #      bench_shard in gate mode enforcing the ≥0.95 cross-session
 #      warm-hit-rate floor; the multi-process speedup floor only
 #      applies on machines with ≥4 cores
+#  13. the edit-storm gate (bench_edit): red-green revalidation must
+#      re-check ≤ 25% of methods after a single-method interface edit
+#      on the large stress corpus (at 1 and 4 worker threads and 1 and
+#      4 shards), an unused-field edit must re-check zero, and every
+#      incremental output must be byte-identical to a fresh full check
+#      of the same mutated AST; the ratio floor auto-skips only when
+#      the corpus has < 50 methods
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -132,5 +139,15 @@ shard_bin=$PWD/target/release/bench_shard
 shard_dir=$(mktemp -d)
 (cd "$shard_dir" && SJAVA_STRESS_PRESET=small SJAVA_REPS=3 "$shard_bin" --gate)
 rm -rf "$shard_dir"
+
+echo "== edit-storm gate (dependency-tracked invalidation) =="
+# Every storm step asserts byte-identity against a fresh full check of
+# the same mutated AST before any ratio counts. The interface-edit leg
+# runs on the 201-method large stress corpus, so the < 50-method
+# ratio-skip never triggers here. Runs from the repo root: the
+# re-checked/green/red counters in results/BENCH_edit.json are
+# deterministic, so refreshing the committed file is intentional (only
+# the warm-time fields vary by machine).
+target/release/bench_edit --gate
 
 echo "CI green"

@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! sjava check <file.sj> [--format=text|json|sarif] [--deny-warnings]
-//!             [--shards=N]              verify self-stabilization
+//!             [--shards=N|auto]         verify self-stabilization
 //!                                       (--shards=N checks N balanced
 //!                                       shards in separate processes;
-//!                                       output is byte-identical)
+//!                                       output is byte-identical;
+//!                                       `auto` sizes the fleet from the
+//!                                       store's measured method timings)
 //! sjava check <file.sj> --shard=i/N --out=PATH
 //!                                       internal worker mode: check one
 //!                                       shard, serialize the outcome
@@ -50,7 +52,7 @@ fn main() -> ExitCode {
         Some("fuzz") => cmd_fuzz(&args[1..]),
         _ => {
             eprintln!(
-                "usage:\n  sjava check <file.sj> [--format=text|json|sarif] [--deny-warnings] [--shards=N]\n  sjava check --explain SJ0xxx\n  sjava infer <file.sj> [--naive] [--timings]\n  sjava run <file.sj> <Class.method> <iterations>\n  sjava lattice <file.sj>\n  sjava lifetimes <file.sj>\n  sjava lint <file.sj>\n  sjava vfg <file.sj>\n  sjava stress [--preset=small|large|adversarial] [--classes=N] [--methods=N]\n               [--fields=N] [--depth=N] [--stmts=N] [--seed=N] [--delta-depth=N]\n               [--degenerate=N] [--cyclic-delegates=N] [--check] [--infer]\n  sjava fuzz [--seed=N] [--cases=N] [--oracle=all|check|infer|cache|parse|emit]\n             [--minimize] [--fixtures-dir=DIR]"
+                "usage:\n  sjava check <file.sj> [--format=text|json|sarif] [--deny-warnings] [--shards=N|auto]\n  sjava check --explain SJ0xxx\n  sjava infer <file.sj> [--naive] [--timings]\n  sjava run <file.sj> <Class.method> <iterations>\n  sjava lattice <file.sj>\n  sjava lifetimes <file.sj>\n  sjava lint <file.sj>\n  sjava vfg <file.sj>\n  sjava stress [--preset=small|large|adversarial] [--classes=N] [--methods=N]\n               [--fields=N] [--depth=N] [--stmts=N] [--seed=N] [--delta-depth=N]\n               [--degenerate=N] [--cyclic-delegates=N] [--check] [--infer]\n  sjava fuzz [--seed=N] [--cases=N] [--oracle=all|check|infer|cache|parse|emit]\n             [--minimize] [--fixtures-dir=DIR]"
             );
             ExitCode::from(EXIT_USAGE)
         }
@@ -421,6 +423,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
     let mut format = Format::Text;
     let mut deny_warnings = false;
     let mut shards: Option<usize> = None;
+    let mut shards_auto = false;
     let mut shard: Option<(usize, usize)> = None;
     let mut out: Option<String> = None;
     let mut path: Option<&str> = None;
@@ -447,10 +450,18 @@ fn cmd_check(args: &[String]) -> ExitCode {
             }
             f if f.starts_with("--shards=") => {
                 let v = &f["--shards=".len()..];
+                if v == "auto" {
+                    // Resolved after parsing: the count comes from the
+                    // store's persisted per-method timings.
+                    shards_auto = true;
+                    continue;
+                }
                 match v.parse::<usize>() {
                     Ok(n) if n >= 1 => shards = Some(n),
                     _ => {
-                        eprintln!("error: --shards needs a positive integer, e.g. `--shards=4`");
+                        eprintln!(
+                            "error: --shards needs a positive integer or `auto`, e.g. `--shards=4`"
+                        );
                         return ExitCode::from(EXIT_USAGE);
                     }
                 }
@@ -484,7 +495,11 @@ fn cmd_check(args: &[String]) -> ExitCode {
         eprintln!("error: `sjava check` needs a file");
         return ExitCode::from(EXIT_USAGE);
     };
-    if shard.is_some() && shards.is_some() {
+    if shards_auto && shards.is_some() {
+        eprintln!("error: `--shards=auto` and an explicit `--shards=N` are mutually exclusive");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    if shard.is_some() && (shards.is_some() || shards_auto) {
         eprintln!("error: --shard (worker) and --shards (driver) are mutually exclusive");
         return ExitCode::from(EXIT_USAGE);
     }
@@ -529,46 +544,68 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
 
     let diagnostics = match sjava::parse(&file.text) {
-        Ok(program) => match shards {
-            // Driver mode: global phases in-process, one worker process
-            // per shard (falling back to in-process checking when a
-            // worker fails), merged into the stable total order — byte-
-            // identical to the unsharded run.
-            Some(n) => {
-                sjava::cache::shard::check_sharded(&program, n, |i, n| {
-                    let exe = std::env::current_exe().ok()?;
-                    let outfile = std::env::temp_dir()
-                        .join(format!("sjava-shard-{}-{i}.bin", std::process::id()));
-                    let status = std::process::Command::new(exe)
-                        .arg("check")
-                        .arg(path)
-                        .arg(format!("--shard={i}/{n}"))
-                        .arg(format!("--out={}", outfile.display()))
-                        .status()
-                        .ok()?;
-                    let outcome = if status.success() {
-                        sjava::cache::shard::read_outcome(&outfile)
+        Ok(program) => {
+            // `--shards=auto`: size the fleet from the store's persisted
+            // per-method timings (measured cost / 50 ms per shard,
+            // clamped to the core count). With no store or no recorded
+            // timings this resolves to 1 — and a 1-shard fleet is just
+            // the plain in-process path, so take it directly instead of
+            // spawning a worker that cannot win anything.
+            let shards = if shards_auto {
+                let store = std::env::var(sjava::cache::CACHE_DIR_ENV)
+                    .ok()
+                    .filter(|v| !v.trim().is_empty())
+                    .and_then(|d| sjava::cache::ArtifactStore::open(d).ok());
+                match sjava::cache::shard::auto_shards(&program, store.as_ref()) {
+                    n if n >= 2 => Some(n),
+                    _ => None,
+                }
+            } else {
+                shards
+            };
+            match shards {
+                // Driver mode: global phases in-process, one worker process
+                // per shard (falling back to in-process checking when a
+                // worker fails), merged into the stable total order — byte-
+                // identical to the unsharded run.
+                Some(n) => {
+                    sjava::cache::shard::check_sharded(&program, n, |i, n| {
+                        let exe = std::env::current_exe().ok()?;
+                        let outfile = std::env::temp_dir()
+                            .join(format!("sjava-shard-{}-{i}.bin", std::process::id()));
+                        let status = std::process::Command::new(exe)
+                            .arg("check")
+                            .arg(path)
+                            .arg(format!("--shard={i}/{n}"))
+                            .arg(format!("--out={}", outfile.display()))
+                            .status()
+                            .ok()?;
+                        let outcome = if status.success() {
+                            sjava::cache::shard::read_outcome(&outfile)
+                        } else {
+                            None
+                        };
+                        let _ = std::fs::remove_file(&outfile);
+                        outcome
+                    })
+                    .diagnostics
+                }
+                None => {
+                    // Plain checks still go through the artifact store when
+                    // `SJAVA_CACHE_DIR` is set, sharing warm hits with shard
+                    // workers and other processes.
+                    if std::env::var(sjava::cache::CACHE_DIR_ENV)
+                        .is_ok_and(|v| !v.trim().is_empty())
+                    {
+                        sjava::cache::IncrementalChecker::from_env()
+                            .check(&program)
+                            .diagnostics
                     } else {
-                        None
-                    };
-                    let _ = std::fs::remove_file(&outfile);
-                    outcome
-                })
-                .diagnostics
-            }
-            None => {
-                // Plain checks still go through the artifact store when
-                // `SJAVA_CACHE_DIR` is set, sharing warm hits with shard
-                // workers and other processes.
-                if std::env::var(sjava::cache::CACHE_DIR_ENV).is_ok_and(|v| !v.trim().is_empty()) {
-                    sjava::cache::IncrementalChecker::from_env()
-                        .check(&program)
-                        .diagnostics
-                } else {
-                    sjava::check(&program).diagnostics
+                        sjava::check(&program).diagnostics
+                    }
                 }
             }
-        },
+        }
         Err(diags) => diags,
     };
 
