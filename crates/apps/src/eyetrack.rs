@@ -72,7 +72,7 @@ class EyeTracker {
 
 /// Deterministic synthetic camera features: a face wandering on a slow
 /// Lissajous path with small eye saccades.
-pub fn inputs(seed: u64) -> impl InputProvider {
+pub fn inputs(seed: u64) -> impl InputProvider + Clone {
     FnInput::new(move |channel, i| {
         let t = (i / 5) as f64 * 0.21 + seed as f64;
         match channel {

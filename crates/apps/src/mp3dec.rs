@@ -183,7 +183,7 @@ pub fn source() -> &'static str {
 /// each `readHeader` starts the next frame, so a corrupted inner-loop
 /// index can over- or under-read *within* a frame without desynchronizing
 /// all subsequent frames.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FrameSyncedInput {
     seed: u64,
     granule: usize,

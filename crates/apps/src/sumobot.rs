@@ -83,7 +83,7 @@ class MotorController {
 
 /// Deterministic simulated arena: the opponent closes and retreats; the
 /// ring edge approaches periodically.
-pub fn inputs(seed: u64) -> impl InputProvider {
+pub fn inputs(seed: u64) -> impl InputProvider + Clone {
     FnInput::new(move |channel, i| {
         let t = i as f64 * 0.37 + seed as f64 * 0.5;
         match channel {

@@ -40,7 +40,7 @@ class Weather {
 "#;
 
 /// Deterministic temperature/humidity inputs (daily-ish cycles).
-pub fn inputs(seed: u64) -> impl InputProvider {
+pub fn inputs(seed: u64) -> impl InputProvider + Clone {
     FnInput::new(move |channel, i| {
         let t = (i as f64 + seed as f64) * 0.13;
         if channel.contains("Temp") {

@@ -50,7 +50,7 @@ class WindRec {
 
 /// Deterministic wind-direction inputs (16-point compass, slow drift with
 /// occasional sensor glitches).
-pub fn inputs(seed: u64) -> impl InputProvider {
+pub fn inputs(seed: u64) -> impl InputProvider + Clone {
     FnInput::new(move |_channel, i| {
         let base = ((i / 7 + seed) % 16) as i64;
         // every 11th reading glitches

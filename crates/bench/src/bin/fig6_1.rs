@@ -2,15 +2,22 @@
 //! the MP3 decoder to return to normal behaviour after an error
 //! injection (1,000 trials in the paper; 466 with corrupted outputs).
 //!
+//! Trials run as a batched campaign on the register-bytecode VM — one
+//! compile, one golden run, per-trial heap-snapshot restore — which is
+//! what makes the 100k-trial default tractable. Per-seed triggers,
+//! kinds and recovery stats are identical to the historical
+//! interpreter-per-trial pipeline (`bench_vm --gate` enforces trace
+//! identity between the engines).
+//!
 //! Usage: `cargo run --release -p sjava-bench --bin fig6_1`
-//! Env overrides: `SJAVA_TRIALS` (default 1000), `SJAVA_GRANULE` (192),
+//! Env overrides: `SJAVA_TRIALS` (default 100000), `SJAVA_GRANULE` (192),
 //! `SJAVA_WINDOW` (8), `SJAVA_FRAMES` (10).
 
 use sjava_apps::mp3dec;
-use sjava_bench::{env_usize, run_golden, run_trials, write_result, Histogram};
+use sjava_bench::{env_usize, run_trials_vm, write_result, Histogram};
 
 fn main() {
-    let trials = env_usize("SJAVA_TRIALS", 1000);
+    let trials = env_usize("SJAVA_TRIALS", 100_000);
     let granule = env_usize("SJAVA_GRANULE", mp3dec::GRANULE);
     let window = env_usize("SJAVA_WINDOW", mp3dec::WINDOW);
     let frames = env_usize("SJAVA_FRAMES", 10);
@@ -25,33 +32,29 @@ fn main() {
     println!(
         "granule={granule} (frame={frame_samples} samples; paper: 1152), trials={trials}, frames/run={frames}"
     );
-    let golden = run_golden(
+    let started = std::time::Instant::now();
+    // Inject within the first 60% of the run so recovery fits inside it.
+    let (golden, results) = run_trials_vm(
         &program,
         mp3dec::ENTRY,
-        mp3dec::inputs_for(0, granule),
+        || mp3dec::inputs_for(0, granule),
         frames,
+        trials,
+        0.6,
+        1e-9,
     );
+    let elapsed = started.elapsed().as_secs_f64();
     println!(
         "golden run: {} samples, {} steps",
         golden.outputs().len(),
         golden.steps
     );
 
-    // Inject within the first 60% of the run so recovery fits inside it.
     let mut hist = Histogram::new((frame_samples / 8).max(1), 3 * frame_samples);
     let mut diverged = 0usize;
     let mut max_recovery = 0usize;
     let mut recoveries: Vec<usize> = Vec::new();
-    for t in run_trials(
-        &program,
-        mp3dec::ENTRY,
-        || mp3dec::inputs_for(0, granule),
-        frames,
-        &golden,
-        trials,
-        0.6,
-        1e-9,
-    ) {
+    for t in results {
         if t.stats.diverged {
             diverged += 1;
             let r = t.stats.recovery_samples;
@@ -63,6 +66,10 @@ fn main() {
     recoveries.sort_unstable();
     let median = recoveries.get(recoveries.len() / 2).copied().unwrap_or(0);
 
+    println!(
+        "campaign: {trials} trials in {elapsed:.2}s ({:.0} trials/sec)",
+        trials as f64 / elapsed.max(1e-9)
+    );
     println!("\ntrials with corrupted outputs: {diverged}/{trials} (paper: 466/1000)");
     println!(
         "histogram of samples-until-normal-output (bucket width {}):",

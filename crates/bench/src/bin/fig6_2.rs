@@ -3,12 +3,17 @@
 //! bounded window and then resumes tracking the normal signal exactly
 //! (the paper observed 1,630 affected samples in its example trial).
 //!
+//! The seed scan runs on the register-bytecode VM: the decoder is
+//! compiled once, the post-instantiation machine state is snapshotted,
+//! and each candidate seed replays via snapshot restore instead of a
+//! fresh interpreter.
+//!
 //! Usage: `cargo run --release -p sjava-bench --bin fig6_2`
 //! Env overrides: `SJAVA_GRANULE`, `SJAVA_WINDOW`, `SJAVA_SEED`.
 
 use sjava_apps::mp3dec;
-use sjava_bench::{env_usize, run_golden, write_result};
-use sjava_runtime::{compare_runs, ExecOptions, Injector, Interpreter, Value};
+use sjava_bench::{env_usize, write_result};
+use sjava_runtime::{compare_runs, compile, ExecOptions, Injector, Value, Vm};
 
 fn main() {
     let granule = env_usize("SJAVA_GRANULE", mp3dec::GRANULE);
@@ -18,29 +23,33 @@ fn main() {
 
     let src = mp3dec::source_with(granule, window);
     let program = sjava_syntax::parse(&src).expect("decoder parses");
-    let golden = run_golden(
-        &program,
-        mp3dec::ENTRY,
+    let module = compile(&program);
+    let mut vm = Vm::new(
+        &module,
         mp3dec::inputs_for(0, granule),
-        frames,
+        ExecOptions::default(),
     );
+    let golden = vm
+        .run(mp3dec::ENTRY.0, mp3dec::ENTRY.1, frames)
+        .expect("golden run");
 
     // Pick a seed whose injection lands in a granule store of frame 2 so
     // the trace shows the full oscillation + recovery (scan a few seeds
     // for a divergent one in the right region).
     let target_lo = golden.steps / frames as u64 * 2;
     let target_hi = golden.steps / frames as u64 * 3;
+    vm.set_inputs(mp3dec::inputs_for(0, granule));
+    let prep = vm
+        .prepare(mp3dec::ENTRY.0, mp3dec::ENTRY.1)
+        .expect("prepares");
+    let snap = vm.snapshot();
     let mut chosen = None;
     for seed in env_usize("SJAVA_SEED", 0) as u64..200 {
         let trigger = target_lo + (seed * 7919) % (target_hi - target_lo);
-        let run = Interpreter::new(
-            &program,
-            mp3dec::inputs_for(0, granule),
-            ExecOptions::default(),
-        )
-        .with_injector(Injector::new(seed, trigger))
-        .run(mp3dec::ENTRY.0, mp3dec::ENTRY.1, frames)
-        .expect("runs");
+        vm.restore(&snap);
+        let run = vm
+            .resume(&prep, frames, Some(Injector::new(seed, trigger)))
+            .expect("runs");
         let stats = compare_runs(&golden.iteration_outputs, &run.iteration_outputs, 1e-9);
         if stats.diverged && stats.recovery_samples > frame_samples / 2 {
             chosen = Some((seed, run, stats));

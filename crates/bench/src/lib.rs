@@ -111,6 +111,43 @@ where
     })
 }
 
+/// Runs seeds `0..trials` as a batched VM campaign: same per-seed
+/// trigger/kind derivation and recovery stats as [`run_trials`], but
+/// executed on the register-bytecode VM with one compile, one golden
+/// run, and per-trial snapshot restore instead of a fresh interpreter
+/// per trial. Returns the campaign's own (VM) golden run alongside the
+/// trials; its outputs are byte-identical to the tree-walker's (gated
+/// by `bench_vm --gate`).
+pub fn run_trials_vm<I, F>(
+    program: &Program,
+    entry: (&str, &str),
+    make_inputs: F,
+    iterations: usize,
+    trials: usize,
+    inject_window: f64,
+    eps: f64,
+) -> (RunResult, Vec<Trial>)
+where
+    I: InputProvider + Clone,
+    F: Fn() -> I + Sync,
+{
+    let mut c = sjava_runtime::Campaign::new(program, entry, iterations);
+    c.trials = trials;
+    c.inject_window = inject_window;
+    c.eps = eps;
+    let out = c.run(make_inputs).expect("campaign entry must resolve");
+    let trials = out
+        .trials
+        .into_iter()
+        .map(|t| Trial {
+            seed: t.seed,
+            injected_at: t.injected_at,
+            stats: t.stats,
+        })
+        .collect();
+    (out.golden, trials)
+}
+
 /// A fixed-width histogram over recovery sample counts.
 #[derive(Debug, Clone)]
 pub struct Histogram {

@@ -61,7 +61,7 @@ impl InputProvider for ScriptedInput {
 /// Deterministic pseudo-random inputs: ints in a range, floats in
 /// `[-1, 1]`, chosen by the channel's name suffix conventions used across
 /// the benchmarks.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SeededInput {
     rng: StdRng,
     /// Range for integer channels.
@@ -89,7 +89,10 @@ impl InputProvider for SeededInput {
 }
 
 /// A provider computed by a closure `(channel, call-index) → value`; the
-/// most flexible option for benchmark workload generators.
+/// most flexible option for benchmark workload generators. `Clone`
+/// (when the closure is) captures the call-index cursor, so campaign
+/// snapshots restore the input stream position too.
+#[derive(Clone)]
 pub struct FnInput<F: FnMut(&str, u64) -> Value> {
     f: F,
     count: u64,

@@ -646,85 +646,9 @@ impl<'p, I: InputProvider> Interpreter<'p, I> {
     }
 
     fn binop(&mut self, op: BinOp, l: Value, r: Value) -> Result<Value, StopKind> {
-        use BinOp::*;
-        // String concatenation.
-        if op == Add {
-            if let (Value::Str(a), b) = (&l, &r) {
-                return Ok(Value::Str(format!("{a}{b}")));
-            }
-            if let (a, Value::Str(b)) = (&l, &r) {
-                return Ok(Value::Str(format!("{a}{b}")));
-            }
-        }
-        // Equality works across all values.
-        if op == Eq {
-            return Ok(Value::Bool(l == r));
-        }
-        if op == Ne {
-            return Ok(Value::Bool(l != r));
-        }
-        let float_mode = matches!(l, Value::Float(_)) || matches!(r, Value::Float(_));
-        if float_mode {
-            let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
-                return self.soft_error("arithmetic on non-numbers", Value::Float(0.0));
-            };
-            Ok(match op {
-                Add => Value::Float(a + b),
-                Sub => Value::Float(a - b),
-                Mul => Value::Float(a * b),
-                Div => {
-                    if b == 0.0 {
-                        self.soft_error("float division by zero", Value::Float(0.0))?
-                    } else {
-                        Value::Float(a / b)
-                    }
-                }
-                Rem => {
-                    if b == 0.0 {
-                        self.soft_error("float modulo by zero", Value::Float(0.0))?
-                    } else {
-                        Value::Float(a % b)
-                    }
-                }
-                Lt => Value::Bool(a < b),
-                Le => Value::Bool(a <= b),
-                Gt => Value::Bool(a > b),
-                Ge => Value::Bool(a >= b),
-                _ => self.soft_error("bitwise op on floats", Value::Float(0.0))?,
-            })
-        } else {
-            let (Some(a), Some(b)) = (l.as_i64(), r.as_i64()) else {
-                return self.soft_error("arithmetic on non-numbers", Value::Int(0));
-            };
-            Ok(match op {
-                Add => Value::Int(a.wrapping_add(b)),
-                Sub => Value::Int(a.wrapping_sub(b)),
-                Mul => Value::Int(a.wrapping_mul(b)),
-                Div => {
-                    if b == 0 {
-                        self.soft_error("division by zero", Value::Int(0))?
-                    } else {
-                        Value::Int(a.wrapping_div(b))
-                    }
-                }
-                Rem => {
-                    if b == 0 {
-                        self.soft_error("modulo by zero", Value::Int(0))?
-                    } else {
-                        Value::Int(a.wrapping_rem(b))
-                    }
-                }
-                Lt => Value::Bool(a < b),
-                Le => Value::Bool(a <= b),
-                Gt => Value::Bool(a > b),
-                Ge => Value::Bool(a >= b),
-                BitAnd => Value::Int(a & b),
-                BitOr => Value::Int(a | b),
-                BitXor => Value::Int(a ^ b),
-                Shl => Value::Int(a.wrapping_shl((b & 63) as u32)),
-                Shr => Value::Int(a.wrapping_shr((b & 63) as u32)),
-                And | Or | Eq | Ne => unreachable!("handled above"),
-            })
+        match crate::value::binop_values(op, &l, &r) {
+            Ok(v) => Ok(v),
+            Err(sf) => self.soft_error(&sf.msg, sf.default),
         }
     }
 
@@ -825,31 +749,10 @@ impl<'p, I: InputProvider> Interpreter<'p, I> {
     }
 
     fn math_intrinsic(&mut self, name: &str, vals: &[Value]) -> Result<Value, StopKind> {
-        let f = |v: &Value| v.as_f64().unwrap_or(0.0);
-        Ok(match (name, vals) {
-            ("abs", [v]) => match v {
-                Value::Int(i) => Value::Int(i.wrapping_abs()),
-                other => Value::Float(f(other).abs()),
-            },
-            ("sqrt", [v]) => Value::Float(f(v).max(0.0).sqrt()),
-            ("sin", [v]) => Value::Float(f(v).sin()),
-            ("cos", [v]) => Value::Float(f(v).cos()),
-            ("tanh", [v]) => Value::Float(f(v).tanh()),
-            ("floor", [v]) => Value::Float(f(v).floor()),
-            ("pow", [a, b]) => Value::Float(f(a).powf(f(b))),
-            ("max", [a, b]) => match (a, b) {
-                (Value::Int(x), Value::Int(y)) => Value::Int(*x.max(y)),
-                _ => Value::Float(f(a).max(f(b))),
-            },
-            ("min", [a, b]) => match (a, b) {
-                (Value::Int(x), Value::Int(y)) => Value::Int(*x.min(y)),
-                _ => Value::Float(f(a).min(f(b))),
-            },
-            _ => self.soft_error(
-                &format!("unknown Math intrinsic `{name}`"),
-                Value::Float(0.0),
-            )?,
-        })
+        match crate::value::math_values(name, vals) {
+            Ok(v) => Ok(v),
+            Err(sf) => self.soft_error(&sf.msg, sf.default),
+        }
     }
 
     fn ssjava_array(&mut self, name: &str, vals: &[Value]) -> Result<Value, StopKind> {

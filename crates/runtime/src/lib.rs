@@ -27,14 +27,20 @@
 
 #![warn(missing_docs)]
 
+pub mod bytecode;
+pub mod campaign;
 pub mod driver;
 pub mod inject;
 pub mod input;
 pub mod interp;
 pub mod value;
+pub mod vm;
 
+pub use bytecode::{compile, FlatHeapSnapshot, Module};
+pub use campaign::{Campaign, CampaignOutcome, Grid, RecoveryHistogram, TrialOutcome};
 pub use driver::{compare_runs, RecoveryStats};
 pub use inject::Injector;
 pub use input::{FnInput, InputProvider, ScriptedInput, SeededInput};
 pub use interp::{ExecOptions, Interpreter, RunResult, RuntimeError};
 pub use value::{Heap, HeapEntry, ObjId, Value};
+pub use vm::{Prepared, Vm, VmSnapshot};

@@ -1,6 +1,8 @@
-//! Runtime values and the heap.
+//! Runtime values, the heap, and the shared semantic kernels for
+//! operators and intrinsics (used by both the tree-walking
+//! interpreter and the bytecode VM so the two engines cannot drift).
 
-use sjava_syntax::ast::Type;
+use sjava_syntax::ast::{BinOp, Type};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -64,6 +66,143 @@ impl Value {
             _ => None,
         }
     }
+}
+
+/// A recoverable (§4.4) evaluation failure: the message that goes to
+/// the crash-avoidance log and the default value that stands in for
+/// the result when errors are ignored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftFail {
+    /// Log message.
+    pub msg: String,
+    /// Crash-avoidance substitute value.
+    pub default: Value,
+}
+
+impl SoftFail {
+    fn new(msg: impl Into<String>, default: Value) -> Self {
+        SoftFail {
+            msg: msg.into(),
+            default,
+        }
+    }
+}
+
+/// Applies a binary operator to two values. This is the single source
+/// of truth for operator semantics — the interpreter and the VM both
+/// delegate here and only differ in how they report the `SoftFail`.
+pub(crate) fn binop_values(op: BinOp, l: &Value, r: &Value) -> Result<Value, SoftFail> {
+    use BinOp::*;
+    // String concatenation.
+    if op == Add {
+        if let (Value::Str(a), b) = (l, r) {
+            return Ok(Value::Str(format!("{a}{b}")));
+        }
+        if let (a, Value::Str(b)) = (l, r) {
+            return Ok(Value::Str(format!("{a}{b}")));
+        }
+    }
+    // Equality works across all values.
+    if op == Eq {
+        return Ok(Value::Bool(l == r));
+    }
+    if op == Ne {
+        return Ok(Value::Bool(l != r));
+    }
+    let float_mode = matches!(l, Value::Float(_)) || matches!(r, Value::Float(_));
+    if float_mode {
+        let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+            return Err(SoftFail::new(
+                "arithmetic on non-numbers",
+                Value::Float(0.0),
+            ));
+        };
+        Ok(match op {
+            Add => Value::Float(a + b),
+            Sub => Value::Float(a - b),
+            Mul => Value::Float(a * b),
+            Div => {
+                if b == 0.0 {
+                    return Err(SoftFail::new("float division by zero", Value::Float(0.0)));
+                }
+                Value::Float(a / b)
+            }
+            Rem => {
+                if b == 0.0 {
+                    return Err(SoftFail::new("float modulo by zero", Value::Float(0.0)));
+                }
+                Value::Float(a % b)
+            }
+            Lt => Value::Bool(a < b),
+            Le => Value::Bool(a <= b),
+            Gt => Value::Bool(a > b),
+            Ge => Value::Bool(a >= b),
+            _ => return Err(SoftFail::new("bitwise op on floats", Value::Float(0.0))),
+        })
+    } else {
+        let (Some(a), Some(b)) = (l.as_i64(), r.as_i64()) else {
+            return Err(SoftFail::new("arithmetic on non-numbers", Value::Int(0)));
+        };
+        Ok(match op {
+            Add => Value::Int(a.wrapping_add(b)),
+            Sub => Value::Int(a.wrapping_sub(b)),
+            Mul => Value::Int(a.wrapping_mul(b)),
+            Div => {
+                if b == 0 {
+                    return Err(SoftFail::new("division by zero", Value::Int(0)));
+                }
+                Value::Int(a.wrapping_div(b))
+            }
+            Rem => {
+                if b == 0 {
+                    return Err(SoftFail::new("modulo by zero", Value::Int(0)));
+                }
+                Value::Int(a.wrapping_rem(b))
+            }
+            Lt => Value::Bool(a < b),
+            Le => Value::Bool(a <= b),
+            Gt => Value::Bool(a > b),
+            Ge => Value::Bool(a >= b),
+            BitAnd => Value::Int(a & b),
+            BitOr => Value::Int(a | b),
+            BitXor => Value::Int(a ^ b),
+            Shl => Value::Int(a.wrapping_shl((b & 63) as u32)),
+            Shr => Value::Int(a.wrapping_shr((b & 63) as u32)),
+            And | Or | Eq | Ne => unreachable!("handled above"),
+        })
+    }
+}
+
+/// Evaluates a `Math.*` intrinsic over already-evaluated arguments.
+/// Shared by interpreter and VM (see [`binop_values`]).
+pub(crate) fn math_values(name: &str, vals: &[Value]) -> Result<Value, SoftFail> {
+    let f = |v: &Value| v.as_f64().unwrap_or(0.0);
+    Ok(match (name, vals) {
+        ("abs", [v]) => match v {
+            Value::Int(i) => Value::Int(i.wrapping_abs()),
+            other => Value::Float(f(other).abs()),
+        },
+        ("sqrt", [v]) => Value::Float(f(v).max(0.0).sqrt()),
+        ("sin", [v]) => Value::Float(f(v).sin()),
+        ("cos", [v]) => Value::Float(f(v).cos()),
+        ("tanh", [v]) => Value::Float(f(v).tanh()),
+        ("floor", [v]) => Value::Float(f(v).floor()),
+        ("pow", [a, b]) => Value::Float(f(a).powf(f(b))),
+        ("max", [a, b]) => match (a, b) {
+            (Value::Int(x), Value::Int(y)) => Value::Int(*x.max(y)),
+            _ => Value::Float(f(a).max(f(b))),
+        },
+        ("min", [a, b]) => match (a, b) {
+            (Value::Int(x), Value::Int(y)) => Value::Int(*x.min(y)),
+            _ => Value::Float(f(a).min(f(b))),
+        },
+        _ => {
+            return Err(SoftFail::new(
+                format!("unknown Math intrinsic `{name}`"),
+                Value::Float(0.0),
+            ))
+        }
+    })
 }
 
 impl fmt::Display for Value {

@@ -49,6 +49,12 @@
 #      incremental output must be byte-identical to a fresh full check
 #      of the same mutated AST; the ratio floor auto-skips only when
 #      the corpus has < 50 methods
+#  14. the VM gate (bench_vm): the register-bytecode VM must produce
+#      byte-identical traces to the tree-walking interpreter on the
+#      four paper apps + mp3dec and across the stress corpus (plain
+#      and fault-injected, both kinds), and beat it by ≥5x on mp3dec
+#      (the throughput floor auto-skips on machines with <4 cores,
+#      where the measurement is too noisy; identity always gates)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -149,5 +155,16 @@ echo "== edit-storm gate (dependency-tracked invalidation) =="
 # deterministic, so refreshing the committed file is intentional (only
 # the warm-time fields vary by machine).
 target/release/bench_edit --gate
+
+echo "== VM gate (trace identity + mp3dec speedup floor) =="
+# Trace identity between the register-bytecode VM and the tree-walking
+# interpreter is the precondition for every campaign number; the ≥5x
+# mp3dec floor is what justifies the 100k-trial fig 6.1 default. Runs
+# from a scratch directory so the smoke JSON does not overwrite the
+# committed results/BENCH_vm.json.
+vm_bin=$PWD/target/release/bench_vm
+vm_dir=$(mktemp -d)
+(cd "$vm_dir" && "$vm_bin" --gate)
+rm -rf "$vm_dir"
 
 echo "CI green"

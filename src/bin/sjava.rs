@@ -24,6 +24,12 @@
 //! sjava fuzz [--seed=N] [--cases=N] [--oracle=all|check|infer|cache|parse|emit]
 //!            [--minimize] [--fixtures-dir=DIR]
 //!                                       differential-fuzz the engine pairs
+//! sjava campaign --app=<windsensor|weather|sumobot|eyetrack|mp3dec|stress>
+//!                [--trials=N] [--grid=mc|lattice:SEEDSxTRIGGERS] [--iters=N]
+//!                [--window=F] [--eps=F] [--threads=N] [--out=PATH]
+//!                                       batched fault-injection campaign on
+//!                                       the register-bytecode VM; prints the
+//!                                       recovery histogram, optional CSV out
 //! ```
 //!
 //! Exit codes: `0` success, `1` the check (or another command) failed
@@ -50,9 +56,10 @@ fn main() -> ExitCode {
         Some("vfg") if args.len() >= 2 => cmd_vfg(&args[1]),
         Some("stress") => cmd_stress(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("campaign") if args.len() >= 2 => cmd_campaign(&args[1..]),
         _ => {
             eprintln!(
-                "usage:\n  sjava check <file.sj> [--format=text|json|sarif] [--deny-warnings] [--shards=N|auto]\n  sjava check --explain SJ0xxx\n  sjava infer <file.sj> [--naive] [--timings]\n  sjava run <file.sj> <Class.method> <iterations>\n  sjava lattice <file.sj>\n  sjava lifetimes <file.sj>\n  sjava lint <file.sj>\n  sjava vfg <file.sj>\n  sjava stress [--preset=small|large|adversarial] [--classes=N] [--methods=N]\n               [--fields=N] [--depth=N] [--stmts=N] [--seed=N] [--delta-depth=N]\n               [--degenerate=N] [--cyclic-delegates=N] [--check] [--infer]\n  sjava fuzz [--seed=N] [--cases=N] [--oracle=all|check|infer|cache|parse|emit]\n             [--minimize] [--fixtures-dir=DIR]"
+                "usage:\n  sjava check <file.sj> [--format=text|json|sarif] [--deny-warnings] [--shards=N|auto]\n  sjava check --explain SJ0xxx\n  sjava infer <file.sj> [--naive] [--timings]\n  sjava run <file.sj> <Class.method> <iterations>\n  sjava lattice <file.sj>\n  sjava lifetimes <file.sj>\n  sjava lint <file.sj>\n  sjava vfg <file.sj>\n  sjava stress [--preset=small|large|adversarial] [--classes=N] [--methods=N]\n               [--fields=N] [--depth=N] [--stmts=N] [--seed=N] [--delta-depth=N]\n               [--degenerate=N] [--cyclic-delegates=N] [--check] [--infer]\n  sjava fuzz [--seed=N] [--cases=N] [--oracle=all|check|infer|cache|parse|emit]\n             [--minimize] [--fixtures-dir=DIR]\n  sjava campaign --app=<windsensor|weather|sumobot|eyetrack|mp3dec|stress>\n                 [--trials=N] [--grid=mc|lattice:SEEDSxTRIGGERS] [--iters=N]\n                 [--window=F] [--eps=F] [--threads=N] [--out=PATH]"
             );
             ExitCode::from(EXIT_USAGE)
         }
@@ -251,6 +258,240 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// `sjava campaign`: runs a batched Monte-Carlo (or exhaustive-lattice)
+/// fault-injection campaign on the register-bytecode VM — one compile,
+/// one golden run, per-trial heap-snapshot restore — and prints the
+/// recovery-time histogram:
+///
+/// ```text
+/// sjava campaign --app=mp3dec --trials=100000
+/// sjava campaign --app=windsensor --grid=lattice:4x32 --out=hist.csv
+/// ```
+fn cmd_campaign(args: &[String]) -> ExitCode {
+    use sjava::runtime::Grid;
+
+    let mut app: Option<String> = None;
+    let mut trials = 1000usize;
+    let mut grid = Grid::MonteCarlo;
+    let mut iters: Option<usize> = None;
+    let mut window = 0.8f64;
+    let mut eps = 1e-9f64;
+    let mut threads: Option<usize> = None;
+    let mut out: Option<String> = None;
+    for a in args {
+        let (flag, value) = match a.split_once('=') {
+            Some((f, v)) => (f, v),
+            None => (a.as_str(), ""),
+        };
+        let numeric = |v: &str| -> Result<usize, ExitCode> {
+            v.parse().map_err(|_| {
+                eprintln!("error: `{a}` needs a non-negative integer value");
+                ExitCode::from(EXIT_USAGE)
+            })
+        };
+        let float = |v: &str| -> Result<f64, ExitCode> {
+            v.parse().map_err(|_| {
+                eprintln!("error: `{a}` needs a number");
+                ExitCode::from(EXIT_USAGE)
+            })
+        };
+        match flag {
+            "--app" => app = Some(value.to_string()),
+            "--trials" => match numeric(value) {
+                Ok(n) => trials = n,
+                Err(c) => return c,
+            },
+            "--iters" => match numeric(value) {
+                Ok(n) => iters = Some(n),
+                Err(c) => return c,
+            },
+            "--threads" => match numeric(value) {
+                Ok(n) => threads = Some(n),
+                Err(c) => return c,
+            },
+            "--window" => match float(value) {
+                Ok(f) => window = f,
+                Err(c) => return c,
+            },
+            "--eps" => match float(value) {
+                Ok(f) => eps = f,
+                Err(c) => return c,
+            },
+            "--grid" => {
+                grid = if value == "mc" {
+                    Grid::MonteCarlo
+                } else if let Some(spec) = value.strip_prefix("lattice:") {
+                    let parsed = spec.split_once('x').and_then(|(s, t)| {
+                        Some(Grid::Lattice {
+                            seeds: s.parse().ok()?,
+                            triggers: t.parse().ok()?,
+                        })
+                    });
+                    match parsed {
+                        Some(g) => g,
+                        None => {
+                            eprintln!(
+                                "error: --grid=lattice needs `lattice:SEEDSxTRIGGERS`, e.g. `lattice:4x32`"
+                            );
+                            return ExitCode::from(EXIT_USAGE);
+                        }
+                    }
+                } else {
+                    eprintln!("error: unknown grid `{value}` (expected mc or lattice:SxT)");
+                    return ExitCode::from(EXIT_USAGE);
+                };
+            }
+            f if f.starts_with("--out") => out = Some(value.to_string()),
+            other => {
+                eprintln!("error: unknown flag `{other}` for `sjava campaign`");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    }
+    let Some(app) = app else {
+        eprintln!("error: `sjava campaign` needs `--app=<name>`");
+        return ExitCode::from(EXIT_USAGE);
+    };
+
+    let cfg = CampaignCfg {
+        trials,
+        grid,
+        window,
+        eps,
+        threads,
+        out,
+    };
+    use sjava::apps::{eyetrack, mp3dec, sumobot, weather, windsensor};
+    match app.as_str() {
+        "windsensor" => run_campaign(
+            windsensor::SOURCE,
+            windsensor::ENTRY,
+            || windsensor::inputs(1),
+            iters.unwrap_or(50),
+            &cfg,
+        ),
+        "weather" => run_campaign(
+            weather::SOURCE,
+            weather::ENTRY,
+            || weather::inputs(1),
+            iters.unwrap_or(50),
+            &cfg,
+        ),
+        "sumobot" => run_campaign(
+            sumobot::SOURCE,
+            sumobot::ENTRY,
+            || sumobot::inputs(1),
+            iters.unwrap_or(50),
+            &cfg,
+        ),
+        "eyetrack" => run_campaign(
+            eyetrack::SOURCE,
+            eyetrack::ENTRY,
+            || eyetrack::inputs(1),
+            iters.unwrap_or(50),
+            &cfg,
+        ),
+        "mp3dec" => run_campaign(
+            &mp3dec::source_with(mp3dec::GRANULE, mp3dec::WINDOW),
+            mp3dec::ENTRY,
+            || mp3dec::inputs(0),
+            iters.unwrap_or(8),
+            &cfg,
+        ),
+        "stress" => run_campaign(
+            &sjava_bench::stressgen::generate(&sjava_bench::stressgen::StressConfig::small()),
+            ("StressMain", "run"),
+            || sjava::runtime::FnInput::new(|_, i| sjava::runtime::Value::Int((i % 17) as i64 - 8)),
+            iters.unwrap_or(20),
+            &cfg,
+        ),
+        other => {
+            eprintln!(
+                "error: unknown app `{other}` (expected windsensor, weather, sumobot, eyetrack, mp3dec, or stress)"
+            );
+            ExitCode::from(EXIT_USAGE)
+        }
+    }
+}
+
+/// Flag bundle for [`run_campaign`], so the per-app dispatch stays flat.
+struct CampaignCfg {
+    trials: usize,
+    grid: sjava::runtime::Grid,
+    window: f64,
+    eps: f64,
+    threads: Option<usize>,
+    out: Option<String>,
+}
+
+fn run_campaign<I, F>(
+    src: &str,
+    entry: (&str, &str),
+    make_inputs: F,
+    iterations: usize,
+    cfg: &CampaignCfg,
+) -> ExitCode
+where
+    I: sjava::runtime::InputProvider + Clone,
+    F: Fn() -> I + Sync,
+{
+    let program = match sjava::parse(src) {
+        Ok(p) => p,
+        Err(diags) => {
+            eprintln!("error: app source does not parse: {diags}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut campaign = sjava::runtime::Campaign::new(&program, entry, iterations);
+    campaign.trials = cfg.trials;
+    campaign.grid = cfg.grid;
+    campaign.inject_window = cfg.window;
+    campaign.eps = cfg.eps;
+    campaign.threads = cfg.threads;
+    let outcome = match campaign.run(make_inputs) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("runtime error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{}.{}: {} trials in {:.2}s ({:.0} trials/sec), {} iterations/run, {} live heap cells",
+        entry.0,
+        entry.1,
+        outcome.trials.len(),
+        outcome.elapsed_ns as f64 / 1e9,
+        outcome.trials_per_sec,
+        iterations,
+        outcome.heap_cells
+    );
+    println!(
+        "diverged: {}/{} trials; golden run: {} samples, {} steps",
+        outcome.diverged(),
+        outcome.trials.len(),
+        outcome.golden.outputs().len(),
+        outcome.golden.steps
+    );
+    println!(
+        "calibrated cost model (ns/trial): op-resume {}, heap-resume {}, full-run {}",
+        outcome.cost_model.ns[0], outcome.cost_model.ns[1], outcome.cost_model.ns[2]
+    );
+    println!("\nrecovery time, output samples until re-convergence:");
+    print!("{}", outcome.hist_samples.render());
+    println!("\nrecovery time, iterations until re-convergence:");
+    print!("{}", outcome.hist_iterations.render());
+
+    if let Some(path) = &cfg.out {
+        if let Err(e) = std::fs::write(path, outcome.hist_samples.to_csv()) {
+            eprintln!("error: cannot write `{path}`: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+        println!("histogram written to {path}");
+    }
+    ExitCode::SUCCESS
 }
 
 /// `sjava stress --infer`: strip the generated corpus's annotations and
