@@ -1,0 +1,43 @@
+//! Throwaway review repro: campaign results should not depend on
+//! batch size, including for trials whose trigger falls inside
+//! instantiation (the full-run fallback path).
+
+use sjava_runtime::{Campaign, Grid, ScriptedInput, Value};
+use sjava_syntax::parse;
+
+// Field initializer does arithmetic so instantiation consumes steps
+// (prep.steps >= 1) and trigger=1 trials take the full-run path.
+const SRC: &str = "class A { int warm = 1 + 2; int prev; void main() { SSJAVA: while (true) {
+    int x = Device.read();
+    Out.emit(prev + x);
+    prev = x;
+} } }";
+
+fn inputs() -> ScriptedInput {
+    ScriptedInput::new().channel(
+        "read",
+        vec![Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(5)],
+    )
+}
+
+#[test]
+fn batch_size_does_not_change_results() {
+    let p = parse(SRC).expect("parses");
+    let mut c = Campaign::new(&p, ("A", "main"), 6);
+    c.grid = Grid::Lattice {
+        seeds: 3,
+        triggers: 4,
+    };
+    c.threads = Some(1);
+    c.batch_size = 1;
+    let a = c.run(inputs).expect("campaign");
+    c.batch_size = 1000;
+    let b = c.run(inputs).expect("campaign");
+    let strip = |o: &sjava_runtime::CampaignOutcome| {
+        o.trials
+            .iter()
+            .map(|t| (t.seed, t.trigger, t.injected_at, t.stats.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(strip(&a), strip(&b));
+}
